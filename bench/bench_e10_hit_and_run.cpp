@@ -1,0 +1,76 @@
+// E10 -- the introduction's complexity landscape: exact convex volume is
+// #P-hard [Dyer-Frieze '88], randomized approximation is polynomial
+// [Dyer-Frieze-Kannan '91]. We run the DFK-style hit-and-run estimator
+// against the exact engine across dimensions and report accuracy and the
+// diverging cost of exactness.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "cqa/approx/hit_and_run.h"
+#include "cqa/geometry/polytope_volume.h"
+
+namespace {
+
+using namespace cqa;
+
+void print_table() {
+  cqa_bench::header(
+      "E10: randomized convex volume (DFK) vs exact",
+      "relative error shrinks with samples; the estimator's cost is "
+      "polynomial while exact methods grow combinatorially with dim");
+  std::printf("%-10s %-4s %-10s %-12s %-10s %-8s\n", "body", "dim",
+              "exact", "estimate", "rel_err", "phases");
+  struct Body {
+    const char* name;
+    Polyhedron poly;
+  };
+  std::vector<Body> bodies;
+  for (std::size_t d = 2; d <= 5; ++d) {
+    bodies.push_back({"cube", Polyhedron::box(d, Rational(0), Rational(2))});
+  }
+  for (std::size_t d = 2; d <= 4; ++d) {
+    bodies.push_back({"simplex", Polyhedron::simplex(d, Rational(1))});
+  }
+  for (auto& b : bodies) {
+    double exact = polytope_volume(b.poly).value_or_die().to_double();
+    auto est = hit_and_run_volume(b.poly, 8000, 99).value_or_die();
+    double rel = std::fabs(est.volume - exact) / exact;
+    std::printf("%-10s %-4zu %-10.4f %-12.4f %-10.4f %-8zu\n", b.name,
+                b.poly.dim(), exact, est.volume, rel, est.phases);
+  }
+  std::printf("\nsample-count scaling on the 3-cube (exact vol 8):\n");
+  std::printf("%-10s %-12s %-10s\n", "samples", "estimate", "rel_err");
+  Polyhedron cube = Polyhedron::box(3, Rational(0), Rational(2));
+  for (std::size_t s : {500, 2000, 8000, 32000}) {
+    auto est = hit_and_run_volume(cube, s, 7).value_or_die();
+    std::printf("%-10zu %-12.4f %-10.4f\n", s, est.volume,
+                std::fabs(est.volume - 8.0) / 8.0);
+  }
+}
+
+void BM_HitAndRun(benchmark::State& state) {
+  Polyhedron cube = Polyhedron::box(
+      static_cast<std::size_t>(state.range(0)), Rational(0), Rational(2));
+  for (auto _ : state) {
+    auto v = hit_and_run_volume(cube, 2000, 5);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_HitAndRun)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ExactLasserre(benchmark::State& state) {
+  Polyhedron cube = Polyhedron::box(
+      static_cast<std::size_t>(state.range(0)), Rational(0), Rational(2));
+  for (auto _ : state) {
+    auto v = polytope_volume(cube);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExactLasserre)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+CQA_BENCH_MAIN(print_table)

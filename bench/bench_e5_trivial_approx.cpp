@@ -1,0 +1,84 @@
+// E5 -- Proposition 4 + Theorem 2: the trivial half-approximation is
+// definable and, for eps < 1/2, nothing better is.
+//
+// We sweep sets with VOL_I covering [0, 1], verify the trivial operator's
+// error never exceeds 1/2 (and hits it in the worst case), and show that
+// every *constant* oracle has worst-case error >= 1/2 -- the best any
+// FO+LIN/FO+POLY-definable operator can do, per Theorem 2.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "cqa/approx/gadgets.h"
+#include "cqa/core/constraint_database.h"
+#include "cqa/volume/semilinear_volume.h"
+
+namespace {
+
+using namespace cqa;
+
+std::vector<LinearCell> slab(const Rational& width) {
+  // [0, width] x [0, 1].
+  LinearCell cell(2);
+  LinearConstraint hi;
+  hi.coeffs = {Rational(1), Rational(0)};
+  hi.rhs = width;
+  hi.cmp = LinCmp::kLe;
+  cell.add(std::move(hi));
+  return {cell.intersect_box(Rational(0), Rational(1))};
+}
+
+void print_table() {
+  cqa_bench::header(
+      "E5: the trivial 1/2-approximation (Prop 4) is optimal (Thm 2)",
+      "the operator's error is always <= 1/2; no constant beats 1/2 in "
+      "the worst case, and eps < 1/2 operators are undefinable");
+  std::printf("%-10s %-12s %-10s %-10s\n", "VOL_I", "trivial", "abs_err",
+              "err<=1/2");
+  Rational worst;
+  for (int i = 0; i <= 10; ++i) {
+    Rational w(i, 10);
+    auto cells = slab(w);
+    Rational vol = semilinear_volume(cells).value_or_die();
+    Rational approx = trivial_half_approximation(cells, 2).value_or_die();
+    Rational err = (approx - vol).abs();
+    if (err > worst) worst = err;
+    std::printf("%-10s %-12s %-10s %-10s\n", vol.to_string().c_str(),
+                approx.to_string().c_str(), err.to_string().c_str(),
+                err <= Rational(1, 2) ? "yes" : "NO");
+  }
+  std::printf("worst-case error of the trivial operator: %s\n",
+              worst.to_string().c_str());
+
+  // Any constant c has sup error >= 1/2 over volumes in [0, 1].
+  std::printf("\nworst-case error of constant oracles:\n%-10s %-12s\n",
+              "constant", "sup_err");
+  for (int c = 0; c <= 10; c += 2) {
+    Rational cv(c, 10);
+    Rational sup = std::max(cv - Rational(0), Rational(1) - cv);
+    std::printf("%-10s %-12s\n", cv.to_string().c_str(),
+                sup.to_string().c_str());
+  }
+}
+
+void BM_TrivialOperator(benchmark::State& state) {
+  auto cells = slab(Rational(static_cast<std::int64_t>(state.range(0)), 10));
+  for (auto _ : state) {
+    auto v = trivial_half_approximation(cells, 2);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TrivialOperator)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_ExactForComparison(benchmark::State& state) {
+  auto cells = slab(Rational(static_cast<std::int64_t>(state.range(0)), 10));
+  for (auto _ : state) {
+    auto v = semilinear_volume(cells);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExactForComparison)->Arg(5);
+
+}  // namespace
+
+CQA_BENCH_MAIN(print_table)

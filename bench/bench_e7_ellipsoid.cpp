@@ -1,0 +1,111 @@
+// E7 -- the Section-4 Remark: for convex query outputs, Lowner-John
+// ellipsoids give a relative (c1, c2)-approximation with
+// c1 = (k^k + 1)/(2 k^k) - eps, c2 = (k^k + 1)/2 + eps.
+//
+// We verify the sandwich vol(E)/k^k <= vol(P) <= vol(E) on random and
+// structured polytopes, and report the realized mid-point estimator
+// ratio against the paper's constants.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "cqa/approx/ellipsoid.h"
+#include "cqa/approx/random.h"
+#include "cqa/geometry/affine.h"
+#include "cqa/geometry/polytope_volume.h"
+#include "cqa/geometry/vertex_enum.h"
+
+namespace {
+
+using namespace cqa;
+
+Polyhedron random_polytope(std::size_t dim, std::size_t points,
+                           std::uint64_t seed) {
+  Xoshiro rng(seed);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::vector<RVec> pts;
+    for (std::size_t i = 0; i < points; ++i) {
+      RVec p(dim);
+      for (auto& c : p) {
+        c = Rational(static_cast<std::int64_t>(rng.next() % 17) - 8, 2);
+      }
+      pts.push_back(std::move(p));
+    }
+    auto hull = Polyhedron::hull_of(pts);
+    if (hull.is_ok()) return std::move(hull).take();
+  }
+  CQA_CHECK(false);
+  return Polyhedron(dim);
+}
+
+void print_table() {
+  cqa_bench::header(
+      "E7: Lowner-John volume sandwich for convex bodies",
+      "vol(E)/k^k <= vol(P) <= vol(E); mid estimate has relative error "
+      "within the paper's (c1, c2) window");
+  std::printf("%-14s %-3s %-12s %-12s %-12s %-9s %-9s\n", "body", "k",
+              "exact", "lower", "upper", "ratio_up", "k^k");
+  struct Body {
+    const char* name;
+    Polyhedron poly;
+  };
+  std::vector<Body> bodies;
+  bodies.push_back({"square", Polyhedron::box(2, Rational(0), Rational(2))});
+  bodies.push_back({"simplex2", Polyhedron::simplex(2, Rational(3))});
+  bodies.push_back({"cube", Polyhedron::box(3, Rational(-1), Rational(1))});
+  bodies.push_back({"simplex3", Polyhedron::simplex(3, Rational(2))});
+  bodies.push_back({"random2a", random_polytope(2, 7, 11)});
+  bodies.push_back({"random2b", random_polytope(2, 10, 22)});
+  bodies.push_back({"random3", random_polytope(3, 9, 33)});
+  for (auto& b : bodies) {
+    const double exact = polytope_volume(b.poly).value_or_die().to_double();
+    auto bounds = john_volume_bounds(b.poly).value_or_die();
+    const double k = static_cast<double>(b.poly.dim());
+    std::printf("%-14s %-3.0f %-12.4f %-12.4f %-12.4f %-9.3f %-9.0f\n",
+                b.name, k, exact, bounds.lower, bounds.upper,
+                bounds.upper / exact, std::pow(k, k));
+    CQA_CHECK(bounds.lower <= exact * 1.01);
+    CQA_CHECK(bounds.upper * 1.01 >= exact);
+  }
+  std::printf("\npaper's relative-approximation constants:\n");
+  std::printf("%-3s %-12s %-12s\n", "k", "c1", "c2");
+  for (int k = 2; k <= 4; ++k) {
+    const double kk = std::pow(k, k);
+    std::printf("%-3d %-12.5f %-12.5f\n", k, (kk + 1) / (2 * kk),
+                (kk + 1) / 2);
+  }
+}
+
+void BM_Mvee(benchmark::State& state) {
+  Polyhedron p = random_polytope(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)),
+                                 7);
+  auto vertices = enumerate_vertices(p);
+  for (auto _ : state) {
+    auto e = min_volume_enclosing_ellipsoid(vertices);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_Mvee)->Args({2, 8})->Args({3, 10});
+
+void BM_JohnBoundsVsExact(benchmark::State& state) {
+  Polyhedron p = random_polytope(3, 9, 13);
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      auto b = john_volume_bounds(p);
+      benchmark::DoNotOptimize(b);
+    }
+    state.SetLabel("john");
+  } else {
+    for (auto _ : state) {
+      auto v = polytope_volume(p);
+      benchmark::DoNotOptimize(v);
+    }
+    state.SetLabel("exact");
+  }
+}
+BENCHMARK(BM_JohnBoundsVsExact)->Arg(0)->Arg(1);
+
+}  // namespace
+
+CQA_BENCH_MAIN(print_table)

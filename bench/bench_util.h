@@ -1,0 +1,31 @@
+// Shared helpers for the experiment benches: each binary prints its
+// experiment's headline table (key=value rows, greppable) before running
+// the google-benchmark timing section.
+
+#ifndef CQA_BENCH_BENCH_UTIL_H_
+#define CQA_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace cqa_bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n==== %s ====\n", experiment);
+  std::printf("# %s\n", claim);
+}
+
+// Runs the table printer, then benchmark timing.
+#define CQA_BENCH_MAIN(print_table_fn)                       \
+  int main(int argc, char** argv) {                          \
+    print_table_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);                    \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    return 0;                                                \
+  }
+
+}  // namespace cqa_bench
+
+#endif  // CQA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,98 @@
+// Constraint databases: finite and finitely-representable instances.
+//
+// A Database interprets schema predicates either as finite sets of rational
+// tuples or as finitely-representable (f.r.) sets given by constraint
+// formulas -- exactly the two instance classes of the paper (Section 2).
+
+#ifndef CQA_AGGREGATE_DATABASE_H_
+#define CQA_AGGREGATE_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cqa/logic/eval.h"
+#include "cqa/logic/formula.h"
+
+namespace cqa {
+
+/// A named-relation database over the reals.
+class Database : public PredicateOracle {
+ public:
+  /// Registers a finite relation (set semantics; duplicates collapse).
+  Status add_finite(const std::string& name, std::size_t arity,
+                    std::vector<RVec> tuples);
+  /// Registers a finite relation with *bag* semantics: duplicate tuples
+  /// keep their multiplicity (the paper's footnote 2 -- SQL aggregates are
+  /// typically bag-based). Membership tests ignore multiplicity.
+  Status add_finite_bag(const std::string& name, std::size_t arity,
+                        std::vector<RVec> tuples);
+  /// True iff the relation was registered with bag semantics.
+  bool is_bag(const std::string& name) const;
+  /// Registers an f.r. relation defined by a constraint formula whose free
+  /// variables 0..arity-1 are the argument slots. The formula must be
+  /// predicate-free (constraints only).
+  Status add_constraint_relation(const std::string& name, std::size_t arity,
+                                 FormulaPtr definition);
+
+  bool has_relation(const std::string& name) const;
+  /// Arity, or error for unknown relation.
+  Result<std::size_t> arity_of(const std::string& name) const;
+  bool is_finite(const std::string& name) const;
+
+  /// Tuples of a finite relation (error for f.r. or unknown).
+  Result<std::vector<RVec>> tuples_of(const std::string& name) const;
+  /// Defining formula of an f.r. relation (finite relations are converted
+  /// to explicit disjunctions of equalities).
+  Result<FormulaPtr> definition_of(const std::string& name) const;
+
+  /// Active domain: all rationals appearing in finite relations.
+  std::set<Rational> active_domain() const;
+
+  /// Exact membership test. F.r. relations with quantifiers go through
+  /// linear QE or the polynomial decision procedure.
+  bool contains(const std::string& name, const RVec& tuple) const override;
+
+  /// Lemma 1's move: replaces every schema predicate in f by its
+  /// definition (finite relations inline as disjunctions of equalities).
+  Result<FormulaPtr> inline_predicates(const FormulaPtr& f) const;
+
+  /// Decides a formula (possibly with quantifiers and predicates) under an
+  /// assignment of all its free variables: substitute, inline, then run
+  /// linear QE when the result is linear or the polynomial sample-point
+  /// procedure otherwise. Active-domain quantifiers range over
+  /// active_domain().
+  Result<bool> holds(const FormulaPtr& f,
+                     const std::map<std::size_t, Rational>& assignment) const;
+
+  /// Expands active-domain quantifiers into finite conjunctions /
+  /// disjunctions over active_domain().
+  Result<FormulaPtr> expand_active_domain(const FormulaPtr& f) const;
+
+  /// Names of all relations.
+  std::vector<std::string> relation_names() const;
+
+ private:
+  struct Relation {
+    std::size_t arity = 0;
+    bool finite = true;
+    bool bag = false;
+    std::vector<RVec> tuples;  // finite only; sorted (duplicates iff bag)
+    FormulaPtr definition;     // f.r. only
+  };
+
+  Result<const Relation*> find(const std::string& name) const;
+
+  std::map<std::string, Relation> relations_;
+  // Compiled-query cache: linear formulas are inlined + quantifier-
+  // eliminated once and re-evaluated cheaply per assignment. nullptr
+  // marks formulas that cannot be compiled (nonlinear). Keyed by node
+  // identity; single-threaded use assumed (as is the whole library).
+  mutable std::map<const Formula*, FormulaPtr> compiled_;
+  mutable std::vector<FormulaPtr> compiled_keys_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_AGGREGATE_DATABASE_H_

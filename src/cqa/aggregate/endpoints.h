@@ -1,0 +1,59 @@
+// The END operator of FO+POLY+SUM.
+//
+// END[y, phi(y, z)](u, z) holds iff u is an endpoint of the intervals that
+// compose phi(D, z). O-minimality guarantees the 1-D set is a finite union
+// of points and intervals, so the endpoint set is finite -- this is the
+// language's range-restriction device (Section 5 of the paper).
+
+#ifndef CQA_AGGREGATE_ENDPOINTS_H_
+#define CQA_AGGREGATE_ENDPOINTS_H_
+
+#include <map>
+#include <vector>
+
+#include "cqa/aggregate/database.h"
+#include "cqa/poly/algebraic.h"
+
+namespace cqa {
+
+/// Structure of a 1-D definable set: maximal intervals and isolated points.
+struct Interval1D {
+  /// Endpoint values; for an isolated point lo == hi. Unbounded pieces use
+  /// the `lo_infinite` / `hi_infinite` flags (endpoint value then unused).
+  AlgebraicNumber lo = AlgebraicNumber::from_rational(Rational(0));
+  AlgebraicNumber hi = AlgebraicNumber::from_rational(Rational(0));
+  bool lo_infinite = false;
+  bool hi_infinite = false;
+  bool lo_closed = false;
+  bool hi_closed = false;
+};
+
+/// Decomposes { y : D |= phi(y, params) } into maximal intervals.
+/// `var` is y; every other free variable of phi must appear in `params`.
+/// Works for any FO+LIN formula and for FO+POLY formulas the decision
+/// procedure supports (separable quantification).
+Result<std::vector<Interval1D>> decompose_1d(
+    const Database& db, const FormulaPtr& phi, std::size_t var,
+    const std::map<std::size_t, Rational>& params);
+
+/// END[y, phi]: the finite endpoint set (deduplicated, ascending).
+/// Endpoints of unbounded rays are not endpoints (there are none).
+Result<std::vector<AlgebraicNumber>> endpoints_1d(
+    const Database& db, const FormulaPtr& phi, std::size_t var,
+    const std::map<std::size_t, Rational>& params);
+
+/// Exact rational endpoints; errors (kUnsupported) if any endpoint is
+/// irrational. Semi-linear inputs always succeed.
+Result<std::vector<Rational>> rational_endpoints_1d(
+    const Database& db, const FormulaPtr& phi, std::size_t var,
+    const std::map<std::size_t, Rational>& params);
+
+/// True iff the 1-D definable set is finite (only isolated points): the
+/// SAF safety test of Section 5.
+Result<bool> is_finite_1d(const Database& db, const FormulaPtr& phi,
+                          std::size_t var,
+                          const std::map<std::size_t, Rational>& params);
+
+}  // namespace cqa
+
+#endif  // CQA_AGGREGATE_ENDPOINTS_H_

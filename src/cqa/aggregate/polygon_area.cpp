@@ -1,0 +1,241 @@
+#include "cqa/aggregate/polygon_area.h"
+
+#include "cqa/geometry/hull2d.h"
+#include "cqa/geometry/polyhedron.h"
+#include "cqa/geometry/vertex_enum.h"
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+
+namespace {
+
+Polynomial V(std::size_t i) { return Polynomial::variable(i); }
+Polynomial C(std::int64_t c) { return Polynomial::constant(Rational(c)); }
+
+// Instantiates a two-slot template (free variables 0, 1) at variables
+// (a, b); bound variables are renamed fresh by substitute_vars.
+FormulaPtr at2(const FormulaPtr& tmpl, std::size_t a, std::size_t b) {
+  std::map<std::size_t, Polynomial> sub;
+  sub.emplace(0u, V(a));
+  sub.emplace(1u, V(b));
+  return substitute_vars(tmpl, sub);
+}
+
+// Four-slot template instantiation (free variables 0..3).
+FormulaPtr at4(const FormulaPtr& tmpl, std::size_t a, std::size_t b,
+               std::size_t c, std::size_t d) {
+  std::map<std::size_t, Polynomial> sub;
+  sub.emplace(0u, V(a));
+  sub.emplace(1u, V(b));
+  sub.emplace(2u, V(c));
+  sub.emplace(3u, V(d));
+  return substitute_vars(tmpl, sub);
+}
+
+// Template: vertex(x0, x1) -- extreme point of pred. An extreme point of a
+// closed convex set is one that is not the midpoint of two distinct points
+// of the set.
+FormulaPtr vertex_template(const std::string& pred) {
+  const std::size_t u1 = 8, v1 = 9, u2 = 10, v2 = 11;
+  FormulaPtr interior_witness = Formula::exists(
+      u1,
+      Formula::exists(
+          v1,
+          Formula::exists(
+              u2, Formula::exists(
+                      v2,
+                      Formula::f_and(
+                          {Formula::predicate(pred, {V(u1), V(v1)}),
+                           Formula::predicate(pred, {V(u2), V(v2)}),
+                           Formula::f_or(Formula::ne(V(u1), V(u2)),
+                                         Formula::ne(V(v1), V(v2))),
+                           Formula::eq(C(2) * V(0), V(u1) + V(u2)),
+                           Formula::eq(C(2) * V(1), V(v1) + V(v2))})))));
+  return Formula::f_and(Formula::predicate(pred, {V(0), V(1)}),
+                        Formula::f_not(std::move(interior_witness)));
+}
+
+// Template: adjacent((x0,x1), (x2,x3)) -- distinct vertices such that the
+// whole polygon lies (weakly) on one side of the line through them.
+FormulaPtr adjacent_template(const std::string& pred,
+                             const FormulaPtr& vertex_tmpl) {
+  const std::size_t p = 8, q = 9;
+  // cross((a1,a2),(b1,b2),(p,q)) = (b1-a1)(q-a2) - (b2-a2)(p-a1).
+  Polynomial cross = (V(2) - V(0)) * (V(q) - V(1)) -
+                     (V(3) - V(1)) * (V(p) - V(0));
+  auto side = [&](bool nonneg) {
+    FormulaPtr sign_ok = nonneg ? Formula::ge(cross, C(0))
+                                : Formula::le(cross, C(0));
+    return Formula::forall(
+        p, Formula::forall(
+               q, Formula::f_or(
+                      Formula::f_not(Formula::predicate(pred, {V(p), V(q)})),
+                      sign_ok)));
+  };
+  return Formula::f_and(
+      {at2(vertex_tmpl, 0, 1), at2(vertex_tmpl, 2, 3),
+       Formula::f_or(Formula::ne(V(0), V(2)), Formula::ne(V(1), V(3))),
+       Formula::f_or(side(true), side(false))});
+}
+
+// lexicographic (a1,a2) <= (b1,b2) over variable indices.
+FormulaPtr lex_le(std::size_t a1, std::size_t a2, std::size_t b1,
+                  std::size_t b2) {
+  return Formula::f_or(
+      Formula::lt(V(a1), V(b1)),
+      Formula::f_and(Formula::eq(V(a1), V(b1)), Formula::le(V(a2), V(b2))));
+}
+
+FormulaPtr lex_lt(std::size_t a1, std::size_t a2, std::size_t b1,
+                  std::size_t b2) {
+  return Formula::f_or(
+      Formula::lt(V(a1), V(b1)),
+      Formula::f_and(Formula::eq(V(a1), V(b1)), Formula::lt(V(a2), V(b2))));
+}
+
+}  // namespace
+
+PolygonProgram build_polygon_program(const std::string& pred,
+                                     bool optimized) {
+  PolygonProgram prog;
+  FormulaPtr vertex_tmpl = vertex_template(pred);
+  FormulaPtr adj_tmpl = adjacent_template(pred, vertex_tmpl);
+  prog.vertex = at2(vertex_tmpl, 0, 1);
+
+  // psi2(u): u (variable 6) is a coordinate of some vertex.
+  {
+    const std::size_t a = 8, b = 9;
+    prog.psi2 = Formula::exists(
+        a, Formula::exists(
+               b, Formula::f_and(
+                      at2(vertex_tmpl, a, b),
+                      Formula::f_or(Formula::eq(V(6), V(a)),
+                                    Formula::eq(V(6), V(b))))));
+  }
+
+  prog.adjacent = at4(adj_tmpl, 0, 1, 2, 3);
+
+  // psi1(x, y, z) with x=(0,1), y=(2,3), z=(4,5).
+  {
+    const std::size_t w1 = 8, w2 = 9;
+    FormulaPtr lex_min = Formula::forall(
+        w1, Formula::forall(
+                w2, Formula::f_or(Formula::f_not(at2(vertex_tmpl, w1, w2)),
+                                  lex_le(0, 1, w1, w2))));
+    FormulaPtr adj_xy = at4(adj_tmpl, 0, 1, 2, 3);
+    FormulaPtr adj_yz = at4(adj_tmpl, 2, 3, 4, 5);
+    FormulaPtr adj_xz = at4(adj_tmpl, 0, 1, 4, 5);
+    // Paper disjunct (a): y-z is an edge away from x.
+    FormulaPtr far_edge = Formula::f_and(
+        {adj_yz, lex_lt(2, 3, 4, 5), Formula::f_not(adj_xy),
+         Formula::f_not(adj_xz)});
+    // Paper disjunct (b): x-y-z consecutive, x-z not an edge.
+    FormulaPtr fan_edge = Formula::f_and(
+        {adj_xy, adj_yz, Formula::f_not(adj_xz)});
+    // Completion for the 3-gon (see header).
+    FormulaPtr whole_triangle = Formula::f_and(
+        {adj_xy, adj_yz, adj_xz, lex_lt(2, 3, 4, 5)});
+    prog.psi1 = Formula::f_and(
+        {at2(vertex_tmpl, 0, 1), at2(vertex_tmpl, 2, 3),
+         at2(vertex_tmpl, 4, 5), lex_min,
+         Formula::f_or({far_edge, fan_edge, whole_triangle})});
+  }
+
+  // gamma(v; x, y, z): 2v = |cross(x, y, z)| as a deterministic formula.
+  DeterministicFormula gamma;
+  {
+    Polynomial cross = (V(2) - V(0)) * (V(5) - V(1)) -
+                       (V(3) - V(1)) * (V(4) - V(0));
+    FormulaPtr pos = Formula::f_and(Formula::eq(C(2) * V(7), cross),
+                                    Formula::ge(cross, C(0)));
+    FormulaPtr neg = Formula::f_and(Formula::eq(C(2) * V(7), -cross),
+                                    Formula::le(cross, C(0)));
+    gamma.formula = Formula::f_or(std::move(pos), std::move(neg));
+    gamma.out_var = 7;
+  }
+
+  RangeRestrictedExpr rho;
+  // The guard splits psi1 into its conjuncts: the vertex and
+  // lexicographic-minimality conditions go into pushdown filters (checked
+  // as soon as each coordinate pair is bound -- and, crucially, the linear
+  // ones compile once through the database's query cache), while the main
+  // guard keeps only the triangulation disjunction.
+  if (!optimized) {
+    rho.guard = prog.psi1;
+    rho.range = prog.psi2;
+    rho.range_var = 6;
+    rho.w_vars = {0, 1, 2, 3, 4, 5};
+    DeterministicFormula gamma_naive;
+    {
+      Polynomial cross = (V(2) - V(0)) * (V(5) - V(1)) -
+                         (V(3) - V(1)) * (V(4) - V(0));
+      FormulaPtr pos = Formula::f_and(Formula::eq(C(2) * V(7), cross),
+                                      Formula::ge(cross, C(0)));
+      FormulaPtr neg = Formula::f_and(Formula::eq(C(2) * V(7), -cross),
+                                      Formula::le(cross, C(0)));
+      gamma_naive.formula = Formula::f_or(std::move(pos), std::move(neg));
+      gamma_naive.out_var = 7;
+    }
+    prog.area_term = SumTerm::sum(std::move(rho), std::move(gamma_naive));
+    return prog;
+  }
+  {
+    FormulaPtr adj_xy = at4(adj_tmpl, 0, 1, 2, 3);
+    FormulaPtr adj_yz = at4(adj_tmpl, 2, 3, 4, 5);
+    FormulaPtr adj_xz = at4(adj_tmpl, 0, 1, 4, 5);
+    FormulaPtr far_edge = Formula::f_and(
+        {adj_yz, lex_lt(2, 3, 4, 5), Formula::f_not(adj_xy),
+         Formula::f_not(adj_xz)});
+    FormulaPtr fan_edge =
+        Formula::f_and({adj_xy, adj_yz, Formula::f_not(adj_xz)});
+    FormulaPtr whole_triangle = Formula::f_and(
+        {adj_xy, adj_yz, adj_xz, lex_lt(2, 3, 4, 5)});
+    rho.guard = Formula::f_or({far_edge, fan_edge, whole_triangle});
+  }
+  rho.range = prog.psi2;
+  rho.range_var = 6;
+  rho.w_vars = {0, 1, 2, 3, 4, 5};
+  {
+    const std::size_t w1 = 8, w2 = 9;
+    FormulaPtr lex_min = Formula::forall(
+        w1, Formula::forall(
+                w2, Formula::f_or(Formula::f_not(at2(vertex_tmpl, w1, w2)),
+                                  lex_le(0, 1, w1, w2))));
+    rho.pushdown.push_back({{0, 1}, at2(vertex_tmpl, 0, 1)});
+    rho.pushdown.push_back({{0, 1}, lex_min});
+    rho.pushdown.push_back({{2, 3}, at2(vertex_tmpl, 2, 3)});
+    rho.pushdown.push_back({{4, 5}, at2(vertex_tmpl, 4, 5)});
+  }
+
+  prog.area_term = SumTerm::sum(std::move(rho), std::move(gamma));
+  return prog;
+}
+
+Result<Rational> convex_polygon_area_in_language(const Database& db,
+                                                 const std::string& pred) {
+  auto arity = db.arity_of(pred);
+  if (!arity.is_ok()) return arity.status();
+  if (arity.value() != 2) {
+    return Status::invalid("polygon predicate must be binary: " + pred);
+  }
+  PolygonProgram prog = build_polygon_program(pred);
+  return prog.area_term->eval(db, {});
+}
+
+Result<Rational> convex_polygon_area_geometric(const Database& db,
+                                               const std::string& pred) {
+  auto def = db.definition_of(pred);
+  if (!def.is_ok()) return def.status();
+  auto cells = formula_to_cells(def.value(), 2);
+  if (!cells.is_ok()) return cells.status();
+  std::vector<Point2> points;
+  for (const auto& cell : cells.value()) {
+    Polyhedron p(cell);
+    for (auto& v : enumerate_vertices(p)) {
+      points.push_back(Point2{v[0], v[1]});
+    }
+  }
+  return polygon_area(convex_hull(std::move(points)));
+}
+
+}  // namespace cqa

@@ -1,0 +1,64 @@
+// The Section-5 worked example: area of a convex polygon, computed two
+// ways -- (a) *inside* FO+POLY+SUM, following the paper's program
+// literally (vertex formula, adjacency formula, lexicographic fan
+// selection psi1, coordinate endpoints psi2 / END, triangle-area gamma,
+// and the Sum term-former), and (b) by direct exact geometry (convex hull
+// + shoelace) as the oracle the in-language result is checked against.
+
+#ifndef CQA_AGGREGATE_POLYGON_AREA_H_
+#define CQA_AGGREGATE_POLYGON_AREA_H_
+
+#include <string>
+
+#include "cqa/aggregate/database.h"
+#include "cqa/aggregate/sum_language.h"
+
+namespace cqa {
+
+/// The FO+POLY+SUM program of Section 5 for the area of the convex
+/// polygon stored as the binary predicate `pred` (a closed convex
+/// semi-linear set). Returns the exact area.
+///
+/// One completion of the paper's program: its psi1 produces no triangle
+/// when the polygon IS a triangle (every vertex pair is adjacent, so both
+/// of the paper's disjuncts fail); we add the third disjunct
+/// "nu(x,y) & nu(y,z) & nu(z,x) & y <lex z" covering that case.
+Result<Rational> convex_polygon_area_in_language(const Database& db,
+                                                 const std::string& pred);
+
+/// Direct geometric oracle: cells -> vertices -> hull -> shoelace.
+Result<Rational> convex_polygon_area_geometric(const Database& db,
+                                               const std::string& pred);
+
+/// The program's building blocks, exposed for tests and benches.
+/// Variable layout: x = (0,1), y = (2,3), z = (4,5), endpoint u = 6,
+/// gamma output v = 7; quantified variables start at 8.
+struct PolygonProgram {
+  /// vertex(a, b): (a,b) is an extreme point of pred.
+  FormulaPtr vertex;
+  /// psi2(u): u is a coordinate of some vertex (the END source).
+  FormulaPtr psi2;
+  /// nu(x, y): x and y are adjacent vertices.
+  FormulaPtr adjacent;
+  /// psi1(x, y, z): the fan-triangulation selection formula.
+  FormulaPtr psi1;
+  /// The full area term.
+  SumTermPtr area_term;
+};
+
+/// Builds the program for the given predicate name.
+///
+/// `optimized` controls the evaluation plan (semantics identical):
+///  - true (default): the guard's vertex / lexicographic-minimality
+///    conjuncts become pushdown filters (checked as soon as each
+///    coordinate pair binds, and compiled once through the database's
+///    linear-query cache), leaving only the triangulation disjunction in
+///    the final guard;
+///  - false: the paper's psi1 is evaluated whole, per candidate tuple,
+///    with no pushdown -- the naive plan, kept for the ablation bench.
+PolygonProgram build_polygon_program(const std::string& pred,
+                                     bool optimized = true);
+
+}  // namespace cqa
+
+#endif  // CQA_AGGREGATE_POLYGON_AREA_H_

@@ -1,0 +1,68 @@
+// Classical SQL aggregation through FO+POLY+SUM (Lemma 4 of the paper):
+// COUNT, SUM, AVG, MIN, MAX, TOTAL over the finite outputs of safe
+// (semi-algebraic-to-finite, SAF) queries.
+
+#ifndef CQA_AGGREGATE_SQL_AGGREGATES_H_
+#define CQA_AGGREGATE_SQL_AGGREGATES_H_
+
+#include <map>
+#include <vector>
+
+#include "cqa/aggregate/database.h"
+
+namespace cqa {
+
+/// The finite output { x : D |= phi(x, params) }, or an error if the
+/// output is infinite (the query is not SAF at these parameters).
+Result<std::vector<Rational>> saf_output(
+    const Database& db, const FormulaPtr& phi, std::size_t var,
+    const std::map<std::size_t, Rational>& params);
+
+/// COUNT: cardinality of the SAF output.
+Result<Rational> agg_count(const Database& db, const FormulaPtr& phi,
+                           std::size_t var,
+                           const std::map<std::size_t, Rational>& params);
+/// SUM of the output values (0 for empty, SQL TOTAL semantics).
+Result<Rational> agg_sum(const Database& db, const FormulaPtr& phi,
+                         std::size_t var,
+                         const std::map<std::size_t, Rational>& params);
+/// AVG; error on empty output (SQL AVG of nothing is NULL).
+Result<Rational> agg_avg(const Database& db, const FormulaPtr& phi,
+                         std::size_t var,
+                         const std::map<std::size_t, Rational>& params);
+/// MIN / MAX; error on empty output.
+Result<Rational> agg_min(const Database& db, const FormulaPtr& phi,
+                         std::size_t var,
+                         const std::map<std::size_t, Rational>& params);
+Result<Rational> agg_max(const Database& db, const FormulaPtr& phi,
+                         std::size_t var,
+                         const std::map<std::size_t, Rational>& params);
+
+// ---- Bag-semantics aggregation (the paper's footnote 2) ----------------
+//
+// These aggregate over one column of a finite relation with multiplicity,
+// keeping duplicate tuples distinct. An optional filter formula over the
+// tuple slots (variables 0..arity-1) restricts the bag SQL-WHERE style.
+
+/// The filtered column as a multiset (in relation order).
+Result<std::vector<Rational>> bag_column(const Database& db,
+                                         const std::string& relation,
+                                         std::size_t column,
+                                         const FormulaPtr& filter = nullptr);
+
+/// COUNT with multiplicity.
+Result<Rational> bag_count(const Database& db, const std::string& relation,
+                           std::size_t column,
+                           const FormulaPtr& filter = nullptr);
+/// SUM with multiplicity (0 on empty: SQL TOTAL).
+Result<Rational> bag_sum(const Database& db, const std::string& relation,
+                         std::size_t column,
+                         const FormulaPtr& filter = nullptr);
+/// Bag AVG; error on empty.
+Result<Rational> bag_avg(const Database& db, const std::string& relation,
+                         std::size_t column,
+                         const FormulaPtr& filter = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_AGGREGATE_SQL_AGGREGATES_H_

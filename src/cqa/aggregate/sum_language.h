@@ -1,0 +1,119 @@
+// The FO+POLY+SUM term language (Section 5 of the paper).
+//
+// Terms are built from constants, variables, + and *, plus the summation
+// term-former
+//
+//     [ Sum_{rho(w, z)} gamma ](z)
+//
+// where rho(w, z) = (phi1(w, z) | END[y, phi2(y, z)]) is a range-restricted
+// expression -- every w_i must be an endpoint of the intervals composing
+// phi2(D, z) and satisfy phi1 -- and gamma(x, w) is a *deterministic*
+// formula (at most one x per w). The value is the sum of the bag
+// { gamma(w) : w in rho(D, z) }.
+//
+// Formulas of the extended language may compare terms (t1 op t2).
+
+#ifndef CQA_AGGREGATE_SUM_LANGUAGE_H_
+#define CQA_AGGREGATE_SUM_LANGUAGE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cqa/aggregate/database.h"
+#include "cqa/aggregate/endpoints.h"
+
+namespace cqa {
+
+/// gamma(x, w): a formula with a distinguished output variable that has at
+/// most one solution x for each parameter tuple w. (The paper notes
+/// determinism is decidable; we verify it dynamically at each evaluation,
+/// which suffices for exactness.)
+struct DeterministicFormula {
+  FormulaPtr formula;
+  std::size_t out_var;
+
+  /// The unique x with D |= gamma(x, w), or nullopt if none.
+  /// Errors if more than one x satisfies gamma (not deterministic), or if
+  /// the unique solution is irrational (exactness would be lost).
+  Result<std::optional<Rational>> solve(
+      const Database& db,
+      const std::map<std::size_t, Rational>& params) const;
+};
+
+/// rho(w, z) = phi1(w, z) | END[y, phi2(y, z)].
+struct RangeRestrictedExpr {
+  /// Guard phi1 over the w variables (+ parameters z).
+  FormulaPtr guard;
+  /// The END source phi2(y, z).
+  FormulaPtr range;
+  /// y in END[y, phi2].
+  std::size_t range_var;
+  /// The w variables, in tuple order.
+  std::vector<std::size_t> w_vars;
+  /// Additional conjunctive guards, each over a subset of the w variables
+  /// (listed in enumeration order). Semantically the guard of rho is
+  /// `guard AND all pushdown formulas`; operationally each pushdown filter
+  /// is checked as soon as its last variable is assigned, pruning the
+  /// enumeration early (classic predicate pushdown).
+  std::vector<std::pair<std::vector<std::size_t>, FormulaPtr>> pushdown;
+
+  /// Enumerates rho(D, z): all w tuples over the END endpoint set that
+  /// satisfy the guard. Finite by construction (the paper's point).
+  Result<std::vector<RVec>> enumerate(
+      const Database& db,
+      const std::map<std::size_t, Rational>& params) const;
+};
+
+class SumTerm;
+/// Shared immutable term handle.
+using SumTermPtr = std::shared_ptr<const SumTerm>;
+
+/// A term of FO+POLY+SUM.
+class SumTerm {
+ public:
+  enum class Kind { kConst, kVar, kAdd, kMul, kNeg, kDiv, kSum };
+
+  static SumTermPtr constant(Rational c);
+  static SumTermPtr variable(std::size_t v);
+  static SumTermPtr add(SumTermPtr a, SumTermPtr b);
+  static SumTermPtr mul(SumTermPtr a, SumTermPtr b);
+  static SumTermPtr neg(SumTermPtr a);
+  /// Exact division; evaluation errors if the divisor is 0.
+  static SumTermPtr div(SumTermPtr a, SumTermPtr b);
+  /// The summation term-former.
+  static SumTermPtr sum(RangeRestrictedExpr range, DeterministicFormula body);
+  /// COUNT as a Sum of ones over the range (Lemma 4).
+  static SumTermPtr count(RangeRestrictedExpr range);
+  /// AVG = Sum / Count over the same range (Lemma 4); evaluation errors on
+  /// an empty range.
+  static SumTermPtr avg(RangeRestrictedExpr range, DeterministicFormula body);
+
+  Kind kind() const { return kind_; }
+
+  /// Exact evaluation under an assignment of the term's free variables.
+  Result<Rational> eval(const Database& db,
+                        const std::map<std::size_t, Rational>& params) const;
+
+ private:
+  SumTerm() = default;
+
+  Kind kind_ = Kind::kConst;
+  Rational const_;
+  std::size_t var_ = 0;
+  SumTermPtr lhs_, rhs_;
+  std::optional<RangeRestrictedExpr> range_;
+  std::optional<DeterministicFormula> body_;
+};
+
+/// Term-comparison formula of the extended language: t1 op t2, evaluated
+/// exactly under an assignment.
+Result<bool> compare_terms(const Database& db, const SumTermPtr& t1, RelOp op,
+                           const SumTermPtr& t2,
+                           const std::map<std::size_t, Rational>& params);
+
+}  // namespace cqa
+
+#endif  // CQA_AGGREGATE_SUM_LANGUAGE_H_

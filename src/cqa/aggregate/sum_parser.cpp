@@ -1,0 +1,280 @@
+#include "cqa/aggregate/sum_parser.h"
+
+#include <cctype>
+
+namespace cqa {
+
+namespace {
+
+class SumParser {
+ public:
+  SumParser(const std::string& text, VarTable* vars)
+      : text_(text), vars_(vars) {}
+
+  Result<SumTermPtr> parse() {
+    auto t = term();
+    if (!t.is_ok()) return t;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return Status::invalid("trailing input in sum term: " +
+                             text_.substr(pos_));
+    }
+    return t;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool at_keyword(const char* kw) {
+    skip_ws();
+    std::size_t len = std::string(kw).size();
+    if (text_.compare(pos_, len, kw) != 0) return false;
+    std::size_t after = pos_ + len;
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    return true;
+  }
+
+  bool eat_keyword(const char* kw) {
+    if (!at_keyword(kw)) return false;
+    pos_ += std::string(kw).size();
+    return true;
+  }
+
+  Status err(const std::string& msg) {
+    return Status::invalid(msg + " at offset " + std::to_string(pos_) +
+                           " of sum term");
+  }
+
+  std::string ident() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      out.push_back(text_[pos_++]);
+    }
+    return out;
+  }
+
+  // Captures a balanced-paren substring ending at the given delimiter
+  // character that sits at nesting depth 0 relative to the capture start.
+  Result<std::string> capture_until(char delim) {
+    skip_ws();
+    std::size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '(' || c == '[') {
+        ++depth;
+      } else if (c == ')' || c == ']') {
+        if (depth == 0) {
+          if (c == delim) return text_.substr(start, pos_ - start);
+          return err("unbalanced parentheses");
+        }
+        --depth;
+      } else if (depth == 0 && c == delim) {
+        return text_.substr(start, pos_ - start);
+      }
+      ++pos_;
+    }
+    return err(std::string("expected '") + delim + "'");
+  }
+
+  Result<SumTermPtr> term() {
+    auto lhs = factor();
+    if (!lhs.is_ok()) return lhs;
+    SumTermPtr out = lhs.value();
+    for (;;) {
+      if (eat('+')) {
+        auto rhs = factor();
+        if (!rhs.is_ok()) return rhs;
+        out = SumTerm::add(out, rhs.value());
+      } else if (eat('-')) {
+        auto rhs = factor();
+        if (!rhs.is_ok()) return rhs;
+        out = SumTerm::add(out, SumTerm::neg(rhs.value()));
+      } else {
+        return out;
+      }
+    }
+  }
+
+  Result<SumTermPtr> factor() {
+    auto lhs = atom();
+    if (!lhs.is_ok()) return lhs;
+    SumTermPtr out = lhs.value();
+    for (;;) {
+      if (eat('*')) {
+        auto rhs = atom();
+        if (!rhs.is_ok()) return rhs;
+        out = SumTerm::mul(out, rhs.value());
+      } else if (peek_is_division()) {
+        CQA_CHECK(eat('/'));
+        auto rhs = atom();
+        if (!rhs.is_ok()) return rhs;
+        out = SumTerm::div(out, rhs.value());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  // '/' directly after a number was already folded into the rational
+  // literal, so any '/' seen here is term division.
+  bool peek_is_division() {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == '/';
+  }
+
+  Result<SumTermPtr> atom() {
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of sum term");
+    if (eat('-')) {
+      auto sub = atom();
+      if (!sub.is_ok()) return sub;
+      return SumTerm::neg(sub.value());
+    }
+    if (eat('(')) {
+      auto sub = term();
+      if (!sub.is_ok()) return sub;
+      if (!eat(')')) return err("expected ')'");
+      return sub;
+    }
+    char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return number();
+    }
+    if (at_keyword("sum")) return aggregate_construct(Agg::kSum);
+    if (at_keyword("count")) return aggregate_construct(Agg::kCount);
+    if (at_keyword("avg")) return aggregate_construct(Agg::kAvg);
+    // Plain variable reference.
+    std::string name = ident();
+    if (name.empty()) return err("expected term");
+    return SumTerm::variable(vars_->index_of(name));
+  }
+
+  Result<SumTermPtr> number() {
+    std::string tok;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      tok.push_back(text_[pos_++]);
+    }
+    // Optional '/denominator'.
+    std::size_t save = pos_;
+    if (eat('/')) {
+      skip_ws();
+      std::string den;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        den.push_back(text_[pos_++]);
+      }
+      if (!den.empty()) tok += "/" + den;
+      else pos_ = save;
+    }
+    auto r = Rational::from_string(tok);
+    if (!r.is_ok()) return r.status();
+    return SumTerm::constant(r.value());
+  }
+
+  enum class Agg { kSum, kCount, kAvg };
+
+  Result<SumTermPtr> aggregate_construct(Agg agg) {
+    switch (agg) {
+      case Agg::kSum: CQA_CHECK(eat_keyword("sum")); break;
+      case Agg::kCount: CQA_CHECK(eat_keyword("count")); break;
+      case Agg::kAvg: CQA_CHECK(eat_keyword("avg")); break;
+    }
+    if (!eat('[')) return err("expected '[' after aggregate keyword");
+    // w variables.
+    std::vector<std::size_t> wvars;
+    for (;;) {
+      std::string w = ident();
+      if (w.empty()) return err("expected range variable");
+      wvars.push_back(vars_->index_of(w));
+      if (!eat(',')) break;
+    }
+    if (!eat_keyword("in")) return err("expected 'in'");
+    if (!eat_keyword("end")) return err("expected 'end'");
+    if (!eat('(')) return err("expected '(' after end");
+    std::string range_name = ident();
+    if (range_name.empty()) return err("expected END variable");
+    const std::size_t range_var = vars_->index_of(range_name);
+    if (!eat(':')) return err("expected ':' in end(...)");
+    auto range_text = capture_until(')');
+    if (!range_text.is_ok()) return range_text.status();
+    if (!eat(')')) return err("expected ')' closing end(...)");
+    auto range_formula = parse_formula(range_text.value(), vars_);
+    if (!range_formula.is_ok()) return range_formula.status();
+    // Optional guard.
+    FormulaPtr guard = Formula::make_true();
+    if (eat('|')) {
+      auto guard_text = capture_until(']');
+      if (!guard_text.is_ok()) return guard_text.status();
+      auto g = parse_formula(guard_text.value(), vars_);
+      if (!g.is_ok()) return g.status();
+      guard = g.value();
+    }
+    if (!eat(']')) return err("expected ']'");
+
+    RangeRestrictedExpr rho;
+    rho.guard = std::move(guard);
+    rho.range = range_formula.value();
+    rho.range_var = range_var;
+    rho.w_vars = std::move(wvars);
+
+    if (agg == Agg::kCount) return SumTerm::count(std::move(rho));
+
+    // gamma: (v : formula).
+    if (!eat('(')) return err("expected '(' starting gamma");
+    std::string out_name = ident();
+    if (out_name.empty()) return err("expected gamma output variable");
+    const std::size_t out_var = vars_->index_of(out_name);
+    if (!eat(':')) return err("expected ':' in gamma");
+    auto gamma_text = capture_until(')');
+    if (!gamma_text.is_ok()) return gamma_text.status();
+    if (!eat(')')) return err("expected ')' closing gamma");
+    auto gamma_formula = parse_formula(gamma_text.value(), vars_);
+    if (!gamma_formula.is_ok()) return gamma_formula.status();
+    DeterministicFormula gamma{gamma_formula.value(), out_var};
+    if (agg == Agg::kAvg) {
+      return SumTerm::avg(std::move(rho), std::move(gamma));
+    }
+    return SumTerm::sum(std::move(rho), std::move(gamma));
+  }
+
+  const std::string& text_;
+  VarTable* vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SumTermPtr> parse_sum_term(const std::string& text, VarTable* vars) {
+  return SumParser(text, vars).parse();
+}
+
+Result<SumTermPtr> parse_sum_term(const std::string& text) {
+  VarTable vars;
+  return parse_sum_term(text, &vars);
+}
+
+}  // namespace cqa

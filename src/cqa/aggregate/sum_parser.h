@@ -1,0 +1,43 @@
+// Text syntax for FO+POLY+SUM terms -- the "more streamlined and natural
+// syntax" the paper's conclusion asks for.
+//
+// Grammar (formulas use the cqa/logic parser's syntax):
+//
+//   term    := factor (('+' | '-') factor)*
+//   factor  := atom (('*' | '/') atom)*
+//   atom    := number | ident | '-' atom | '(' term ')' | agg
+//   agg     := ('sum' | 'avg') range '(' ident ':' formula ')'
+//            | 'count' range
+//   range   := '[' ident (',' ident)*
+//                  'in' 'end' '(' ident ':' formula ')'
+//                  ('|' formula)? ']'
+//
+// The sum construct reads: sum over tuples (w...) drawn from the END
+// endpoints of { y : formula(y) }, filtered by the optional guard, of the
+// unique value v with gamma(v, w...). Examples:
+//
+//   sum[w in end(y : (0 <= y & y <= 1) | (3 <= y & y <= 5))](x : x = w)
+//   sum[a, b in end(y : Cover(y)) | a < b](v : v = b - a)
+//   count[w in end(y : U(y))]
+//   avg[w in end(y : U(y))](x : x = 2*w)
+//   3 * sum[w in end(y : U(y))](c : c = 1) - 1/2
+
+#ifndef CQA_AGGREGATE_SUM_PARSER_H_
+#define CQA_AGGREGATE_SUM_PARSER_H_
+
+#include <string>
+
+#include "cqa/aggregate/sum_language.h"
+#include "cqa/logic/parser.h"
+
+namespace cqa {
+
+/// Parses a FO+POLY+SUM term; variable names resolve through *vars.
+Result<SumTermPtr> parse_sum_term(const std::string& text, VarTable* vars);
+
+/// Throwaway-table convenience (terms without free variables).
+Result<SumTermPtr> parse_sum_term(const std::string& text);
+
+}  // namespace cqa
+
+#endif  // CQA_AGGREGATE_SUM_PARSER_H_

@@ -1,0 +1,142 @@
+#include "cqa/approx/circuit.h"
+
+#include <algorithm>
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+Ac0Circuit::Ac0Circuit(std::size_t inputs, std::size_t depth,
+                       std::size_t width, std::size_t fanin)
+    : inputs_(inputs), fanin_(fanin) {
+  CQA_CHECK(depth >= 1 && width >= 1 && fanin >= 1);
+  layers_.resize(depth);
+  for (std::size_t l = 0; l < depth; ++l) {
+    const std::size_t w = (l + 1 == depth) ? 1 : width;
+    layers_[l].assign(w, Gate{std::vector<std::uint32_t>(fanin, 0)});
+  }
+}
+
+void Ac0Circuit::randomize(Xoshiro* rng) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t prev =
+        l == 0 ? 2 * inputs_ : layers_[l - 1].size();
+    for (auto& gate : layers_[l]) {
+      for (auto& w : gate.wires) {
+        w = static_cast<std::uint32_t>(rng->next() % prev);
+      }
+    }
+  }
+}
+
+void Ac0Circuit::mutate(Xoshiro* rng) {
+  const std::size_t l = rng->next() % layers_.size();
+  const std::size_t prev = l == 0 ? 2 * inputs_ : layers_[l - 1].size();
+  auto& gate = layers_[l][rng->next() % layers_[l].size()];
+  gate.wires[rng->next() % gate.wires.size()] =
+      static_cast<std::uint32_t>(rng->next() % prev);
+}
+
+bool Ac0Circuit::eval(const std::vector<bool>& input) const {
+  CQA_DCHECK(input.size() == inputs_);
+  std::vector<bool> prev, cur;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool is_and = (l % 2) == 1;
+    cur.assign(layers_[l].size(), is_and);
+    for (std::size_t g = 0; g < layers_[l].size(); ++g) {
+      bool acc = is_and;
+      for (std::uint32_t w : layers_[l][g].wires) {
+        bool v;
+        if (l == 0) {
+          const std::size_t idx = w / 2;
+          v = input[idx] ^ (w % 2 == 1);
+        } else {
+          v = prev[w];
+        }
+        if (is_and) {
+          acc = acc && v;
+          if (!acc) break;
+        } else {
+          acc = acc || v;
+          if (acc) break;
+        }
+      }
+      cur[g] = acc;
+    }
+    prev = cur;
+  }
+  return prev[0];
+}
+
+std::size_t Ac0Circuit::size() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.size();
+  return n;
+}
+
+namespace {
+
+std::vector<bool> random_with_popcount(std::size_t n, std::size_t ones,
+                                       Xoshiro* rng) {
+  std::vector<bool> out(n, false);
+  // Reservoir-style selection of `ones` positions.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < ones; ++i) {
+    std::size_t j = i + rng->next() % (n - i);
+    std::swap(idx[i], idx[j]);
+    out[idx[i]] = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+double separation_accuracy(const Ac0Circuit& circuit, double c1, double c2,
+                           std::size_t trials, Xoshiro* rng) {
+  const std::size_t n = circuit.inputs();
+  const std::size_t lo_max = static_cast<std::size_t>(c1 * n);
+  const std::size_t hi_min =
+      std::min(n, static_cast<std::size_t>(c2 * n) + 1);
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool want_accept = (t % 2) == 0;
+    std::size_t ones;
+    if (want_accept) {
+      ones = hi_min + (hi_min < n ? rng->next() % (n - hi_min + 1) : 0);
+    } else {
+      ones = lo_max > 0 ? rng->next() % lo_max : 0;
+    }
+    std::vector<bool> input = random_with_popcount(n, ones, rng);
+    if (circuit.eval(input) == want_accept) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+Ac0Circuit optimize_separator(std::size_t inputs, std::size_t depth,
+                              std::size_t width, std::size_t fanin,
+                              double c1, double c2, std::size_t iterations,
+                              std::uint64_t seed) {
+  Xoshiro rng(seed);
+  Ac0Circuit best(inputs, depth, width, fanin);
+  best.randomize(&rng);
+  double best_acc = separation_accuracy(best, c1, c2, 200, &rng);
+  Ac0Circuit cur = best;
+  double cur_acc = best_acc;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Ac0Circuit cand = cur;
+    cand.mutate(&rng);
+    double acc = separation_accuracy(cand, c1, c2, 200, &rng);
+    if (acc >= cur_acc) {
+      cur = std::move(cand);
+      cur_acc = acc;
+      if (acc > best_acc) {
+        best = cur;
+        best_acc = acc;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cqa

@@ -1,0 +1,67 @@
+// Constant-depth boolean circuits (the engine behind Lemma 3).
+//
+// Lemma 3 converts a hypothetical (c1, c2)-good sentence into a family of
+// non-uniform AC0 circuits that would separate cardinalities -- which AC0
+// cannot do. The lower bound itself is classical and non-constructive; the
+// bench built on this module *illustrates* the behaviour: constant-depth
+// polynomial-size circuits, even optimized by randomized local search,
+// fail to (c1, c2)-separate popcounts as the input width grows.
+
+#ifndef CQA_APPROX_CIRCUIT_H_
+#define CQA_APPROX_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cqa/approx/random.h"
+
+namespace cqa {
+
+/// A layered AND/OR circuit over n input literals (x_i and their
+/// negations). Layer 0 gates read literals; deeper layers read the
+/// previous layer. Gate types alternate per layer.
+class Ac0Circuit {
+ public:
+  /// depth >= 1 layers of `width` gates each, fan-in `fanin`.
+  /// Layer parity: even layers are OR, odd layers are AND (the top gate is
+  /// the last layer's gate 0).
+  Ac0Circuit(std::size_t inputs, std::size_t depth, std::size_t width,
+             std::size_t fanin);
+
+  /// Randomizes all wires.
+  void randomize(Xoshiro* rng);
+  /// Rewires one random connection (local-search move).
+  void mutate(Xoshiro* rng);
+
+  bool eval(const std::vector<bool>& input) const;
+
+  std::size_t inputs() const { return inputs_; }
+  std::size_t depth() const { return layers_.size(); }
+  std::size_t size() const;  // total gate count
+
+ private:
+  struct Gate {
+    std::vector<std::uint32_t> wires;  // indices into the previous layer
+                                       // (or literal ids at layer 0)
+  };
+  std::size_t inputs_;
+  std::size_t fanin_;
+  std::vector<std::vector<Gate>> layers_;
+};
+
+/// The Lemma-3 separation task: inputs with popcount > c2 n must accept,
+/// popcount < c1 n must reject (the middle band is unconstrained).
+/// Returns the circuit's accuracy on `trials` random instances from the
+/// two constrained classes.
+double separation_accuracy(const Ac0Circuit& circuit, double c1, double c2,
+                           std::size_t trials, Xoshiro* rng);
+
+/// Randomized local search: best circuit found for the separation task.
+Ac0Circuit optimize_separator(std::size_t inputs, std::size_t depth,
+                              std::size_t width, std::size_t fanin,
+                              double c1, double c2, std::size_t iterations,
+                              std::uint64_t seed);
+
+}  // namespace cqa
+
+#endif  // CQA_APPROX_CIRCUIT_H_

@@ -1,0 +1,188 @@
+#include "cqa/approx/ellipsoid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cqa/geometry/vertex_enum.h"
+
+namespace cqa {
+
+namespace {
+
+using DMat = std::vector<std::vector<double>>;
+
+DMat dmat(std::size_t n) { return DMat(n, std::vector<double>(n, 0.0)); }
+
+// In-place Gauss-Jordan inverse; returns false if (near) singular.
+bool invert(DMat m, DMat* out) {
+  const std::size_t n = m.size();
+  DMat inv = dmat(n);
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t piv = c;
+    for (std::size_t r = c + 1; r < n; ++r) {
+      if (std::fabs(m[r][c]) > std::fabs(m[piv][c])) piv = r;
+    }
+    if (std::fabs(m[piv][c]) < 1e-14) return false;
+    std::swap(m[piv], m[c]);
+    std::swap(inv[piv], inv[c]);
+    const double f = 1.0 / m[c][c];
+    for (std::size_t k = 0; k < n; ++k) {
+      m[c][k] *= f;
+      inv[c][k] *= f;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == c || m[r][c] == 0.0) continue;
+      const double g = m[r][c];
+      for (std::size_t k = 0; k < n; ++k) {
+        m[r][k] -= g * m[c][k];
+        inv[r][k] -= g * inv[c][k];
+      }
+    }
+  }
+  *out = std::move(inv);
+  return true;
+}
+
+double determinant(DMat m) {
+  const std::size_t n = m.size();
+  double det = 1.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t piv = c;
+    for (std::size_t r = c + 1; r < n; ++r) {
+      if (std::fabs(m[r][c]) > std::fabs(m[piv][c])) piv = r;
+    }
+    if (std::fabs(m[piv][c]) < 1e-300) return 0.0;
+    if (piv != c) {
+      std::swap(m[piv], m[c]);
+      det = -det;
+    }
+    det *= m[c][c];
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double f = m[r][c] / m[c][c];
+      for (std::size_t k = c; k < n; ++k) m[r][k] -= f * m[c][k];
+    }
+  }
+  return det;
+}
+
+}  // namespace
+
+double unit_ball_volume(std::size_t dim) {
+  const double d = static_cast<double>(dim);
+  return std::pow(M_PI, d / 2.0) / std::tgamma(d / 2.0 + 1.0);
+}
+
+double Ellipsoid::volume() const {
+  const double det = determinant(a);
+  if (det <= 0) return 0;
+  return unit_ball_volume(dim()) / std::sqrt(det);
+}
+
+bool Ellipsoid::contains(const std::vector<double>& x, double tol) const {
+  const std::size_t d = dim();
+  double q = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      q += (x[i] - center[i]) * a[i][j] * (x[j] - center[j]);
+    }
+  }
+  return q <= 1.0 + tol;
+}
+
+Result<Ellipsoid> min_volume_enclosing_ellipsoid(
+    const std::vector<RVec>& points, double tol, std::size_t max_iter) {
+  if (points.empty()) return Status::invalid("MVEE of no points");
+  const std::size_t d = points[0].size();
+  const std::size_t n = points.size();
+  if (n < d + 1) {
+    return Status::invalid("MVEE needs at least d+1 points");
+  }
+  // Doubles of the lifted points q_i = (p_i, 1).
+  std::vector<std::vector<double>> q(n, std::vector<double>(d + 1, 1.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) q[i][j] = points[i][j].to_double();
+  }
+  std::vector<double> u(n, 1.0 / static_cast<double>(n));
+  const double dd1 = static_cast<double>(d + 1);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    // M = sum u_i q_i q_i^T.
+    DMat m = dmat(d + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t r = 0; r <= d; ++r) {
+        for (std::size_t c = 0; c <= d; ++c) {
+          m[r][c] += u[i] * q[i][r] * q[i][c];
+        }
+      }
+    }
+    DMat minv;
+    if (!invert(std::move(m), &minv)) {
+      return Status::invalid("MVEE: degenerate point set");
+    }
+    // w_i = q_i^T M^-1 q_i; pick the largest.
+    double wmax = -1;
+    std::size_t jmax = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double w = 0;
+      for (std::size_t r = 0; r <= d; ++r) {
+        double t = 0;
+        for (std::size_t c = 0; c <= d; ++c) t += minv[r][c] * q[i][c];
+        w += q[i][r] * t;
+      }
+      if (w > wmax) {
+        wmax = w;
+        jmax = i;
+      }
+    }
+    if (wmax - dd1 < tol * dd1) break;
+    const double step = (wmax - dd1) / (dd1 * (wmax - 1.0));
+    for (auto& ui : u) ui *= (1.0 - step);
+    u[jmax] += step;
+  }
+  // Center and shape matrix.
+  Ellipsoid e;
+  e.center.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      e.center[j] += u[i] * q[i][j];
+    }
+  }
+  DMat cov = dmat(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        cov[r][c] += u[i] * q[i][r] * q[i][c];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      cov[r][c] -= e.center[r] * e.center[c];
+      cov[r][c] *= static_cast<double>(d);
+    }
+  }
+  DMat shape;
+  if (!invert(std::move(cov), &shape)) {
+    return Status::invalid("MVEE: singular covariance");
+  }
+  e.a = std::move(shape);
+  return e;
+}
+
+Result<JohnVolumeBounds> john_volume_bounds(const Polyhedron& p, double tol) {
+  auto vertices = enumerate_vertices(p);
+  if (vertices.empty()) {
+    return Status::invalid("john_volume_bounds: empty or unbounded polytope");
+  }
+  auto mvee = min_volume_enclosing_ellipsoid(vertices, tol);
+  if (!mvee.is_ok()) return mvee.status();
+  const double ve = mvee.value().volume();
+  const double k = static_cast<double>(p.dim());
+  JohnVolumeBounds out;
+  out.ellipsoid_volume = ve;
+  out.upper = ve;
+  out.lower = ve / std::pow(k, k);
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,51 @@
+// Lowner-John ellipsoid machinery (the Section-4 Remark).
+//
+// The paper: for convex outputs, a relative (c1, c2)-approximation of the
+// volume is obtainable via Lowner-John ellipsoids [18], with
+// c1 = (k^k + 1)/(2 k^k) - eps and c2 = (k^k + 1)/2 + eps. We realize the
+// underlying construction: Khachiyan's algorithm for the minimum-volume
+// enclosing ellipsoid (MVEE) of the polytope's vertices, plus the John
+// sandwich vol(E)/k^k <= vol(P) <= vol(E).
+
+#ifndef CQA_APPROX_ELLIPSOID_H_
+#define CQA_APPROX_ELLIPSOID_H_
+
+#include <vector>
+
+#include "cqa/geometry/polyhedron.h"
+
+namespace cqa {
+
+/// Ellipsoid { x : (x - c)^T A (x - c) <= 1 } in double precision.
+struct Ellipsoid {
+  std::vector<std::vector<double>> a;  // positive definite
+  std::vector<double> center;
+
+  std::size_t dim() const { return center.size(); }
+  /// Euclidean volume (unit-ball volume / sqrt(det A)).
+  double volume() const;
+  /// Membership with tolerance.
+  bool contains(const std::vector<double>& x, double tol = 1e-9) const;
+};
+
+/// Khachiyan's MVEE of a point set (must affinely span R^d).
+Result<Ellipsoid> min_volume_enclosing_ellipsoid(
+    const std::vector<RVec>& points, double tol = 1e-7,
+    std::size_t max_iter = 10000);
+
+/// Volume sandwich from the John ellipsoid of a bounded full-dimensional
+/// polytope: lower <= vol(P) <= upper with upper/lower <= k^k (1 + o(1)).
+struct JohnVolumeBounds {
+  double lower = 0;
+  double upper = 0;
+  double ellipsoid_volume = 0;
+};
+Result<JohnVolumeBounds> john_volume_bounds(const Polyhedron& p,
+                                            double tol = 1e-7);
+
+/// Volume of the d-dimensional Euclidean unit ball.
+double unit_ball_volume(std::size_t dim);
+
+}  // namespace cqa
+
+#endif  // CQA_APPROX_ELLIPSOID_H_

@@ -1,0 +1,129 @@
+#include "cqa/approx/gadgets.h"
+
+#include <cmath>
+
+#include "cqa/volume/semilinear_volume.h"
+
+namespace cqa {
+
+AvgSeparationGadget::AvgSeparationGadget(Rational delta)
+    : delta_(std::move(delta)) {
+  CQA_CHECK(delta_ > Rational(0) && delta_ < Rational(1));
+}
+
+Rational AvgSeparationGadget::avg_for_cards(std::size_t n1,
+                                            std::size_t n2) const {
+  CQA_CHECK(n1 + n2 > 0);
+  const Rational rn1(static_cast<std::int64_t>(n1));
+  const Rational rn2(static_cast<std::int64_t>(n2));
+  // Sum over U1': Delta * n1 / 2. Sum over U2': n2 (1 - Delta) + Delta n2/2.
+  Rational total = delta_ * rn1 * Rational(1, 2) + rn2 * (Rational(1) - delta_) +
+                   delta_ * rn2 * Rational(1, 2);
+  return total / (rn1 + rn2);
+}
+
+Rational AvgSeparationGadget::avg_for_ratio(const Rational& rho) const {
+  // (n2 + Delta (n1 - n2)/2) / (n1 + n2) with n1 = rho n2.
+  return (Rational(1) + delta_ * (rho - Rational(1)) * Rational(1, 2)) /
+         (rho + Rational(1));
+}
+
+double AvgSeparationGadget::min_separable_ratio(double eps) const {
+  const double d = delta_.to_double();
+  // avg(rho) = (1 + d (rho - 1)/2) / (rho + 1): decreasing in rho.
+  auto avg = [&](double rho) {
+    return (1.0 + d * (rho - 1.0) / 2.0) / (rho + 1.0);
+  };
+  // Binary search the least c > 1 with avg(1/c) - avg(c) > 2 eps.
+  const double limit = avg(0.0) - avg(1e12);  // ~ (1 - d/2) - d/2 = 1 - d
+  if (limit <= 2.0 * eps) return 0.0;
+  double lo = 1.0, hi = 1e12;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = std::sqrt(lo * hi);
+    if (avg(1.0 / mid) - avg(mid) > 2.0 * eps) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+GoodInstance::GoodInstance(std::size_t n, std::uint64_t b_mask)
+    : n_(n), mask_(b_mask) {
+  CQA_CHECK(n_ >= 2 && n_ <= 64);
+  if (n_ < 64) mask_ &= (1ull << n_) - 1;
+  CQA_CHECK(mask_ != 0);  // B nonempty
+  CQA_CHECK(mask_ != (n_ == 64 ? ~0ull : (1ull << n_) - 1));  // proper
+}
+
+std::size_t GoodInstance::card_b() const {
+  return static_cast<std::size_t>(__builtin_popcountll(mask_));
+}
+
+namespace {
+
+std::vector<LinearCell> intervals_for(std::size_t n, std::uint64_t in_set) {
+  // For each a with bit set: interval [a/n, next/n) where next is the
+  // least unset index above a (or n).
+  std::vector<LinearCell> out;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!(in_set & (1ull << a))) continue;
+    std::size_t next = a + 1;
+    while (next < n && (in_set & (1ull << next))) ++next;
+    // Merge: only emit for the first element of a run.
+    if (a > 0 && (in_set & (1ull << (a - 1)))) continue;
+    LinearCell cell(1);
+    LinearConstraint lo;
+    lo.coeffs = {Rational(-1)};
+    lo.rhs = -Rational(static_cast<std::int64_t>(a),
+                       static_cast<std::int64_t>(n));
+    lo.cmp = LinCmp::kLe;
+    LinearConstraint hi;
+    hi.coeffs = {Rational(1)};
+    hi.rhs = Rational(static_cast<std::int64_t>(next),
+                      static_cast<std::int64_t>(n));
+    hi.cmp = LinCmp::kLt;
+    cell.add(std::move(lo));
+    cell.add(std::move(hi));
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LinearCell> GoodInstance::set_x() const {
+  return intervals_for(n_, mask_);
+}
+
+std::vector<LinearCell> GoodInstance::set_y() const {
+  std::uint64_t complement =
+      (n_ == 64 ? ~0ull : (1ull << n_) - 1) & ~mask_;
+  return intervals_for(n_, complement);
+}
+
+Rational GoodInstance::vol_x() const {
+  return semilinear_volume(set_x()).value_or_die();
+}
+
+Rational GoodInstance::vol_y() const {
+  return semilinear_volume(set_y()).value_or_die();
+}
+
+Result<Rational> trivial_half_approximation(
+    const std::vector<LinearCell>& cells, std::size_t dim) {
+  std::vector<LinearCell> boxed;
+  boxed.reserve(cells.size());
+  for (const auto& c : cells) {
+    CQA_CHECK(c.dim() == dim);
+    boxed.push_back(c.intersect_box(Rational(0), Rational(1)));
+  }
+  auto v = semilinear_volume(boxed);
+  if (!v.is_ok()) return v;
+  if (v.value().is_zero()) return Rational(0);
+  if (v.value() == Rational(1)) return Rational(1);
+  return Rational(1, 2);
+}
+
+}  // namespace cqa

@@ -1,0 +1,90 @@
+// Executable proof gadgets from Section 4's impossibility arguments.
+//
+// The theorems are impossibility results; their *reductions* are concrete
+// constructions we can run:
+//  - Theorem 1: finite sets translate into intervals (0, Delta) and
+//    (1 - Delta, 1) so that AVG of the union is a function of the
+//    cardinality ratio -- an eps-approximate AVG would then decide a
+//    (c1, c2)-separating sentence.
+//  - Theorem 2 (Lemma 2): "good instances" (A an initial segment of N, B
+//    a proper subset) map to unions of intervals X and Y whose volumes
+//    encode card(B)/card(A) -- an eps-approximate VOL_I would decide a
+//    (c1, c2)-good sentence.
+//  - Proposition 4: the trivial half-approximation that IS definable.
+
+#ifndef CQA_APPROX_GADGETS_H_
+#define CQA_APPROX_GADGETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cqa/constraint/linear_cell.h"
+
+namespace cqa {
+
+/// Theorem 1's translation gadget.
+class AvgSeparationGadget {
+ public:
+  /// Delta in (0, 1); smaller Delta gives a wider AVG spread.
+  explicit AvgSeparationGadget(Rational delta);
+
+  /// U1 (n1 elements) maps order-isomorphically onto
+  /// { Delta i/(n1+1) : 1 <= i <= n1 } in (0, Delta); U2 (n2 elements)
+  /// onto { 1 - Delta + Delta j/(n2+1) } in (1 - Delta, 1). The exact
+  /// AVG of the union depends only on (n1, n2):
+  ///   AVG = (n2 + Delta (n1 - n2) / 2) / (n1 + n2),
+  /// a strictly monotone function of the ratio n1/n2.
+  Rational avg_for_cards(std::size_t n1, std::size_t n2) const;
+
+  /// AVG as a function of the real ratio rho = n1/n2.
+  Rational avg_for_ratio(const Rational& rho) const;
+
+  /// Smallest c > 1 such that an eps-approximate AVG oracle separates
+  /// card(U1) > c card(U2) from card(U2) > c card(U1): the least c with
+  /// avg(1/c) - avg(c) > 2 eps. Returns 0 if no such c exists (eps too
+  /// large for this Delta).
+  double min_separable_ratio(double eps) const;
+
+  const Rational& delta() const { return delta_; }
+
+ private:
+  Rational delta_;
+};
+
+/// Theorem 2's good instance: A = {0..n-1}, B a nonempty proper subset.
+class GoodInstance {
+ public:
+  GoodInstance(std::size_t n, std::uint64_t b_mask);
+
+  std::size_t n() const { return n_; }
+  std::size_t card_b() const;
+
+  /// X: union over b in B of [b/n, next/n) where next is the least
+  /// element of A-B above b (or n). Y: the same with B and A-B swapped.
+  std::vector<LinearCell> set_x() const;
+  std::vector<LinearCell> set_y() const;
+
+  /// Exact volumes (computed from the interval structure).
+  Rational vol_x() const;
+  Rational vol_y() const;
+
+  /// The decision an eps-approximate VOL_I oracle enables: with
+  /// c1 = (1 - 2 eps)/3 and c2 = (2 + 2 eps)/3, approximate volumes of X
+  /// and Y classify card(B) < c1 n vs card(B) > c2 n (Lemma 2).
+  static double c1(double eps) { return (1.0 - 2.0 * eps) / 3.0; }
+  static double c2(double eps) { return (2.0 + 2.0 * eps) / 3.0; }
+
+ private:
+  std::size_t n_;
+  std::uint64_t mask_;
+};
+
+/// Proposition 4: the trivial eps >= 1/2 approximation. Returns 0 for
+/// measure-zero sets, 1 for sets of full measure in [0,1]^dim, and 1/2
+/// otherwise -- all three cases FO+LIN-distinguishable.
+Result<Rational> trivial_half_approximation(
+    const std::vector<LinearCell>& cells, std::size_t dim);
+
+}  // namespace cqa
+
+#endif  // CQA_APPROX_GADGETS_H_

@@ -1,0 +1,170 @@
+#include "cqa/approx/hit_and_run.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cqa/approx/ellipsoid.h"
+#include "cqa/approx/random.h"
+#include "cqa/geometry/vertex_enum.h"
+
+namespace cqa {
+
+namespace {
+
+struct DoubleBody {
+  // a[i] . x <= b[i], with the origin shifted to an interior point.
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::size_t dim;
+
+  bool contains(const std::vector<double>& x) const {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      double s = 0;
+      for (std::size_t j = 0; j < dim; ++j) s += a[i][j] * x[j];
+      if (s > b[i] + 1e-12) return false;
+    }
+    return true;
+  }
+};
+
+double norm(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+Result<HitAndRunResult> hit_and_run_volume(const Polyhedron& p,
+                                           std::size_t samples_per_phase,
+                                           std::uint64_t seed) {
+  const std::size_t d = p.dim();
+  auto vertices = enumerate_vertices(p);
+  if (vertices.empty()) {
+    return Status::invalid("hit_and_run_volume: empty or unbounded body");
+  }
+  // Interior point: vertex centroid.
+  std::vector<double> center(d, 0.0);
+  for (const auto& v : vertices) {
+    for (std::size_t j = 0; j < d; ++j) center[j] += v[j].to_double();
+  }
+  for (auto& c : center) c /= static_cast<double>(vertices.size());
+
+  DoubleBody body;
+  body.dim = d;
+  for (const auto& c : fm_simplify(p.constraints())) {
+    if (c.is_constant()) continue;
+    std::vector<double> row(d);
+    double rhs = c.rhs.to_double();
+    for (std::size_t j = 0; j < d; ++j) {
+      row[j] = c.coeffs[j].to_double();
+      rhs -= row[j] * center[j];  // shift origin to the centroid
+    }
+    if (c.cmp == LinCmp::kEq) {
+      return Status::invalid("hit_and_run_volume: degenerate body");
+    }
+    body.a.push_back(std::move(row));
+    body.b.push_back(rhs);
+  }
+  // Inner radius: distance from origin to the nearest facet.
+  double r0 = 1e300;
+  for (std::size_t i = 0; i < body.a.size(); ++i) {
+    double nn = norm(body.a[i]);
+    if (nn < 1e-14) continue;
+    r0 = std::min(r0, body.b[i] / nn);
+  }
+  if (!(r0 > 0) || r0 > 1e200) {
+    return Status::invalid("hit_and_run_volume: could not inscribe a ball");
+  }
+  // Outer radius: farthest vertex.
+  double rmax = 0;
+  for (const auto& v : vertices) {
+    double s = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      double t = v[j].to_double() - center[j];
+      s += t * t;
+    }
+    rmax = std::max(rmax, std::sqrt(s));
+  }
+
+  // Phase radii r_i = r0 * 2^(i/d) until covering rmax.
+  std::vector<double> radii{r0};
+  while (radii.back() < rmax) {
+    radii.push_back(radii.back() * std::pow(2.0, 1.0 / static_cast<double>(d)));
+  }
+  const std::size_t phases = radii.size() - 1;
+
+  Xoshiro rng(seed);
+  auto chord_sample = [&](std::vector<double>* x, double radius) {
+    // One hit-and-run step within body intersect B(radius).
+    std::vector<double> u(d);
+    double nn = 0;
+    do {
+      for (auto& ui : u) ui = rng.normal();
+      nn = norm(u);
+    } while (nn < 1e-12);
+    for (auto& ui : u) ui /= nn;
+    double tlo = -1e300, thi = 1e300;
+    for (std::size_t i = 0; i < body.a.size(); ++i) {
+      double au = 0, ax = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        au += body.a[i][j] * u[j];
+        ax += body.a[i][j] * (*x)[j];
+      }
+      const double slack = body.b[i] - ax;
+      if (std::fabs(au) < 1e-14) continue;
+      const double t = slack / au;
+      if (au > 0) {
+        thi = std::min(thi, t);
+      } else {
+        tlo = std::max(tlo, t);
+      }
+    }
+    // Ball constraint |x + t u| <= radius.
+    double xx = 0, xu = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      xx += (*x)[j] * (*x)[j];
+      xu += (*x)[j] * u[j];
+    }
+    const double disc = xu * xu - (xx - radius * radius);
+    if (disc >= 0) {
+      const double root = std::sqrt(disc);
+      tlo = std::max(tlo, -xu - root);
+      thi = std::min(thi, -xu + root);
+    }
+    if (thi < tlo) return;  // numerical corner; keep the point
+    const double t = rng.uniform(tlo, thi);
+    for (std::size_t j = 0; j < d; ++j) (*x)[j] += t * u[j];
+  };
+
+  // Telescoping: vol(K) = vol(B(r0)) * prod vol(K_{i+1}) / vol(K_i),
+  // estimated by sampling K_{i+1} and counting the fraction inside K_i.
+  double log_volume = std::log(unit_ball_volume(d)) +
+                      static_cast<double>(d) * std::log(r0);
+  // Ascending radii keep the persistent chain point inside each phase's
+  // ball (each K_i is contained in the next).
+  std::vector<double> x(d, 0.0);
+  const std::size_t burn = 32 + 4 * d;
+  for (std::size_t i = 0; i < phases; ++i) {
+    const double r_outer = radii[i + 1];
+    const double r_inner = radii[i];
+    std::size_t hits = 0;
+    for (std::size_t s = 0; s < samples_per_phase; ++s) {
+      for (std::size_t bsteps = 0; bsteps < (s == 0 ? burn : 4); ++bsteps) {
+        chord_sample(&x, r_outer);
+      }
+      if (norm(x) <= r_inner) ++hits;
+    }
+    const double ratio =
+        std::max(1e-9, static_cast<double>(hits) /
+                           static_cast<double>(samples_per_phase));
+    log_volume -= std::log(ratio);  // vol(K_{i+1}) = vol(K_i) / ratio
+  }
+  HitAndRunResult out;
+  out.volume = std::exp(log_volume);
+  out.phases = phases;
+  out.samples_per_phase = samples_per_phase;
+  return out;
+}
+
+}  // namespace cqa

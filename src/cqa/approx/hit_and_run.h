@@ -1,0 +1,33 @@
+// Dyer-Frieze-Kannan-style randomized convex volume estimation.
+//
+// The paper's introduction motivates approximation by [15]: exact convex
+// volume is #P-hard [14], but a randomized polynomial-time algorithm
+// approximates it. We implement the classic multiphase Monte-Carlo scheme:
+// telescope vol(K) through K_i = K intersect B(r_i) with geometrically
+// growing radii, estimating each ratio by hit-and-run sampling.
+
+#ifndef CQA_APPROX_HIT_AND_RUN_H_
+#define CQA_APPROX_HIT_AND_RUN_H_
+
+#include <cstdint>
+
+#include "cqa/geometry/polyhedron.h"
+
+namespace cqa {
+
+/// Result of a multiphase volume estimation.
+struct HitAndRunResult {
+  double volume = 0;
+  std::size_t phases = 0;
+  std::size_t samples_per_phase = 0;
+};
+
+/// Estimates the volume of a bounded full-dimensional polytope.
+/// Randomized; accuracy improves with samples_per_phase.
+Result<HitAndRunResult> hit_and_run_volume(const Polyhedron& p,
+                                           std::size_t samples_per_phase,
+                                           std::uint64_t seed);
+
+}  // namespace cqa
+
+#endif  // CQA_APPROX_HIT_AND_RUN_H_

@@ -1,0 +1,146 @@
+#include "cqa/approx/monte_carlo.h"
+
+#include <algorithm>
+
+#include "cqa/aggregate/sql_aggregates.h"
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+
+McVolumeEstimator::McVolumeEstimator(const Database* db, FormulaPtr phi,
+                                     std::vector<std::size_t> element_vars,
+                                     std::size_t sample_size,
+                                     std::uint64_t seed)
+    : db_(db), element_vars_(std::move(element_vars)) {
+  auto inlined = db->inline_predicates(phi);
+  CQA_CHECK(inlined.is_ok());
+  inlined_ = inlined.value();
+  WitnessOperator w(seed);
+  sample_ = w.draw_sample(sample_size, element_vars_.size());
+}
+
+Result<double> McVolumeEstimator::estimate(
+    const std::map<std::size_t, Rational>& params) const {
+  if (!inlined_->is_quantifier_free()) {
+    return Status::unsupported(
+        "Monte-Carlo membership requires a quantifier-free query "
+        "(run linear QE first)");
+  }
+  int mv = inlined_->max_var();
+  for (std::size_t v : element_vars_) {
+    mv = std::max(mv, static_cast<int>(v));
+  }
+  std::vector<double> point(static_cast<std::size_t>(mv + 1), 0.0);
+  for (const auto& [v, val] : params) {
+    if (v < point.size()) point[v] = val.to_double();
+  }
+  std::size_t hits = 0;
+  for (const auto& y : sample_) {
+    for (std::size_t i = 0; i < element_vars_.size(); ++i) {
+      point[element_vars_[i]] = y[i];
+    }
+    auto r = eval_qf_double(inlined_, point);
+    if (!r.is_ok()) return r.status();
+    if (r.value()) ++hits;
+  }
+  if (sample_.empty()) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(sample_.size());
+}
+
+Result<double> mc_volume(const Database& db, const FormulaPtr& phi,
+                         const std::vector<std::size_t>& element_vars,
+                         const std::map<std::size_t, Rational>& params,
+                         double epsilon, double delta, double vc_dim,
+                         std::uint64_t seed) {
+  const std::size_t m = blumer_sample_bound(epsilon, delta, vc_dim);
+  McVolumeEstimator est(&db, phi, element_vars, m, seed);
+  return est.estimate(params);
+}
+
+Result<Rational> mc_volume_in_language(
+    Database* db, const FormulaPtr& phi,
+    const std::vector<std::size_t>& element_vars,
+    const std::map<std::size_t, Rational>& params, std::size_t sample_size,
+    std::uint64_t seed) {
+  const std::size_t m = element_vars.size();
+  if (m == 0 || sample_size == 0) {
+    return Status::invalid("mc_volume_in_language: empty sample or tuple");
+  }
+  // W: draw the M-sample and materialize it as a finite relation whose
+  // coordinates are the exact dyadic rationals of the drawn doubles.
+  WitnessOperator w(seed);
+  std::vector<RVec> tuples;
+  tuples.reserve(sample_size);
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    std::vector<double> pt = w.draw(m);
+    RVec row;
+    row.reserve(m);
+    for (double x : pt) {
+      auto q = Rational::from_double(x);
+      if (!q.is_ok()) return q.status();
+      row.push_back(std::move(q).take());
+    }
+    tuples.push_back(std::move(row));
+  }
+  std::string name = "McSample";
+  for (int suffix = 0; db->has_relation(name); ++suffix) {
+    name = "McSample" + std::to_string(suffix);
+  }
+  CQA_RETURN_IF_ERROR(db->add_finite(name, m, std::move(tuples)));
+
+  // The count is the language's own safe aggregation: COUNT over the
+  // sample relation filtered by phi (parameters substituted, element
+  // variables remapped onto the relation's slots).
+  std::map<std::size_t, Polynomial> sub;
+  for (const auto& [v, val] : params) {
+    sub.emplace(v, Polynomial::constant(val));
+  }
+  FormulaPtr grounded = substitute_vars(phi, sub);
+  std::map<std::size_t, Polynomial> remap;
+  for (std::size_t i = 0; i < m; ++i) {
+    remap.emplace(element_vars[i], Polynomial::variable(i));
+  }
+  FormulaPtr filter = substitute_vars(grounded, remap);
+  for (std::size_t v : filter->free_vars()) {
+    if (v >= m) {
+      return Status::invalid(
+          "mc_volume_in_language: unassigned free variable x" +
+          std::to_string(v));
+    }
+  }
+  auto hits = bag_count(*db, name, 0, filter);
+  if (!hits.is_ok()) return hits.status();
+  return hits.value() / Rational(static_cast<std::int64_t>(sample_size));
+}
+
+Result<double> halton_volume(const Database& db, const FormulaPtr& phi,
+                             const std::vector<std::size_t>& element_vars,
+                             const std::map<std::size_t, Rational>& params,
+                             std::size_t points) {
+  auto inlined = db.inline_predicates(phi);
+  if (!inlined.is_ok()) return inlined.status();
+  if (!inlined.value()->is_quantifier_free()) {
+    return Status::unsupported("Halton membership requires a quantifier-free "
+                               "query");
+  }
+  int mv = inlined.value()->max_var();
+  for (std::size_t v : element_vars) mv = std::max(mv, static_cast<int>(v));
+  std::vector<double> point(static_cast<std::size_t>(mv + 1), 0.0);
+  for (const auto& [v, val] : params) {
+    if (v < point.size()) point[v] = val.to_double();
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<double> y = halton_point(i, element_vars.size());
+    for (std::size_t j = 0; j < element_vars.size(); ++j) {
+      point[element_vars[j]] = y[j];
+    }
+    auto r = eval_qf_double(inlined.value(), point);
+    if (!r.is_ok()) return r.status();
+    if (r.value()) ++hits;
+  }
+  if (points == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(points);
+}
+
+}  // namespace cqa

@@ -1,0 +1,76 @@
+// Theorem 4: Monte-Carlo volume approximation in FO+POLY+SUM+W.
+//
+// Draw one M-point sample with M from the Blumer bound (d from
+// Goldberg-Jerrum or supplied); the fraction of the sample falling in
+// phi(a, D) eps-approximates VOL_I(phi(a, D)) *simultaneously for all
+// parameters a* with probability >= 1 - delta. The counting is exactly
+// the FO+POLY+SUM expressible part; W supplies the sample.
+
+#ifndef CQA_APPROX_MONTE_CARLO_H_
+#define CQA_APPROX_MONTE_CARLO_H_
+
+#include <map>
+#include <vector>
+
+#include "cqa/aggregate/database.h"
+#include "cqa/approx/random.h"
+#include "cqa/vc/sample_bounds.h"
+
+namespace cqa {
+
+/// A reusable Theorem-4 estimator: one sample, many parameter queries.
+class McVolumeEstimator {
+ public:
+  /// Draws the sample. `phi` is the query; `element_vars` are the volume
+  /// variables y (the sample lives in [0,1]^|y|); `sample_size` from
+  /// blumer_sample_bound (or any M the caller wants).
+  McVolumeEstimator(const Database* db, FormulaPtr phi,
+                    std::vector<std::size_t> element_vars,
+                    std::size_t sample_size, std::uint64_t seed);
+
+  /// Estimated VOL_I(phi(params, D)): hit fraction of the sample.
+  /// Membership is evaluated in double precision (boundary sets have
+  /// measure zero, so this does not bias the estimate).
+  Result<double> estimate(
+      const std::map<std::size_t, Rational>& params) const;
+
+  std::size_t sample_size() const { return sample_.size(); }
+
+ private:
+  const Database* db_;
+  FormulaPtr inlined_;  // phi with predicates inlined
+  std::vector<std::size_t> element_vars_;
+  std::vector<std::vector<double>> sample_;
+};
+
+/// One-shot helper: estimate VOL_I(phi(params, D)) with the sample size
+/// implied by (epsilon, delta, vc_dim).
+Result<double> mc_volume(const Database& db, const FormulaPtr& phi,
+                         const std::vector<std::size_t>& element_vars,
+                         const std::map<std::size_t, Rational>& params,
+                         double epsilon, double delta, double vc_dim,
+                         std::uint64_t seed);
+
+/// Deterministic low-discrepancy variant (Halton), for the grid-vs-random
+/// comparison benches.
+Result<double> halton_volume(const Database& db, const FormulaPtr& phi,
+                             const std::vector<std::size_t>& element_vars,
+                             const std::map<std::size_t, Rational>& params,
+                             std::size_t points);
+
+/// Theorem 4 expressed THROUGH the language: W draws the M-sample, the
+/// sample is materialized as a finite relation in `db` (name chosen
+/// fresh), and the hit count is computed by the language's own safe
+/// aggregation over `Sample(y...) & phi(y...)` -- exact rational
+/// arithmetic end to end (sample coordinates are exact dyadic rationals).
+/// Mutates db (adds the sample relation). Use modest M; every membership
+/// test runs through the exact evaluator.
+Result<Rational> mc_volume_in_language(
+    Database* db, const FormulaPtr& phi,
+    const std::vector<std::size_t>& element_vars,
+    const std::map<std::size_t, Rational>& params, std::size_t sample_size,
+    std::uint64_t seed);
+
+}  // namespace cqa
+
+#endif  // CQA_APPROX_MONTE_CARLO_H_

@@ -1,0 +1,444 @@
+#include "cqa/arith/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cqa {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) : negative_(v < 0) {
+  // Avoid UB on INT64_MIN by working in uint64.
+  std::uint64_t mag =
+      v < 0 ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+Result<BigInt> BigInt::from_string(const std::string& s) {
+  std::size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) return Status::invalid("empty integer literal: " + s);
+  BigInt out;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return Status::invalid("bad digit in integer literal: " + s);
+    }
+    out = out * BigInt(10) + BigInt(s[i] - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+void BigInt::trim(std::vector<std::uint32_t>* v) {
+  while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+int BigInt::cmp_mag(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const auto& lo = a.size() < b.size() ? a : b;
+  const auto& hi = a.size() < b.size() ? b : a;
+  std::vector<std::uint32_t> out;
+  out.reserve(hi.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    std::uint64_t s = carry + hi[i] + (i < lo.size() ? lo[i] : 0);
+    out.push_back(static_cast<std::uint32_t>(s & 0xffffffffu));
+    carry = s >> 32;
+  }
+  if (carry) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  CQA_DCHECK(cmp_mag(a, b) >= 0);
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0) -
+                     borrow;
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(d));
+  }
+  trim(&out);
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::mul_mag(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  trim(&out);
+  return out;
+}
+
+void BigInt::divmod_mag(const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b,
+                        std::vector<std::uint32_t>* q,
+                        std::vector<std::uint32_t>* r) {
+  CQA_CHECK(!b.empty());
+  q->clear();
+  r->clear();
+  if (cmp_mag(a, b) < 0) {
+    *r = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division.
+    std::uint64_t d = b[0];
+    q->assign(a.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | a[i];
+      (*q)[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    trim(q);
+    if (rem) r->push_back(static_cast<std::uint32_t>(rem));
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the top limb of the divisor has its
+  // high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = b.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shl_mag = [](const std::vector<std::uint32_t>& v,
+                    int s) -> std::vector<std::uint32_t> {
+    if (s == 0) return v;
+    std::vector<std::uint32_t> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << s;
+      out[i + 1] |= static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(v[i]) >> (32 - s)) & 0xffffffffu);
+    }
+    trim(&out);
+    return out;
+  };
+  std::vector<std::uint32_t> u = shl_mag(a, shift);
+  std::vector<std::uint32_t> v = shl_mag(b, shift);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() >= n ? u.size() - n : 0;
+  u.resize(u.size() + 1, 0);  // room for the virtual top limb
+  q->assign(m + 1, 0);
+
+  const std::uint64_t vn1 = v[n - 1];
+  const std::uint64_t vn2 = v[n - 2];
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t num = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat, rhat;
+    if (u[j + n] == vn1) {
+      // qhat would be >= base; clamp (Knuth D3). The multiply-subtract
+      // add-back step corrects any remaining overestimate.
+      qhat = kBase - 1;
+      rhat = num - qhat * vn1;
+    } else {
+      qhat = num / vn1;
+      rhat = num % vn1;
+    }
+    while (rhat < kBase && qhat * vn2 > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += vn1;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large; add back.
+      t += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s = static_cast<std::uint64_t>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<std::uint32_t>(s & 0xffffffffu);
+        c2 = s >> 32;
+      }
+      t += static_cast<std::int64_t>(c2);
+      t &= static_cast<std::int64_t>(0xffffffffll);
+    }
+    u[j + n] = static_cast<std::uint32_t>(t);
+    (*q)[j] = static_cast<std::uint32_t>(qhat);
+  }
+  trim(q);
+  // Remainder = u[0..n) >> shift.
+  u.resize(n);
+  if (shift) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t hi = (i + 1 < n) ? u[i + 1] : 0;
+      u[i] = (u[i] >> shift) |
+             static_cast<std::uint32_t>(
+                 (static_cast<std::uint64_t>(hi) << (32 - shift)) & 0xffffffffu);
+    }
+  }
+  trim(&u);
+  *r = std::move(u);
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  if (negative_ == o.negative_) {
+    out.limbs_ = add_mag(limbs_, o.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int c = cmp_mag(limbs_, o.limbs_);
+    if (c == 0) return BigInt();
+    if (c > 0) {
+      out.limbs_ = sub_mag(limbs_, o.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = sub_mag(o.limbs_, limbs_);
+      out.negative_ = o.negative_;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt out;
+  out.limbs_ = mul_mag(limbs_, o.limbs_);
+  out.negative_ = !out.limbs_.empty() && (negative_ != o.negative_);
+  return out;
+}
+
+void BigInt::divmod(const BigInt& o, BigInt* q, BigInt* r) const {
+  CQA_CHECK(!o.is_zero());
+  std::vector<std::uint32_t> qm, rm;
+  divmod_mag(limbs_, o.limbs_, &qm, &rm);
+  q->limbs_ = std::move(qm);
+  q->negative_ = !q->limbs_.empty() && (negative_ != o.negative_);
+  r->limbs_ = std::move(rm);
+  r->negative_ = !r->limbs_.empty() && negative_;
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q, r;
+  divmod(o, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt q, r;
+  divmod(o, &q, &r);
+  return r;
+}
+
+BigInt BigInt::shl(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  BigInt out;
+  std::size_t limb_shift = bits / 32;
+  int bit_shift = static_cast<int>(bits % 32);
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v & 0xffffffffu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.negative_ = negative_;
+  out.normalize();
+  return out;
+}
+
+BigInt BigInt::shr(std::size_t bits) const {
+  if (is_zero()) return *this;
+  std::size_t limb_shift = bits / 32;
+  int bit_shift = static_cast<int>(bits % 32);
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift),
+                    limbs_.end());
+  if (bit_shift) {
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+      std::uint32_t hi = (i + 1 < out.limbs_.size()) ? out.limbs_[i + 1] : 0;
+      out.limbs_[i] =
+          (out.limbs_[i] >> bit_shift) |
+          static_cast<std::uint32_t>(
+              (static_cast<std::uint64_t>(hi) << (32 - bit_shift)) &
+              0xffffffffu);
+    }
+  }
+  out.negative_ = negative_;
+  out.normalize();
+  return out;
+}
+
+int BigInt::cmp(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_ ? -1 : 1;
+  int c = cmp_mag(limbs_, o.limbs_);
+  return negative_ ? -c : c;
+}
+
+BigInt BigInt::gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  BigInt g = gcd(a, b);
+  return (a.abs() / g) * b.abs();
+}
+
+BigInt BigInt::pow(const BigInt& base, std::uint64_t e) {
+  BigInt result(1);
+  BigInt b = base;
+  while (e) {
+    if (e & 1) result *= b;
+    b *= b;
+    e >>= 1;
+  }
+  return result;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9.
+  std::vector<std::uint32_t> mag = limbs_;
+  const std::uint64_t kChunk = 1000000000ull;
+  std::string digits;
+  while (!mag.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<std::uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    trim(&mag);
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::to_double() const {
+  double out = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+Result<std::int64_t> BigInt::to_int64() const {
+  if (limbs_.size() > 2) return Status::out_of_range("BigInt exceeds int64");
+  std::uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > 0x8000000000000000ull) {
+      return Status::out_of_range("BigInt exceeds int64");
+    }
+    return static_cast<std::int64_t>(~mag + 1);
+  }
+  if (mag > 0x7fffffffffffffffull) {
+    return Status::out_of_range("BigInt exceeds int64");
+  }
+  return static_cast<std::int64_t>(mag);
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
+  for (std::uint32_t limb : limbs_) {
+    h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace cqa

@@ -1,0 +1,144 @@
+// Arbitrary-precision signed integers.
+//
+// BigInt is the numeric bedrock of the library: Fourier-Motzkin pivoting,
+// exact polytope volumes and Lagrange interpolation all blow past 64 bits
+// quickly. Representation: sign-magnitude with 32-bit little-endian limbs.
+
+#ifndef CQA_ARITH_BIGINT_H_
+#define CQA_ARITH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+/// Arbitrary-precision signed integer with value semantics.
+///
+/// All arithmetic is exact. Division truncates toward zero (C semantics);
+/// divmod, floor-division and gcd are provided separately.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() : negative_(false) {}
+  /// From a machine integer.
+  // NOLINTNEXTLINE(google-explicit-constructor): numeric literal ergonomics.
+  BigInt(std::int64_t v);
+
+  /// Parses a base-10 integer with optional leading '-'.
+  static Result<BigInt> from_string(const std::string& s);
+  /// Parses or aborts; for literals in tests and examples.
+  static BigInt parse(const std::string& s) {
+    return from_string(s).value_or_die();
+  }
+
+  /// True iff the value is zero.
+  bool is_zero() const { return limbs_.empty(); }
+  /// True iff the value is strictly negative.
+  bool is_negative() const { return negative_; }
+  /// -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  /// Number of significant bits of |*this| (0 for zero).
+  std::size_t bit_length() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  /// Truncated quotient. Aborts on division by zero.
+  BigInt operator/(const BigInt& o) const;
+  /// Remainder with sign of the dividend. Aborts on division by zero.
+  BigInt operator%(const BigInt& o) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+
+  /// Truncated quotient and remainder in one pass.
+  /// Postcondition: *this == q * o + r, |r| < |o|, sign(r) in {0, sign(*this)}.
+  void divmod(const BigInt& o, BigInt* q, BigInt* r) const;
+
+  /// Left shift by whole bits.
+  BigInt shl(std::size_t bits) const;
+  /// Arithmetic-magnitude right shift by whole bits (shifts |x|, keeps sign;
+  /// result is 0 when the magnitude underflows).
+  BigInt shr(std::size_t bits) const;
+
+  bool operator==(const BigInt& o) const {
+    return negative_ == o.negative_ && limbs_ == o.limbs_;
+  }
+  bool operator!=(const BigInt& o) const { return !(*this == o); }
+  bool operator<(const BigInt& o) const { return cmp(o) < 0; }
+  bool operator<=(const BigInt& o) const { return cmp(o) <= 0; }
+  bool operator>(const BigInt& o) const { return cmp(o) > 0; }
+  bool operator>=(const BigInt& o) const { return cmp(o) >= 0; }
+
+  /// Three-way comparison: -1, 0, +1.
+  int cmp(const BigInt& o) const;
+
+  /// Greatest common divisor (always >= 0).
+  static BigInt gcd(const BigInt& a, const BigInt& b);
+  /// |a*b| / gcd(|a|,|b|); 0 if either is 0.
+  static BigInt lcm(const BigInt& a, const BigInt& b);
+  /// Exponentiation by squaring; e >= 0.
+  static BigInt pow(const BigInt& base, std::uint64_t e);
+
+  /// Base-10 rendering.
+  std::string to_string() const;
+
+  /// Nearest double (may overflow to +/-inf for huge values).
+  double to_double() const;
+
+  /// Exact conversion when the value fits in int64; error otherwise.
+  Result<std::int64_t> to_int64() const;
+
+  /// True iff the value fits in int64.
+  bool fits_int64() const { return to_int64().is_ok(); }
+
+  /// Hash suitable for unordered containers.
+  std::size_t hash() const;
+
+ private:
+  static int cmp_mag(const std::vector<std::uint32_t>& a,
+                     const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Knuth Algorithm D on magnitudes; q and r may alias nothing.
+  static void divmod_mag(const std::vector<std::uint32_t>& a,
+                         const std::vector<std::uint32_t>& b,
+                         std::vector<std::uint32_t>* q,
+                         std::vector<std::uint32_t>* r);
+  static void trim(std::vector<std::uint32_t>* v);
+  void normalize() {
+    trim(&limbs_);
+    if (limbs_.empty()) negative_ = false;
+  }
+
+  bool negative_;
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+inline BigInt operator+(std::int64_t a, const BigInt& b) {
+  return BigInt(a) + b;
+}
+inline BigInt operator*(std::int64_t a, const BigInt& b) {
+  return BigInt(a) * b;
+}
+
+}  // namespace cqa
+
+#endif  // CQA_ARITH_BIGINT_H_

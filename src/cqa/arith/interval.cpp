@@ -1,0 +1,18 @@
+#include "cqa/arith/interval.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+RationalInterval RationalInterval::operator*(
+    const RationalInterval& o) const {
+  const Rational a = lo_ * o.lo_;
+  const Rational b = lo_ * o.hi_;
+  const Rational c = hi_ * o.lo_;
+  const Rational d = hi_ * o.hi_;
+  Rational lo = std::min(std::min(a, b), std::min(c, d));
+  Rational hi = std::max(std::max(a, b), std::max(c, d));
+  return {std::move(lo), std::move(hi)};
+}
+
+}  // namespace cqa

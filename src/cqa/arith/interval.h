@@ -1,0 +1,65 @@
+// Rational interval arithmetic.
+//
+// Used for exact sign determination of polynomials at algebraic points:
+// refine the isolating interval until the polynomial's interval image
+// excludes zero (or zero is certified by gcd arguments in cqa/poly).
+
+#ifndef CQA_ARITH_INTERVAL_H_
+#define CQA_ARITH_INTERVAL_H_
+
+#include <string>
+
+#include "cqa/arith/rational.h"
+
+namespace cqa {
+
+/// Closed interval [lo, hi] with exact rational endpoints.
+class RationalInterval {
+ public:
+  /// Degenerate interval [0,0].
+  RationalInterval() = default;
+  /// Point interval [v,v].
+  explicit RationalInterval(Rational v) : lo_(v), hi_(std::move(v)) {}
+  /// [lo, hi]; aborts if lo > hi.
+  RationalInterval(Rational lo, Rational hi)
+      : lo_(std::move(lo)), hi_(std::move(hi)) {
+    CQA_CHECK(lo_ <= hi_);
+  }
+
+  const Rational& lo() const { return lo_; }
+  const Rational& hi() const { return hi_; }
+  Rational width() const { return hi_ - lo_; }
+  Rational mid() const { return Rational::mid(lo_, hi_); }
+
+  bool contains(const Rational& v) const { return lo_ <= v && v <= hi_; }
+  bool contains_zero() const {
+    return lo_.sign() <= 0 && hi_.sign() >= 0;
+  }
+  /// -1 if hi < 0, +1 if lo > 0, 0 if the interval straddles zero.
+  int definite_sign() const {
+    if (hi_.sign() < 0) return -1;
+    if (lo_.sign() > 0) return 1;
+    return 0;
+  }
+
+  RationalInterval operator+(const RationalInterval& o) const {
+    return {lo_ + o.lo_, hi_ + o.hi_};
+  }
+  RationalInterval operator-(const RationalInterval& o) const {
+    return {lo_ - o.hi_, hi_ - o.lo_};
+  }
+  RationalInterval operator*(const RationalInterval& o) const;
+  RationalInterval operator-() const { return {-hi_, -lo_}; }
+
+  std::string to_string() const {
+    return "[" + lo_.to_string() + ", " + hi_.to_string() + "]";
+  }
+
+ private:
+  Rational lo_;
+  Rational hi_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_ARITH_INTERVAL_H_

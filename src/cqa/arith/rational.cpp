@@ -1,0 +1,229 @@
+#include "cqa/arith/rational.h"
+
+#include <cmath>
+#include <utility>
+
+namespace cqa {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  CQA_CHECK(!den_.is_zero());
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Result<Rational> Rational::from_string(const std::string& s) {
+  auto slash = s.find('/');
+  if (slash != std::string::npos) {
+    auto n = BigInt::from_string(s.substr(0, slash));
+    if (!n.is_ok()) return n.status();
+    auto d = BigInt::from_string(s.substr(slash + 1));
+    if (!d.is_ok()) return d.status();
+    if (d.value().is_zero()) return Status::invalid("zero denominator: " + s);
+    return Rational(std::move(n).take(), std::move(d).take());
+  }
+  auto dot = s.find('.');
+  if (dot != std::string::npos) {
+    std::string intpart = s.substr(0, dot);
+    std::string frac = s.substr(dot + 1);
+    if (frac.empty()) return Status::invalid("bad decimal literal: " + s);
+    bool neg = !intpart.empty() && intpart[0] == '-';
+    if (intpart.empty() || intpart == "-" || intpart == "+") intpart += "0";
+    auto ip = BigInt::from_string(intpart);
+    if (!ip.is_ok()) return ip.status();
+    auto fp = BigInt::from_string(frac);
+    if (!fp.is_ok()) return fp.status();
+    if (fp.value().is_negative()) return Status::invalid("bad decimal: " + s);
+    BigInt scale = BigInt::pow(BigInt(10), frac.size());
+    BigInt whole = ip.value().abs() * scale + fp.value();
+    if (neg) whole = -whole;
+    return Rational(std::move(whole), std::move(scale));
+  }
+  auto n = BigInt::from_string(s);
+  if (!n.is_ok()) return n.status();
+  return Rational(std::move(n).take());
+}
+
+Result<Rational> Rational::from_double(double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    return Status::invalid("from_double: non-finite value");
+  }
+  if (v == 0.0) return Rational();
+  // Decompose v = mantissa * 2^exp with mantissa a 53-bit integer.
+  int exp = 0;
+  double frac = std::frexp(v, &exp);  // |frac| in [0.5, 1)
+  std::int64_t mantissa =
+      static_cast<std::int64_t>(frac * 9007199254740992.0);  // * 2^53
+  exp -= 53;
+  BigInt num(mantissa);
+  if (exp >= 0) {
+    return Rational(num.shl(static_cast<std::size_t>(exp)));
+  }
+  return Rational(std::move(num),
+                  BigInt(1).shl(static_cast<std::size_t>(-exp)));
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::inverse() const {
+  CQA_CHECK(!is_zero());
+  return Rational(den_, num_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  CQA_CHECK(!o.is_zero());
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+int Rational::cmp(const Rational& o) const {
+  return (num_ * o.den_).cmp(o.num_ * den_);
+}
+
+BigInt Rational::floor() const {
+  BigInt q, r;
+  num_.divmod(den_, &q, &r);
+  if (r.is_negative()) q -= BigInt(1);
+  return q;
+}
+
+BigInt Rational::ceil() const {
+  BigInt q, r;
+  num_.divmod(den_, &q, &r);
+  if (r.sign() > 0) q += BigInt(1);
+  return q;
+}
+
+Rational Rational::pow(const Rational& base, std::int64_t e) {
+  if (e < 0) {
+    return pow(base.inverse(), -e);
+  }
+  return Rational(BigInt::pow(base.num_, static_cast<std::uint64_t>(e)),
+                  BigInt::pow(base.den_, static_cast<std::uint64_t>(e)));
+}
+
+Rational Rational::mid(const Rational& a, const Rational& b) {
+  return (a + b) * Rational(1, 2);
+}
+
+Rational Rational::simplest_in(const Rational& lo, const Rational& hi) {
+  CQA_CHECK(lo <= hi);
+  if (lo.sign() <= 0 && hi.sign() >= 0) return Rational();
+  if (hi.sign() < 0) return -simplest_in(-hi, -lo);
+  // 0 < lo <= hi.
+  BigInt ceil_lo = lo.ceil();
+  if (Rational(ceil_lo) <= hi) return Rational(ceil_lo);
+  // Same integer part; recurse on the fractional inverses.
+  BigInt a = lo.floor();
+  Rational fl = lo - Rational(a);
+  Rational fh = hi - Rational(a);
+  // fl, fh in (0, 1): simplest in [lo, hi] = a + 1 / simplest_in(1/fh, 1/fl).
+  Rational inner = simplest_in(fh.inverse(), fl.inverse());
+  return Rational(a) + inner.inverse();
+}
+
+Rational Rational::simplest_in_open(const Rational& lo, const Rational& hi) {
+  CQA_CHECK(lo < hi);
+  if (lo.sign() < 0 && hi.sign() > 0) return Rational();
+  if (hi.sign() <= 0) return -simplest_in_open(-hi, -lo);
+  // 0 <= lo < hi.
+  BigInt n = lo.floor() + BigInt(1);  // smallest integer strictly above lo
+  if (Rational(n) < hi) return Rational(n);
+  BigInt a = lo.floor();
+  Rational fl = lo - Rational(a);  // in [0, 1)
+  Rational fh = hi - Rational(a);  // in (fl, 1]
+  if (fl.is_zero()) {
+    // Simplest in (0, fh) is 1/m for the smallest m with 1/m < fh.
+    BigInt m = fh.inverse().floor() + BigInt(1);
+    return Rational(a) + Rational(BigInt(1), std::move(m));
+  }
+  // x in (lo, hi) iff 1/(x - a) in (1/fh, 1/fl).
+  return Rational(a) + simplest_in_open(fh.inverse(), fl.inverse()).inverse();
+}
+
+const Rational& Rational::zero() {
+  static const Rational kZero;
+  return kZero;
+}
+
+const Rational& Rational::one() {
+  static const Rational kOne(1);
+  return kOne;
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+double Rational::to_double() const {
+  // Scale so both parts fit a double's mantissa reasonably.
+  const std::size_t nb = num_.bit_length();
+  const std::size_t db = den_.bit_length();
+  if (nb <= 52 && db <= 52) return num_.to_double() / den_.to_double();
+  // Shift the larger operand down, tracking the exponent.
+  BigInt n = num_, d = den_;
+  int exp = 0;
+  while (n.bit_length() > 64) {
+    n = n.shr(32);
+    exp += 32;
+  }
+  while (d.bit_length() > 64) {
+    d = d.shr(32);
+    exp -= 32;
+  }
+  double base = n.to_double() / d.to_double();
+  while (exp >= 32) {
+    base *= 4294967296.0;
+    exp -= 32;
+  }
+  while (exp <= -32) {
+    base /= 4294967296.0;
+    exp += 32;
+  }
+  while (exp > 0) {
+    base *= 2.0;
+    --exp;
+  }
+  while (exp < 0) {
+    base /= 2.0;
+    ++exp;
+  }
+  return base;
+}
+
+std::size_t Rational::hash() const {
+  return num_.hash() * 1000003u ^ den_.hash();
+}
+
+}  // namespace cqa

@@ -1,0 +1,127 @@
+#include "cqa/constraint/linear_atom.h"
+
+#include <sstream>
+
+namespace cqa {
+
+bool LinearConstraint::constant_truth() const {
+  switch (cmp) {
+    case LinCmp::kLt: return Rational(0) < rhs;
+    case LinCmp::kLe: return Rational(0) <= rhs;
+    case LinCmp::kEq: return rhs.is_zero();
+  }
+  return false;
+}
+
+bool LinearConstraint::satisfied_by(const RVec& point) const {
+  CQA_CHECK(point.size() >= coeffs.size());
+  Rational lhs;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) lhs += coeffs[i] * point[i];
+  switch (cmp) {
+    case LinCmp::kLt: return lhs < rhs;
+    case LinCmp::kLe: return lhs <= rhs;
+    case LinCmp::kEq: return lhs == rhs;
+  }
+  return false;
+}
+
+LinearConstraint LinearConstraint::normalized() const {
+  LinearConstraint out = *this;
+  for (const Rational& c : coeffs) {
+    if (!c.is_zero()) {
+      Rational scale = c.abs().inverse();
+      out.coeffs = vec_scale(scale, coeffs);
+      out.rhs = rhs * scale;
+      return out;
+    }
+  }
+  // Constant row: canonicalize rhs to its sign.
+  out.rhs = Rational(rhs.sign());
+  return out;
+}
+
+LinearConstraint LinearConstraint::closure() const {
+  LinearConstraint out = *this;
+  if (out.cmp == LinCmp::kLt) out.cmp = LinCmp::kLe;
+  return out;
+}
+
+std::string LinearConstraint::to_string() const {
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i].is_zero()) continue;
+    if (any) os << " + ";
+    os << coeffs[i].to_string() << "*x" << i;
+    any = true;
+  }
+  if (!any) os << "0";
+  switch (cmp) {
+    case LinCmp::kLt: os << " < "; break;
+    case LinCmp::kLe: os << " <= "; break;
+    case LinCmp::kEq: os << " = "; break;
+  }
+  os << rhs.to_string();
+  return os.str();
+}
+
+Result<LinearConstraint> to_linear_constraint(const Polynomial& poly,
+                                              RelOp op, std::size_t dim) {
+  if (!poly.is_linear()) {
+    return Status::invalid("nonlinear atom in linear constraint context: " +
+                           poly.to_string());
+  }
+  if (poly.max_var() >= static_cast<int>(dim)) {
+    return Status::invalid("atom variable outside ambient dimension");
+  }
+  LinearConstraint c;
+  c.coeffs.assign(dim, Rational());
+  Rational constant;
+  for (const auto& [m, coef] : poly.terms()) {
+    bool is_const = true;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] > 0) {
+        CQA_DCHECK(m[i] == 1);
+        c.coeffs[i] += coef;
+        is_const = false;
+      }
+    }
+    if (is_const) constant += coef;
+  }
+  c.rhs = -constant;
+  switch (op) {
+    case RelOp::kLt:
+      c.cmp = LinCmp::kLt;
+      return c;
+    case RelOp::kLe:
+      c.cmp = LinCmp::kLe;
+      return c;
+    case RelOp::kEq:
+      c.cmp = LinCmp::kEq;
+      return c;
+    case RelOp::kGt:
+    case RelOp::kGe:
+      c.coeffs = vec_scale(Rational(-1), c.coeffs);
+      c.rhs = -c.rhs;
+      c.cmp = op == RelOp::kGt ? LinCmp::kLt : LinCmp::kLe;
+      return c;
+    case RelOp::kNe:
+      return Status::invalid("disequality must be split before constraint "
+                             "normalization");
+  }
+  return Status::internal("unreachable");
+}
+
+FormulaPtr to_atom(const LinearConstraint& c) {
+  Polynomial p = Polynomial::constant(-c.rhs);
+  for (std::size_t i = 0; i < c.coeffs.size(); ++i) {
+    if (c.coeffs[i].is_zero()) continue;
+    p += Polynomial::variable(i) * c.coeffs[i];
+  }
+  RelOp op = c.cmp == LinCmp::kLt
+                 ? RelOp::kLt
+                 : (c.cmp == LinCmp::kLe ? RelOp::kLe : RelOp::kEq);
+  return Formula::atom(std::move(p), op);
+}
+
+}  // namespace cqa

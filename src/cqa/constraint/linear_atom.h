@@ -1,0 +1,57 @@
+// Normalized linear constraints.
+//
+// Every FO+LIN atom normalizes to  coeffs . x  cmp  rhs  with cmp one of
+// {<, <=, =}. Disequalities split into two strict cells upstream.
+
+#ifndef CQA_CONSTRAINT_LINEAR_ATOM_H_
+#define CQA_CONSTRAINT_LINEAR_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/linalg/matrix.h"
+#include "cqa/logic/formula.h"
+
+namespace cqa {
+
+/// Comparison of a normalized linear constraint.
+enum class LinCmp { kLt, kLe, kEq };
+
+/// One linear constraint: coeffs . x  cmp  rhs.
+struct LinearConstraint {
+  RVec coeffs;
+  Rational rhs;
+  LinCmp cmp = LinCmp::kLe;
+
+  std::size_t dim() const { return coeffs.size(); }
+  /// True iff all coefficients are zero (a ground fact about rhs).
+  bool is_constant() const { return vec_is_zero(coeffs); }
+  /// Ground truth value; only meaningful when is_constant().
+  bool constant_truth() const;
+  /// Exact satisfaction test at a point.
+  bool satisfied_by(const RVec& point) const;
+  /// Scales so the first nonzero coefficient has absolute value 1
+  /// (canonical form for deduplication). Constants scale rhs to {-1,0,1}.
+  LinearConstraint normalized() const;
+  /// The same constraint with <= in place of < (topological closure).
+  LinearConstraint closure() const;
+
+  bool operator==(const LinearConstraint& o) const {
+    return cmp == o.cmp && rhs == o.rhs && coeffs == o.coeffs;
+  }
+
+  std::string to_string() const;
+};
+
+/// Converts atom `poly op 0` into constraints over variables 0..dim-1.
+/// kNe is rejected (callers split cells); kGt/kGe flip sign.
+/// Fails if poly is not affine or mentions variables >= dim.
+Result<LinearConstraint> to_linear_constraint(const Polynomial& poly,
+                                              RelOp op, std::size_t dim);
+
+/// Builds the atom formula back from a constraint.
+FormulaPtr to_atom(const LinearConstraint& c);
+
+}  // namespace cqa
+
+#endif  // CQA_CONSTRAINT_LINEAR_ATOM_H_

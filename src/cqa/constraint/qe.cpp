@@ -1,0 +1,108 @@
+#include "cqa/constraint/qe.h"
+
+#include <algorithm>
+
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+
+namespace {
+
+using Kind = Formula::Kind;
+
+Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+      return f;
+    case Kind::kPredicate:
+      return Status::invalid("qe_linear: schema predicate " + f->pred_name() +
+                             " (substitute the database first)");
+    case Kind::kNot: {
+      auto sub = qe_rec(f->children()[0]);
+      if (!sub.is_ok()) return sub;
+      return Formula::f_not(sub.value());
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FormulaPtr> kids;
+      kids.reserve(f->children().size());
+      for (const auto& c : f->children()) {
+        auto sub = qe_rec(c);
+        if (!sub.is_ok()) return sub;
+        kids.push_back(sub.value());
+      }
+      return f->kind() == Kind::kAnd ? Formula::f_and(std::move(kids))
+                                     : Formula::f_or(std::move(kids));
+    }
+    case Kind::kExists: {
+      if (f->active_domain()) {
+        return Status::invalid(
+            "qe_linear: active-domain quantifier outside a database context");
+      }
+      auto body = qe_rec(f->children()[0]);
+      if (!body.is_ok()) return body;
+      const std::size_t var = f->var();
+      const std::size_t dim = static_cast<std::size_t>(
+          std::max(body.value()->max_var(), static_cast<int>(var))) + 1;
+      auto cells = formula_to_cells(body.value(), dim);
+      if (!cells.is_ok()) return cells.status();
+      std::vector<LinearCell> projected;
+      for (const auto& cell : cells.value()) {
+        projected.emplace_back(dim, fm_eliminate(cell.constraints(), var));
+      }
+      return cells_to_formula(projected);
+    }
+    case Kind::kForall: {
+      if (f->active_domain()) {
+        return Status::invalid(
+            "qe_linear: active-domain quantifier outside a database context");
+      }
+      FormulaPtr dual = Formula::f_not(
+          Formula::exists(f->var(), Formula::f_not(f->children()[0])));
+      return qe_rec(dual);
+    }
+  }
+  CQA_CHECK(false);
+  return Status::internal("unreachable");
+}
+
+}  // namespace
+
+Result<FormulaPtr> qe_linear(const FormulaPtr& f) {
+  if (!f->is_linear()) {
+    return Status::invalid("qe_linear: formula has nonlinear atoms");
+  }
+  return qe_rec(f);
+}
+
+Result<std::vector<LinearCell>> qe_to_cells(const FormulaPtr& f,
+                                            std::size_t dim) {
+  auto qf = qe_linear(f);
+  if (!qf.is_ok()) return qf.status();
+  if (qf.value()->max_var() >= static_cast<int>(dim)) {
+    // Free variables must fit; bound ones were eliminated.
+    for (std::size_t v : qf.value()->free_vars()) {
+      if (v >= dim) {
+        return Status::invalid("qe_to_cells: free variable x" +
+                               std::to_string(v) +
+                               " outside ambient dimension");
+      }
+    }
+  }
+  return formula_to_cells(qf.value(), dim);
+}
+
+Result<bool> qe_decide_sentence(const FormulaPtr& f) {
+  auto qf = qe_linear(f);
+  if (!qf.is_ok()) return qf.status();
+  if (!qf.value()->free_vars().empty()) {
+    return Status::invalid("qe_decide_sentence: formula has free variables");
+  }
+  auto cells = formula_to_cells(qf.value(), 1);
+  if (!cells.is_ok()) return cells.status();
+  return !cells.value().empty();
+}
+
+}  // namespace cqa

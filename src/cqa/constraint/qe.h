@@ -1,0 +1,32 @@
+// Quantifier elimination for FO+LIN.
+//
+// This realizes the closure property the paper leans on: "the application
+// of a FO+LIN query to a linear constraint set yields a new set of linear
+// constraints". Exists-blocks go through DNF + Fourier-Motzkin; forall
+// dualizes.
+
+#ifndef CQA_CONSTRAINT_QE_H_
+#define CQA_CONSTRAINT_QE_H_
+
+#include "cqa/constraint/linear_cell.h"
+#include "cqa/logic/formula.h"
+
+namespace cqa {
+
+/// Eliminates every quantifier from a predicate-free FO+LIN formula,
+/// returning an equivalent quantifier-free formula over the same free
+/// variables. Fails on nonlinear atoms or schema predicates.
+Result<FormulaPtr> qe_linear(const FormulaPtr& f);
+
+/// Convenience: QE + cell extraction in one call. `dim` is the ambient
+/// dimension (how many variable slots the caller cares about); it must
+/// cover every free variable of f.
+Result<std::vector<LinearCell>> qe_to_cells(const FormulaPtr& f,
+                                            std::size_t dim);
+
+/// Truth value of an FO+LIN sentence (QE all the way to ground facts).
+Result<bool> qe_decide_sentence(const FormulaPtr& f);
+
+}  // namespace cqa
+
+#endif  // CQA_CONSTRAINT_QE_H_

@@ -1,0 +1,61 @@
+#include "cqa/core/query_engine.h"
+
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+
+Result<std::vector<LinearCell>> QueryEngine::cells(
+    const std::string& query, const std::vector<std::string>& output_vars) {
+  auto rewritten = rewrite(query);
+  if (!rewritten.is_ok()) return rewritten.status();
+  FormulaPtr qf = rewritten.value();
+  // Remap the named outputs onto slots 0..k-1.
+  std::map<std::size_t, Polynomial> sub;
+  std::set<std::size_t> outputs;
+  for (std::size_t i = 0; i < output_vars.size(); ++i) {
+    int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(
+        output_vars[i]);
+    if (idx < 0) {
+      return Status::invalid("unknown output variable: " + output_vars[i]);
+    }
+    sub.emplace(static_cast<std::size_t>(idx), Polynomial::variable(i));
+    outputs.insert(static_cast<std::size_t>(idx));
+  }
+  for (std::size_t v : qf->free_vars()) {
+    if (!outputs.count(v)) {
+      return Status::invalid("query has a free variable that is not an "
+                             "output: " +
+                             db_->vars().name_of(v));
+    }
+  }
+  FormulaPtr remapped = substitute_vars(qf, sub);
+  return formula_to_cells(remapped, output_vars.size());
+}
+
+Result<FormulaPtr> QueryEngine::rewrite(const std::string& query) {
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
+  if (!parsed.is_ok()) return parsed;
+  auto expanded = db_->db().expand_active_domain(parsed.value());
+  if (!expanded.is_ok()) return expanded;
+  auto inlined = db_->db().inline_predicates(expanded.value());
+  if (!inlined.is_ok()) return inlined;
+  FormulaPtr g = inlined.value();
+  if (g->is_quantifier_free()) return g;
+  if (!g->is_linear()) {
+    return Status::unsupported(
+        "rewrite: query is nonlinear and quantified; only FO+LIN queries "
+        "admit quantifier elimination here");
+  }
+  return qe_linear(g);
+}
+
+Result<bool> QueryEngine::ask(const std::string& sentence) {
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(sentence);
+  if (!parsed.is_ok()) return parsed.status();
+  if (!parsed.value()->free_vars().empty()) {
+    return Status::invalid("ask: sentence has free variables");
+  }
+  return db_->db().holds(parsed.value(), {});
+}
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+// Query evaluation over a ConstraintDatabase: the FO+LIN closure pipeline
+// (inline database -> quantifier-eliminate -> cells) plus sentence
+// decision for FO+POLY.
+
+#ifndef CQA_CORE_QUERY_ENGINE_H_
+#define CQA_CORE_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/constraint/qe.h"
+#include "cqa/core/constraint_database.h"
+
+namespace cqa {
+
+/// Stateless query façade over a ConstraintDatabase.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const ConstraintDatabase* db) : db_(db) {}
+
+  /// Evaluates a query with named output variables into a union of linear
+  /// cells over those variables (in the given order -- the closure
+  /// property of FO+LIN made concrete). The query may use schema
+  /// predicates and quantifiers; it must be linear after inlining.
+  Result<std::vector<LinearCell>> cells(const std::string& query,
+                                        const std::vector<std::string>&
+                                            output_vars);
+
+  /// Quantifier-free formula equivalent to the query over the database.
+  Result<FormulaPtr> rewrite(const std::string& query);
+
+  /// Decides a sentence (no free variables) over the database; handles
+  /// FO+LIN via QE and the supported FO+POLY fragment via the sample-point
+  /// procedure.
+  Result<bool> ask(const std::string& sentence);
+
+ private:
+  const ConstraintDatabase* db_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_QUERY_ENGINE_H_

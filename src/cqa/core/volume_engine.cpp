@@ -1,0 +1,123 @@
+#include "cqa/core/volume_engine.h"
+
+#include <algorithm>
+
+#include "cqa/approx/ellipsoid.h"
+#include "cqa/approx/gadgets.h"
+#include "cqa/approx/monte_carlo.h"
+#include "cqa/logic/transform.h"
+#include "cqa/volume/growth.h"
+#include "cqa/volume/inclusion_exclusion.h"
+#include "cqa/volume/semilinear_volume.h"
+#include "cqa/volume/variable_independence.h"
+
+namespace cqa {
+
+Result<Rational> VolumeEngine::mu(
+    const std::string& query, const std::vector<std::string>& output_vars) {
+  auto cells = queries_.cells(query, output_vars);
+  if (!cells.is_ok()) return cells.status();
+  return mu_operator(cells.value());
+}
+
+Result<UPoly> VolumeEngine::growth_polynomial(
+    const std::string& query, const std::vector<std::string>& output_vars) {
+  auto cells = queries_.cells(query, output_vars);
+  if (!cells.is_ok()) return cells.status();
+  auto g = volume_growth(cells.value());
+  if (!g.is_ok()) return g.status();
+  return g.value().poly;
+}
+
+Result<VolumeAnswer> VolumeEngine::volume(
+    const std::string& query, const std::vector<std::string>& output_vars,
+    const VolumeOptions& options) {
+  VolumeAnswer answer;
+
+  if (options.strategy == VolumeStrategy::kMonteCarlo) {
+    // Monte-Carlo path works directly on the (inlined) formula, including
+    // polynomial constraints; always VOL_I semantics (samples live in the
+    // unit box).
+    auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
+    if (!parsed.is_ok()) return parsed.status();
+    std::vector<std::size_t> element_vars;
+    for (const auto& name : output_vars) {
+      int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
+      if (idx < 0) return Status::invalid("unknown output variable: " + name);
+      element_vars.push_back(static_cast<std::size_t>(idx));
+    }
+    for (std::size_t v : parsed.value()->free_vars()) {
+      if (std::find(element_vars.begin(), element_vars.end(), v) ==
+          element_vars.end()) {
+        return Status::invalid("query has a free variable that is not an "
+                               "output: " +
+                               db_->vars().name_of(v));
+      }
+    }
+    auto est = mc_volume(db_->db(), parsed.value(), element_vars, {},
+                         options.epsilon, options.delta, options.vc_dim,
+                         options.seed);
+    if (!est.is_ok()) return est.status();
+    answer.estimate = est.value();
+    answer.lower = est.value() - options.epsilon;
+    answer.upper = est.value() + options.epsilon;
+    return answer;
+  }
+
+  // Exact strategies go through the FO+LIN pipeline.
+  auto cells = queries_.cells(query, output_vars);
+  if (!cells.is_ok()) return cells.status();
+  std::vector<LinearCell> live = cells.value();
+  if (options.clip_to_unit_box) {
+    for (auto& c : live) c = c.intersect_box(Rational(0), Rational(1));
+  }
+
+  switch (options.strategy) {
+    case VolumeStrategy::kAuto: {
+      auto v = semilinear_volume(live);
+      if (!v.is_ok()) return v.status();
+      answer.exact = v.value();
+      return answer;
+    }
+    case VolumeStrategy::kExactSweep: {
+      auto v = semilinear_volume_sweep(live);
+      if (!v.is_ok()) return v.status();
+      answer.exact = v.value();
+      return answer;
+    }
+    case VolumeStrategy::kInclusionExclusion: {
+      auto v = volume_inclusion_exclusion(live);
+      if (!v.is_ok()) return v.status();
+      answer.exact = v.value();
+      return answer;
+    }
+    case VolumeStrategy::kVariableIndependent: {
+      auto v = volume_variable_independent(live);
+      if (!v.is_ok()) return v.status();
+      answer.exact = v.value();
+      return answer;
+    }
+    case VolumeStrategy::kEllipsoidBounds: {
+      if (live.size() != 1) {
+        return Status::invalid(
+            "ellipsoid bounds require a single convex cell");
+      }
+      auto b = john_volume_bounds(Polyhedron(live[0]));
+      if (!b.is_ok()) return b.status();
+      answer.lower = b.value().lower;
+      answer.upper = b.value().upper;
+      return answer;
+    }
+    case VolumeStrategy::kTrivialHalf: {
+      auto v = trivial_half_approximation(live, output_vars.size());
+      if (!v.is_ok()) return v.status();
+      answer.estimate = v.value().to_double();
+      return answer;
+    }
+    case VolumeStrategy::kMonteCarlo:
+      break;  // handled above
+  }
+  return Status::internal("unreachable");
+}
+
+}  // namespace cqa

@@ -1,0 +1,85 @@
+// Volume computation with strategy selection: the paper's landscape in
+// one API. Exact strategies apply to semi-linear queries; approximate
+// ones extend to the polynomial world exactly as Sections 3-6 lay out.
+
+#ifndef CQA_CORE_VOLUME_ENGINE_H_
+#define CQA_CORE_VOLUME_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cqa/core/query_engine.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+/// How to compute (or approximate) a volume.
+enum class VolumeStrategy {
+  kAuto,                // exact sweep with fast paths (default)
+  kExactSweep,          // Theorem-3 sweep, fast paths disabled
+  kInclusionExclusion,  // exact, exponential in cell count
+  kVariableIndependent, // exact, requires the [11] box shape
+  kMonteCarlo,          // Theorem-4 sampling (eps, delta)
+  kEllipsoidBounds,     // Lowner-John relative bounds (convex only)
+  kTrivialHalf,         // Proposition-4 trivial approximation
+};
+
+/// A volume answer: exact rational when the strategy is exact, otherwise
+/// an estimate (possibly with hard lower/upper bounds).
+struct VolumeAnswer {
+  std::optional<Rational> exact;
+  std::optional<double> estimate;
+  std::optional<double> lower;
+  std::optional<double> upper;
+
+  double value() const {
+    if (exact) return exact->to_double();
+    if (estimate) return *estimate;
+    if (lower && upper) return (*lower + *upper) / 2;
+    return 0;
+  }
+};
+
+/// Options for the approximate strategies.
+struct VolumeOptions {
+  VolumeStrategy strategy = VolumeStrategy::kAuto;
+  double epsilon = 0.05;
+  double delta = 0.05;
+  double vc_dim = 4.0;
+  std::uint64_t seed = 1;
+  /// Restrict to [0,1]^k first (the paper's VOL_I). Exact strategies
+  /// require the query to be bounded when this is false.
+  bool clip_to_unit_box = false;
+};
+
+/// Volume façade.
+class VolumeEngine {
+ public:
+  explicit VolumeEngine(const ConstraintDatabase* db)
+      : db_(db), queries_(db) {}
+
+  /// Volume of the query's denotation over the named output variables.
+  Result<VolumeAnswer> volume(const std::string& query,
+                              const std::vector<std::string>& output_vars,
+                              const VolumeOptions& options = {});
+
+  /// The Chomicki-Kuper measure-at-infinity of the (possibly unbounded)
+  /// denotation: lim Vol(S cap [-r,r]^n) / (2r)^n. Zero on every bounded
+  /// set -- the paper's reason mu cannot express volume.
+  Result<Rational> mu(const std::string& query,
+                      const std::vector<std::string>& output_vars);
+
+  /// The eventual growth polynomial V(r) = Vol(S cap [-r,r]^n).
+  Result<UPoly> growth_polynomial(const std::string& query,
+                                  const std::vector<std::string>&
+                                      output_vars);
+
+ private:
+  const ConstraintDatabase* db_;
+  QueryEngine queries_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_VOLUME_ENGINE_H_

@@ -1,0 +1,64 @@
+#include "cqa/geometry/affine.h"
+
+namespace cqa {
+
+AffineMap AffineMap::scaling(std::size_t dim, const Rational& s) {
+  Matrix a(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) a.at(i, i) = s;
+  return AffineMap(std::move(a), RVec(dim));
+}
+
+AffineMap AffineMap::shear2d(const Rational& s) {
+  Matrix a = Matrix::identity(2);
+  a.at(0, 1) = s;
+  return AffineMap(std::move(a), RVec(2));
+}
+
+AffineMap AffineMap::rotation2d(const Rational& t) {
+  const Rational t2 = t * t;
+  const Rational den = Rational(1) + t2;
+  Matrix a(2, 2);
+  a.at(0, 0) = (Rational(1) - t2) / den;
+  a.at(0, 1) = -(Rational(2) * t) / den;
+  a.at(1, 0) = (Rational(2) * t) / den;
+  a.at(1, 1) = (Rational(1) - t2) / den;
+  return AffineMap(std::move(a), RVec(2));
+}
+
+RVec AffineMap::apply(const RVec& x) const {
+  return vec_add(a_.apply(x), b_);
+}
+
+Result<LinearCell> AffineMap::apply(const LinearCell& cell) const {
+  CQA_CHECK(cell.dim() == dim());
+  auto inv = a_.inverse();
+  if (!inv.is_ok()) {
+    return Status::invalid("AffineMap::apply: singular linear part");
+  }
+  // y = A x + b  =>  x = A^-1 (y - b). Constraint c.x <= r becomes
+  // (c A^-1) y <= r + (c A^-1) b.
+  LinearCell out(cell.dim());
+  const Matrix& ai = inv.value();
+  for (const auto& c : cell.constraints()) {
+    LinearConstraint nc;
+    nc.cmp = c.cmp;
+    nc.coeffs.assign(dim(), Rational());
+    for (std::size_t j = 0; j < dim(); ++j) {
+      Rational s;
+      for (std::size_t k = 0; k < dim(); ++k) {
+        s += c.coeffs[k] * ai.at(k, j);
+      }
+      nc.coeffs[j] = s;
+    }
+    nc.rhs = c.rhs + dot(nc.coeffs, b_);
+    out.add(std::move(nc));
+  }
+  return out;
+}
+
+AffineMap AffineMap::compose(const AffineMap& other) const {
+  // (this o other)(x) = A (A' x + b') + b.
+  return AffineMap(a_ * other.a_, vec_add(a_.apply(other.b_), b_));
+}
+
+}  // namespace cqa

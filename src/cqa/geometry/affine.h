@@ -1,0 +1,58 @@
+// Exact affine maps and their action on points and cells.
+//
+// Used by the property tests (Vol(T(S)) = |det T| Vol(S)) and by the
+// variable-independence ablation (rotations/shears defeat the product
+// fast path without changing volume).
+
+#ifndef CQA_GEOMETRY_AFFINE_H_
+#define CQA_GEOMETRY_AFFINE_H_
+
+#include "cqa/constraint/linear_cell.h"
+#include "cqa/linalg/matrix.h"
+
+namespace cqa {
+
+/// x -> A x + b with A square and invertible (checked on use).
+class AffineMap {
+ public:
+  AffineMap(Matrix a, RVec b) : a_(std::move(a)), b_(std::move(b)) {
+    CQA_CHECK(a_.rows() == a_.cols());
+    CQA_CHECK(a_.rows() == b_.size());
+  }
+
+  static AffineMap identity(std::size_t dim) {
+    return AffineMap(Matrix::identity(dim), RVec(dim));
+  }
+  static AffineMap translation(RVec b) {
+    std::size_t dim = b.size();
+    return AffineMap(Matrix::identity(dim), std::move(b));
+  }
+  static AffineMap scaling(std::size_t dim, const Rational& s);
+  /// 2-D shear (x, y) -> (x + s y, y).
+  static AffineMap shear2d(const Rational& s);
+  /// Exact rational "rotation" by a Pythagorean angle:
+  /// (x, y) -> ((c x - s y), (s x + c y)) with c = (1-t^2)/(1+t^2),
+  /// s = 2t/(1+t^2) -- an exact orthogonal map with determinant 1.
+  static AffineMap rotation2d(const Rational& t);
+
+  std::size_t dim() const { return b_.size(); }
+  const Matrix& linear() const { return a_; }
+  const RVec& offset() const { return b_; }
+  Rational determinant() const { return a_.determinant(); }
+
+  RVec apply(const RVec& x) const;
+
+  /// Image of a cell: { A x + b : x in cell }. Requires invertible A.
+  Result<LinearCell> apply(const LinearCell& cell) const;
+
+  /// Composition: this after other.
+  AffineMap compose(const AffineMap& other) const;
+
+ private:
+  Matrix a_;
+  RVec b_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_GEOMETRY_AFFINE_H_

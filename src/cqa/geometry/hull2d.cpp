@@ -1,0 +1,85 @@
+#include "cqa/geometry/hull2d.h"
+
+#include <algorithm>
+#include <array>
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+Rational cross(const Point2& a, const Point2& b, const Point2& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+std::vector<Point2> convex_hull(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n <= 2) return points;
+  std::vector<Point2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           cross(hull[k - 2], hull[k - 1], points[i]).sign() <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower &&
+           cross(hull[k - 2], hull[k - 1], points[i]).sign() <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+Rational polygon_area(const std::vector<Point2>& polygon) {
+  Rational twice;
+  const std::size_t n = polygon.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point2& a = polygon[i];
+    const Point2& b = polygon[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return twice.abs() * Rational(1, 2);
+}
+
+Rational triangle_area(const Point2& a, const Point2& b, const Point2& c) {
+  return cross(a, b, c).abs() * Rational(1, 2);
+}
+
+bool convex_contains(const std::vector<Point2>& hull, const Point2& q) {
+  const std::size_t n = hull.size();
+  if (n == 0) return false;
+  if (n == 1) return hull[0] == q;
+  if (n == 2) {
+    // On the segment?
+    if (cross(hull[0], hull[1], q).sign() != 0) return false;
+    return std::min(hull[0].x, hull[1].x) <= q.x &&
+           q.x <= std::max(hull[0].x, hull[1].x) &&
+           std::min(hull[0].y, hull[1].y) <= q.y &&
+           q.y <= std::max(hull[0].y, hull[1].y);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cross(hull[i], hull[(i + 1) % n], q).sign() < 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::array<Point2, 3>> fan_triangulate(
+    const std::vector<Point2>& hull) {
+  std::vector<std::array<Point2, 3>> out;
+  if (hull.size() < 3) return out;
+  for (std::size_t i = 1; i + 1 < hull.size(); ++i) {
+    out.push_back({hull[0], hull[i], hull[i + 1]});
+  }
+  return out;
+}
+
+}  // namespace cqa

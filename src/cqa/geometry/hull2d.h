@@ -1,0 +1,49 @@
+// Exact 2-D convex geometry: hulls, orientation, polygon area.
+//
+// Backs the paper's Section-5 worked example (the convex-polygon area
+// program in FO+POLY+SUM): vertices, adjacency, fan triangulation, and
+// the shoelace formula, all over exact rationals.
+
+#ifndef CQA_GEOMETRY_HULL2D_H_
+#define CQA_GEOMETRY_HULL2D_H_
+
+#include <array>
+#include <vector>
+
+#include "cqa/linalg/matrix.h"
+
+namespace cqa {
+
+/// Exact 2-D point.
+struct Point2 {
+  Rational x, y;
+  bool operator==(const Point2& o) const { return x == o.x && y == o.y; }
+  bool operator<(const Point2& o) const {
+    return x != o.x ? x < o.x : y < o.y;
+  }
+};
+
+/// Twice the signed area of triangle (a, b, c); > 0 for counterclockwise.
+Rational cross(const Point2& a, const Point2& b, const Point2& c);
+
+/// Convex hull (Andrew monotone chain), counterclockwise, no collinear
+/// points on edges, starting from the lexicographically smallest vertex.
+std::vector<Point2> convex_hull(std::vector<Point2> points);
+
+/// Exact area of a simple polygon given in order (shoelace; sign dropped).
+Rational polygon_area(const std::vector<Point2>& polygon);
+
+/// Exact area of one triangle.
+Rational triangle_area(const Point2& a, const Point2& b, const Point2& c);
+
+/// True iff q lies inside or on the convex polygon (vertices CCW).
+bool convex_contains(const std::vector<Point2>& hull, const Point2& q);
+
+/// Fan triangulation of a convex polygon (vertices in CCW order):
+/// triangles (v0, v_i, v_{i+1}).
+std::vector<std::array<Point2, 3>> fan_triangulate(
+    const std::vector<Point2>& hull);
+
+}  // namespace cqa
+
+#endif  // CQA_GEOMETRY_HULL2D_H_

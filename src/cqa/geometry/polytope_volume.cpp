@@ -1,0 +1,117 @@
+#include "cqa/geometry/polytope_volume.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+// Substitutes x_j = (rhs - sum_{k != j} a_k x_k) / a_j (from the facet
+// equality a.x = rhs) into constraint c, then drops slot j.
+LinearConstraint substitute_and_drop(const LinearConstraint& c,
+                                     const RVec& a, const Rational& rhs,
+                                     std::size_t j) {
+  const Rational inv = a[j].inverse();
+  LinearConstraint out;
+  out.cmp = c.cmp;
+  const Rational f = c.coeffs[j] * inv;
+  out.rhs = c.rhs - f * rhs;
+  out.coeffs.reserve(c.coeffs.size() - 1);
+  for (std::size_t k = 0; k < c.coeffs.size(); ++k) {
+    if (k == j) continue;
+    out.coeffs.push_back(c.coeffs[k] - f * a[k]);
+  }
+  return out;
+}
+
+Result<Rational> volume_rec(std::vector<LinearConstraint> cs,
+                            std::size_t dim) {
+  cs = fm_simplify(cs);
+  if (dim == 0) {
+    for (const auto& c : cs) {
+      if (!c.constant_truth()) return Rational(0);
+    }
+    return Rational(1);
+  }
+  if (!fm_feasible(cs, dim)) return Rational(0);
+  // Explicit equalities make the body lower-dimensional.
+  for (const auto& c : cs) {
+    if (c.cmp == LinCmp::kEq && !c.is_constant()) return Rational(0);
+  }
+  if (dim == 1) {
+    AxisInterval iv = fm_project_to_axis(cs, 0, 1);
+    if (iv.empty) return Rational(0);
+    if (!iv.lo || !iv.hi) {
+      return Status::invalid("polytope_volume: unbounded body");
+    }
+    return *iv.hi - *iv.lo;
+  }
+  // Boundedness check (once per level; projections of bounded are bounded,
+  // but redundant-direction unboundedness must be caught at the top).
+  for (std::size_t v = 0; v < dim; ++v) {
+    AxisInterval iv = fm_project_to_axis(cs, v, dim);
+    if (iv.empty) return Rational(0);
+    if (!iv.lo || !iv.hi) {
+      return Status::invalid("polytope_volume: unbounded body");
+    }
+  }
+  auto p = fm_sample_point(cs, dim);
+  if (!p.has_value()) return Rational(0);
+
+  Rational total;
+  for (const auto& c : cs) {
+    if (c.is_constant()) continue;
+    // Signed height of the sample point under this facet's hyperplane.
+    Rational lhs;
+    for (std::size_t k = 0; k < dim; ++k) lhs += c.coeffs[k] * (*p)[k];
+    const Rational height = c.rhs - lhs;  // >= 0 since p in P
+    if (height.is_zero()) continue;       // facet through p contributes 0
+    // Project the facet along a coordinate with nonzero normal component.
+    std::size_t j = 0;
+    Rational best;
+    for (std::size_t k = 0; k < dim; ++k) {
+      Rational a = c.coeffs[k].abs();
+      if (a > best) {
+        best = a;
+        j = k;
+      }
+    }
+    if (best.is_zero()) continue;
+    std::vector<LinearConstraint> facet;
+    facet.reserve(cs.size() - 1);
+    for (const auto& other : cs) {
+      if (&other == &c) continue;
+      facet.push_back(substitute_and_drop(other, c.coeffs, c.rhs, j));
+    }
+    auto sub = volume_rec(std::move(facet), dim - 1);
+    if (!sub.is_ok()) return sub;
+    total += height * sub.value() / c.coeffs[j].abs();
+  }
+  return total / Rational(static_cast<std::int64_t>(dim));
+}
+
+}  // namespace
+
+Result<Rational> polytope_volume(const Polyhedron& p) {
+  return volume_rec(p.constraints(), p.dim());
+}
+
+Rational simplex_volume(const std::vector<RVec>& vertices) {
+  CQA_CHECK(!vertices.empty());
+  const std::size_t dim = vertices[0].size();
+  CQA_CHECK(vertices.size() == dim + 1);
+  Matrix m(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      m.at(r, c) = vertices[r + 1][c] - vertices[0][c];
+    }
+  }
+  Rational det = m.determinant().abs();
+  BigInt fact(1);
+  for (std::size_t k = 2; k <= dim; ++k) {
+    fact *= BigInt(static_cast<std::int64_t>(k));
+  }
+  return det / Rational(fact);
+}
+
+}  // namespace cqa

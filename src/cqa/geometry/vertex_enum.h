@@ -1,0 +1,27 @@
+// Exact vertex enumeration for bounded polyhedra.
+//
+// Brute-force over constraint subsets: every vertex of a polytope in R^n
+// is the unique solution of n linearly independent active constraints.
+// O(C(m, n)) -- fine at the paper's scale, and exact.
+
+#ifndef CQA_GEOMETRY_VERTEX_ENUM_H_
+#define CQA_GEOMETRY_VERTEX_ENUM_H_
+
+#include <vector>
+
+#include "cqa/geometry/polyhedron.h"
+
+namespace cqa {
+
+/// All vertices of the polyhedron, deduplicated, in lexicographic order.
+/// For unbounded or empty polyhedra returns the (possibly empty) set of
+/// basic feasible points that are genuine vertices.
+std::vector<RVec> enumerate_vertices(const Polyhedron& p);
+
+/// Dimension of the polyhedron (affine hull of its points): -1 if empty.
+/// Requires boundedness for exactness (vertices span a bounded polytope).
+int polytope_dimension(const Polyhedron& p);
+
+}  // namespace cqa
+
+#endif  // CQA_GEOMETRY_VERTEX_ENUM_H_

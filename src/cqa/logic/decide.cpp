@@ -1,0 +1,283 @@
+#include "cqa/logic/decide.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "cqa/logic/transform.h"
+#include "cqa/poly/root_isolation.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+namespace {
+
+using Kind = Formula::Kind;
+
+// Substitutes the assignment into p.
+Polynomial apply_assignment(const Polynomial& p,
+                            const std::map<std::size_t, Rational>& sigma) {
+  Polynomial out = p;
+  for (const auto& [v, val] : sigma) {
+    if (out.degree_in(v) > 0) out = out.substitute(v, val);
+  }
+  return out;
+}
+
+// Collects the atoms of f (by node pointer) whose polynomial, after
+// applying sigma, still mentions `var`. Fails if such an atom mentions any
+// additional unassigned variable (non-separable quantification).
+Status collect_var_atoms(const FormulaPtr& f, std::size_t var,
+                         const std::map<std::size_t, Rational>& sigma,
+                         std::map<const Formula*, UPoly>* out) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return Status::ok();
+    case Kind::kAtom: {
+      Polynomial p = apply_assignment(f->poly(), sigma);
+      if (p.degree_in(var) <= 0) return Status::ok();
+      // Every remaining variable must be `var` itself.
+      for (const auto& [m, c] : p.terms()) {
+        for (std::size_t i = 0; i < m.size(); ++i) {
+          if (m[i] > 0 && i != var) {
+            return Status::unsupported(
+                "decide: atom couples two unassigned quantified variables "
+                "(non-separable quantifier block)");
+          }
+        }
+      }
+      out->emplace(f.get(), UPoly::from_polynomial(p, var));
+      return Status::ok();
+    }
+    case Kind::kPredicate:
+      return Status::invalid("decide: formula contains schema predicates");
+    default:
+      for (const auto& c : f->children()) {
+        CQA_RETURN_IF_ERROR(collect_var_atoms(c, var, sigma, out));
+      }
+      return Status::ok();
+  }
+}
+
+// Replaces atoms listed in `truths` by constant true/false.
+FormulaPtr replace_atoms(const FormulaPtr& f,
+                         const std::map<const Formula*, bool>& truths) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kPredicate:
+      return f;
+    case Kind::kAtom: {
+      auto it = truths.find(f.get());
+      if (it == truths.end()) return f;
+      return it->second ? Formula::make_true() : Formula::make_false();
+    }
+    case Kind::kNot:
+      return Formula::f_not(replace_atoms(f->children()[0], truths));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FormulaPtr> kids;
+      kids.reserve(f->children().size());
+      for (const auto& c : f->children()) {
+        kids.push_back(replace_atoms(c, truths));
+      }
+      return f->kind() == Kind::kAnd ? Formula::f_and(std::move(kids))
+                                     : Formula::f_or(std::move(kids));
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      FormulaPtr body = replace_atoms(f->children()[0], truths);
+      return f->kind() == Kind::kExists
+                 ? Formula::exists(f->var(), std::move(body),
+                                   f->active_domain())
+                 : Formula::forall(f->var(), std::move(body),
+                                   f->active_domain());
+    }
+  }
+  CQA_CHECK(false);
+  return nullptr;
+}
+
+Result<bool> decide_rec(const FormulaPtr& f,
+                        std::map<std::size_t, Rational>* sigma);
+
+// Decides Exists var . body under *sigma.
+Result<bool> decide_exists(std::size_t var, const FormulaPtr& body,
+                           std::map<std::size_t, Rational>* sigma) {
+  // The bound variable shadows any outer assignment to the same index.
+  std::optional<Rational> shadowed;
+  if (auto it = sigma->find(var); it != sigma->end()) {
+    shadowed = it->second;
+    sigma->erase(it);
+  }
+  struct Restore {
+    std::map<std::size_t, Rational>* sigma;
+    std::size_t var;
+    std::optional<Rational>* shadowed;
+    ~Restore() {
+      sigma->erase(var);
+      if (shadowed->has_value()) sigma->emplace(var, **shadowed);
+    }
+  } restore{sigma, var, &shadowed};
+
+  std::map<const Formula*, UPoly> var_atoms;
+  CQA_RETURN_IF_ERROR(collect_var_atoms(body, var, *sigma, &var_atoms));
+
+  if (var_atoms.empty()) {
+    // var does not occur: any witness works.
+    (*sigma)[var] = Rational(0);
+    auto r = decide_rec(body, sigma);
+    sigma->erase(var);
+    return r;
+  }
+
+  // Distinct roots of all the atoms' polynomials, sorted.
+  std::vector<AlgebraicNumber> roots;
+  for (const auto& [node, up] : var_atoms) {
+    if (up.degree() <= 0) continue;  // constant atom in var? cannot happen
+    for (auto& r : isolate_real_roots(up)) {
+      roots.push_back(AlgebraicNumber::from_root(std::move(r)));
+    }
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const AlgebraicNumber& a, const AlgebraicNumber& b) {
+              return a.cmp(b) < 0;
+            });
+  roots.erase(std::unique(roots.begin(), roots.end(),
+                          [](const AlgebraicNumber& a,
+                             const AlgebraicNumber& b) {
+                            return a.cmp(b) == 0;
+                          }),
+              roots.end());
+
+  // Rational sample points: one per open interval (including the two rays).
+  std::vector<Rational> rational_candidates;
+  if (roots.empty()) {
+    rational_candidates.push_back(Rational(0));
+  } else {
+    rational_candidates.push_back(roots.front().rational_below() - Rational(1));
+    for (std::size_t i = 0; i + 1 < roots.size(); ++i) {
+      rational_candidates.push_back(rational_between(roots[i], roots[i + 1]));
+    }
+    rational_candidates.push_back(roots.back().rational_above() + Rational(1));
+  }
+
+  // Try rational candidates: plain recursion with var assigned.
+  for (const Rational& c : rational_candidates) {
+    (*sigma)[var] = c;
+    auto r = decide_rec(body, sigma);
+    sigma->erase(var);
+    if (!r.is_ok()) return r;
+    if (r.value()) return true;
+  }
+
+  // Try the roots themselves: substitute exact atom truth values, which
+  // removes var from the body, then recurse.
+  for (const AlgebraicNumber& alpha : roots) {
+    if (alpha.is_rational()) {
+      (*sigma)[var] = alpha.rational_value();
+      auto r = decide_rec(body, sigma);
+      sigma->erase(var);
+      if (!r.is_ok()) return r;
+      if (r.value()) return true;
+      continue;
+    }
+    std::map<const Formula*, bool> truths;
+    for (const auto& [node, up] : var_atoms) {
+      truths[node] = op_holds(node->op(), alpha.sign_of(up));
+    }
+    FormulaPtr reduced = replace_atoms(body, truths);
+    auto r = decide_rec(reduced, sigma);
+    if (!r.is_ok()) return r;
+    if (r.value()) return true;
+  }
+  return false;
+}
+
+Result<bool> decide_rec(const FormulaPtr& f,
+                        std::map<std::size_t, Rational>* sigma) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom: {
+      Polynomial p = apply_assignment(f->poly(), *sigma);
+      if (!p.is_constant()) {
+        return Status::invalid("decide: unassigned free variable in atom " +
+                               f->poly().to_string());
+      }
+      return op_holds(f->op(), p.constant_term().sign());
+    }
+    case Kind::kPredicate:
+      return Status::invalid("decide: formula contains schema predicates");
+    case Kind::kNot: {
+      auto r = decide_rec(f->children()[0], sigma);
+      if (!r.is_ok()) return r;
+      return !r.value();
+    }
+    case Kind::kAnd: {
+      for (const auto& c : f->children()) {
+        auto r = decide_rec(c, sigma);
+        if (!r.is_ok()) return r;
+        if (!r.value()) return false;
+      }
+      return true;
+    }
+    case Kind::kOr: {
+      for (const auto& c : f->children()) {
+        auto r = decide_rec(c, sigma);
+        if (!r.is_ok()) return r;
+        if (r.value()) return true;
+      }
+      return false;
+    }
+    case Kind::kExists:
+      if (f->active_domain()) {
+        return Status::invalid("decide: active-domain quantifier outside a "
+                               "database context");
+      }
+      return decide_exists(f->var(), f->children()[0], sigma);
+    case Kind::kForall: {
+      if (f->active_domain()) {
+        return Status::invalid("decide: active-domain quantifier outside a "
+                               "database context");
+      }
+      auto r = decide_exists(f->var(), Formula::f_not(f->children()[0]), sigma);
+      if (!r.is_ok()) return r;
+      return !r.value();
+    }
+  }
+  CQA_CHECK(false);
+  return Status::internal("unreachable");
+}
+
+}  // namespace
+
+Result<bool> decide(const FormulaPtr& f,
+                    const std::map<std::size_t, Rational>& assignment) {
+  std::map<std::size_t, Rational> sigma = assignment;
+  return decide_rec(f, &sigma);
+}
+
+Result<bool> decide_sentence(const FormulaPtr& f) { return decide(f, {}); }
+
+Rational rational_between(const AlgebraicNumber& a, const AlgebraicNumber& b) {
+  CQA_CHECK(a.cmp(b) < 0);
+  AlgebraicNumber x = a, y = b;
+  for (;;) {
+    const Rational qa = x.is_rational() ? x.rational_value() : x.hi();
+    const Rational qb = y.is_rational() ? y.rational_value() : y.lo();
+    if (qa < qb) return Rational::mid(qa, qb);
+    if (x.is_rational() && y.is_rational()) {
+      return Rational::mid(x.rational_value(), y.rational_value());
+    }
+    x.refine_to_width(x.hi() == x.lo() ? Rational(1)
+                                       : (x.hi() - x.lo()) * Rational(1, 2));
+    y.refine_to_width(y.hi() == y.lo() ? Rational(1)
+                                       : (y.hi() - y.lo()) * Rational(1, 2));
+  }
+}
+
+}  // namespace cqa

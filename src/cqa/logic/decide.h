@@ -1,0 +1,40 @@
+// Decision procedure for first-order sentences over the real field.
+//
+// This is the "sample-point CAD on a line" scheme from DESIGN.md: an
+// existential quantifier Exists x.psi is decided by isolating the real
+// roots of the polynomials of the atoms that mention x, and testing psi at
+// each root (an algebraic number, handled exactly) and at one rational
+// point per open interval between roots. Nested quantifiers recurse.
+//
+// Supported fragment: predicate-free formulas in which every atom couples
+// at most one *not-yet-assigned* quantified variable once outer variables
+// are fixed ("separable" quantification). Every FO+LIN or FO+POLY formula
+// used by the paper's constructions is in this fragment; coupled nonlinear
+// quantifier blocks report kUnsupported (use the FO+LIN QE engine for
+// coupled linear blocks).
+
+#ifndef CQA_LOGIC_DECIDE_H_
+#define CQA_LOGIC_DECIDE_H_
+
+#include <map>
+
+#include "cqa/arith/rational.h"
+#include "cqa/logic/formula.h"
+#include "cqa/poly/algebraic.h"
+
+namespace cqa {
+
+/// Decides a predicate-free formula under an assignment of rationals to
+/// its free variables. Every free variable must be assigned.
+Result<bool> decide(const FormulaPtr& f,
+                    const std::map<std::size_t, Rational>& assignment);
+
+/// Decides a predicate-free sentence.
+Result<bool> decide_sentence(const FormulaPtr& f);
+
+/// A rational number strictly between two algebraic numbers a < b.
+Rational rational_between(const AlgebraicNumber& a, const AlgebraicNumber& b);
+
+}  // namespace cqa
+
+#endif  // CQA_LOGIC_DECIDE_H_

@@ -1,0 +1,116 @@
+#include "cqa/logic/eval.h"
+
+namespace cqa {
+
+Result<bool> eval_qf(const FormulaPtr& f, const RVec& point,
+                     const PredicateOracle* oracle) {
+  using Kind = Formula::Kind;
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom: {
+      if (f->poly().max_var() >= static_cast<int>(point.size())) {
+        return Status::invalid("evaluation point does not cover all variables");
+      }
+      return op_holds(f->op(), f->poly().eval(point).sign());
+    }
+    case Kind::kPredicate: {
+      if (oracle == nullptr) {
+        return Status::invalid("predicate " + f->pred_name() +
+                               " evaluated without an oracle");
+      }
+      RVec tuple;
+      tuple.reserve(f->args().size());
+      for (const auto& a : f->args()) {
+        if (a.max_var() >= static_cast<int>(point.size())) {
+          return Status::invalid("evaluation point does not cover all variables");
+        }
+        tuple.push_back(a.eval(point));
+      }
+      return oracle->contains(f->pred_name(), tuple);
+    }
+    case Kind::kNot: {
+      auto r = eval_qf(f->children()[0], point, oracle);
+      if (!r.is_ok()) return r;
+      return !r.value();
+    }
+    case Kind::kAnd: {
+      for (const auto& c : f->children()) {
+        auto r = eval_qf(c, point, oracle);
+        if (!r.is_ok()) return r;
+        if (!r.value()) return false;
+      }
+      return true;
+    }
+    case Kind::kOr: {
+      for (const auto& c : f->children()) {
+        auto r = eval_qf(c, point, oracle);
+        if (!r.is_ok()) return r;
+        if (r.value()) return true;
+      }
+      return false;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return Status::unsupported("eval_qf on a quantified formula");
+  }
+  CQA_CHECK(false);
+  return Status::internal("unreachable");
+}
+
+Result<bool> eval_qf_double(const FormulaPtr& f,
+                            const std::vector<double>& point,
+                            const DoubleOracle* oracle) {
+  using Kind = Formula::Kind;
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom: {
+      double v = f->poly().eval_double(point);
+      int sign = v < 0 ? -1 : (v > 0 ? 1 : 0);
+      return op_holds(f->op(), sign);
+    }
+    case Kind::kPredicate: {
+      if (oracle == nullptr) {
+        return Status::invalid("predicate " + f->pred_name() +
+                               " evaluated without an oracle");
+      }
+      std::vector<double> tuple;
+      tuple.reserve(f->args().size());
+      for (const auto& a : f->args()) tuple.push_back(a.eval_double(point));
+      return oracle->contains(f->pred_name(), tuple);
+    }
+    case Kind::kNot: {
+      auto r = eval_qf_double(f->children()[0], point, oracle);
+      if (!r.is_ok()) return r;
+      return !r.value();
+    }
+    case Kind::kAnd: {
+      for (const auto& c : f->children()) {
+        auto r = eval_qf_double(c, point, oracle);
+        if (!r.is_ok()) return r;
+        if (!r.value()) return false;
+      }
+      return true;
+    }
+    case Kind::kOr: {
+      for (const auto& c : f->children()) {
+        auto r = eval_qf_double(c, point, oracle);
+        if (!r.is_ok()) return r;
+        if (r.value()) return true;
+      }
+      return false;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return Status::unsupported("eval_qf_double on a quantified formula");
+  }
+  CQA_CHECK(false);
+  return Status::internal("unreachable");
+}
+
+}  // namespace cqa

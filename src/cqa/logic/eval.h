@@ -1,0 +1,45 @@
+// Evaluation of quantifier-free formulas at points.
+
+#ifndef CQA_LOGIC_EVAL_H_
+#define CQA_LOGIC_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/linalg/matrix.h"
+#include "cqa/logic/formula.h"
+
+namespace cqa {
+
+/// Resolves schema-predicate membership during evaluation.
+class PredicateOracle {
+ public:
+  virtual ~PredicateOracle() = default;
+  /// True iff the named relation contains the exact rational tuple.
+  virtual bool contains(const std::string& name, const RVec& tuple) const = 0;
+};
+
+/// Evaluates a quantifier-free formula at an exact rational point.
+/// `point[i]` interprets variable i; the point must cover every variable.
+/// Predicates require an oracle (error otherwise).
+Result<bool> eval_qf(const FormulaPtr& f, const RVec& point,
+                     const PredicateOracle* oracle = nullptr);
+
+/// Double-precision membership oracle (for Monte-Carlo sampling paths).
+class DoubleOracle {
+ public:
+  virtual ~DoubleOracle() = default;
+  virtual bool contains(const std::string& name,
+                        const std::vector<double>& tuple) const = 0;
+};
+
+/// Evaluates a quantifier-free formula at a double point. Inexact near
+/// atom boundaries -- boundary sets have measure zero, which is all the
+/// Monte-Carlo estimators need. Predicates require an oracle.
+Result<bool> eval_qf_double(const FormulaPtr& f,
+                            const std::vector<double>& point,
+                            const DoubleOracle* oracle = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_LOGIC_EVAL_H_

@@ -1,0 +1,300 @@
+#include "cqa/logic/formula.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+RelOp negate_op(RelOp op) {
+  switch (op) {
+    case RelOp::kLt: return RelOp::kGe;
+    case RelOp::kLe: return RelOp::kGt;
+    case RelOp::kEq: return RelOp::kNe;
+    case RelOp::kNe: return RelOp::kEq;
+    case RelOp::kGt: return RelOp::kLe;
+    case RelOp::kGe: return RelOp::kLt;
+  }
+  CQA_CHECK(false);
+  return RelOp::kEq;
+}
+
+const char* op_symbol(RelOp op) {
+  switch (op) {
+    case RelOp::kLt: return "<";
+    case RelOp::kLe: return "<=";
+    case RelOp::kEq: return "=";
+    case RelOp::kNe: return "!=";
+    case RelOp::kGt: return ">";
+    case RelOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool op_holds(RelOp op, int sign) {
+  switch (op) {
+    case RelOp::kLt: return sign < 0;
+    case RelOp::kLe: return sign <= 0;
+    case RelOp::kEq: return sign == 0;
+    case RelOp::kNe: return sign != 0;
+    case RelOp::kGt: return sign > 0;
+    case RelOp::kGe: return sign >= 0;
+  }
+  return false;
+}
+
+FormulaPtr Formula::make_true() {
+  static const FormulaPtr kTrueF = [] {
+    auto f = std::shared_ptr<Formula>(new Formula());
+    f->kind_ = Kind::kTrue;
+    return FormulaPtr(f);
+  }();
+  return kTrueF;
+}
+
+FormulaPtr Formula::make_false() {
+  static const FormulaPtr kFalseF = [] {
+    auto f = std::shared_ptr<Formula>(new Formula());
+    f->kind_ = Kind::kFalse;
+    return FormulaPtr(f);
+  }();
+  return kFalseF;
+}
+
+FormulaPtr Formula::atom(Polynomial poly, RelOp op) {
+  if (poly.is_constant()) {
+    return op_holds(op, poly.constant_term().sign()) ? make_true()
+                                                     : make_false();
+  }
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAtom;
+  f->poly_ = std::move(poly);
+  f->op_ = op;
+  return f;
+}
+
+FormulaPtr Formula::predicate(std::string name,
+                              std::vector<Polynomial> args) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kPredicate;
+  f->pred_name_ = std::move(name);
+  f->args_ = std::move(args);
+  return f;
+}
+
+FormulaPtr Formula::f_not(FormulaPtr g) {
+  CQA_CHECK(g != nullptr);
+  switch (g->kind_) {
+    case Kind::kTrue: return make_false();
+    case Kind::kFalse: return make_true();
+    case Kind::kAtom: return atom(g->poly_, negate_op(g->op_));
+    case Kind::kNot: return g->children_[0];
+    default: break;
+  }
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kNot;
+  f->children_.push_back(std::move(g));
+  return f;
+}
+
+FormulaPtr Formula::f_and(std::vector<FormulaPtr> fs) {
+  std::vector<FormulaPtr> flat;
+  for (auto& g : fs) {
+    CQA_CHECK(g != nullptr);
+    if (g->kind_ == Kind::kFalse) return make_false();
+    if (g->kind_ == Kind::kTrue) continue;
+    if (g->kind_ == Kind::kAnd) {
+      flat.insert(flat.end(), g->children_.begin(), g->children_.end());
+    } else {
+      flat.push_back(std::move(g));
+    }
+  }
+  if (flat.empty()) return make_true();
+  if (flat.size() == 1) return flat[0];
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = std::move(flat);
+  return f;
+}
+
+FormulaPtr Formula::f_and(FormulaPtr a, FormulaPtr b) {
+  return f_and(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr Formula::f_or(std::vector<FormulaPtr> fs) {
+  std::vector<FormulaPtr> flat;
+  for (auto& g : fs) {
+    CQA_CHECK(g != nullptr);
+    if (g->kind_ == Kind::kTrue) return make_true();
+    if (g->kind_ == Kind::kFalse) continue;
+    if (g->kind_ == Kind::kOr) {
+      flat.insert(flat.end(), g->children_.begin(), g->children_.end());
+    } else {
+      flat.push_back(std::move(g));
+    }
+  }
+  if (flat.empty()) return make_false();
+  if (flat.size() == 1) return flat[0];
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kOr;
+  f->children_ = std::move(flat);
+  return f;
+}
+
+FormulaPtr Formula::f_or(FormulaPtr a, FormulaPtr b) {
+  return f_or(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr Formula::exists(std::size_t var, FormulaPtr body,
+                           bool active_domain) {
+  CQA_CHECK(body != nullptr);
+  if (body->kind_ == Kind::kTrue || body->kind_ == Kind::kFalse) {
+    // Quantifying over R (nonempty) or over adom: constant bodies fold,
+    // except exists-over-adom of true, which is false on empty adom; we
+    // keep the standard convention of folding (adom assumed nonempty for
+    // folding purposes is unsafe) -- so only fold non-active quantifiers.
+    if (!active_domain) return body;
+  }
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kExists;
+  f->var_ = var;
+  f->active_domain_ = active_domain;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::forall(std::size_t var, FormulaPtr body,
+                           bool active_domain) {
+  CQA_CHECK(body != nullptr);
+  if (body->kind_ == Kind::kTrue || body->kind_ == Kind::kFalse) {
+    if (!active_domain) return body;
+  }
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kForall;
+  f->var_ = var;
+  f->active_domain_ = active_domain;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+namespace {
+
+void poly_vars(const Polynomial& p, std::set<std::size_t>* out) {
+  for (const auto& [m, c] : p.terms()) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] > 0) out->insert(i);
+    }
+  }
+}
+
+}  // namespace
+
+void Formula::free_vars(std::set<std::size_t>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return;
+    case Kind::kAtom:
+      poly_vars(poly_, out);
+      return;
+    case Kind::kPredicate:
+      for (const auto& a : args_) poly_vars(a, out);
+      return;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const auto& c : children_) c->free_vars(out);
+      return;
+    case Kind::kExists:
+    case Kind::kForall: {
+      std::set<std::size_t> inner;
+      children_[0]->free_vars(&inner);
+      inner.erase(var_);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+  }
+}
+
+std::set<std::size_t> Formula::free_vars() const {
+  std::set<std::size_t> out;
+  free_vars(&out);
+  return out;
+}
+
+int Formula::max_var() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return -1;
+    case Kind::kAtom:
+      return poly_.max_var();
+    case Kind::kPredicate: {
+      int mv = -1;
+      for (const auto& a : args_) mv = std::max(mv, a.max_var());
+      return mv;
+    }
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr: {
+      int mv = -1;
+      for (const auto& c : children_) mv = std::max(mv, c->max_var());
+      return mv;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return std::max(static_cast<int>(var_), children_[0]->max_var());
+  }
+  return -1;
+}
+
+bool Formula::is_quantifier_free() const {
+  switch (kind_) {
+    case Kind::kExists:
+    case Kind::kForall:
+      return false;
+    default:
+      for (const auto& c : children_) {
+        if (!c->is_quantifier_free()) return false;
+      }
+      return true;
+  }
+}
+
+bool Formula::is_linear() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return poly_.is_linear();
+    case Kind::kPredicate:
+      for (const auto& a : args_) {
+        if (!a.is_linear()) return false;
+      }
+      return true;
+    default:
+      for (const auto& c : children_) {
+        if (!c->is_linear()) return false;
+      }
+      return true;
+  }
+}
+
+bool Formula::has_predicates() const {
+  if (kind_ == Kind::kPredicate) return true;
+  for (const auto& c : children_) {
+    if (c->has_predicates()) return true;
+  }
+  return false;
+}
+
+std::size_t Formula::count_atoms() const {
+  if (kind_ == Kind::kAtom || kind_ == Kind::kPredicate) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children_) n += c->count_atoms();
+  return n;
+}
+
+std::size_t Formula::count_quantifiers() const {
+  std::size_t n = (kind_ == Kind::kExists || kind_ == Kind::kForall) ? 1 : 0;
+  for (const auto& c : children_) n += c->count_quantifiers();
+  return n;
+}
+
+}  // namespace cqa

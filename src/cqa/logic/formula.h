@@ -1,0 +1,148 @@
+// First-order formulas over the real field and a relational schema.
+//
+// This is the syntax of the paper's languages: FO+LIN and FO+POLY are both
+// first-order logic whose atoms are polynomial (in)equalities p(x) op 0,
+// plus schema predicates S(t1..tk). Formulas are immutable shared trees.
+
+#ifndef CQA_LOGIC_FORMULA_H_
+#define CQA_LOGIC_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cqa/poly/polynomial.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+/// Comparison operator of an atomic constraint `poly op 0`.
+enum class RelOp { kLt, kLe, kEq, kNe, kGt, kGe };
+
+/// Negation of an operator (e.g. !(p < 0) == p >= 0).
+RelOp negate_op(RelOp op);
+/// Rendering: "<", "<=", "=", "!=", ">", ">=".
+const char* op_symbol(RelOp op);
+/// Applies the operator to an exact sign (-1, 0, +1).
+bool op_holds(RelOp op, int sign);
+
+class Formula;
+/// Shared immutable formula handle.
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// A first-order formula node.
+///
+/// Construct via the factory functions below (f_atom, f_and, ...), never
+/// directly; the factories normalize trivial cases.
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,       // poly op 0
+    kPredicate,  // S(t1, ..., tk), ti polynomials
+    kNot,
+    kAnd,
+    kOr,
+    kExists,
+    kForall,
+  };
+
+  Kind kind() const { return kind_; }
+
+  /// Atom payload (kind() == kAtom).
+  const Polynomial& poly() const { return poly_; }
+  RelOp op() const { return op_; }
+
+  /// Predicate payload (kind() == kPredicate).
+  const std::string& pred_name() const { return pred_name_; }
+  const std::vector<Polynomial>& args() const { return args_; }
+
+  /// Children (kNot: 1; kAnd/kOr: >= 2; quantifiers: 1).
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  /// Quantified variable (kExists/kForall).
+  std::size_t var() const { return var_; }
+  /// True for active-domain quantifiers (range over adom(D), not R).
+  bool active_domain() const { return active_domain_; }
+
+  // --- Factories ------------------------------------------------------
+
+  static FormulaPtr make_true();
+  static FormulaPtr make_false();
+  /// poly op 0. Constant polynomials fold to true/false.
+  static FormulaPtr atom(Polynomial poly, RelOp op);
+  static FormulaPtr predicate(std::string name, std::vector<Polynomial> args);
+  static FormulaPtr f_not(FormulaPtr f);
+  /// Conjunction; flattens nested ands, folds constants, returns true for {}.
+  static FormulaPtr f_and(std::vector<FormulaPtr> fs);
+  static FormulaPtr f_and(FormulaPtr a, FormulaPtr b);
+  /// Disjunction; flattens nested ors, folds constants, returns false for {}.
+  static FormulaPtr f_or(std::vector<FormulaPtr> fs);
+  static FormulaPtr f_or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr exists(std::size_t var, FormulaPtr body,
+                           bool active_domain = false);
+  static FormulaPtr forall(std::size_t var, FormulaPtr body,
+                           bool active_domain = false);
+
+  // --- Convenience atom builders (lhs op rhs) --------------------------
+
+  static FormulaPtr lt(const Polynomial& a, const Polynomial& b) {
+    return atom(a - b, RelOp::kLt);
+  }
+  static FormulaPtr le(const Polynomial& a, const Polynomial& b) {
+    return atom(a - b, RelOp::kLe);
+  }
+  static FormulaPtr eq(const Polynomial& a, const Polynomial& b) {
+    return atom(a - b, RelOp::kEq);
+  }
+  static FormulaPtr ne(const Polynomial& a, const Polynomial& b) {
+    return atom(a - b, RelOp::kNe);
+  }
+  static FormulaPtr gt(const Polynomial& a, const Polynomial& b) {
+    return atom(a - b, RelOp::kGt);
+  }
+  static FormulaPtr ge(const Polynomial& a, const Polynomial& b) {
+    return atom(a - b, RelOp::kGe);
+  }
+  /// a <= x && x <= b.
+  static FormulaPtr between(const Polynomial& lo, const Polynomial& x,
+                            const Polynomial& hi) {
+    return f_and(le(lo, x), le(x, hi));
+  }
+
+  // --- Structural queries ----------------------------------------------
+
+  /// Free variables, added to *out.
+  void free_vars(std::set<std::size_t>* out) const;
+  std::set<std::size_t> free_vars() const;
+  /// Largest variable index appearing anywhere (bound or free); -1 if none.
+  int max_var() const;
+  /// No quantifiers anywhere.
+  bool is_quantifier_free() const;
+  /// All atom polynomials affine, i.e. an FO+LIN formula.
+  bool is_linear() const;
+  /// Contains a schema predicate.
+  bool has_predicates() const;
+  /// Number of atomic subformulas (atoms + predicates).
+  std::size_t count_atoms() const;
+  /// Number of quantifiers.
+  std::size_t count_quantifiers() const;
+
+ private:
+  Formula() = default;
+
+  Kind kind_ = Kind::kTrue;
+  Polynomial poly_;
+  RelOp op_ = RelOp::kEq;
+  std::string pred_name_;
+  std::vector<Polynomial> args_;
+  std::vector<FormulaPtr> children_;
+  std::size_t var_ = 0;
+  bool active_domain_ = false;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_LOGIC_FORMULA_H_

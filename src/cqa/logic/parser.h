@@ -1,0 +1,62 @@
+// Text syntax for FO+LIN / FO+POLY formulas.
+//
+// Grammar (precedence from loosest to tightest):
+//
+//   formula  := quant | or
+//   quant    := ('E' | 'A') ident '.' formula        (exists / forall)
+//   or       := and ('|' and)*
+//   and      := unary ('&' unary)*
+//   unary    := '!' unary | quant | '(' formula ')' | 'true' | 'false'
+//             | Pred '(' expr (',' expr)* ')' | expr relop expr
+//   relop    := '<' | '<=' | '=' | '!=' | '>' | '>='
+//   expr     := term (('+' | '-') term)*
+//   term     := factor ('*' factor)*
+//   factor   := '-' factor | primary ('^' nat)?
+//   primary  := number ('/' number)? | ident | '(' expr ')'
+//
+// Identifiers starting with an uppercase letter and followed by '(' are
+// schema predicates; every other identifier is a real variable. Variables
+// get indices in order of first appearance (or from a caller-provided
+// table, so several formulas can share a variable space).
+
+#ifndef CQA_LOGIC_PARSER_H_
+#define CQA_LOGIC_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cqa/logic/formula.h"
+
+namespace cqa {
+
+/// Maps variable names to indices (and back) across parses.
+class VarTable {
+ public:
+  /// Index of `name`, allocating the next free index if new.
+  std::size_t index_of(const std::string& name);
+  /// Index if present, -1 otherwise.
+  int find(const std::string& name) const;
+  /// Name of index i ("x<i>" if the index was never named).
+  std::string name_of(std::size_t i) const;
+  std::size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::string> names_;
+};
+
+/// Parses a formula; variable names resolve through *vars (shared and
+/// extended across calls).
+Result<FormulaPtr> parse_formula(const std::string& text, VarTable* vars);
+
+/// Parses with a throwaway table; for tests and examples.
+Result<FormulaPtr> parse_formula(const std::string& text);
+
+/// Parses a bare polynomial expression.
+Result<Polynomial> parse_polynomial(const std::string& text, VarTable* vars);
+
+}  // namespace cqa
+
+#endif  // CQA_LOGIC_PARSER_H_

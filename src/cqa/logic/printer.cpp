@@ -1,0 +1,90 @@
+#include "cqa/logic/printer.h"
+
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+using Kind = Formula::Kind;
+
+// Precedence for parenthesization: or < and < unary.
+int precedence(Kind k) {
+  switch (k) {
+    case Kind::kOr: return 1;
+    case Kind::kAnd: return 2;
+    case Kind::kExists:
+    case Kind::kForall: return 0;  // quantifier scope extends right
+    default: return 3;
+  }
+}
+
+void render(const FormulaPtr& f, const std::vector<std::string>& names,
+            int parent_prec, std::ostringstream* os) {
+  const int prec = precedence(f->kind());
+  const bool need_parens = prec < parent_prec;
+  if (need_parens) *os << "(";
+  switch (f->kind()) {
+    case Kind::kTrue:
+      *os << "true";
+      break;
+    case Kind::kFalse:
+      *os << "false";
+      break;
+    case Kind::kAtom:
+      *os << f->poly().to_string(names) << " " << op_symbol(f->op()) << " 0";
+      break;
+    case Kind::kPredicate: {
+      *os << f->pred_name() << "(";
+      for (std::size_t i = 0; i < f->args().size(); ++i) {
+        if (i) *os << ", ";
+        *os << f->args()[i].to_string(names);
+      }
+      *os << ")";
+      break;
+    }
+    case Kind::kNot:
+      *os << "!";
+      render(f->children()[0], names, 3, os);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = f->kind() == Kind::kAnd ? " & " : " | ";
+      for (std::size_t i = 0; i < f->children().size(); ++i) {
+        if (i) *os << sep;
+        render(f->children()[i], names, prec + 1, os);
+      }
+      break;
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      *os << (f->kind() == Kind::kExists ? "E " : "A ");
+      if (f->var() < names.size()) {
+        *os << names[f->var()];
+      } else {
+        *os << "x" << f->var();
+      }
+      if (f->active_domain()) *os << " in adom";
+      *os << ". ";
+      render(f->children()[0], names, 0, os);
+      break;
+    }
+  }
+  if (need_parens) *os << ")";
+}
+
+}  // namespace
+
+std::string to_string(const FormulaPtr& f, const VarTable& vars) {
+  std::ostringstream os;
+  render(f, vars.names(), 0, &os);
+  return os.str();
+}
+
+std::string to_string(const FormulaPtr& f) {
+  std::ostringstream os;
+  render(f, {}, 0, &os);
+  return os.str();
+}
+
+}  // namespace cqa

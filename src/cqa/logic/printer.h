@@ -1,0 +1,21 @@
+// Rendering of formulas back to the parser's syntax.
+
+#ifndef CQA_LOGIC_PRINTER_H_
+#define CQA_LOGIC_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/logic/formula.h"
+#include "cqa/logic/parser.h"
+
+namespace cqa {
+
+/// Renders a formula with variables named via the table ("x<i>" fallback).
+std::string to_string(const FormulaPtr& f, const VarTable& vars);
+/// Renders with default variable names x0, x1, ...
+std::string to_string(const FormulaPtr& f);
+
+}  // namespace cqa
+
+#endif  // CQA_LOGIC_PRINTER_H_

@@ -1,0 +1,249 @@
+#include "cqa/logic/transform.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+FormulaPtr nnf_rec(const FormulaPtr& f, bool negate) {
+  using Kind = Formula::Kind;
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return negate ? Formula::make_false() : f;
+    case Kind::kFalse:
+      return negate ? Formula::make_true() : f;
+    case Kind::kAtom:
+      return negate ? Formula::atom(f->poly(), negate_op(f->op())) : f;
+    case Kind::kPredicate:
+      return negate ? Formula::f_not(f) : f;
+    case Kind::kNot:
+      return nnf_rec(f->children()[0], !negate);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FormulaPtr> kids;
+      kids.reserve(f->children().size());
+      for (const auto& c : f->children()) kids.push_back(nnf_rec(c, negate));
+      const bool make_and = (f->kind() == Kind::kAnd) != negate;
+      return make_and ? Formula::f_and(std::move(kids))
+                      : Formula::f_or(std::move(kids));
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      FormulaPtr body = nnf_rec(f->children()[0], negate);
+      const bool make_exists = (f->kind() == Kind::kExists) != negate;
+      return make_exists
+                 ? Formula::exists(f->var(), std::move(body), f->active_domain())
+                 : Formula::forall(f->var(), std::move(body), f->active_domain());
+    }
+  }
+  CQA_CHECK(false);
+  return nullptr;
+}
+
+// Simultaneous substitution into a polynomial. Exponents expand through
+// replacement polynomials; untouched variables stay as themselves.
+Polynomial poly_substitute(const Polynomial& p,
+                           const std::map<std::size_t, Polynomial>& sub) {
+  Polynomial out;
+  for (const auto& [m, c] : p.terms()) {
+    Polynomial term = Polynomial::constant(c);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      auto it = sub.find(i);
+      if (it == sub.end()) {
+        term *= Polynomial::variable(i).pow(m[i]);
+      } else {
+        term *= it->second.pow(m[i]);
+      }
+    }
+    out += term;
+  }
+  return out;
+}
+
+FormulaPtr substitute_rec(const FormulaPtr& f,
+                          std::map<std::size_t, Polynomial> sub,
+                          std::size_t* fresh) {
+  using Kind = Formula::Kind;
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return f;
+    case Kind::kAtom:
+      return Formula::atom(poly_substitute(f->poly(), sub), f->op());
+    case Kind::kPredicate: {
+      std::vector<Polynomial> args;
+      args.reserve(f->args().size());
+      for (const auto& a : f->args()) args.push_back(poly_substitute(a, sub));
+      return Formula::predicate(f->pred_name(), std::move(args));
+    }
+    case Kind::kNot:
+      return Formula::f_not(substitute_rec(f->children()[0], sub, fresh));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FormulaPtr> kids;
+      kids.reserve(f->children().size());
+      for (const auto& c : f->children()) {
+        kids.push_back(substitute_rec(c, sub, fresh));
+      }
+      return f->kind() == Kind::kAnd ? Formula::f_and(std::move(kids))
+                                     : Formula::f_or(std::move(kids));
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      // Rename the bound variable to a fresh index to avoid capture.
+      std::size_t nv = (*fresh)++;
+      sub[f->var()] = Polynomial::variable(nv);
+      FormulaPtr body = substitute_rec(f->children()[0], sub, fresh);
+      return f->kind() == Kind::kExists
+                 ? Formula::exists(nv, std::move(body), f->active_domain())
+                 : Formula::forall(nv, std::move(body), f->active_domain());
+    }
+  }
+  CQA_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+FormulaPtr to_nnf(const FormulaPtr& f) { return nnf_rec(f, false); }
+
+FormulaPtr substitute_var(const FormulaPtr& f, std::size_t var,
+                          const Rational& value) {
+  std::map<std::size_t, Polynomial> sub;
+  sub.emplace(var, Polynomial::constant(value));
+  return substitute_vars(f, sub);
+}
+
+FormulaPtr substitute_vars(const FormulaPtr& f,
+                           const std::map<std::size_t, Polynomial>& sub) {
+  int mv = f->max_var();
+  for (const auto& [v, p] : sub) {
+    mv = std::max(mv, static_cast<int>(v));
+    mv = std::max(mv, p.max_var());
+  }
+  std::size_t fresh = static_cast<std::size_t>(mv + 1);
+  return substitute_rec(f, sub, &fresh);
+}
+
+FormulaPtr substitute_predicate(const FormulaPtr& f, const std::string& name,
+                                std::size_t arity, const FormulaPtr& def) {
+  using Kind = Formula::Kind;
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+      return f;
+    case Kind::kPredicate: {
+      if (f->pred_name() != name) return f;
+      CQA_CHECK(f->args().size() == arity);
+      std::map<std::size_t, Polynomial> sub;
+      for (std::size_t i = 0; i < arity; ++i) sub.emplace(i, f->args()[i]);
+      return substitute_vars(def, sub);
+    }
+    case Kind::kNot:
+      return Formula::f_not(
+          substitute_predicate(f->children()[0], name, arity, def));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FormulaPtr> kids;
+      kids.reserve(f->children().size());
+      for (const auto& c : f->children()) {
+        kids.push_back(substitute_predicate(c, name, arity, def));
+      }
+      return f->kind() == Kind::kAnd ? Formula::f_and(std::move(kids))
+                                     : Formula::f_or(std::move(kids));
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      FormulaPtr body =
+          substitute_predicate(f->children()[0], name, arity, def);
+      return f->kind() == Kind::kExists
+                 ? Formula::exists(f->var(), std::move(body),
+                                   f->active_domain())
+                 : Formula::forall(f->var(), std::move(body),
+                                   f->active_domain());
+    }
+  }
+  CQA_CHECK(false);
+  return nullptr;
+}
+
+namespace {
+
+using Dnf = std::vector<std::vector<Literal>>;
+
+Result<Dnf> dnf_rec(const FormulaPtr& f, std::size_t max_cells) {
+  using Kind = Formula::Kind;
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return Dnf{{}};
+    case Kind::kFalse:
+      return Dnf{};
+    case Kind::kAtom:
+      return Dnf{{Literal{f->poly(), f->op()}}};
+    case Kind::kPredicate:
+    case Kind::kNot:
+      return Status::unsupported(
+          "DNF requires a predicate-free NNF formula");
+    case Kind::kOr: {
+      Dnf out;
+      for (const auto& c : f->children()) {
+        auto sub = dnf_rec(c, max_cells);
+        if (!sub.is_ok()) return sub.status();
+        for (auto& cell : sub.value()) out.push_back(std::move(cell));
+        if (out.size() > max_cells) {
+          return Status::out_of_range("DNF cell blow-up");
+        }
+      }
+      return out;
+    }
+    case Kind::kAnd: {
+      Dnf out{{}};
+      for (const auto& c : f->children()) {
+        auto sub = dnf_rec(c, max_cells);
+        if (!sub.is_ok()) return sub.status();
+        Dnf next;
+        for (const auto& left : out) {
+          for (const auto& right : sub.value()) {
+            std::vector<Literal> cell = left;
+            cell.insert(cell.end(), right.begin(), right.end());
+            next.push_back(std::move(cell));
+            if (next.size() > max_cells) {
+              return Status::out_of_range("DNF cell blow-up");
+            }
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return Status::unsupported("DNF of a quantified formula");
+  }
+  CQA_CHECK(false);
+  return Status::internal("unreachable");
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Literal>>> to_dnf(const FormulaPtr& f,
+                                                 std::size_t max_cells) {
+  return dnf_rec(to_nnf(f), max_cells);
+}
+
+FormulaPtr from_dnf(const std::vector<std::vector<Literal>>& dnf) {
+  std::vector<FormulaPtr> cells;
+  cells.reserve(dnf.size());
+  for (const auto& cell : dnf) {
+    std::vector<FormulaPtr> lits;
+    lits.reserve(cell.size());
+    for (const auto& lit : cell) lits.push_back(Formula::atom(lit.poly, lit.op));
+    cells.push_back(Formula::f_and(std::move(lits)));
+  }
+  return Formula::f_or(std::move(cells));
+}
+
+}  // namespace cqa

@@ -1,0 +1,55 @@
+// Structural transformations of formulas: NNF, substitution, DNF.
+
+#ifndef CQA_LOGIC_TRANSFORM_H_
+#define CQA_LOGIC_TRANSFORM_H_
+
+#include <map>
+#include <vector>
+
+#include "cqa/logic/formula.h"
+
+namespace cqa {
+
+/// Negation normal form: negations pushed to the leaves. For predicate-free
+/// formulas the result has no kNot nodes at all (atom negation folds into
+/// the operator); predicates may keep a single kNot above them.
+FormulaPtr to_nnf(const FormulaPtr& f);
+
+/// Substitutes a rational constant for a free variable (capture-free since
+/// the replacement has no variables).
+FormulaPtr substitute_var(const FormulaPtr& f, std::size_t var,
+                          const Rational& value);
+
+/// Simultaneous substitution of polynomials for free variables, with
+/// capture-avoiding renaming of bound variables (fresh indices above every
+/// index used by the formula or the replacement terms).
+FormulaPtr substitute_vars(const FormulaPtr& f,
+                           const std::map<std::size_t, Polynomial>& sub);
+
+/// Replaces every occurrence of predicate `name` (of the given arity) by
+/// the defining formula `def`, whose free variables 0..arity-1 stand for
+/// the argument slots. This is the paper's Lemma 1 move: plugging a
+/// finitely-representable database into a query.
+FormulaPtr substitute_predicate(const FormulaPtr& f, const std::string& name,
+                                std::size_t arity, const FormulaPtr& def);
+
+/// One literal of a DNF cell: poly op 0 (negations already folded).
+struct Literal {
+  Polynomial poly;
+  RelOp op;
+};
+
+/// Disjunctive normal form of a quantifier-free, predicate-free formula:
+/// a list of conjunctive cells, each a list of literals. Empty list means
+/// `false`; a cell with no literals means `true`.
+/// Fails (kUnsupported) if the formula has quantifiers or predicates, or
+/// if the DNF would exceed `max_cells`.
+Result<std::vector<std::vector<Literal>>> to_dnf(
+    const FormulaPtr& f, std::size_t max_cells = 1u << 20);
+
+/// Rebuilds a formula from DNF cells.
+FormulaPtr from_dnf(const std::vector<std::vector<Literal>>& dnf);
+
+}  // namespace cqa
+
+#endif  // CQA_LOGIC_TRANSFORM_H_

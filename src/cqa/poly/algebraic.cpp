@@ -1,0 +1,79 @@
+#include "cqa/poly/algebraic.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+AlgebraicNumber AlgebraicNumber::from_rational(const Rational& q) {
+  // Defining polynomial x - q.
+  UPoly p({-q, Rational(1)});
+  return AlgebraicNumber(IsolatedRoot{std::move(p), q, q});
+}
+
+AlgebraicNumber AlgebraicNumber::from_root(IsolatedRoot root) {
+  return AlgebraicNumber(std::move(root));
+}
+
+int AlgebraicNumber::sign_of(const UPoly& q) const {
+  if (q.is_zero()) return 0;
+  if (root_.is_exact()) return q.eval(root_.lo).sign();
+  // Fast path: interval Horner; a definite sign over the whole isolating
+  // interval is the sign at the root, no gcd or Sturm work needed.
+  {
+    int s = q.eval_interval(RationalInterval(root_.lo, root_.hi))
+                .definite_sign();
+    if (s != 0) return s;
+  }
+  // Zero test: q(alpha) == 0 iff gcd(p, q) vanishes at alpha, i.e. the gcd
+  // has a root inside the isolating interval (that root must be alpha,
+  // since it is also a root of p and p has exactly one root there).
+  UPoly g = UPoly::gcd(root_.poly, q);
+  if (g.degree() >= 1) {
+    SturmSequence sg(g);
+    if (sg.count_roots(root_.lo, root_.hi) >= 1 ||
+        (g.eval(root_.lo).is_zero() && root_cmp(root_, root_.lo) == 0)) {
+      return 0;
+    }
+  }
+  // q(alpha) != 0: refine until no root of q lies strictly inside the
+  // interval, then the sign at the midpoint is the sign at alpha.
+  SturmSequence sq(q);
+  for (;;) {
+    if (root_.is_exact()) return q.eval(root_.lo).sign();
+    // Roots of q in (lo, hi): count in (lo, hi] minus right endpoint.
+    int inside = sq.count_roots(root_.lo, root_.hi);
+    if (q.eval(root_.hi).is_zero()) inside -= 1;
+    if (inside == 0) {
+      Rational m = Rational::mid(root_.lo, root_.hi);
+      int s = q.eval(m).sign();
+      CQA_DCHECK(s != 0);
+      return s;
+    }
+    refine_root(&root_);
+  }
+}
+
+Rational AlgebraicNumber::rational_below() const {
+  if (root_.is_exact()) return root_.lo - Rational(1);
+  return root_.lo;  // endpoints are non-roots, strictly below alpha
+}
+
+Rational AlgebraicNumber::rational_above() const {
+  if (root_.is_exact()) return root_.lo + Rational(1);
+  return root_.hi;
+}
+
+double AlgebraicNumber::to_double() const {
+  if (root_.is_exact()) return root_.lo.to_double();
+  IsolatedRoot copy = root_;
+  refine_root_to_width(&copy, Rational(1, 1000000000));
+  return copy.approx().to_double();
+}
+
+std::string AlgebraicNumber::to_string() const {
+  if (root_.is_exact()) return root_.lo.to_string();
+  return "root of (" + root_.poly.to_string() + ") in (" +
+         root_.lo.to_string() + ", " + root_.hi.to_string() + ")";
+}
+
+}  // namespace cqa

@@ -1,0 +1,83 @@
+// Real algebraic numbers with exact sign determination.
+//
+// An AlgebraicNumber is a root of a square-free rational polynomial,
+// pinned down by an isolating interval. The key operation for the decision
+// procedure is sign_of(q): the exact sign of another polynomial at this
+// number, decided by gcd arguments plus interval refinement.
+
+#ifndef CQA_POLY_ALGEBRAIC_H_
+#define CQA_POLY_ALGEBRAIC_H_
+
+#include <string>
+
+#include "cqa/arith/rational.h"
+#include "cqa/poly/root_isolation.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+/// A real algebraic number.
+class AlgebraicNumber {
+ public:
+  /// The rational q viewed as an algebraic number.
+  static AlgebraicNumber from_rational(const Rational& q);
+  /// From an isolated root.
+  static AlgebraicNumber from_root(IsolatedRoot root);
+
+  /// True iff the number is (known to be) rational.
+  bool is_rational() const { return root_.is_exact(); }
+  /// The exact rational value; aborts unless is_rational().
+  const Rational& rational_value() const {
+    CQA_CHECK(root_.is_exact());
+    return root_.lo;
+  }
+
+  /// Current isolating bounds (lo == hi when rational).
+  const Rational& lo() const { return root_.lo; }
+  const Rational& hi() const { return root_.hi; }
+
+  /// Exact sign of q evaluated at this number: -1, 0, or +1.
+  int sign_of(const UPoly& q) const;
+
+  /// Exact comparison with a rational.
+  int cmp(const Rational& q) const { return root_cmp(root_, q); }
+  /// Exact comparison with another algebraic number.
+  int cmp(const AlgebraicNumber& o) const { return root_cmp(root_, o.root_); }
+
+  bool operator<(const AlgebraicNumber& o) const { return cmp(o) < 0; }
+  bool operator==(const AlgebraicNumber& o) const { return cmp(o) == 0; }
+
+  /// Shrinks the isolating interval below the given width.
+  void refine_to_width(const Rational& w) {
+    refine_root_to_width(&root_, w);
+  }
+
+  /// Attempts to certify the number rational by refining up to
+  /// `max_refinements` times (each refinement tries the simplest rational
+  /// in the interval; a rational root with denominator q is certain to be
+  /// detected once the interval is narrower than 1/q^2). Returns
+  /// is_rational() afterwards; irrational numbers simply stay interval-
+  /// represented.
+  bool try_make_rational(int max_refinements = 64) const {
+    for (int i = 0; i < max_refinements && !root_.is_exact(); ++i) {
+      refine_root(&root_);
+    }
+    return root_.is_exact();
+  }
+
+  /// A rational strictly smaller / larger than this number.
+  Rational rational_below() const;
+  Rational rational_above() const;
+
+  double to_double() const;
+  std::string to_string() const;
+
+ private:
+  explicit AlgebraicNumber(IsolatedRoot root) : root_(std::move(root)) {}
+
+  mutable IsolatedRoot root_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_POLY_ALGEBRAIC_H_

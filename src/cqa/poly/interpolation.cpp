@@ -1,0 +1,48 @@
+#include "cqa/poly/interpolation.h"
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+UPoly interpolate(const std::vector<std::pair<Rational, Rational>>& points) {
+  const std::size_t n = points.size();
+  CQA_CHECK(n > 0);
+  // Newton divided differences.
+  std::vector<Rational> coef(n);
+  {
+    std::vector<Rational> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = points[i].second;
+    coef[0] = col[0];
+    for (std::size_t level = 1; level < n; ++level) {
+      for (std::size_t i = 0; i + level < n; ++i) {
+        const Rational dx = points[i + level].first - points[i].first;
+        CQA_CHECK(!dx.is_zero());
+        col[i] = (col[i + 1] - col[i]) / dx;
+      }
+      coef[level] = col[0];
+    }
+  }
+  // Expand Newton form: sum coef[k] * prod_{j<k} (x - x_j).
+  UPoly result;
+  UPoly basis = UPoly::constant(Rational(1));
+  for (std::size_t k = 0; k < n; ++k) {
+    result = result + basis * coef[k];
+    basis = basis * UPoly({-points[k].first, Rational(1)});
+  }
+  return result;
+}
+
+std::vector<Rational> sample_points(const Rational& a, const Rational& b,
+                                    std::size_t count) {
+  CQA_CHECK(a < b);
+  CQA_CHECK(count > 0);
+  std::vector<Rational> out;
+  out.reserve(count);
+  const Rational step = (b - a) / Rational(static_cast<std::int64_t>(count) + 1);
+  for (std::size_t i = 1; i <= count; ++i) {
+    out.push_back(a + step * Rational(static_cast<std::int64_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace cqa

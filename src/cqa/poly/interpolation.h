@@ -1,0 +1,30 @@
+// Exact polynomial interpolation.
+//
+// Theorem 3's volume sweep evaluates the section-volume function g(t) at
+// rational sample points and reconstructs it exactly on each breakpoint
+// interval; Newton divided differences over Q make that reconstruction
+// exact.
+
+#ifndef CQA_POLY_INTERPOLATION_H_
+#define CQA_POLY_INTERPOLATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "cqa/arith/rational.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+/// The unique polynomial of degree < points.size() through the given
+/// (x, y) pairs (x values must be distinct). Exact (Newton form expanded).
+UPoly interpolate(const std::vector<std::pair<Rational, Rational>>& points);
+
+/// Generates `count` distinct rational sample points strictly inside
+/// (a, b), evenly spaced.
+std::vector<Rational> sample_points(const Rational& a, const Rational& b,
+                                    std::size_t count);
+
+}  // namespace cqa
+
+#endif  // CQA_POLY_INTERPOLATION_H_

@@ -1,0 +1,286 @@
+#include "cqa/poly/polynomial.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cqa {
+
+void Polynomial::trim_monomial(Monomial* m) {
+  while (!m->empty() && m->back() == 0) m->pop_back();
+}
+
+void Polynomial::add_term(Monomial m, Rational c) {
+  if (c.is_zero()) return;
+  trim_monomial(&m);
+  auto it = terms_.find(m);
+  if (it == terms_.end()) {
+    terms_.emplace(std::move(m), std::move(c));
+  } else {
+    it->second += c;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+}
+
+Polynomial Polynomial::constant(Rational c) {
+  Polynomial p;
+  p.add_term({}, std::move(c));
+  return p;
+}
+
+Polynomial Polynomial::variable(std::size_t i) {
+  Polynomial p;
+  Monomial m(i + 1, 0);
+  m[i] = 1;
+  p.add_term(std::move(m), Rational(1));
+  return p;
+}
+
+Polynomial Polynomial::from_terms(
+    std::vector<std::pair<Monomial, Rational>> terms) {
+  Polynomial p;
+  for (auto& [m, c] : terms) p.add_term(std::move(m), std::move(c));
+  return p;
+}
+
+bool Polynomial::is_constant() const {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+Rational Polynomial::constant_term() const {
+  auto it = terms_.find({});
+  return it == terms_.end() ? Rational() : it->second;
+}
+
+int Polynomial::max_var() const {
+  int mv = -1;
+  for (const auto& [m, c] : terms_) {
+    if (!m.empty()) mv = std::max(mv, static_cast<int>(m.size()) - 1);
+  }
+  return mv;
+}
+
+int Polynomial::total_degree() const {
+  if (terms_.empty()) return -1;
+  int deg = 0;
+  for (const auto& [m, c] : terms_) {
+    int d = 0;
+    for (unsigned e : m) d += static_cast<int>(e);
+    deg = std::max(deg, d);
+  }
+  return deg;
+}
+
+int Polynomial::degree_in(std::size_t i) const {
+  if (terms_.empty()) return -1;
+  int deg = 0;
+  for (const auto& [m, c] : terms_) {
+    if (i < m.size()) deg = std::max(deg, static_cast<int>(m[i]));
+  }
+  return deg;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial p;
+  for (const auto& [m, c] : terms_) p.terms_.emplace(m, -c);
+  return p;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  Polynomial p = *this;
+  for (const auto& [m, c] : o.terms_) p.add_term(m, c);
+  return p;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  Polynomial p = *this;
+  for (const auto& [m, c] : o.terms_) p.add_term(m, -c);
+  return p;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  Polynomial p;
+  for (const auto& [m1, c1] : terms_) {
+    for (const auto& [m2, c2] : o.terms_) {
+      Monomial m(std::max(m1.size(), m2.size()), 0);
+      for (std::size_t i = 0; i < m1.size(); ++i) m[i] += m1[i];
+      for (std::size_t i = 0; i < m2.size(); ++i) m[i] += m2[i];
+      p.add_term(std::move(m), c1 * c2);
+    }
+  }
+  return p;
+}
+
+Polynomial Polynomial::operator*(const Rational& c) const {
+  if (c.is_zero()) return Polynomial();
+  Polynomial p;
+  for (const auto& [m, coef] : terms_) p.terms_.emplace(m, coef * c);
+  return p;
+}
+
+Polynomial Polynomial::pow(unsigned e) const {
+  Polynomial result = constant(Rational(1));
+  Polynomial base = *this;
+  while (e) {
+    if (e & 1) result *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return result;
+}
+
+Polynomial Polynomial::derivative(std::size_t i) const {
+  Polynomial p;
+  for (const auto& [m, c] : terms_) {
+    if (i >= m.size() || m[i] == 0) continue;
+    Monomial dm = m;
+    Rational dc = c * Rational(static_cast<std::int64_t>(m[i]));
+    --dm[i];
+    p.add_term(std::move(dm), std::move(dc));
+  }
+  return p;
+}
+
+Rational Polynomial::eval(const RVec& point) const {
+  Rational out;
+  for (const auto& [m, c] : terms_) {
+    Rational term = c;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      CQA_CHECK(i < point.size());
+      term *= Rational::pow(point[i], m[i]);
+    }
+    out += term;
+  }
+  return out;
+}
+
+double Polynomial::eval_double(const std::vector<double>& point) const {
+  double out = 0;
+  for (const auto& [m, c] : terms_) {
+    double term = c.to_double();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      double x = point[i];
+      for (unsigned e = 0; e < m[i]; ++e) term *= x;
+    }
+    out += term;
+  }
+  return out;
+}
+
+Polynomial Polynomial::substitute(std::size_t i, const Rational& value) const {
+  Polynomial p;
+  for (const auto& [m, c] : terms_) {
+    if (i >= m.size() || m[i] == 0) {
+      p.add_term(m, c);
+      continue;
+    }
+    Monomial nm = m;
+    nm[i] = 0;
+    p.add_term(std::move(nm), c * Rational::pow(value, m[i]));
+  }
+  return p;
+}
+
+Polynomial Polynomial::substitute(std::size_t i, const Polynomial& sub) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    Polynomial term = constant(c);
+    Monomial rest = m;
+    unsigned e = 0;
+    if (i < rest.size()) {
+      e = rest[i];
+      rest[i] = 0;
+    }
+    trim_monomial(&rest);
+    Polynomial mono;
+    mono.add_term(rest, Rational(1));
+    term *= mono;
+    if (e) term *= sub.pow(e);
+    out += term;
+  }
+  return out;
+}
+
+Polynomial Polynomial::rename(std::size_t i, std::size_t j) const {
+  if (i == j) return *this;
+  CQA_CHECK(degree_in(j) <= 0);
+  Polynomial p;
+  for (const auto& [m, c] : terms_) {
+    Monomial nm = m;
+    unsigned e = 0;
+    if (i < nm.size()) {
+      e = nm[i];
+      nm[i] = 0;
+    }
+    if (e) {
+      if (nm.size() <= j) nm.resize(j + 1, 0);
+      nm[j] = e;
+    }
+    p.add_term(std::move(nm), c);
+  }
+  return p;
+}
+
+std::vector<Polynomial> Polynomial::coefficients_in(std::size_t i) const {
+  int d = std::max(degree_in(i), 0);
+  std::vector<Polynomial> coeffs(static_cast<std::size_t>(d) + 1);
+  for (const auto& [m, c] : terms_) {
+    unsigned e = i < m.size() ? m[i] : 0;
+    Monomial rest = m;
+    if (i < rest.size()) rest[i] = 0;
+    coeffs[e].add_term(std::move(rest), c);
+  }
+  return coeffs;
+}
+
+std::string Polynomial::to_string() const { return to_string({}); }
+
+std::string Polynomial::to_string(
+    const std::vector<std::string>& var_names) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  // Iterate in reverse so higher-degree monomials print first.
+  for (auto it = terms_.rbegin(); it != terms_.rend(); ++it) {
+    const auto& [m, c] = *it;
+    Rational coef = c;
+    if (first) {
+      if (coef.sign() < 0) {
+        os << "-";
+        coef = -coef;
+      }
+      first = false;
+    } else {
+      os << (coef.sign() < 0 ? " - " : " + ");
+      coef = coef.abs();
+    }
+    bool has_vars = false;
+    for (unsigned e : m) {
+      if (e) has_vars = true;
+    }
+    if (!has_vars) {
+      os << coef.to_string();
+      continue;
+    }
+    bool printed = false;
+    if (coef != Rational(1)) {
+      os << coef.to_string();
+      printed = true;
+    }
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      if (printed) os << "*";
+      if (i < var_names.size()) {
+        os << var_names[i];
+      } else {
+        os << "x" << i;
+      }
+      if (m[i] > 1) os << "^" << m[i];
+      printed = true;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,117 @@
+// Sparse multivariate polynomials over the rationals.
+//
+// These are the terms of FO+POLY atoms: every atomic constraint in the
+// paper's languages is p(x1..xn) op 0 with p a polynomial over Q. The
+// representation is a sorted map from exponent vectors to coefficients.
+
+#ifndef CQA_POLY_POLYNOMIAL_H_
+#define CQA_POLY_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cqa/arith/rational.h"
+#include "cqa/linalg/matrix.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+/// Exponent vector; index = variable id, value = exponent. May be shorter
+/// than the ambient variable count (missing entries are exponent 0).
+using Monomial = std::vector<unsigned>;
+
+/// Sparse multivariate polynomial with rational coefficients.
+///
+/// Variables are identified by index 0,1,2,... The polynomial does not
+/// carry an ambient dimension; operations align variable indices.
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// The constant polynomial c.
+  static Polynomial constant(Rational c);
+  /// The variable x_i.
+  static Polynomial variable(std::size_t i);
+  /// Builds from (monomial, coefficient) pairs; zero coefficients dropped.
+  static Polynomial from_terms(
+      std::vector<std::pair<Monomial, Rational>> terms);
+
+  bool is_zero() const { return terms_.empty(); }
+  bool is_constant() const;
+  /// Constant term (coefficient of the empty monomial).
+  Rational constant_term() const;
+
+  /// Largest variable index used, or -1 if constant.
+  int max_var() const;
+  /// Total degree (max sum of exponents); -1 for the zero polynomial.
+  int total_degree() const;
+  /// Degree in variable i (0 if i unused); -1 for the zero polynomial.
+  int degree_in(std::size_t i) const;
+  /// Number of terms.
+  std::size_t num_terms() const { return terms_.size(); }
+
+  Polynomial operator-() const;
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial operator*(const Rational& c) const;
+  Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+  Polynomial& operator-=(const Polynomial& o) { return *this = *this - o; }
+  Polynomial& operator*=(const Polynomial& o) { return *this = *this * o; }
+
+  bool operator==(const Polynomial& o) const { return terms_ == o.terms_; }
+  bool operator!=(const Polynomial& o) const { return !(*this == o); }
+
+  /// Integer power, e >= 0.
+  Polynomial pow(unsigned e) const;
+
+  /// Partial derivative with respect to x_i.
+  Polynomial derivative(std::size_t i) const;
+
+  /// Evaluates at a full rational point (point.size() > max_var()).
+  Rational eval(const RVec& point) const;
+
+  /// Evaluates at a double point (fast path for Monte-Carlo sampling).
+  double eval_double(const std::vector<double>& point) const;
+
+  /// Substitutes x_i := value, producing a polynomial without x_i.
+  Polynomial substitute(std::size_t i, const Rational& value) const;
+
+  /// Substitutes x_i := p (polynomial composition in one slot).
+  Polynomial substitute(std::size_t i, const Polynomial& p) const;
+
+  /// Renames variable i -> j (j must be unused unless j == i).
+  Polynomial rename(std::size_t i, std::size_t j) const;
+
+  /// Views the polynomial as univariate in x_i: returns coefficients
+  /// c_0..c_d (polynomials not involving x_i) with *this = sum c_k x_i^k.
+  std::vector<Polynomial> coefficients_in(std::size_t i) const;
+
+  /// True iff total degree <= 1 (affine).
+  bool is_linear() const { return total_degree() <= 1; }
+
+  /// Iteration over (monomial, coefficient) pairs.
+  const std::map<Monomial, Rational>& terms() const { return terms_; }
+
+  /// Human-readable rendering, e.g. "2*x0^2*x1 - 1/2".
+  std::string to_string() const;
+  /// Rendering with variable names supplied by the caller.
+  std::string to_string(const std::vector<std::string>& var_names) const;
+
+ private:
+  void add_term(Monomial m, Rational c);
+  static void trim_monomial(Monomial* m);
+
+  std::map<Monomial, Rational> terms_;
+};
+
+inline Polynomial operator*(const Rational& c, const Polynomial& p) {
+  return p * c;
+}
+
+}  // namespace cqa
+
+#endif  // CQA_POLY_POLYNOMIAL_H_

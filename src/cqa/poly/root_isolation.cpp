@@ -1,0 +1,155 @@
+#include "cqa/poly/root_isolation.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+namespace {
+
+// Recursively isolates roots of sf in the open interval (a, b), where
+// sf(a) != 0 != sf(b). `sturm` is the Sturm chain of sf.
+void isolate_rec(const UPoly& sf, const SturmSequence& sturm,
+                 const Rational& a, const Rational& b,
+                 std::vector<IsolatedRoot>* out) {
+  const int count = sturm.count_roots(a, b);  // (a, b] == (a, b): b not a root
+  if (count == 0) return;
+  if (count == 1) {
+    out->push_back(IsolatedRoot{sf, a, b});
+    return;
+  }
+  Rational m = Rational::mid(a, b);
+  if (sf.eval(m).is_zero()) {
+    // Shrink around m until (m-eps, m+eps) contains only the root m, then
+    // recurse on the two outer pieces.
+    Rational eps = (b - a) * Rational(1, 4);
+    while (sturm.count_roots(m - eps, m + eps) != 1 ||
+           sf.eval(m - eps).is_zero() || sf.eval(m + eps).is_zero()) {
+      eps = eps * Rational(1, 2);
+    }
+    out->push_back(IsolatedRoot{sf, m, m});
+    isolate_rec(sf, sturm, a, m - eps, out);
+    isolate_rec(sf, sturm, m + eps, b, out);
+    return;
+  }
+  isolate_rec(sf, sturm, a, m, out);
+  isolate_rec(sf, sturm, m, b, out);
+}
+
+}  // namespace
+
+std::vector<IsolatedRoot> isolate_real_roots(const UPoly& p) {
+  if (p.degree() <= 0) return {};
+  UPoly sf = p.square_free_part();
+  if (sf.degree() == 1) {
+    // Root is -c0/c1, exactly.
+    Rational r = -sf.coeff(0) / sf.coeff(1);
+    return {IsolatedRoot{sf, r, r}};
+  }
+  SturmSequence sturm(sf);
+  Rational bound = cauchy_root_bound(sf);
+  std::vector<IsolatedRoot> out;
+  isolate_rec(sf, sturm, -bound, bound, &out);
+  // One cheap rational-root detection pass (refine_root retries on every
+  // later refinement, so undetected rational roots still converge).
+  for (auto& r : out) {
+    if (!r.is_exact()) refine_root(&r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IsolatedRoot& x, const IsolatedRoot& y) {
+              // Isolating intervals of distinct roots are disjoint, so
+              // comparing left endpoints is a correct order; exact roots
+              // compare by value.
+              if (x.lo != y.lo) return x.lo < y.lo;
+              return x.hi < y.hi;
+            });
+  return out;
+}
+
+void refine_root(IsolatedRoot* r) {
+  if (r->is_exact()) return;
+  // Rational-root detection: the simplest rational in the interval is a
+  // cheap candidate; if the (unique) root in the interval is rational with
+  // denominator q, it becomes the simplest candidate once the interval is
+  // narrower than 1/q^2, so repeated refinement eventually detects every
+  // rational root exactly.
+  Rational simple = Rational::simplest_in_open(r->lo, r->hi);
+  if (r->poly.eval(simple).is_zero()) {
+    r->lo = simple;
+    r->hi = simple;
+    return;
+  }
+  Rational m = Rational::mid(r->lo, r->hi);
+  Rational vm = r->poly.eval(m);
+  if (vm.is_zero()) {
+    r->lo = m;
+    r->hi = m;
+    return;
+  }
+  // Root lies on the side where the sign differs from sign at m... we use
+  // Sturm-free logic: p is square-free with exactly one root in (lo, hi),
+  // so p(lo) and p(hi) have opposite signs and we can bisect by sign.
+  Rational vlo = r->poly.eval(r->lo);
+  CQA_DCHECK(!vlo.is_zero());
+  if (vlo.sign() * vm.sign() < 0) {
+    r->hi = m;
+  } else {
+    r->lo = m;
+  }
+}
+
+void refine_root_to_width(IsolatedRoot* r, const Rational& w) {
+  while (!r->is_exact() && r->width() >= w) refine_root(r);
+}
+
+int root_cmp(const IsolatedRoot& r, const Rational& a) {
+  if (r.is_exact()) return r.lo.cmp(a);
+  if (a <= r.lo) return 1;   // root > lo >= a (root strictly inside)
+  if (a >= r.hi) return -1;  // root < hi <= a
+  if (r.poly.eval(a).is_zero()) return 0;  // a is the unique root inside
+  // Count roots of poly in (lo, a]: 1 iff root <= a, i.e. root < a here.
+  SturmSequence sturm(r.poly);
+  return sturm.count_roots(r.lo, a) == 1 ? -1 : 1;
+}
+
+bool root_greater_than(const IsolatedRoot& r, const Rational& a) {
+  return root_cmp(r, a) > 0;
+}
+
+int root_cmp(const IsolatedRoot& a, const IsolatedRoot& b) {
+  if (a.is_exact()) return -root_cmp(b, a.lo);
+  if (b.is_exact()) return root_cmp(a, b.lo);
+  IsolatedRoot x = a, y = b;
+  for (;;) {
+    if (x.hi <= y.lo) {
+      // Possibly equal only if both equal the shared endpoint; endpoints
+      // are non-roots for non-exact intervals, so strictly less.
+      if (x.is_exact() && y.is_exact()) return x.lo.cmp(y.lo);
+      return -1;
+    }
+    if (y.hi <= x.lo) {
+      if (x.is_exact() && y.is_exact()) return x.lo.cmp(y.lo);
+      return 1;
+    }
+    // Intervals overlap: test equality via gcd of the defining polynomials.
+    UPoly g = UPoly::gcd(x.poly, y.poly);
+    if (g.degree() >= 1) {
+      Rational lo = std::max(x.lo, y.lo);
+      Rational hi = std::min(x.hi, y.hi);
+      SturmSequence sg(g);
+      if (lo < hi && sg.count_roots(lo, hi) >= 1) {
+        // A common root inside both isolating intervals must be both roots.
+        return 0;
+      }
+      if (g.eval(lo).is_zero() &&
+          root_cmp(x, lo) == 0 && root_cmp(y, lo) == 0) {
+        return 0;
+      }
+    }
+    refine_root(&x);
+    refine_root(&y);
+    if (x.is_exact()) return -root_cmp(y, x.lo);
+    if (y.is_exact()) return root_cmp(x, y.lo);
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,56 @@
+// Exact isolation of the real roots of a univariate rational polynomial.
+//
+// Sturm-based bisection. Each root is returned either as an exact rational
+// value or as an open interval with rational, non-root endpoints containing
+// exactly one root of the (square-free part of the) polynomial.
+
+#ifndef CQA_POLY_ROOT_ISOLATION_H_
+#define CQA_POLY_ROOT_ISOLATION_H_
+
+#include <vector>
+
+#include "cqa/arith/rational.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+/// One isolated real root of a square-free polynomial.
+struct IsolatedRoot {
+  /// Square-free polynomial this is a root of.
+  UPoly poly;
+  /// Isolating bounds. lo == hi means the root is exactly this rational.
+  /// Otherwise poly has exactly one root in the open interval (lo, hi) and
+  /// poly(lo) != 0 != poly(hi).
+  Rational lo;
+  Rational hi;
+
+  bool is_exact() const { return lo == hi; }
+  Rational width() const { return hi - lo; }
+  /// A representative rational approximation (the midpoint).
+  Rational approx() const { return Rational::mid(lo, hi); }
+  double to_double() const { return approx().to_double(); }
+};
+
+/// Isolates all distinct real roots of p, in increasing order.
+/// Returns an empty vector for constants (including the zero polynomial,
+/// whose "roots are everything" case callers must special-case).
+std::vector<IsolatedRoot> isolate_real_roots(const UPoly& p);
+
+/// Halves the width of a non-exact root's interval (no-op for exact roots).
+/// May discover the root is exactly rational and collapse the interval.
+void refine_root(IsolatedRoot* r);
+
+/// Refines until width < w (or the root collapses to an exact rational).
+void refine_root_to_width(IsolatedRoot* r, const Rational& w);
+
+/// True iff a < root (exact comparison).
+bool root_greater_than(const IsolatedRoot& r, const Rational& a);
+/// Exact three-way comparison of the root against a rational.
+int root_cmp(const IsolatedRoot& r, const Rational& a);
+/// Exact three-way comparison of two isolated roots (possibly of different
+/// polynomials).
+int root_cmp(const IsolatedRoot& a, const IsolatedRoot& b);
+
+}  // namespace cqa
+
+#endif  // CQA_POLY_ROOT_ISOLATION_H_

@@ -1,0 +1,283 @@
+#include "cqa/poly/univariate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cqa {
+
+UPoly UPoly::from_polynomial(const Polynomial& p, std::size_t var) {
+  std::vector<Rational> coeffs;
+  for (const auto& [m, c] : p.terms()) {
+    unsigned e = 0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i] == 0) continue;
+      CQA_CHECK(i == var);
+      e = m[i];
+    }
+    if (coeffs.size() <= e) coeffs.resize(e + 1);
+    coeffs[e] += c;
+  }
+  return UPoly(std::move(coeffs));
+}
+
+UPoly UPoly::operator-() const {
+  std::vector<Rational> c(coeffs_.size());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) c[i] = -coeffs_[i];
+  return UPoly(std::move(c));
+}
+
+UPoly UPoly::operator+(const UPoly& o) const {
+  std::vector<Rational> c(std::max(coeffs_.size(), o.coeffs_.size()));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i < coeffs_.size()) c[i] += coeffs_[i];
+    if (i < o.coeffs_.size()) c[i] += o.coeffs_[i];
+  }
+  return UPoly(std::move(c));
+}
+
+UPoly UPoly::operator-(const UPoly& o) const { return *this + (-o); }
+
+UPoly UPoly::operator*(const UPoly& o) const {
+  if (is_zero() || o.is_zero()) return UPoly();
+  std::vector<Rational> c(coeffs_.size() + o.coeffs_.size() - 1);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < o.coeffs_.size(); ++j) {
+      c[i + j] += coeffs_[i] * o.coeffs_[j];
+    }
+  }
+  return UPoly(std::move(c));
+}
+
+UPoly UPoly::operator*(const Rational& c) const {
+  std::vector<Rational> out(coeffs_.size());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] = coeffs_[i] * c;
+  return UPoly(std::move(out));
+}
+
+void UPoly::divmod(const UPoly& d, UPoly* q, UPoly* r) const {
+  CQA_CHECK(!d.is_zero());
+  std::vector<Rational> rem = coeffs_;
+  std::vector<Rational> quot;
+  const int dd = d.degree();
+  int rd = static_cast<int>(rem.size()) - 1;
+  if (rd >= dd) quot.assign(static_cast<std::size_t>(rd - dd) + 1, Rational());
+  const Rational lead_inv = d.lead().inverse();
+  while (rd >= dd) {
+    while (rd >= 0 && rem[static_cast<std::size_t>(rd)].is_zero()) --rd;
+    if (rd < dd) break;
+    Rational f = rem[static_cast<std::size_t>(rd)] * lead_inv;
+    quot[static_cast<std::size_t>(rd - dd)] = f;
+    for (int i = 0; i <= dd; ++i) {
+      rem[static_cast<std::size_t>(rd - dd + i)] -=
+          f * d.coeffs_[static_cast<std::size_t>(i)];
+    }
+    --rd;
+  }
+  *q = UPoly(std::move(quot));
+  *r = UPoly(std::move(rem));
+}
+
+Rational UPoly::eval(const Rational& x) const {
+  Rational out;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    out = out * x + coeffs_[i];
+  }
+  return out;
+}
+
+RationalInterval UPoly::eval_interval(const RationalInterval& iv) const {
+  RationalInterval out;  // [0, 0]
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    out = out * iv + RationalInterval(coeffs_[i]);
+  }
+  return out;
+}
+
+double UPoly::eval_double(double x) const {
+  double out = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    out = out * x + coeffs_[i].to_double();
+  }
+  return out;
+}
+
+int UPoly::sign_at_pos_inf() const {
+  return is_zero() ? 0 : lead().sign();
+}
+
+int UPoly::sign_at_neg_inf() const {
+  if (is_zero()) return 0;
+  int s = lead().sign();
+  return degree() % 2 == 0 ? s : -s;
+}
+
+UPoly UPoly::derivative() const {
+  if (coeffs_.size() <= 1) return UPoly();
+  std::vector<Rational> c(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    c[i - 1] = coeffs_[i] * Rational(static_cast<std::int64_t>(i));
+  }
+  return UPoly(std::move(c));
+}
+
+UPoly UPoly::antiderivative() const {
+  if (is_zero()) return UPoly();
+  std::vector<Rational> c(coeffs_.size() + 1);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    c[i + 1] = coeffs_[i] / Rational(static_cast<std::int64_t>(i + 1));
+  }
+  return UPoly(std::move(c));
+}
+
+Rational UPoly::integrate(const Rational& a, const Rational& b) const {
+  UPoly f = antiderivative();
+  return f.eval(b) - f.eval(a);
+}
+
+UPoly UPoly::monic() const {
+  if (is_zero()) return UPoly();
+  return *this * lead().inverse();
+}
+
+UPoly UPoly::gcd(const UPoly& a, const UPoly& b) {
+  UPoly x = a, y = b;
+  while (!y.is_zero()) {
+    UPoly q, r;
+    x.divmod(y, &q, &r);
+    x = y;
+    y = r;
+  }
+  return x.monic();
+}
+
+UPoly UPoly::square_free_part() const {
+  if (degree() <= 0) return monic();
+  UPoly g = gcd(*this, derivative());
+  if (g.degree() <= 0) return monic();
+  UPoly q, r;
+  divmod(g, &q, &r);
+  CQA_DCHECK(r.is_zero());
+  return q.monic();
+}
+
+UPoly UPoly::compose(const UPoly& g) const {
+  UPoly out;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    out = out * g + constant(coeffs_[i]);
+  }
+  return out;
+}
+
+Polynomial UPoly::to_polynomial(std::size_t var) const {
+  Polynomial out;
+  Polynomial x = Polynomial::variable(var);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i].is_zero()) continue;
+    out += x.pow(static_cast<unsigned>(i)) * coeffs_[i];
+  }
+  return out;
+}
+
+std::string UPoly::to_string(const std::string& var) const {
+  if (is_zero()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    const Rational& c = coeffs_[i];
+    if (c.is_zero()) continue;
+    Rational a = c;
+    if (first) {
+      if (a.sign() < 0) {
+        os << "-";
+        a = -a;
+      }
+      first = false;
+    } else {
+      os << (a.sign() < 0 ? " - " : " + ");
+      a = a.abs();
+    }
+    if (i == 0) {
+      os << a.to_string();
+    } else {
+      if (a != Rational(1)) os << a.to_string() << "*";
+      os << var;
+      if (i > 1) os << "^" << i;
+    }
+  }
+  return os.str();
+}
+
+SturmSequence::SturmSequence(const UPoly& p) {
+  UPoly sf = p.square_free_part();
+  if (sf.is_zero() || sf.degree() == 0) {
+    chain_.push_back(sf);
+    return;
+  }
+  chain_.push_back(sf);
+  chain_.push_back(sf.derivative());
+  while (chain_.back().degree() > 0) {
+    UPoly q, r;
+    chain_[chain_.size() - 2].divmod(chain_.back(), &q, &r);
+    if (r.is_zero()) break;
+    chain_.push_back(-r);
+  }
+}
+
+int SturmSequence::variations(const std::vector<int>& signs) {
+  int v = 0;
+  int prev = 0;
+  for (int s : signs) {
+    if (s == 0) continue;
+    if (prev != 0 && s != prev) ++v;
+    prev = s;
+  }
+  return v;
+}
+
+int SturmSequence::variations_at(const Rational& x) const {
+  std::vector<int> signs;
+  signs.reserve(chain_.size());
+  for (const UPoly& p : chain_) signs.push_back(p.eval(x).sign());
+  return variations(signs);
+}
+
+int SturmSequence::variations_at_neg_inf() const {
+  std::vector<int> signs;
+  signs.reserve(chain_.size());
+  for (const UPoly& p : chain_) signs.push_back(p.sign_at_neg_inf());
+  return variations(signs);
+}
+
+int SturmSequence::variations_at_pos_inf() const {
+  std::vector<int> signs;
+  signs.reserve(chain_.size());
+  for (const UPoly& p : chain_) signs.push_back(p.sign_at_pos_inf());
+  return variations(signs);
+}
+
+int SturmSequence::count_roots(const Rational& a, const Rational& b) const {
+  CQA_CHECK(a <= b);
+  return variations_at(a) - variations_at(b);
+}
+
+int SturmSequence::count_real_roots() const {
+  return variations_at_neg_inf() - variations_at_pos_inf();
+}
+
+int SturmSequence::count_roots_above(const Rational& a) const {
+  return variations_at(a) - variations_at_pos_inf();
+}
+
+Rational cauchy_root_bound(const UPoly& p) {
+  if (p.degree() <= 0) return Rational(1);
+  Rational max_ratio;
+  const Rational lead_abs = p.lead().abs();
+  for (int i = 0; i < p.degree(); ++i) {
+    Rational r = p.coeff(static_cast<std::size_t>(i)).abs() / lead_abs;
+    if (r > max_ratio) max_ratio = r;
+  }
+  return Rational(1) + max_ratio;
+}
+
+}  // namespace cqa

@@ -1,0 +1,142 @@
+// Dense univariate polynomials over Q and Sturm-sequence machinery.
+//
+// This is the engine behind END (interval endpoints of one-dimensional
+// definable sets, Section 5 of the paper) and behind the sample-point
+// decision procedure for FO+POLY quantifiers.
+
+#ifndef CQA_POLY_UNIVARIATE_H_
+#define CQA_POLY_UNIVARIATE_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/arith/interval.h"
+#include "cqa/arith/rational.h"
+#include "cqa/poly/polynomial.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+/// Dense univariate polynomial, coefficients low-degree-first, normalized
+/// (no trailing zeros; the zero polynomial has an empty vector).
+class UPoly {
+ public:
+  /// The zero polynomial.
+  UPoly() = default;
+  /// From coefficients c0, c1, ... (c0 + c1 x + ...).
+  explicit UPoly(std::vector<Rational> coeffs) : coeffs_(std::move(coeffs)) {
+    normalize();
+  }
+  /// Constant polynomial.
+  static UPoly constant(Rational c) { return UPoly({std::move(c)}); }
+  /// The monomial x.
+  static UPoly x() { return UPoly({Rational(0), Rational(1)}); }
+
+  /// Converts a multivariate polynomial that uses at most variable `var`
+  /// into a UPoly in that variable. Aborts if other variables appear.
+  static UPoly from_polynomial(const Polynomial& p, std::size_t var);
+
+  bool is_zero() const { return coeffs_.empty(); }
+  /// -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const std::vector<Rational>& coeffs() const { return coeffs_; }
+  /// Leading coefficient; aborts on zero polynomial.
+  const Rational& lead() const {
+    CQA_CHECK(!coeffs_.empty());
+    return coeffs_.back();
+  }
+  /// Coefficient of x^k (0 beyond degree).
+  Rational coeff(std::size_t k) const {
+    return k < coeffs_.size() ? coeffs_[k] : Rational();
+  }
+
+  UPoly operator-() const;
+  UPoly operator+(const UPoly& o) const;
+  UPoly operator-(const UPoly& o) const;
+  UPoly operator*(const UPoly& o) const;
+  UPoly operator*(const Rational& c) const;
+  bool operator==(const UPoly& o) const { return coeffs_ == o.coeffs_; }
+  bool operator!=(const UPoly& o) const { return !(*this == o); }
+
+  /// Polynomial division: *this = q * d + r with deg r < deg d.
+  /// Aborts if d is zero.
+  void divmod(const UPoly& d, UPoly* q, UPoly* r) const;
+
+  /// Horner evaluation.
+  Rational eval(const Rational& x) const;
+  double eval_double(double x) const;
+  /// Interval Horner evaluation: a rational interval guaranteed to contain
+  /// { p(x) : x in iv }. Used for cheap exact sign determination at
+  /// algebraic points before falling back to Sturm refinement.
+  RationalInterval eval_interval(const RationalInterval& iv) const;
+
+  /// Sign of the polynomial at +infinity (0 for zero polynomial).
+  int sign_at_pos_inf() const;
+  /// Sign at -infinity.
+  int sign_at_neg_inf() const;
+
+  UPoly derivative() const;
+  /// Exact antiderivative with zero constant term.
+  UPoly antiderivative() const;
+  /// Exact definite integral over [a, b].
+  Rational integrate(const Rational& a, const Rational& b) const;
+
+  /// Scales to a monic polynomial (leading coefficient 1); zero stays zero.
+  UPoly monic() const;
+
+  /// gcd, returned monic (gcd(0,0) == 0).
+  static UPoly gcd(const UPoly& a, const UPoly& b);
+
+  /// The square-free part p / gcd(p, p'), monic. Same real roots as p.
+  UPoly square_free_part() const;
+
+  /// Composition: this(g(x)).
+  UPoly compose(const UPoly& g) const;
+
+  /// Back to a (univariate) multivariate polynomial in variable `var`.
+  Polynomial to_polynomial(std::size_t var) const;
+
+  std::string to_string(const std::string& var = "x") const;
+
+ private:
+  void normalize() {
+    while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+  }
+
+  std::vector<Rational> coeffs_;
+};
+
+/// Sturm sequence of a polynomial: p, p', then negated remainders.
+class SturmSequence {
+ public:
+  /// Builds the canonical Sturm chain of p (p need not be square-free;
+  /// the chain then counts distinct roots of the square-free part).
+  explicit SturmSequence(const UPoly& p);
+
+  /// Number of sign variations of the chain evaluated at x.
+  int variations_at(const Rational& x) const;
+  /// Variations at -infinity / +infinity.
+  int variations_at_neg_inf() const;
+  int variations_at_pos_inf() const;
+
+  /// Number of distinct real roots in the half-open interval (a, b].
+  int count_roots(const Rational& a, const Rational& b) const;
+  /// Number of distinct real roots on all of R.
+  int count_real_roots() const;
+  /// Number of distinct real roots in (a, +inf).
+  int count_roots_above(const Rational& a) const;
+
+  const std::vector<UPoly>& chain() const { return chain_; }
+
+ private:
+  static int variations(const std::vector<int>& signs);
+
+  std::vector<UPoly> chain_;
+};
+
+/// Cauchy bound: all real roots of p lie in (-B, B).
+Rational cauchy_root_bound(const UPoly& p);
+
+}  // namespace cqa
+
+#endif  // CQA_POLY_UNIVARIATE_H_

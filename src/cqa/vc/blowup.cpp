@@ -1,0 +1,50 @@
+#include "cqa/vc/blowup.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cqa/vc/sample_bounds.h"
+
+namespace cqa {
+
+BlowupEstimate km_blowup(const BlowupInput& in) {
+  BlowupEstimate out;
+  // Derandomization needs the per-sample failure probability small enough
+  // for Lautemann's union bound over T translates; T is about the
+  // dimension of the sample space, so take delta = 1 / (M m) and iterate
+  // the implicit bound to a fixed point.
+  double m_est = blumer_sample_bound(in.epsilon / 2.0, 0.25, in.vc_dim);
+  for (int iter = 0; iter < 8; ++iter) {
+    double delta = 1.0 / std::max(2.0, m_est * static_cast<double>(in.m));
+    m_est = blumer_sample_bound(in.epsilon / 2.0, delta, in.vc_dim);
+  }
+  out.sample_size = static_cast<std::size_t>(m_est);
+  // Lautemann: T = ceil(dimension of the random object) translates.
+  const double space_dim =
+      m_est * static_cast<double>(in.m);  // one sample = M points in R^m
+  out.translates = static_cast<std::size_t>(std::ceil(space_dim));
+  // Quantifier prefix: T existential translate vectors of dimension
+  // space_dim, plus one universal vector of the same dimension.
+  out.quantifiers = (static_cast<double>(out.translates) + 1.0) * space_dim;
+  // Body: the counting subformula (all query atoms evaluated at each of
+  // the M sample points, plus comparison circuitry of the same order)
+  // repeated once per translate.
+  const double counting =
+      2.0 * m_est * static_cast<double>(std::max<std::size_t>(in.atoms, 1));
+  out.atom_count = static_cast<double>(out.translates) * counting;
+  return out;
+}
+
+BlowupEstimate km_blowup_section3_example(std::size_t n, double eps) {
+  BlowupInput in;
+  in.atoms = 2 * n;  // the paper: "> 2n atomic subformulae"
+  in.m = 2;          // y = (y1, y2)
+  // Family of sets {(y1,y2) : x1<y1<x2, 0<=y2<=y1} with (x1,x2) ranging
+  // over pairs of the n stored reals: stabbed intervals + a half-plane,
+  // VC dimension <= 4 (two threshold parameters); use 4.
+  in.vc_dim = 4;
+  in.epsilon = eps;
+  return km_blowup(in);
+}
+
+}  // namespace cqa

@@ -1,0 +1,70 @@
+// VC dimension of definable families F_phi(D) = { phi(a, D) : a }.
+//
+// Exact shattering computation over finite restrictions: the family is
+// restricted to a finite parameter pool and a finite ground set, giving a
+// boolean trace matrix whose VC dimension we compute exactly. The trace
+// VC dimension lower-bounds the family's; for the Proposition-5 instance
+// it attains the paper's log|D| bound.
+
+#ifndef CQA_VC_SHATTERING_H_
+#define CQA_VC_SHATTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cqa/aggregate/database.h"
+
+namespace cqa {
+
+/// Membership traces of a set family over a finite ground set: one bitmask
+/// per set, bit i = membership of ground element i. Ground sets up to 64
+/// elements.
+class TraceFamily {
+ public:
+  explicit TraceFamily(std::size_t ground_size) : ground_size_(ground_size) {
+    CQA_CHECK(ground_size <= 64);
+  }
+
+  void add_trace(std::uint64_t mask);
+  std::size_t ground_size() const { return ground_size_; }
+  std::size_t num_traces() const { return traces_.size(); }
+  const std::vector<std::uint64_t>& traces() const { return traces_; }
+
+  /// True iff the subset (as a mask over ground positions) is shattered.
+  bool shatters(std::uint64_t subset) const;
+
+  /// Exact VC dimension of the trace family.
+  int vc_dimension() const;
+
+ private:
+  std::size_t ground_size_;
+  std::vector<std::uint64_t> traces_;
+};
+
+/// Builds the trace family of { phi(a, D) : a in param_pool } restricted
+/// to ground_set. `param_vars` and `element_vars` name phi's variable
+/// slots for a and for the element tuple.
+Result<TraceFamily> build_traces(const Database& db, const FormulaPtr& phi,
+                                 const std::vector<std::size_t>& param_vars,
+                                 const std::vector<std::size_t>& element_vars,
+                                 const std::vector<RVec>& param_pool,
+                                 const std::vector<RVec>& ground_set);
+
+/// The Proposition-5 witness: a quantifier-free query phi(x, y) = Bit(x, y)
+/// and databases D_k with VCdim(F_phi(D_k)) = k >= log |D_k|.
+struct Prop5Instance {
+  Database db;
+  FormulaPtr phi;          // Bit(x, y)
+  std::size_t param_var;   // x
+  std::size_t element_var; // y
+  std::vector<RVec> param_pool;
+  std::vector<RVec> ground_set;
+  std::size_t db_size;     // card(adom(D))
+};
+
+/// Builds D_k: Bit(a, y) for a in [0, 2^k), y in [0, k), bit y of a set.
+Prop5Instance make_prop5_instance(std::size_t k);
+
+}  // namespace cqa
+
+#endif  // CQA_VC_SHATTERING_H_

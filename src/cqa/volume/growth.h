@@ -1,0 +1,39 @@
+// Volume growth at infinity and the Chomicki-Kuper mu operator.
+//
+// The paper's introduction contrasts its operators with the measure
+// operator mu of [Chomicki-Kuper, PODS'95], under which FO+LIN is closed
+// but which satisfies mu(X) = 0 for every bounded X. We realize mu for
+// semi-linear sets as the normalized leading behaviour of the growth
+// function V(r) = Vol(S cap [-r, r]^n), which is eventually a polynomial
+// in r (polyhedral sets are conical at infinity).
+
+#ifndef CQA_VOLUME_GROWTH_H_
+#define CQA_VOLUME_GROWTH_H_
+
+#include <vector>
+
+#include "cqa/constraint/linear_cell.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+/// The eventual growth polynomial of V(r) = Vol(S cap [-r, r]^dim),
+/// valid for r >= threshold.
+struct GrowthPolynomial {
+  UPoly poly;
+  Rational threshold;
+};
+
+/// Computes the growth polynomial of the union of cells (which may be
+/// unbounded). Exact: samples V at dim+1 points beyond every arrangement
+/// vertex and interpolates.
+Result<GrowthPolynomial> volume_growth(const std::vector<LinearCell>& cells);
+
+/// The Chomicki-Kuper style density at infinity:
+/// mu(S) = lim_{r->inf} Vol(S cap [-r, r]^n) / (2r)^n, in [0, 1].
+/// Zero for every bounded set, 1 for all of R^n.
+Result<Rational> mu_operator(const std::vector<LinearCell>& cells);
+
+}  // namespace cqa
+
+#endif  // CQA_VOLUME_GROWTH_H_

@@ -1,0 +1,272 @@
+#include "cqa/volume/semilinear_volume.h"
+
+#include <algorithm>
+
+#include "cqa/poly/interpolation.h"
+#include "cqa/poly/univariate.h"
+
+namespace cqa {
+
+LinearCell drop_var(const LinearCell& cell, std::size_t var) {
+  CQA_CHECK(var < cell.dim());
+  LinearCell out(cell.dim() - 1);
+  for (const auto& c : cell.constraints()) {
+    CQA_CHECK(c.coeffs[var].is_zero());
+    LinearConstraint nc;
+    nc.cmp = c.cmp;
+    nc.rhs = c.rhs;
+    nc.coeffs.reserve(cell.dim() - 1);
+    for (std::size_t k = 0; k < cell.dim(); ++k) {
+      if (k != var) nc.coeffs.push_back(c.coeffs[k]);
+    }
+    out.add(std::move(nc));
+  }
+  return out;
+}
+
+bool is_full_dimensional(const LinearCell& cell) {
+  std::vector<LinearConstraint> strict;
+  strict.reserve(cell.constraints().size());
+  for (const auto& c : cell.constraints()) {
+    if (c.cmp == LinCmp::kEq) {
+      if (!c.is_constant()) return false;
+      if (!c.constant_truth()) return false;
+      continue;
+    }
+    LinearConstraint s = c;
+    s.cmp = LinCmp::kLt;
+    strict.push_back(std::move(s));
+  }
+  return fm_feasible(strict, cell.dim());
+}
+
+namespace {
+
+// Merged total length of the union of 1-D cells.
+Result<Rational> interval_union_length(const std::vector<LinearCell>& cells) {
+  std::vector<std::pair<Rational, Rational>> intervals;
+  for (const auto& cell : cells) {
+    AxisInterval iv = cell.project_to_axis(0);
+    if (iv.empty) continue;
+    if (!iv.lo || !iv.hi) {
+      return Status::invalid("semilinear_volume: unbounded 1-D cell");
+    }
+    if (*iv.lo < *iv.hi) intervals.emplace_back(*iv.lo, *iv.hi);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  Rational total;
+  std::size_t i = 0;
+  while (i < intervals.size()) {
+    Rational lo = intervals[i].first;
+    Rational hi = intervals[i].second;
+    std::size_t j = i + 1;
+    while (j < intervals.size() && intervals[j].first <= hi) {
+      hi = std::max(hi, intervals[j].second);
+      ++j;
+    }
+    total += hi - lo;
+    i = j;
+  }
+  return total;
+}
+
+// x_0-coordinates of the vertices of the hyperplane arrangement spanned by
+// all constraints of all cells, sorted and deduplicated.
+std::vector<Rational> arrangement_breakpoints(
+    const std::vector<LinearCell>& cells, std::size_t dim) {
+  // NOTE: no fm_simplify here -- dominance pruning is only sound within a
+  // single conjunction, and these constraints come from different cells of
+  // a union.
+  std::vector<LinearConstraint> planes;
+  for (const auto& cell : cells) {
+    for (const auto& c : cell.constraints()) planes.push_back(c.closure());
+  }
+  // Hyperplanes: dedupe up to sign of the normalized row.
+  {
+    std::vector<LinearConstraint> uniq;
+    for (const auto& c : planes) {
+      LinearConstraint n = c.normalized();
+      n.cmp = LinCmp::kEq;
+      LinearConstraint neg = n;
+      neg.coeffs = vec_scale(Rational(-1), n.coeffs);
+      neg.rhs = -n.rhs;
+      bool seen = false;
+      for (const auto& u : uniq) {
+        if (u.coeffs == n.coeffs && u.rhs == n.rhs) seen = true;
+        if (u.coeffs == neg.coeffs && u.rhs == neg.rhs) seen = true;
+        if (seen) break;
+      }
+      if (!seen && !n.is_constant()) uniq.push_back(std::move(n));
+    }
+    planes = std::move(uniq);
+  }
+  const std::size_t m = planes.size();
+  std::vector<Rational> xs;
+  if (m < dim) return xs;
+  std::vector<std::size_t> comb(dim);
+  for (std::size_t i = 0; i < dim; ++i) comb[i] = i;
+  auto advance = [&]() -> bool {
+    std::size_t i = dim;
+    while (i-- > 0) {
+      if (comb[i] < m - dim + i) {
+        ++comb[i];
+        for (std::size_t j = i + 1; j < dim; ++j) comb[j] = comb[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+  bool more = true;
+  while (more) {
+    Matrix a(dim, dim);
+    RVec b(dim);
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        a.at(r, c) = planes[comb[r]].coeffs[c];
+      }
+      b[r] = planes[comb[r]].rhs;
+    }
+    if (!a.determinant().is_zero()) {
+      xs.push_back((*solve_square(a, b))[0]);
+    }
+    more = advance();
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
+                              VolumeStats* stats, bool force_sweep);
+
+// One section evaluation: volume of { y : (t, y) in union of cells }.
+Result<Rational> section_volume(const std::vector<LinearCell>& cells,
+                                const Rational& t, std::size_t dim,
+                                VolumeStats* stats, bool force_sweep) {
+  std::vector<LinearCell> sections;
+  for (const auto& cell : cells) {
+    LinearCell restricted = cell.restrict_var(0, t);
+    if (!fm_feasible(restricted.constraints(), dim)) continue;
+    sections.push_back(drop_var(restricted, 0));
+  }
+  if (stats) ++stats->sections_evaluated;
+  return volume_union(std::move(sections), dim - 1, stats, force_sweep);
+}
+
+Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
+                       VolumeStats* stats, bool force_sweep) {
+  if (stats) ++stats->sweep_calls;
+  if (dim == 1) return interval_union_length(cells);
+
+  std::vector<Rational> bps = arrangement_breakpoints(cells, dim);
+  if (stats) stats->breakpoints += bps.size();
+  if (bps.size() < 2) {
+    // Bounded full-dimensional cells must produce at least two distinct
+    // breakpoints; none means the union is empty or degenerate.
+    return Rational(0);
+  }
+  Rational total;
+  for (std::size_t i = 0; i + 1 < bps.size(); ++i) {
+    const Rational& a = bps[i];
+    const Rational& b = bps[i + 1];
+    // Section volume g(t) restricted to (a, b) is a polynomial of degree
+    // <= dim-1: interpolate from dim exact samples.
+    std::vector<std::pair<Rational, Rational>> samples;
+    for (const Rational& t : sample_points(a, b, dim)) {
+      auto g = section_volume(cells, t, dim, stats, force_sweep);
+      if (!g.is_ok()) return g;
+      samples.emplace_back(t, g.value());
+    }
+    UPoly g = interpolate(samples);
+    total += g.integrate(a, b);
+  }
+  return total;
+}
+
+Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
+                              VolumeStats* stats, bool force_sweep) {
+  // Keep only feasible, full-dimensional cells (others have measure 0).
+  std::vector<LinearCell> live;
+  for (auto& cell : cells) {
+    CQA_CHECK(cell.dim() == dim);
+    if (!is_full_dimensional(cell)) continue;
+    live.push_back(std::move(cell));
+  }
+  if (live.empty()) return Rational(0);
+  if (dim == 0) return Rational(1);
+  for (const auto& cell : live) {
+    if (!cell.is_bounded()) {
+      return Status::invalid(
+          "semilinear_volume: unbounded cell (use VOL_I or bound the set)");
+    }
+  }
+  if (!force_sweep) {
+    if (live.size() == 1) {
+      if (stats) ++stats->lasserre_calls;
+      return polytope_volume(Polyhedron(live[0]));
+    }
+    // Pairwise interior-disjoint cells sum exactly (shared boundaries have
+    // measure zero).
+    bool disjoint = true;
+    for (std::size_t i = 0; i < live.size() && disjoint; ++i) {
+      for (std::size_t j = i + 1; j < live.size() && disjoint; ++j) {
+        std::vector<LinearConstraint> both;
+        for (const auto& c : live[i].constraints()) {
+          LinearConstraint s = c.closure();
+          s.cmp = LinCmp::kLt;
+          both.push_back(std::move(s));
+        }
+        for (const auto& c : live[j].constraints()) {
+          LinearConstraint s = c.closure();
+          s.cmp = LinCmp::kLt;
+          both.push_back(std::move(s));
+        }
+        if (fm_feasible(both, dim)) disjoint = false;
+      }
+    }
+    if (disjoint) {
+      Rational total;
+      for (const auto& cell : live) {
+        if (stats) ++stats->lasserre_calls;
+        auto v = polytope_volume(Polyhedron(cell));
+        if (!v.is_ok()) return v;
+        total += v.value();
+      }
+      return total;
+    }
+  }
+  return sweep(live, dim, stats, force_sweep);
+}
+
+}  // namespace
+
+Result<Rational> semilinear_volume(const std::vector<LinearCell>& cells,
+                                   VolumeStats* stats) {
+  if (cells.empty()) return Rational(0);
+  return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/false);
+}
+
+Result<Rational> semilinear_volume_sweep(const std::vector<LinearCell>& cells,
+                                         VolumeStats* stats) {
+  if (cells.empty()) return Rational(0);
+  return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/true);
+}
+
+Result<Rational> formula_volume(const FormulaPtr& f, std::size_t dim) {
+  auto cells = formula_to_cells(f, dim);
+  if (!cells.is_ok()) return cells.status();
+  return semilinear_volume(cells.value());
+}
+
+Result<Rational> formula_volume_I(const FormulaPtr& f, std::size_t dim) {
+  auto cells = formula_to_cells(f, dim);
+  if (!cells.is_ok()) return cells.status();
+  std::vector<LinearCell> boxed;
+  boxed.reserve(cells.value().size());
+  for (const auto& cell : cells.value()) {
+    boxed.push_back(cell.intersect_box(Rational(0), Rational(1)));
+  }
+  return semilinear_volume(boxed);
+}
+
+}  // namespace cqa

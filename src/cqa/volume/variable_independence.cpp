@@ -1,0 +1,83 @@
+#include "cqa/volume/variable_independence.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+bool is_variable_independent(const std::vector<LinearCell>& cells) {
+  for (const auto& cell : cells) {
+    for (const auto& c : cell.constraints()) {
+      int mentioned = 0;
+      for (const auto& coef : c.coeffs) {
+        if (!coef.is_zero()) ++mentioned;
+      }
+      if (mentioned > 1) return false;
+    }
+  }
+  return true;
+}
+
+Result<Rational> volume_variable_independent(
+    const std::vector<LinearCell>& cells) {
+  if (!is_variable_independent(cells)) {
+    return Status::invalid("cells are not variable-independent");
+  }
+  std::vector<LinearCell> live;
+  for (const auto& cell : cells) {
+    if (cell.is_feasible()) live.push_back(cell);
+  }
+  if (live.empty()) return Rational(0);
+  const std::size_t dim = live[0].dim();
+  // Per-axis breakpoints from each cell's (box) bounds.
+  std::vector<std::vector<Rational>> axis_points(dim);
+  for (const auto& cell : live) {
+    if (!cell.is_bounded()) {
+      return Status::invalid("variable-independent volume: unbounded cell");
+    }
+    for (std::size_t v = 0; v < dim; ++v) {
+      AxisInterval iv = cell.project_to_axis(v);
+      if (iv.empty) continue;
+      axis_points[v].push_back(*iv.lo);
+      axis_points[v].push_back(*iv.hi);
+    }
+  }
+  for (auto& pts : axis_points) {
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+    if (pts.size() < 2) return Rational(0);
+  }
+  // Walk the grid; count each full-dim grid box whose midpoint is inside.
+  std::vector<std::size_t> idx(dim, 0);
+  Rational total;
+  for (;;) {
+    RVec mid(dim);
+    Rational vol(1);
+    for (std::size_t v = 0; v < dim; ++v) {
+      const Rational& lo = axis_points[v][idx[v]];
+      const Rational& hi = axis_points[v][idx[v] + 1];
+      mid[v] = Rational::mid(lo, hi);
+      vol *= hi - lo;
+    }
+    bool inside = false;
+    for (const auto& cell : live) {
+      if (cell.contains(mid)) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) total += vol;
+    // Advance the multi-index.
+    std::size_t v = 0;
+    for (; v < dim; ++v) {
+      if (idx[v] + 2 < axis_points[v].size()) {
+        ++idx[v];
+        for (std::size_t w = 0; w < v; ++w) idx[w] = 0;
+        break;
+      }
+    }
+    if (v == dim) break;
+  }
+  return total;
+}
+
+}  // namespace cqa

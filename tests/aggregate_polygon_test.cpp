@@ -1,0 +1,112 @@
+#include "cqa/aggregate/polygon_area.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/logic/parser.h"
+
+namespace cqa {
+namespace {
+
+// Registers a convex polygon as a binary f.r. relation.
+void add_polygon(Database* db, const std::string& name,
+                 const std::string& formula) {
+  VarTable vars;
+  vars.index_of("x");  // slot 0
+  vars.index_of("y");  // slot 1
+  auto f = parse_formula(formula, &vars).value_or_die();
+  CQA_CHECK(db->add_constraint_relation(name, 2, f).is_ok());
+}
+
+TEST(PolygonProgram, VertexFormula) {
+  Database db;
+  add_polygon(&db, "P", "0 <= x & x <= 1 & 0 <= y & y <= 1");
+  PolygonProgram prog = build_polygon_program("P");
+  // Corners are vertices.
+  EXPECT_TRUE(
+      db.holds(prog.vertex, {{0, Rational(0)}, {1, Rational(0)}})
+          .value_or_die());
+  EXPECT_TRUE(
+      db.holds(prog.vertex, {{0, Rational(1)}, {1, Rational(1)}})
+          .value_or_die());
+  // Edge midpoints and interior points are not.
+  EXPECT_FALSE(
+      db.holds(prog.vertex, {{0, Rational(1, 2)}, {1, Rational(0)}})
+          .value_or_die());
+  EXPECT_FALSE(
+      db.holds(prog.vertex, {{0, Rational(1, 2)}, {1, Rational(1, 2)}})
+          .value_or_die());
+  // Points outside are not.
+  EXPECT_FALSE(
+      db.holds(prog.vertex, {{0, Rational(2)}, {1, Rational(0)}})
+          .value_or_die());
+}
+
+TEST(PolygonProgram, AdjacencyFormula) {
+  Database db;
+  add_polygon(&db, "P", "0 <= x & x <= 1 & 0 <= y & y <= 1");
+  PolygonProgram prog = build_polygon_program("P");
+  auto adj = [&](std::int64_t ax, std::int64_t ay, std::int64_t bx,
+                 std::int64_t by) {
+    return db
+        .holds(prog.adjacent, {{0, Rational(ax)},
+                               {1, Rational(ay)},
+                               {2, Rational(bx)},
+                               {3, Rational(by)}})
+        .value_or_die();
+  };
+  EXPECT_TRUE(adj(0, 0, 1, 0));   // bottom edge
+  EXPECT_TRUE(adj(0, 0, 0, 1));   // left edge
+  EXPECT_FALSE(adj(0, 0, 1, 1));  // diagonal
+  EXPECT_FALSE(adj(0, 0, 0, 0));  // not distinct
+}
+
+TEST(PolygonProgram, Psi2Endpoints) {
+  Database db;
+  add_polygon(&db, "P", "0 <= x & x <= 2 & 0 <= y & y <= 1");
+  PolygonProgram prog = build_polygon_program("P");
+  // Coordinates of vertices: {0, 1, 2}.
+  for (std::int64_t u : {0, 1, 2}) {
+    EXPECT_TRUE(db.holds(prog.psi2, {{6, Rational(u)}}).value_or_die()) << u;
+  }
+  EXPECT_FALSE(db.holds(prog.psi2, {{6, Rational(5)}}).value_or_die());
+}
+
+TEST(PolygonArea, Triangle) {
+  Database db;
+  add_polygon(&db, "P", "0 <= x & 0 <= y & x + y <= 1");
+  EXPECT_EQ(convex_polygon_area_geometric(db, "P").value_or_die(),
+            Rational(1, 2));
+  EXPECT_EQ(convex_polygon_area_in_language(db, "P").value_or_die(),
+            Rational(1, 2));
+}
+
+TEST(PolygonArea, Square) {
+  Database db;
+  add_polygon(&db, "P", "0 <= x & x <= 1 & 0 <= y & y <= 1");
+  EXPECT_EQ(convex_polygon_area_geometric(db, "P").value_or_die(),
+            Rational(1));
+  EXPECT_EQ(convex_polygon_area_in_language(db, "P").value_or_die(),
+            Rational(1));
+}
+
+TEST(PolygonArea, Pentagon) {
+  Database db;
+  // Convex pentagon: cut one corner off a 2x2 square.
+  add_polygon(&db, "P",
+              "0 <= x & x <= 2 & 0 <= y & y <= 2 & x + y <= 3");
+  EXPECT_EQ(convex_polygon_area_geometric(db, "P").value_or_die(),
+            Rational(7, 2));
+  EXPECT_EQ(convex_polygon_area_in_language(db, "P").value_or_die(),
+            Rational(7, 2));
+}
+
+TEST(PolygonArea, RejectsWrongArity) {
+  Database db;
+  VarTable vars;
+  auto f = parse_formula("0 <= x & x <= 1", &vars).value_or_die();
+  CQA_CHECK(db.add_constraint_relation("L", 1, f).is_ok());
+  EXPECT_FALSE(convex_polygon_area_in_language(db, "L").is_ok());
+}
+
+}  // namespace
+}  // namespace cqa

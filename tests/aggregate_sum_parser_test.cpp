@@ -1,0 +1,161 @@
+#include "cqa/aggregate/sum_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace {
+
+RVec pt(std::vector<std::int64_t> v) {
+  RVec out;
+  for (auto x : v) out.emplace_back(x);
+  return out;
+}
+
+TEST(SumParser, PaperFirstExample) {
+  // Sum of all interval endpoints of phi(D).
+  Database db;
+  VarTable vars;
+  auto term = parse_sum_term(
+                  "sum[w in end(y : (0 <= y & y <= 1) | (3 <= y & y <= 5))]"
+                  "(x : x = w)",
+                  &vars)
+                  .value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(9));
+}
+
+TEST(SumParser, CountViaSumOfOnes) {
+  Database db;
+  CQA_CHECK(db.add_finite("U", 1, {pt({2}), pt({4}), pt({8})}).is_ok());
+  VarTable vars;
+  auto term = parse_sum_term("sum[w in end(y : U(y))](c : c = 1)", &vars)
+                  .value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(3));
+}
+
+TEST(SumParser, GuardedPairs) {
+  // Gaps between endpoint pairs with a < b: endpoints {0, 1}.
+  Database db;
+  VarTable vars;
+  auto term = parse_sum_term(
+                  "sum[a, b in end(y : 0 <= y & y <= 1) | a < b]"
+                  "(v : v = b - a)",
+                  &vars)
+                  .value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(1));
+}
+
+TEST(SumParser, TermArithmetic) {
+  Database db;
+  VarTable vars;
+  auto term = parse_sum_term(
+                  "3 * sum[w in end(y : 0 <= y & y <= 2)](x : x = w) - 1/2",
+                  &vars)
+                  .value_or_die();
+  // 3 * (0 + 2) - 1/2 = 11/2.
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(11, 2));
+}
+
+TEST(SumParser, NestedSums) {
+  Database db;
+  VarTable vars;
+  // Outer sum of a constant times an inner sum: endpoints {0,1} each.
+  auto term = parse_sum_term(
+                  "sum[w in end(y : 0 <= y & y <= 1)](x : x = 1) * "
+                  "sum[u in end(z : 0 <= z & z <= 3)](x2 : x2 = u)",
+                  &vars)
+                  .value_or_die();
+  // 2 * (0 + 3) = 6.
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(6));
+}
+
+TEST(SumParser, FreeVariablesInTerm) {
+  Database db;
+  VarTable vars;
+  auto term = parse_sum_term("2 * t + 1", &vars).value_or_die();
+  const std::size_t t = static_cast<std::size_t>(vars.find("t"));
+  EXPECT_EQ(term->eval(db, {{t, Rational(5)}}).value_or_die(), Rational(11));
+  EXPECT_FALSE(term->eval(db, {}).is_ok());
+}
+
+TEST(SumParser, ParameterizedRange) {
+  // END depends on a parameter bound at evaluation time.
+  Database db;
+  VarTable vars;
+  auto term = parse_sum_term(
+                  "sum[w in end(y : a <= y & y <= a + 1)](x : x = w)",
+                  &vars)
+                  .value_or_die();
+  const std::size_t a = static_cast<std::size_t>(vars.find("a"));
+  EXPECT_EQ(term->eval(db, {{a, Rational(10)}}).value_or_die(),
+            Rational(21));  // 10 + 11
+}
+
+TEST(SumParser, Negation) {
+  Database db;
+  auto term =
+      parse_sum_term("-sum[w in end(y : 0 <= y & y <= 4)](x : x = w)")
+          .value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(-4));
+}
+
+TEST(SumParser, Errors) {
+  EXPECT_FALSE(parse_sum_term("sum[w end(y : y = 0)](x : x = w)").is_ok());
+  EXPECT_FALSE(parse_sum_term("sum[w in end(y : y = 0)](x : x = w) extra")
+                   .is_ok());
+  EXPECT_FALSE(parse_sum_term("sum[w in end(y : y = 0](x : x = w)").is_ok());
+  EXPECT_FALSE(parse_sum_term("sum[in end(y : y = 0)](x : x = w)").is_ok());
+  EXPECT_FALSE(parse_sum_term("1 +").is_ok());
+  EXPECT_FALSE(parse_sum_term("").is_ok());
+}
+
+TEST(SumParser, CountKeyword) {
+  Database db;
+  CQA_CHECK(db.add_finite("U", 1, {pt({2}), pt({4}), pt({8})}).is_ok());
+  auto term = parse_sum_term("count[w in end(y : U(y))]").value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(3));
+  // Guarded count.
+  auto term2 =
+      parse_sum_term("count[w in end(y : U(y)) | w > 3]").value_or_die();
+  EXPECT_EQ(term2->eval(db, {}).value_or_die(), Rational(2));
+}
+
+TEST(SumParser, AvgKeyword) {
+  Database db;
+  CQA_CHECK(db.add_finite("U", 1, {pt({1}), pt({2}), pt({6})}).is_ok());
+  auto term =
+      parse_sum_term("avg[w in end(y : U(y))](x : x = w)").value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(3));
+  // AVG of an empty range is an error (division by zero count).
+  auto empty = parse_sum_term("avg[w in end(y : U(y)) | w > 100](x : x = w)")
+                   .value_or_die();
+  EXPECT_FALSE(empty->eval(db, {}).is_ok());
+}
+
+TEST(SumParser, DivisionOperator) {
+  Database db;
+  auto term = parse_sum_term(
+                  "sum[w in end(y : 0 <= y & y <= 6)](x : x = w) / "
+                  "count[w2 in end(y2 : 0 <= y2 & y2 <= 6)]")
+                  .value_or_die();
+  EXPECT_EQ(term->eval(db, {}).value_or_die(), Rational(3));  // 6 / 2
+  // Rational literal '1/2' still parses as a constant, not a division.
+  auto lit = parse_sum_term("1/2 + 1/2").value_or_die();
+  EXPECT_EQ(lit->eval(db, {}).value_or_die(), Rational(1));
+  // Division by zero errors at evaluation.
+  auto dz = parse_sum_term(
+                "1 / sum[w in end(y : 0 <= y & y <= 1)](x : x = 0 - w + w)")
+                .value_or_die();
+  EXPECT_FALSE(dz->eval(db, {}).is_ok());
+}
+
+TEST(SumParser, UnsafeSumRejectedAtEval) {
+  // gamma with an interval of solutions: determinism check fires.
+  Database db;
+  auto term = parse_sum_term(
+                  "sum[w in end(y : 0 <= y & y <= 1)](x : x >= w)")
+                  .value_or_die();
+  EXPECT_FALSE(term->eval(db, {}).is_ok());
+}
+
+}  // namespace
+}  // namespace cqa

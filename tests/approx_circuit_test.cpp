@@ -1,0 +1,62 @@
+#include "cqa/approx/circuit.h"
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace {
+
+TEST(Circuit, EvalDeterministic) {
+  Ac0Circuit c(4, 2, 3, 2);
+  Xoshiro rng(5);
+  c.randomize(&rng);
+  std::vector<bool> input = {true, false, true, false};
+  bool v1 = c.eval(input);
+  bool v2 = c.eval(input);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(c.depth(), 2u);
+  EXPECT_EQ(c.size(), 4u);  // 3 + top gate
+}
+
+TEST(Circuit, MutatePreservesShape) {
+  Ac0Circuit c(6, 3, 4, 3);
+  Xoshiro rng(9);
+  c.randomize(&rng);
+  for (int i = 0; i < 100; ++i) c.mutate(&rng);
+  EXPECT_EQ(c.depth(), 3u);
+  std::vector<bool> input(6, true);
+  c.eval(input);  // must not crash
+}
+
+TEST(Circuit, AccuracyInRange) {
+  Ac0Circuit c(8, 2, 4, 3);
+  Xoshiro rng(11);
+  c.randomize(&rng);
+  double acc = separation_accuracy(c, 0.25, 0.75, 400, &rng);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Circuit, SmallWidthSeparationIsEasy) {
+  // With very wide margins and tiny n, local search finds a decent
+  // separator (e.g. an OR works when the reject class is all-zeros).
+  Ac0Circuit best = optimize_separator(4, 2, 4, 4, 0.01, 0.99, 300, 31);
+  Xoshiro rng(17);
+  double acc = separation_accuracy(best, 0.01, 0.99, 500, &rng);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Circuit, AccuracyDegradesWithWidth) {
+  // The Lemma-3 behaviour: fixed-size constant-depth circuits separate
+  // narrow popcount bands worse as n grows.
+  Xoshiro rng(23);
+  Ac0Circuit small_best = optimize_separator(8, 2, 6, 3, 0.4, 0.6, 400, 7);
+  Ac0Circuit large_best = optimize_separator(64, 2, 6, 3, 0.4, 0.6, 400, 7);
+  double small_acc = separation_accuracy(small_best, 0.4, 0.6, 2000, &rng);
+  double large_acc = separation_accuracy(large_best, 0.4, 0.6, 2000, &rng);
+  // Not a theorem at these sizes, but the trend must hold with margin.
+  EXPECT_GT(small_acc, large_acc - 0.15);
+  EXPECT_LT(large_acc, 0.95);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,198 @@
+#include "cqa/constraint/fourier_motzkin.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/constraint/linear_atom.h"
+#include "cqa/logic/parser.h"
+
+namespace cqa {
+namespace {
+
+// Builds a constraint a.x cmp rhs over `dim` variables.
+LinearConstraint lc(std::vector<std::int64_t> coeffs, std::int64_t rhs,
+                    LinCmp cmp = LinCmp::kLe) {
+  LinearConstraint c;
+  for (auto v : coeffs) c.coeffs.emplace_back(v);
+  c.rhs = Rational(rhs);
+  c.cmp = cmp;
+  return c;
+}
+
+TEST(LinearConstraint, FromPolynomial) {
+  VarTable vars;
+  auto p = parse_polynomial("2*x + 3*y - 6", &vars).value_or_die();
+  auto c = to_linear_constraint(p, RelOp::kLe, 2).value_or_die();
+  EXPECT_EQ(c.coeffs, (RVec{Rational(2), Rational(3)}));
+  EXPECT_EQ(c.rhs, Rational(6));
+  EXPECT_EQ(c.cmp, LinCmp::kLe);
+  // Gt flips.
+  auto g = to_linear_constraint(p, RelOp::kGt, 2).value_or_die();
+  EXPECT_EQ(g.coeffs, (RVec{Rational(-2), Rational(-3)}));
+  EXPECT_EQ(g.rhs, Rational(-6));
+  EXPECT_EQ(g.cmp, LinCmp::kLt);
+}
+
+TEST(LinearConstraint, RejectsNonlinearAndNe) {
+  VarTable vars;
+  auto p = parse_polynomial("x*y", &vars).value_or_die();
+  EXPECT_FALSE(to_linear_constraint(p, RelOp::kLe, 2).is_ok());
+  auto q = parse_polynomial("x", &vars).value_or_die();
+  EXPECT_FALSE(to_linear_constraint(q, RelOp::kNe, 2).is_ok());
+}
+
+TEST(LinearConstraint, SatisfiedBy) {
+  auto c = lc({1, 1}, 1, LinCmp::kLt);  // x + y < 1
+  EXPECT_TRUE(c.satisfied_by({Rational(0), Rational(0)}));
+  EXPECT_FALSE(c.satisfied_by({Rational(1, 2), Rational(1, 2)}));  // = 1
+  auto e = lc({1, -1}, 0, LinCmp::kEq);  // x = y
+  EXPECT_TRUE(e.satisfied_by({Rational(3), Rational(3)}));
+  EXPECT_FALSE(e.satisfied_by({Rational(3), Rational(4)}));
+}
+
+TEST(LinearConstraint, Normalized) {
+  auto c = lc({2, 4}, 6);
+  auto n = c.normalized();
+  EXPECT_EQ(n.coeffs, (RVec{Rational(1), Rational(2)}));
+  EXPECT_EQ(n.rhs, Rational(3));
+  // Negative leading coefficient keeps direction (positive scaling only).
+  auto d = lc({-2, 4}, 6).normalized();
+  EXPECT_EQ(d.coeffs, (RVec{Rational(-1), Rational(2)}));
+  EXPECT_EQ(d.rhs, Rational(3));
+}
+
+TEST(FourierMotzkin, EliminateBasic) {
+  // 0 <= y, y <= x : eliminating y gives 0 <= x.
+  std::vector<LinearConstraint> cs = {
+      lc({0, -1}, 0),        // -y <= 0
+      lc({-1, 1}, 0),        // y - x <= 0
+  };
+  auto out = fm_eliminate(cs, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].normalized().coeffs, (RVec{Rational(-1), Rational(0)}));
+  EXPECT_EQ(out[0].rhs, Rational(0));
+}
+
+TEST(FourierMotzkin, StrictPropagation) {
+  // y > 0 and y <= x: eliminate y -> x > 0.
+  std::vector<LinearConstraint> cs = {
+      lc({0, -1}, 0, LinCmp::kLt),  // -y < 0
+      lc({-1, 1}, 0, LinCmp::kLe),  // y <= x
+  };
+  auto out = fm_eliminate(cs, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cmp, LinCmp::kLt);
+}
+
+TEST(FourierMotzkin, EqualityPivot) {
+  // y = 2x, y <= 1, -y <= 0 : eliminate y -> 2x <= 1, -2x <= 0.
+  std::vector<LinearConstraint> cs = {
+      lc({-2, 1}, 0, LinCmp::kEq),  // y - 2x = 0
+      lc({0, 1}, 1),                // y <= 1
+      lc({0, -1}, 0),               // -y <= 0
+  };
+  auto out = fm_eliminate(cs, 1);
+  bool has_upper = false, has_lower = false;
+  for (const auto& c : out) {
+    EXPECT_TRUE(c.coeffs[1].is_zero());
+    if (c.coeffs[0].sign() > 0) has_upper = true;
+    if (c.coeffs[0].sign() < 0) has_lower = true;
+  }
+  EXPECT_TRUE(has_upper);
+  EXPECT_TRUE(has_lower);
+}
+
+TEST(FourierMotzkin, Feasibility) {
+  // 0 < x < 1 feasible; 1 < x < 0 not.
+  EXPECT_TRUE(fm_feasible({lc({-1}, 0, LinCmp::kLt), lc({1}, 1, LinCmp::kLt)},
+                          1));
+  EXPECT_FALSE(fm_feasible({lc({1}, 0, LinCmp::kLt), lc({-1}, -1, LinCmp::kLt)},
+                           1));
+  // x <= 0 and x >= 0 feasible (just x = 0)...
+  EXPECT_TRUE(fm_feasible({lc({1}, 0), lc({-1}, 0)}, 1));
+  // ... but x < 0 & x >= 0 is not.
+  EXPECT_FALSE(fm_feasible({lc({1}, 0, LinCmp::kLt), lc({-1}, 0)}, 1));
+  // Triangle in 2D.
+  EXPECT_TRUE(fm_feasible(
+      {lc({-1, 0}, 0), lc({0, -1}, 0), lc({1, 1}, 1)}, 2));
+  // Contradictory equalities.
+  EXPECT_FALSE(fm_feasible(
+      {lc({1, 0}, 0, LinCmp::kEq), lc({1, 0}, 1, LinCmp::kEq)}, 2));
+}
+
+TEST(FourierMotzkin, SamplePoint) {
+  // Open triangle: x > 0, y > 0, x + y < 1.
+  std::vector<LinearConstraint> cs = {
+      lc({-1, 0}, 0, LinCmp::kLt),
+      lc({0, -1}, 0, LinCmp::kLt),
+      lc({1, 1}, 1, LinCmp::kLt),
+  };
+  auto p = fm_sample_point(cs, 2);
+  ASSERT_TRUE(p.has_value());
+  for (const auto& c : cs) EXPECT_TRUE(c.satisfied_by(*p));
+
+  // Single point x = y = 1/2.
+  std::vector<LinearConstraint> eqs = {
+      lc({2, 0}, 1, LinCmp::kEq),
+      lc({0, 2}, 1, LinCmp::kEq),
+  };
+  auto q = fm_sample_point(eqs, 2);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)[0], Rational(1, 2));
+  EXPECT_EQ((*q)[1], Rational(1, 2));
+
+  // Infeasible.
+  EXPECT_FALSE(fm_sample_point({lc({1}, 0, LinCmp::kLt), lc({-1}, 0)}, 1)
+                   .has_value());
+}
+
+TEST(FourierMotzkin, SamplePointUnbounded) {
+  // Half-plane x >= 3.
+  auto p = fm_sample_point({lc({-1, 0}, -3)}, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GE((*p)[0], Rational(3));
+}
+
+TEST(FourierMotzkin, ProjectToAxis) {
+  // Triangle 0 <= x, 0 <= y, x + y <= 1: x-range is [0, 1].
+  std::vector<LinearConstraint> cs = {
+      lc({-1, 0}, 0), lc({0, -1}, 0), lc({1, 1}, 1)};
+  AxisInterval iv = fm_project_to_axis(cs, 0, 2);
+  EXPECT_FALSE(iv.empty);
+  ASSERT_TRUE(iv.lo.has_value());
+  ASSERT_TRUE(iv.hi.has_value());
+  EXPECT_EQ(*iv.lo, Rational(0));
+  EXPECT_EQ(*iv.hi, Rational(1));
+  EXPECT_FALSE(iv.lo_strict);
+  EXPECT_FALSE(iv.hi_strict);
+  // y-range of the strict upper half: y > x restricted to the triangle.
+  cs.push_back(lc({1, -1}, 0, LinCmp::kLt));  // x - y < 0
+  AxisInterval ivy = fm_project_to_axis(cs, 1, 2);
+  EXPECT_EQ(*ivy.lo, Rational(0));
+  EXPECT_TRUE(ivy.lo_strict);
+  EXPECT_EQ(*ivy.hi, Rational(1));
+}
+
+TEST(FourierMotzkin, SimplifyDedupAndDominance) {
+  std::vector<LinearConstraint> cs = {
+      lc({2, 0}, 2),   // x <= 1 scaled
+      lc({1, 0}, 1),   // x <= 1
+      lc({1, 0}, 5),   // x <= 5 dominated
+      lc({0, 0}, 1),   // 0 <= 1 trivially true
+  };
+  auto out = fm_simplify(cs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].normalized().rhs, Rational(1));
+}
+
+TEST(FourierMotzkin, StrictDominatesWeakAtSameRhs) {
+  std::vector<LinearConstraint> cs = {
+      lc({1}, 1, LinCmp::kLt),
+      lc({1}, 1, LinCmp::kLe),
+  };
+  auto out = fm_simplify(cs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cmp, LinCmp::kLt);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,148 @@
+#include "cqa/logic/decide.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/logic/parser.h"
+#include "cqa/poly/root_isolation.h"
+
+namespace cqa {
+namespace {
+
+bool decide_str(const std::string& s) {
+  auto f = parse_formula(s).value_or_die();
+  return decide_sentence(f).value_or_die();
+}
+
+TEST(Decide, QuantifierFreeGround) {
+  EXPECT_TRUE(decide_str("1 < 2"));
+  EXPECT_FALSE(decide_str("2 < 1"));
+  EXPECT_TRUE(decide_str("1 < 2 & 3 > 2"));
+  EXPECT_TRUE(decide_str("1 > 2 | 3 > 2"));
+  EXPECT_TRUE(decide_str("!(1 > 2)"));
+}
+
+TEST(Decide, SimpleExistentials) {
+  EXPECT_TRUE(decide_str("E x. x > 0"));
+  EXPECT_TRUE(decide_str("E x. x^2 = 2"));
+  EXPECT_FALSE(decide_str("E x. x^2 = 0 - 1"));
+  EXPECT_FALSE(decide_str("E x. x^2 < 0"));
+  EXPECT_TRUE(decide_str("E x. x^2 <= 0"));
+  EXPECT_TRUE(decide_str("E x. x^3 - 2*x + 1 = 0"));
+}
+
+TEST(Decide, SimpleUniversals) {
+  EXPECT_TRUE(decide_str("A x. x^2 >= 0"));
+  EXPECT_FALSE(decide_str("A x. x^2 > 0"));
+  EXPECT_TRUE(decide_str("A x. x^2 + 1 > 0"));
+  EXPECT_TRUE(decide_str("A x. x^2 - 2*x + 1 >= 0"));  // (x-1)^2
+  EXPECT_FALSE(decide_str("A x. x > 0"));
+}
+
+TEST(Decide, IntervalReasoning) {
+  EXPECT_TRUE(decide_str("E x. 0 < x & x < 1 & x^2 < x"));
+  EXPECT_FALSE(decide_str("E x. 0 < x & x < 1 & x^2 > x"));
+  EXPECT_TRUE(decide_str("E x. x > 1 & x^2 > x"));
+  // Dense order: between any two points there is a third.
+  EXPECT_TRUE(decide_str("E x. 1 < x & x < 1.0000001"));
+}
+
+TEST(Decide, AlgebraicWitnessRequired) {
+  // The ONLY witness is x = sqrt(2): needs the algebraic-point branch.
+  EXPECT_TRUE(decide_str("E x. x^2 = 2 & x > 1 & x < 2"));
+  EXPECT_FALSE(decide_str("E x. x^2 = 2 & x > 2"));
+  // Double root witness.
+  EXPECT_TRUE(decide_str("E x. x^2 - 2*x + 1 <= 0"));
+}
+
+TEST(Decide, NestedSeparableQuantifiers) {
+  // A x exists y independent atoms.
+  EXPECT_TRUE(decide_str("A x. E y. y^2 = 2 & (x^2 >= 0)"));
+  EXPECT_TRUE(decide_str("E x. E y. x > 0 & y < 0"));
+  EXPECT_FALSE(decide_str("E x. A y. y^2 >= 0 & x^2 < 0"));
+}
+
+TEST(Decide, CoupledLinearAtoms) {
+  // Atoms coupling two quantified variables: x < y. The decide()
+  // procedure processes the OUTER variable first; its atoms mention the
+  // inner y, which is unassigned -> unsupported, reported as such.
+  auto f = parse_formula("E x. E y. x < y").value_or_die();
+  auto r = decide_sentence(f);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Decide, InnerCoupledWithAssignedOuter) {
+  // Free variable assigned, so the atom y > x becomes univariate in y.
+  VarTable vars;
+  auto f = parse_formula("E y. y > x & y < 1", &vars).value_or_die();
+  const std::size_t x = static_cast<std::size_t>(vars.find("x"));
+  EXPECT_TRUE(decide(f, {{x, Rational(0)}}).value_or_die());
+  EXPECT_FALSE(decide(f, {{x, Rational(2)}}).value_or_die());
+  EXPECT_FALSE(decide(f, {{x, Rational(1)}}).value_or_die());
+}
+
+TEST(Decide, BoundVariableShadowsAssignment) {
+  // Assigning the same index as a bound variable must not leak inside.
+  VarTable vars;
+  auto f = parse_formula("E y. y^2 = 2", &vars).value_or_die();
+  const std::size_t y = static_cast<std::size_t>(vars.find("y"));
+  EXPECT_TRUE(decide(f, {{y, Rational(100)}}).value_or_die());
+}
+
+TEST(Decide, WithAssignment) {
+  auto f = parse_formula("x^2 + y^2 <= 1").value_or_die();
+  EXPECT_TRUE(decide(f, {{0, Rational(0)}, {1, Rational(1)}}).value_or_die());
+  EXPECT_FALSE(decide(f, {{0, Rational(1)}, {1, Rational(1)}}).value_or_die());
+  // Missing assignment -> error.
+  EXPECT_FALSE(decide(f, {{0, Rational(0)}}).is_ok());
+}
+
+TEST(Decide, UnusedQuantifiedVariable) {
+  EXPECT_TRUE(decide_str("E x. 1 < 2"));
+  EXPECT_FALSE(decide_str("E x. 1 > 2"));
+  EXPECT_TRUE(decide_str("A x. 1 < 2"));
+}
+
+TEST(Decide, PolynomialSignAnalysis) {
+  // x^3 - x = x(x-1)(x+1): positive on (-1,0) and (1,inf).
+  EXPECT_TRUE(decide_str("E x. x^3 - x > 0 & x < 0"));
+  EXPECT_TRUE(decide_str("E x. x^3 - x > 0 & x > 1"));
+  EXPECT_FALSE(decide_str("E x. x^3 - x > 0 & 0 < x & x < 1"));
+  EXPECT_FALSE(decide_str("E x. x^3 - x > 0 & x < 0 - 1"));
+}
+
+TEST(Decide, RationalBetween) {
+  auto roots = isolate_real_roots(
+      UPoly({Rational(-2), Rational(0), Rational(1)}));  // +-sqrt2
+  AlgebraicNumber lo = AlgebraicNumber::from_root(roots[0]);
+  AlgebraicNumber hi = AlgebraicNumber::from_root(roots[1]);
+  Rational mid = rational_between(lo, hi);
+  EXPECT_GT(hi.cmp(mid), 0);
+  EXPECT_LT(lo.cmp(mid), 0);
+  // Between two rationals.
+  Rational m2 = rational_between(AlgebraicNumber::from_rational(Rational(1)),
+                                 AlgebraicNumber::from_rational(Rational(2)));
+  EXPECT_GT(m2, Rational(1));
+  EXPECT_LT(m2, Rational(2));
+  // Between a rational and an adjacent algebraic.
+  Rational m3 = rational_between(AlgebraicNumber::from_rational(Rational(14, 10)),
+                                 hi);
+  EXPECT_GT(m3, Rational(14, 10));
+  EXPECT_EQ(hi.cmp(m3), 1);
+}
+
+TEST(Decide, TarskiStyleFacts) {
+  // Intermediate value: x^5 + x - 1 has a root in (0, 1).
+  EXPECT_TRUE(decide_str("E x. x^5 + x - 1 = 0 & 0 < x & x < 1"));
+  // Discriminant fact: x^2 + bx + 1 has a real root iff |b| >= 2, check b=3.
+  auto f = parse_formula("E x. x^2 + b*x + 1 = 0").value_or_die();
+  VarTable vars;
+  auto g = parse_formula("E x. x^2 + b*x + 1 = 0", &vars).value_or_die();
+  std::size_t b = static_cast<std::size_t>(vars.find("b"));
+  EXPECT_TRUE(decide(g, {{b, Rational(3)}}).value_or_die());
+  EXPECT_FALSE(decide(g, {{b, Rational(1)}}).value_or_die());
+  EXPECT_TRUE(decide(g, {{b, Rational(2)}}).value_or_die());  // double root
+}
+
+}  // namespace
+}  // namespace cqa

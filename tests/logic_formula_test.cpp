@@ -1,0 +1,188 @@
+#include "cqa/logic/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/logic/parser.h"
+#include "cqa/logic/printer.h"
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+namespace {
+
+Polynomial X() { return Polynomial::variable(0); }
+Polynomial Y() { return Polynomial::variable(1); }
+Polynomial C(std::int64_t v) { return Polynomial::constant(Rational(v)); }
+
+TEST(Formula, ConstantsFold) {
+  EXPECT_EQ(Formula::atom(C(1), RelOp::kGt)->kind(), Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::atom(C(1), RelOp::kLt)->kind(), Formula::Kind::kFalse);
+  EXPECT_EQ(Formula::atom(Polynomial(), RelOp::kEq)->kind(),
+            Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::f_and(Formula::make_true(), Formula::make_false())->kind(),
+            Formula::Kind::kFalse);
+  EXPECT_EQ(Formula::f_or(Formula::make_true(), Formula::make_false())->kind(),
+            Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::f_and({})->kind(), Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::f_or({})->kind(), Formula::Kind::kFalse);
+}
+
+TEST(Formula, NotFoldsAtoms) {
+  FormulaPtr a = Formula::lt(X(), C(1));  // x - 1 < 0
+  FormulaPtr na = Formula::f_not(a);
+  EXPECT_EQ(na->kind(), Formula::Kind::kAtom);
+  EXPECT_EQ(na->op(), RelOp::kGe);
+  FormulaPtr nna = Formula::f_not(na);
+  EXPECT_EQ(nna->op(), RelOp::kLt);
+  EXPECT_EQ(nna->poly(), a->poly());
+}
+
+TEST(Formula, AndOrFlatten) {
+  FormulaPtr a = Formula::lt(X(), C(1));
+  FormulaPtr b = Formula::gt(X(), C(0));
+  FormulaPtr c = Formula::lt(Y(), C(2));
+  FormulaPtr f = Formula::f_and(Formula::f_and(a, b), c);
+  EXPECT_EQ(f->children().size(), 3u);
+  FormulaPtr g = Formula::f_or(Formula::f_or(a, b), c);
+  EXPECT_EQ(g->children().size(), 3u);
+}
+
+TEST(Formula, FreeVarsAndQuantifiers) {
+  // E y. x < y & y < z
+  FormulaPtr body = Formula::f_and(Formula::lt(X(), Y()),
+                                   Formula::lt(Y(), Polynomial::variable(2)));
+  FormulaPtr f = Formula::exists(1, body);
+  auto fv = f->free_vars();
+  EXPECT_EQ(fv.size(), 2u);
+  EXPECT_TRUE(fv.count(0));
+  EXPECT_TRUE(fv.count(2));
+  EXPECT_FALSE(fv.count(1));
+  EXPECT_FALSE(f->is_quantifier_free());
+  EXPECT_TRUE(body->is_quantifier_free());
+  EXPECT_EQ(f->count_quantifiers(), 1u);
+  EXPECT_EQ(f->count_atoms(), 2u);
+  EXPECT_EQ(f->max_var(), 2);
+}
+
+TEST(Formula, IsLinear) {
+  EXPECT_TRUE(Formula::lt(X() + Y(), C(1))->is_linear());
+  EXPECT_FALSE(Formula::lt(X() * Y(), C(1))->is_linear());
+  FormulaPtr p = Formula::predicate("S", {X() * X()});
+  EXPECT_FALSE(p->is_linear());
+  EXPECT_TRUE(p->has_predicates());
+  EXPECT_FALSE(Formula::lt(X(), C(1))->has_predicates());
+}
+
+TEST(Transform, NnfPushesNegation) {
+  // !(x < 1 & y > 0) -> x >= 1 | y <= 0
+  FormulaPtr f = Formula::f_not(
+      Formula::f_and(Formula::lt(X(), C(1)), Formula::gt(Y(), C(0))));
+  FormulaPtr n = to_nnf(f);
+  EXPECT_EQ(n->kind(), Formula::Kind::kOr);
+  EXPECT_EQ(n->children()[0]->op(), RelOp::kGe);
+  EXPECT_EQ(n->children()[1]->op(), RelOp::kLe);
+}
+
+TEST(Transform, NnfQuantifierDuality) {
+  // !(E x. x > 0) -> A x. x <= 0
+  FormulaPtr f = Formula::f_not(Formula::exists(0, Formula::gt(X(), C(0))));
+  FormulaPtr n = to_nnf(f);
+  EXPECT_EQ(n->kind(), Formula::Kind::kForall);
+  EXPECT_EQ(n->children()[0]->op(), RelOp::kLe);
+}
+
+TEST(Transform, SubstituteVarConstant) {
+  FormulaPtr f = Formula::lt(X() + Y(), C(3));
+  FormulaPtr g = substitute_var(f, 0, Rational(1));
+  EXPECT_EQ(g->kind(), Formula::Kind::kAtom);
+  EXPECT_EQ(g->poly().degree_in(0), 0);
+  // y + 1 - 3 < 0, i.e. y - 2 < 0.
+  EXPECT_EQ(g->poly(), Y() - C(2));
+}
+
+TEST(Transform, SubstituteVarsCaptureAvoidance) {
+  // f = E y. y > x. Substituting x := y must NOT capture.
+  FormulaPtr f = Formula::exists(1, Formula::gt(Y(), X()));
+  std::map<std::size_t, Polynomial> sub;
+  sub.emplace(0u, Y());
+  FormulaPtr g = substitute_vars(f, sub);
+  // Result: E w. w > y, with w a fresh variable != 1.
+  EXPECT_EQ(g->kind(), Formula::Kind::kExists);
+  EXPECT_NE(g->var(), 1u);
+  auto fv = g->free_vars();
+  EXPECT_TRUE(fv.count(1));
+  EXPECT_EQ(fv.size(), 1u);
+}
+
+TEST(Transform, SubstitutePredicate) {
+  // f = S(x+1) & x > 0; def of S(v0) = v0 < 2.
+  FormulaPtr f = Formula::f_and(Formula::predicate("S", {X() + C(1)}),
+                                Formula::gt(X(), C(0)));
+  FormulaPtr def = Formula::lt(X(), C(2));  // v0 < 2 (v0 is var 0)
+  FormulaPtr g = substitute_predicate(f, "S", 1, def);
+  EXPECT_FALSE(g->has_predicates());
+  // g should be (x+1 < 2) & (x > 0) == (x - 1 < 0) & ...
+  EXPECT_EQ(g->kind(), Formula::Kind::kAnd);
+  EXPECT_EQ(g->children()[0]->poly(), X() - C(1));
+}
+
+TEST(Transform, DnfBasics) {
+  // (a | b) & c -> ac | bc
+  FormulaPtr a = Formula::lt(X(), C(0));
+  FormulaPtr b = Formula::gt(X(), C(5));
+  FormulaPtr c = Formula::lt(Y(), C(1));
+  auto dnf = to_dnf(Formula::f_and(Formula::f_or(a, b), c));
+  ASSERT_TRUE(dnf.is_ok());
+  EXPECT_EQ(dnf.value().size(), 2u);
+  EXPECT_EQ(dnf.value()[0].size(), 2u);
+  EXPECT_EQ(dnf.value()[1].size(), 2u);
+}
+
+TEST(Transform, DnfOfTrueFalse) {
+  auto t = to_dnf(Formula::make_true());
+  ASSERT_TRUE(t.is_ok());
+  ASSERT_EQ(t.value().size(), 1u);
+  EXPECT_TRUE(t.value()[0].empty());
+  auto f = to_dnf(Formula::make_false());
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_TRUE(f.value().empty());
+}
+
+TEST(Transform, DnfNegationFolded) {
+  // !(x < 1 | y = 0) -> x >= 1 & y != 0 : one cell, two literals.
+  FormulaPtr f = Formula::f_not(
+      Formula::f_or(Formula::lt(X(), C(1)), Formula::eq(Y(), C(0))));
+  auto dnf = to_dnf(f);
+  ASSERT_TRUE(dnf.is_ok());
+  ASSERT_EQ(dnf.value().size(), 1u);
+  EXPECT_EQ(dnf.value()[0].size(), 2u);
+}
+
+TEST(Transform, DnfRejectsQuantified) {
+  FormulaPtr f = Formula::exists(0, Formula::gt(X(), C(0)));
+  EXPECT_FALSE(to_dnf(f).is_ok());
+}
+
+TEST(Transform, FromDnfRoundTrip) {
+  FormulaPtr f = Formula::f_or(
+      Formula::f_and(Formula::gt(X(), C(0)), Formula::lt(X(), C(1))),
+      Formula::eq(Y(), C(2)));
+  auto dnf = to_dnf(f);
+  ASSERT_TRUE(dnf.is_ok());
+  FormulaPtr g = from_dnf(dnf.value());
+  // Same atoms count and same DNF shape after re-normalizing.
+  auto dnf2 = to_dnf(g);
+  ASSERT_TRUE(dnf2.is_ok());
+  EXPECT_EQ(dnf.value().size(), dnf2.value().size());
+}
+
+TEST(Printer, RendersReadably) {
+  VarTable vars;
+  auto f = parse_formula("E y. x < y & y < 1", &vars);
+  ASSERT_TRUE(f.is_ok());
+  std::string s = to_string(f.value(), vars);
+  EXPECT_NE(s.find("E y."), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqa

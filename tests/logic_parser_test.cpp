@@ -1,0 +1,200 @@
+#include "cqa/logic/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/logic/eval.h"
+#include "cqa/logic/printer.h"
+
+namespace cqa {
+namespace {
+
+TEST(Parser, SimpleAtom) {
+  VarTable vars;
+  auto f = parse_formula("x < 1", &vars);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->kind(), Formula::Kind::kAtom);
+  EXPECT_EQ(f.value()->op(), RelOp::kLt);
+  EXPECT_EQ(vars.find("x"), 0);
+}
+
+TEST(Parser, AllOperators) {
+  for (const char* s : {"x < 1", "x <= 1", "x = 1", "x != 1", "x > 1",
+                        "x >= 1"}) {
+    auto f = parse_formula(s);
+    ASSERT_TRUE(f.is_ok()) << s;
+    EXPECT_EQ(f.value()->kind(), Formula::Kind::kAtom) << s;
+  }
+}
+
+TEST(Parser, PolynomialArithmetic) {
+  VarTable vars;
+  auto p = parse_polynomial("2*x^2 - 3*x*y + 1/2", &vars);
+  ASSERT_TRUE(p.is_ok());
+  Polynomial x = Polynomial::variable(vars.index_of("x"));
+  Polynomial y = Polynomial::variable(vars.index_of("y"));
+  Polynomial expect = x.pow(2) * Rational(2) - x * y * Rational(3) +
+                      Polynomial::constant(Rational(1, 2));
+  EXPECT_EQ(p.value(), expect);
+}
+
+TEST(Parser, DecimalAndRationalLiterals) {
+  VarTable vars;
+  auto p = parse_polynomial("0.25 + 3/4", &vars);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p.value(), Polynomial::constant(Rational(1)));
+}
+
+TEST(Parser, Precedence) {
+  // a | b & c parses as a | (b & c).
+  auto f = parse_formula("x < 0 | x > 1 & x < 2");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->kind(), Formula::Kind::kOr);
+  ASSERT_EQ(f.value()->children().size(), 2u);
+  EXPECT_EQ(f.value()->children()[1]->kind(), Formula::Kind::kAnd);
+}
+
+TEST(Parser, Parentheses) {
+  auto f = parse_formula("(x < 0 | x > 1) & x < 2");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->kind(), Formula::Kind::kAnd);
+}
+
+TEST(Parser, ParenthesizedExprAtom) {
+  auto f = parse_formula("(x + 1) < y");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->kind(), Formula::Kind::kAtom);
+}
+
+TEST(Parser, Quantifiers) {
+  VarTable vars;
+  auto f = parse_formula("E y. x < y & y < 1", &vars);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->kind(), Formula::Kind::kExists);
+  // Quantifier scope extends right: body is the whole conjunction.
+  EXPECT_EQ(f.value()->children()[0]->kind(), Formula::Kind::kAnd);
+  auto g = parse_formula("A x. x^2 >= 0");
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value()->kind(), Formula::Kind::kForall);
+  // Trivially true bodies fold through the quantifier.
+  auto h = parse_formula("A x. x = x");
+  ASSERT_TRUE(h.is_ok());
+  EXPECT_EQ(h.value()->kind(), Formula::Kind::kTrue);
+}
+
+TEST(Parser, NestedQuantifiers) {
+  auto f = parse_formula("E x. A y. x*y <= 0 | y > 0");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->count_quantifiers(), 2u);
+}
+
+TEST(Parser, Predicates) {
+  VarTable vars;
+  auto f = parse_formula("U(x) & U(y) & x < y", &vars);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_TRUE(f.value()->has_predicates());
+  auto g = parse_formula("R(x, y + 1, 2*z)", &vars);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value()->kind(), Formula::Kind::kPredicate);
+  EXPECT_EQ(g.value()->args().size(), 3u);
+}
+
+TEST(Parser, PredicateVsQuantifierAmbiguity) {
+  // "Edge(x, y)" must parse as a predicate, not "E dge...".
+  auto f = parse_formula("Edge(x, y)");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->kind(), Formula::Kind::kPredicate);
+  EXPECT_EQ(f.value()->pred_name(), "Edge");
+}
+
+TEST(Parser, TrueFalse) {
+  EXPECT_EQ(parse_formula("true").value()->kind(), Formula::Kind::kTrue);
+  EXPECT_EQ(parse_formula("false").value()->kind(), Formula::Kind::kFalse);
+}
+
+TEST(Parser, Negation) {
+  auto f = parse_formula("!(x < 1)");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ(f.value()->op(), RelOp::kGe);  // folded
+  auto g = parse_formula("!U(x)");
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value()->kind(), Formula::Kind::kNot);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(parse_formula("x <").is_ok());
+  EXPECT_FALSE(parse_formula("x < 1 extra").is_ok());
+  EXPECT_FALSE(parse_formula("(x < 1").is_ok());
+  EXPECT_FALSE(parse_formula("E . x < 1").is_ok());
+  EXPECT_FALSE(parse_formula("x ~ 1").is_ok());
+  EXPECT_FALSE(parse_formula("").is_ok());
+}
+
+TEST(Parser, SharedVarTable) {
+  VarTable vars;
+  auto f1 = parse_formula("x < y", &vars);
+  auto f2 = parse_formula("y < z", &vars);
+  ASSERT_TRUE(f1.is_ok());
+  ASSERT_TRUE(f2.is_ok());
+  EXPECT_EQ(vars.find("x"), 0);
+  EXPECT_EQ(vars.find("y"), 1);
+  EXPECT_EQ(vars.find("z"), 2);
+  // f2's "y" is the same variable index as f1's.
+  EXPECT_TRUE(f2.value()->free_vars().count(1));
+}
+
+TEST(Parser, PrintParseRoundTrip) {
+  VarTable vars;
+  const char* inputs[] = {
+      "x < 1 & y >= 0",
+      "E z. x + z = y",
+      "x^2 + y^2 <= 1",
+      "!U(x) | x > 2",
+  };
+  for (const char* s : inputs) {
+    auto f = parse_formula(s, &vars);
+    ASSERT_TRUE(f.is_ok()) << s;
+    std::string printed = to_string(f.value(), vars);
+    auto g = parse_formula(printed, &vars);
+    ASSERT_TRUE(g.is_ok()) << printed;
+    EXPECT_EQ(printed, to_string(g.value(), vars)) << s;
+  }
+}
+
+TEST(Eval, QuantifierFree) {
+  VarTable vars;
+  auto f = parse_formula("x^2 + y^2 <= 1", &vars).value_or_die();
+  EXPECT_TRUE(eval_qf(f, {Rational(1, 2), Rational(1, 2)}).value_or_die());
+  EXPECT_FALSE(eval_qf(f, {Rational(1), Rational(1)}).value_or_die());
+  // Boundary: exactly on the circle.
+  EXPECT_TRUE(eval_qf(f, {Rational(1), Rational(0)}).value_or_die());
+  EXPECT_TRUE(eval_qf_double(f, {0.5, 0.5}).value_or_die());
+  EXPECT_FALSE(eval_qf_double(f, {1.0, 1.0}).value_or_die());
+}
+
+TEST(Eval, PredicateNeedsOracle) {
+  auto f = parse_formula("U(x)").value_or_die();
+  EXPECT_FALSE(eval_qf(f, {Rational(0)}).is_ok());
+}
+
+class SetOracle : public PredicateOracle {
+ public:
+  bool contains(const std::string& name, const RVec& tuple) const override {
+    return name == "U" && tuple.size() == 1 && tuple[0] == Rational(7);
+  }
+};
+
+TEST(Eval, PredicateWithOracle) {
+  VarTable vars;
+  auto f = parse_formula("U(x + 1)", &vars).value_or_die();
+  SetOracle oracle;
+  EXPECT_TRUE(eval_qf(f, {Rational(6)}, &oracle).value_or_die());
+  EXPECT_FALSE(eval_qf(f, {Rational(7)}, &oracle).value_or_die());
+}
+
+TEST(Eval, RejectsQuantified) {
+  auto f = parse_formula("E x. x > 0").value_or_die();
+  EXPECT_FALSE(eval_qf(f, {}).is_ok());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,114 @@
+#include "cqa/poly/polynomial.h"
+
+#include <gtest/gtest.h>
+
+namespace cqa {
+namespace {
+
+Polynomial X() { return Polynomial::variable(0); }
+Polynomial Y() { return Polynomial::variable(1); }
+Polynomial C(std::int64_t n, std::int64_t d = 1) {
+  return Polynomial::constant(Rational(n, d));
+}
+
+TEST(Polynomial, ZeroAndConstant) {
+  Polynomial z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_constant());
+  EXPECT_EQ(z.total_degree(), -1);
+  EXPECT_EQ(z.max_var(), -1);
+  EXPECT_EQ(C(5).constant_term(), Rational(5));
+  EXPECT_TRUE(C(5).is_constant());
+  EXPECT_EQ(C(0), Polynomial());
+}
+
+TEST(Polynomial, Arithmetic) {
+  Polynomial p = X() + Y();             // x + y
+  Polynomial q = X() - Y();             // x - y
+  Polynomial prod = p * q;              // x^2 - y^2
+  EXPECT_EQ(prod, X() * X() - Y() * Y());
+  EXPECT_EQ(p + q, C(2) * X());
+  EXPECT_EQ(p - p, Polynomial());
+  EXPECT_EQ((p * C(0)), Polynomial());
+}
+
+TEST(Polynomial, Degrees) {
+  Polynomial p = X() * X() * Y() + X();  // x^2 y + x
+  EXPECT_EQ(p.total_degree(), 3);
+  EXPECT_EQ(p.degree_in(0), 2);
+  EXPECT_EQ(p.degree_in(1), 1);
+  EXPECT_EQ(p.degree_in(5), 0);
+  EXPECT_EQ(p.max_var(), 1);
+}
+
+TEST(Polynomial, Pow) {
+  Polynomial p = X() + C(1);
+  Polynomial cube = p.pow(3);  // x^3 + 3x^2 + 3x + 1
+  EXPECT_EQ(cube.eval({Rational(2)}), Rational(27));
+  EXPECT_EQ(p.pow(0), C(1));
+}
+
+TEST(Polynomial, Derivative) {
+  Polynomial p = X().pow(3) * Y() + X() * Y();  // x^3 y + x y
+  Polynomial dx = p.derivative(0);              // 3 x^2 y + y
+  EXPECT_EQ(dx, C(3) * X().pow(2) * Y() + Y());
+  Polynomial dy = p.derivative(1);              // x^3 + x
+  EXPECT_EQ(dy, X().pow(3) + X());
+  EXPECT_EQ(C(7).derivative(0), Polynomial());
+}
+
+TEST(Polynomial, Eval) {
+  Polynomial p = X().pow(2) + Y() * C(2) + C(1);
+  EXPECT_EQ(p.eval({Rational(3), Rational(1, 2)}), Rational(11));
+  EXPECT_DOUBLE_EQ(p.eval_double({3.0, 0.5}), 11.0);
+}
+
+TEST(Polynomial, SubstituteRational) {
+  Polynomial p = X().pow(2) * Y() + Y();
+  Polynomial sub = p.substitute(0, Rational(2));  // 4y + y = 5y
+  EXPECT_EQ(sub, C(5) * Y());
+  EXPECT_EQ(sub.degree_in(0), 0);
+}
+
+TEST(Polynomial, SubstitutePolynomial) {
+  Polynomial p = X().pow(2);
+  Polynomial sub = p.substitute(0, Y() + C(1));  // (y+1)^2
+  EXPECT_EQ(sub, Y().pow(2) + C(2) * Y() + C(1));
+}
+
+TEST(Polynomial, Rename) {
+  Polynomial p = X().pow(2) + X();
+  Polynomial r = p.rename(0, 3);
+  EXPECT_EQ(r.degree_in(0), 0);
+  EXPECT_EQ(r.degree_in(3), 2);
+  EXPECT_EQ(r.eval({Rational(), Rational(), Rational(), Rational(2)}),
+            Rational(6));
+}
+
+TEST(Polynomial, CoefficientsIn) {
+  Polynomial p = X().pow(2) * Y() + X() * C(3) + C(7);
+  auto coeffs = p.coefficients_in(0);  // in x: [7, 3, y]
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_EQ(coeffs[0], C(7));
+  EXPECT_EQ(coeffs[1], C(3));
+  EXPECT_EQ(coeffs[2], Y());
+}
+
+TEST(Polynomial, IsLinear) {
+  EXPECT_TRUE((X() + Y() * C(2) + C(1)).is_linear());
+  EXPECT_TRUE(C(5).is_linear());
+  EXPECT_FALSE((X() * Y()).is_linear());
+  EXPECT_FALSE(X().pow(2).is_linear());
+}
+
+TEST(Polynomial, ToString) {
+  Polynomial p = X().pow(2) * C(2) - Y() + C(-1, 2);
+  std::string s = p.to_string();
+  EXPECT_NE(s.find("2*x0^2"), std::string::npos);
+  EXPECT_NE(s.find("x1"), std::string::npos);
+  EXPECT_EQ(Polynomial().to_string(), "0");
+  EXPECT_EQ((X() - X()).to_string(), "0");
+}
+
+}  // namespace
+}  // namespace cqa

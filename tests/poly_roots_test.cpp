@@ -1,0 +1,149 @@
+#include "cqa/poly/root_isolation.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/poly/algebraic.h"
+
+namespace cqa {
+namespace {
+
+UPoly up(std::vector<std::int64_t> coeffs) {
+  std::vector<Rational> c;
+  for (auto v : coeffs) c.emplace_back(v);
+  return UPoly(std::move(c));
+}
+
+TEST(RootIsolation, LinearExact) {
+  auto roots = isolate_real_roots(up({-3, 2}));  // 2x - 3
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_TRUE(roots[0].is_exact());
+  EXPECT_EQ(roots[0].lo, Rational(3, 2));
+}
+
+TEST(RootIsolation, ThreeIntegerRoots) {
+  UPoly p = up({-1, 1}) * up({-2, 1}) * up({-3, 1});
+  auto roots = isolate_real_roots(p);
+  ASSERT_EQ(roots.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(root_cmp(roots[static_cast<std::size_t>(i)], Rational(i + 1)), 0);
+  }
+  // Sorted ascending.
+  EXPECT_LT(root_cmp(roots[0], roots[1]), 0);
+  EXPECT_LT(root_cmp(roots[1], roots[2]), 0);
+}
+
+TEST(RootIsolation, Sqrt2) {
+  auto roots = isolate_real_roots(up({-2, 0, 1}));  // x^2 - 2
+  ASSERT_EQ(roots.size(), 2u);
+  // -sqrt2 then +sqrt2.
+  EXPECT_LT(root_cmp(roots[0], Rational(0)), 0);
+  EXPECT_GT(root_cmp(roots[1], Rational(0)), 0);
+  IsolatedRoot r = roots[1];
+  refine_root_to_width(&r, Rational(1, 1000000));
+  double v = r.to_double();
+  EXPECT_NEAR(v, 1.4142135623730951, 1e-5);
+  EXPECT_GT(root_cmp(r, Rational(14142, 10000)), 0);
+  EXPECT_LT(root_cmp(r, Rational(14143, 10000)), 0);
+}
+
+TEST(RootIsolation, RepeatedRoots) {
+  UPoly p = up({-1, 1}) * up({-1, 1}) * up({2, 1});  // (x-1)^2 (x+2)
+  auto roots = isolate_real_roots(p);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(root_cmp(roots[0], Rational(-2)), 0);
+  EXPECT_EQ(root_cmp(roots[1], Rational(1)), 0);
+}
+
+TEST(RootIsolation, NoRealRoots) {
+  EXPECT_TRUE(isolate_real_roots(up({1, 0, 1})).empty());
+  EXPECT_TRUE(isolate_real_roots(up({5})).empty());
+  EXPECT_TRUE(isolate_real_roots(UPoly()).empty());
+}
+
+TEST(RootIsolation, CloseRoots) {
+  // Roots at 1/1000 and 2/1000.
+  UPoly p = UPoly({Rational(-1, 1000), Rational(1)}) *
+            UPoly({Rational(-2, 1000), Rational(1)});
+  auto roots = isolate_real_roots(p);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(root_cmp(roots[0], Rational(1, 1000)), 0);
+  EXPECT_EQ(root_cmp(roots[1], Rational(2, 1000)), 0);
+}
+
+TEST(RootIsolation, Wilkinsonish) {
+  // prod (x - i), i = 1..8: stress bisection.
+  UPoly p = UPoly::constant(Rational(1));
+  for (int i = 1; i <= 8; ++i) p = p * up({-i, 1});
+  auto roots = isolate_real_roots(p);
+  ASSERT_EQ(roots.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(root_cmp(roots[static_cast<std::size_t>(i)], Rational(i + 1)), 0);
+  }
+}
+
+TEST(RootIsolation, RootCmpAgainstRational) {
+  auto roots = isolate_real_roots(up({-2, 0, 1}));  // +-sqrt2
+  const IsolatedRoot& sqrt2 = roots[1];
+  EXPECT_GT(root_cmp(sqrt2, Rational(1)), 0);
+  EXPECT_LT(root_cmp(sqrt2, Rational(2)), 0);
+  EXPECT_TRUE(root_greater_than(sqrt2, Rational(1)));
+  EXPECT_FALSE(root_greater_than(sqrt2, Rational(3, 2)));
+}
+
+TEST(RootIsolation, RootCmpSameRootDifferentPolys) {
+  // sqrt2 as root of x^2-2 and of (x^2-2)(x+5).
+  auto r1 = isolate_real_roots(up({-2, 0, 1}));
+  auto r2 = isolate_real_roots(up({-2, 0, 1}) * up({5, 1}));
+  ASSERT_EQ(r2.size(), 3u);
+  const IsolatedRoot& a = r1[1];
+  const IsolatedRoot& b = r2[2];
+  EXPECT_EQ(root_cmp(a, b), 0);
+  EXPECT_LT(root_cmp(r2[0], a), 0);  // -5 < sqrt2
+}
+
+TEST(AlgebraicNumber, RationalCase) {
+  AlgebraicNumber q = AlgebraicNumber::from_rational(Rational(3, 4));
+  EXPECT_TRUE(q.is_rational());
+  EXPECT_EQ(q.rational_value(), Rational(3, 4));
+  EXPECT_EQ(q.cmp(Rational(1)), -1);
+  EXPECT_EQ(q.cmp(Rational(3, 4)), 0);
+  EXPECT_EQ(q.sign_of(up({0, 1})), 1);          // x at 3/4 > 0
+  EXPECT_EQ(q.sign_of(UPoly({Rational(-3, 4), Rational(1)})), 0);
+}
+
+TEST(AlgebraicNumber, SignOfAtSqrt2) {
+  auto roots = isolate_real_roots(up({-2, 0, 1}));
+  AlgebraicNumber sqrt2 = AlgebraicNumber::from_root(roots[1]);
+  // x^2 - 2 vanishes.
+  EXPECT_EQ(sqrt2.sign_of(up({-2, 0, 1})), 0);
+  // (x^2-2)(x+7) vanishes too.
+  EXPECT_EQ(sqrt2.sign_of(up({-2, 0, 1}) * up({7, 1})), 0);
+  // x - 1 > 0 at sqrt2.
+  EXPECT_EQ(sqrt2.sign_of(up({-1, 1})), 1);
+  // x - 2 < 0.
+  EXPECT_EQ(sqrt2.sign_of(up({-2, 1})), -1);
+  // x^2 - 3 < 0 (needs refinement, 2 < 3).
+  EXPECT_EQ(sqrt2.sign_of(up({-3, 0, 1})), -1);
+  // x^2 - 1 > 0.
+  EXPECT_EQ(sqrt2.sign_of(up({-1, 0, 1})), 1);
+  EXPECT_EQ(sqrt2.sign_of(UPoly()), 0);
+}
+
+TEST(AlgebraicNumber, Comparisons) {
+  auto roots2 = isolate_real_roots(up({-2, 0, 1}));
+  auto roots3 = isolate_real_roots(up({-3, 0, 1}));
+  AlgebraicNumber s2 = AlgebraicNumber::from_root(roots2[1]);
+  AlgebraicNumber s3 = AlgebraicNumber::from_root(roots3[1]);
+  EXPECT_LT(s2, s3);
+  EXPECT_EQ(s2.cmp(s2), 0);
+  EXPECT_TRUE(s2 == AlgebraicNumber::from_root(roots2[1]));
+  EXPECT_NEAR(s2.to_double(), 1.41421356, 1e-7);
+  EXPECT_NEAR(s3.to_double(), 1.73205081, 1e-7);
+  Rational below = s2.rational_below();
+  Rational above = s2.rational_above();
+  EXPECT_EQ(s2.cmp(below), 1);
+  EXPECT_EQ(s2.cmp(above), -1);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,176 @@
+#include "cqa/poly/univariate.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/poly/interpolation.h"
+
+namespace cqa {
+namespace {
+
+UPoly up(std::vector<std::int64_t> coeffs) {
+  std::vector<Rational> c;
+  for (auto v : coeffs) c.emplace_back(v);
+  return UPoly(std::move(c));
+}
+
+TEST(UPoly, Basics) {
+  UPoly z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), -1);
+  UPoly p = up({1, 2, 3});  // 3x^2 + 2x + 1
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_EQ(p.lead(), Rational(3));
+  EXPECT_EQ(p.coeff(0), Rational(1));
+  EXPECT_EQ(p.coeff(7), Rational(0));
+  EXPECT_EQ(p.eval(Rational(2)), Rational(17));
+  EXPECT_DOUBLE_EQ(p.eval_double(2.0), 17.0);
+  EXPECT_EQ(UPoly({Rational(0), Rational(0)}).degree(), -1);
+}
+
+TEST(UPoly, Arithmetic) {
+  UPoly p = up({1, 1});   // x + 1
+  UPoly q = up({-1, 1});  // x - 1
+  EXPECT_EQ(p * q, up({-1, 0, 1}));
+  EXPECT_EQ(p + q, up({0, 2}));
+  EXPECT_EQ(p - p, UPoly());
+  EXPECT_EQ(-p, up({-1, -1}));
+  EXPECT_EQ(p * Rational(2), up({2, 2}));
+}
+
+TEST(UPoly, DivMod) {
+  UPoly p = up({-1, 0, 0, 1});  // x^3 - 1
+  UPoly d = up({-1, 1});        // x - 1
+  UPoly q, r;
+  p.divmod(d, &q, &r);
+  EXPECT_EQ(q, up({1, 1, 1}));
+  EXPECT_TRUE(r.is_zero());
+
+  UPoly p2 = up({1, 0, 1});  // x^2 + 1
+  p2.divmod(d, &q, &r);
+  EXPECT_EQ(q * d + r, p2);
+  EXPECT_LT(r.degree(), d.degree());
+}
+
+TEST(UPoly, Gcd) {
+  UPoly a = up({-1, 0, 1});       // (x-1)(x+1)
+  UPoly b = up({-1, 1}) * up({2, 1});  // (x-1)(x+2)
+  EXPECT_EQ(UPoly::gcd(a, b), up({-1, 1}));
+  EXPECT_EQ(UPoly::gcd(a, UPoly()), a.monic());
+  EXPECT_EQ(UPoly::gcd(UPoly(), UPoly()), UPoly());
+  // Coprime.
+  EXPECT_EQ(UPoly::gcd(up({1, 1}), up({2, 1})).degree(), 0);
+}
+
+TEST(UPoly, SquareFreePart) {
+  UPoly p = up({-1, 1});        // x-1
+  UPoly sq = p * p * up({3, 1});  // (x-1)^2 (x+3)
+  UPoly sf = sq.square_free_part();
+  EXPECT_EQ(sf, (p * up({3, 1})).monic());
+  EXPECT_EQ(up({5}).square_free_part(), up({1}));
+}
+
+TEST(UPoly, DerivativeAntiderivative) {
+  UPoly p = up({1, 2, 3});  // 3x^2 + 2x + 1
+  EXPECT_EQ(p.derivative(), up({2, 6}));
+  UPoly anti = p.antiderivative();
+  EXPECT_EQ(anti.derivative(), p);
+  EXPECT_EQ(p.integrate(Rational(0), Rational(1)),
+            Rational(1) + Rational(1) + Rational(1));  // x^3+x^2+x at 1
+  EXPECT_EQ(p.integrate(Rational(1), Rational(1)), Rational(0));
+  EXPECT_EQ(p.integrate(Rational(1), Rational(0)), Rational(-3));
+}
+
+TEST(UPoly, SignsAtInfinity) {
+  EXPECT_EQ(up({0, 1}).sign_at_pos_inf(), 1);
+  EXPECT_EQ(up({0, 1}).sign_at_neg_inf(), -1);
+  EXPECT_EQ(up({0, 0, 1}).sign_at_neg_inf(), 1);
+  EXPECT_EQ(up({0, 0, -1}).sign_at_neg_inf(), -1);
+  EXPECT_EQ(UPoly().sign_at_pos_inf(), 0);
+}
+
+TEST(UPoly, Compose) {
+  UPoly p = up({0, 0, 1});  // x^2
+  UPoly g = up({1, 1});     // x+1
+  EXPECT_EQ(p.compose(g), up({1, 2, 1}));
+}
+
+TEST(UPoly, FromToPolynomial) {
+  Polynomial x1 = Polynomial::variable(1);
+  Polynomial p = x1.pow(2) * Rational(3) + x1 - Polynomial::constant(Rational(2));
+  UPoly u = UPoly::from_polynomial(p, 1);
+  EXPECT_EQ(u, up({-2, 1, 3}));
+  EXPECT_EQ(u.to_polynomial(1), p);
+}
+
+TEST(Sturm, CountRealRoots) {
+  // (x-1)(x-2)(x-3)
+  UPoly p = up({-1, 1}) * up({-2, 1}) * up({-3, 1});
+  SturmSequence s(p);
+  EXPECT_EQ(s.count_real_roots(), 3);
+  EXPECT_EQ(s.count_roots(Rational(0), Rational(10)), 3);
+  EXPECT_EQ(s.count_roots(Rational(1), Rational(2)), 1);   // (1,2] ∋ 2
+  EXPECT_EQ(s.count_roots(Rational(0), Rational(1)), 1);   // (0,1] ∋ 1
+  EXPECT_EQ(s.count_roots(Rational(3, 2), Rational(5, 2)), 1);
+  EXPECT_EQ(s.count_roots_above(Rational(5, 2)), 1);
+}
+
+TEST(Sturm, NoRealRoots) {
+  UPoly p = up({1, 0, 1});  // x^2 + 1
+  SturmSequence s(p);
+  EXPECT_EQ(s.count_real_roots(), 0);
+}
+
+TEST(Sturm, RepeatedRootsCountedOnce) {
+  UPoly p = up({-1, 1});
+  UPoly sq = p * p;  // (x-1)^2
+  SturmSequence s(sq);
+  EXPECT_EQ(s.count_real_roots(), 1);
+}
+
+TEST(Sturm, CauchyBound) {
+  UPoly p = up({-6, 11, -6, 1});  // roots 1,2,3
+  Rational b = cauchy_root_bound(p);
+  EXPECT_GT(b, Rational(3));
+  SturmSequence s(p);
+  EXPECT_EQ(s.count_roots(-b, b), 3);
+}
+
+TEST(Interpolation, ExactQuadratic) {
+  // y = x^2/2 through three points.
+  std::vector<std::pair<Rational, Rational>> pts = {
+      {Rational(0), Rational(0)},
+      {Rational(1), Rational(1, 2)},
+      {Rational(2), Rational(2)},
+  };
+  UPoly p = interpolate(pts);
+  EXPECT_EQ(p, UPoly({Rational(0), Rational(0), Rational(1, 2)}));
+}
+
+TEST(Interpolation, DegreeLessThanPoints) {
+  // Constant through 4 points.
+  std::vector<std::pair<Rational, Rational>> pts;
+  for (int i = 0; i < 4; ++i) pts.push_back({Rational(i), Rational(7)});
+  EXPECT_EQ(interpolate(pts), UPoly::constant(Rational(7)));
+}
+
+TEST(Interpolation, SamplePoints) {
+  auto pts = sample_points(Rational(0), Rational(1), 3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0], Rational(1, 4));
+  EXPECT_EQ(pts[1], Rational(1, 2));
+  EXPECT_EQ(pts[2], Rational(3, 4));
+  for (const auto& p : pts) {
+    EXPECT_GT(p, Rational(0));
+    EXPECT_LT(p, Rational(1));
+  }
+}
+
+TEST(Interpolation, RoundTripRandomCubic) {
+  UPoly p = up({3, -2, 0, 5});
+  std::vector<std::pair<Rational, Rational>> pts;
+  for (int i = -2; i <= 1; ++i) pts.push_back({Rational(i), p.eval(Rational(i))});
+  EXPECT_EQ(interpolate(pts), p);
+}
+
+}  // namespace
+}  // namespace cqa

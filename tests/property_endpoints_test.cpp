@@ -1,0 +1,132 @@
+// Property tests for the END operator / 1-D decomposition: random
+// interval unions round-trip through decompose_1d with exact membership.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cqa/aggregate/endpoints.h"
+#include "cqa/approx/random.h"
+#include "cqa/volume/semilinear_volume.h"
+
+namespace cqa {
+namespace {
+
+class EndpointsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct RandomPieces {
+  FormulaPtr formula;                         // in variable 0
+  std::vector<std::pair<Rational, Rational>> closed_intervals;
+  std::vector<Rational> points;
+};
+
+RandomPieces random_pieces(std::uint64_t seed) {
+  Xoshiro rng(seed);
+  RandomPieces out;
+  std::vector<FormulaPtr> parts;
+  Polynomial y = Polynomial::variable(0);
+  const std::size_t n_intervals = 1 + rng.next() % 3;
+  const std::size_t n_points = rng.next() % 3;
+  Rational cursor(static_cast<std::int64_t>(rng.next() % 5) - 10);
+  for (std::size_t i = 0; i < n_intervals; ++i) {
+    Rational lo = cursor + Rational(1 + static_cast<std::int64_t>(
+                                            rng.next() % 4),
+                                    2);
+    Rational hi = lo + Rational(1 + static_cast<std::int64_t>(rng.next() % 6),
+                                3);
+    out.closed_intervals.emplace_back(lo, hi);
+    parts.push_back(Formula::f_and(
+        Formula::ge(y, Polynomial::constant(lo)),
+        Formula::le(y, Polynomial::constant(hi))));
+    cursor = hi;
+  }
+  for (std::size_t i = 0; i < n_points; ++i) {
+    cursor += Rational(1 + static_cast<std::int64_t>(rng.next() % 3));
+    out.points.push_back(cursor);
+    parts.push_back(Formula::eq(y, Polynomial::constant(cursor)));
+  }
+  out.formula = Formula::f_or(std::move(parts));
+  return out;
+}
+
+TEST_P(EndpointsProperty, DecompositionMatchesConstruction) {
+  Database db;
+  RandomPieces rp = random_pieces(GetParam());
+  auto decomp = decompose_1d(db, rp.formula, 0, {}).value_or_die();
+  EXPECT_EQ(decomp.size(),
+            rp.closed_intervals.size() + rp.points.size());
+  std::size_t interval_pieces = 0, point_pieces = 0;
+  for (const auto& piece : decomp) {
+    ASSERT_FALSE(piece.lo_infinite);
+    ASSERT_FALSE(piece.hi_infinite);
+    if (piece.lo.cmp(piece.hi) == 0) {
+      ++point_pieces;
+    } else {
+      ++interval_pieces;
+      EXPECT_TRUE(piece.lo_closed);
+      EXPECT_TRUE(piece.hi_closed);
+    }
+  }
+  EXPECT_EQ(interval_pieces, rp.closed_intervals.size());
+  EXPECT_EQ(point_pieces, rp.points.size());
+}
+
+TEST_P(EndpointsProperty, EndpointsAreExactlyTheConstructedOnes) {
+  Database db;
+  RandomPieces rp = random_pieces(GetParam() ^ 0x55);
+  auto eps = rational_endpoints_1d(db, rp.formula, 0, {}).value_or_die();
+  std::set<Rational> expect;
+  for (const auto& [lo, hi] : rp.closed_intervals) {
+    expect.insert(lo);
+    expect.insert(hi);
+  }
+  for (const auto& p : rp.points) expect.insert(p);
+  std::set<Rational> got(eps.begin(), eps.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(EndpointsProperty, MembershipConsistency) {
+  // Every midpoint of a decomposed piece satisfies the formula; points
+  // strictly between pieces do not.
+  Database db;
+  RandomPieces rp = random_pieces(GetParam() ^ 0x77);
+  auto decomp = decompose_1d(db, rp.formula, 0, {}).value_or_die();
+  for (std::size_t i = 0; i < decomp.size(); ++i) {
+    const auto& piece = decomp[i];
+    Rational mid = Rational::mid(piece.lo.rational_value(),
+                                 piece.hi.rational_value());
+    EXPECT_TRUE(db.holds(rp.formula, {{0, mid}}).value_or_die());
+    if (i + 1 < decomp.size()) {
+      Rational gap = Rational::mid(piece.hi.rational_value(),
+                                   decomp[i + 1].lo.rational_value());
+      EXPECT_FALSE(db.holds(rp.formula, {{0, gap}}).value_or_die());
+    }
+  }
+}
+
+TEST_P(EndpointsProperty, SafetyDetection) {
+  // is_finite_1d is true iff the construction used no intervals.
+  Database db;
+  RandomPieces rp = random_pieces(GetParam() ^ 0x99);
+  bool fin = is_finite_1d(db, rp.formula, 0, {}).value_or_die();
+  EXPECT_EQ(fin, rp.closed_intervals.empty());
+}
+
+TEST_P(EndpointsProperty, TotalLengthMatchesVolumeEngine) {
+  // Sum of decomposed interval lengths == 1-D semilinear volume.
+  Database db;
+  RandomPieces rp = random_pieces(GetParam() ^ 0xbb);
+  auto decomp = decompose_1d(db, rp.formula, 0, {}).value_or_die();
+  Rational total;
+  for (const auto& piece : decomp) {
+    total += piece.hi.rational_value() - piece.lo.rational_value();
+  }
+  auto cells = formula_to_cells(rp.formula, 1).value_or_die();
+  EXPECT_EQ(semilinear_volume(cells).value_or_die(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndpointsProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,134 @@
+// Property tests for the polytope geometry layer: random hulls, vertex
+// extremality, volume laws, containment sampling.
+
+#include <gtest/gtest.h>
+
+#include "cqa/approx/random.h"
+#include "cqa/geometry/hull2d.h"
+#include "cqa/geometry/polytope_volume.h"
+#include "cqa/geometry/vertex_enum.h"
+
+namespace cqa {
+namespace {
+
+class GeometryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<RVec> random_points(Xoshiro* rng, std::size_t dim,
+                                std::size_t count) {
+  std::vector<RVec> pts;
+  for (std::size_t i = 0; i < count; ++i) {
+    RVec p(dim);
+    for (auto& c : p) {
+      c = Rational(static_cast<std::int64_t>(rng->next() % 21) - 10,
+                   1 + static_cast<std::int64_t>(rng->next() % 3));
+    }
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+TEST_P(GeometryProperty, HullContainsGeneratorsAndMixtures) {
+  Xoshiro rng(GetParam());
+  for (std::size_t dim : {2u, 3u}) {
+    auto pts = random_points(&rng, dim, dim + 4);
+    auto hull = Polyhedron::hull_of(pts);
+    if (!hull.is_ok()) continue;  // degenerate draw
+    for (const auto& p : pts) {
+      EXPECT_TRUE(hull.value().contains(p));
+    }
+    // Random convex combinations stay inside.
+    for (int trial = 0; trial < 5; ++trial) {
+      const RVec& a = pts[rng.next() % pts.size()];
+      const RVec& b = pts[rng.next() % pts.size()];
+      Rational t(static_cast<std::int64_t>(rng.next() % 5), 4);
+      if (t > Rational(1)) t = Rational(1);
+      RVec mix = vec_add(vec_scale(t, a),
+                         vec_scale(Rational(1) - t, b));
+      EXPECT_TRUE(hull.value().contains(mix));
+    }
+  }
+}
+
+TEST_P(GeometryProperty, VerticesAreExtreme) {
+  Xoshiro rng(GetParam() ^ 0x10);
+  auto pts = random_points(&rng, 2, 7);
+  auto hull = Polyhedron::hull_of(pts);
+  if (!hull.is_ok()) return;
+  auto vertices = enumerate_vertices(hull.value());
+  for (const auto& v : vertices) {
+    // No vertex is the midpoint of two other vertices.
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+        if (vertices[i] == v || vertices[j] == v) continue;
+        RVec mid = vec_scale(Rational(1, 2),
+                             vec_add(vertices[i], vertices[j]));
+        EXPECT_NE(mid, v);
+      }
+    }
+  }
+}
+
+TEST_P(GeometryProperty, HullVolumeMatches2dShoelace) {
+  Xoshiro rng(GetParam() ^ 0x20);
+  auto pts = random_points(&rng, 2, 6);
+  auto hull = Polyhedron::hull_of(pts);
+  if (!hull.is_ok()) return;
+  // Lasserre volume vs 2-D shoelace on the ordered hull.
+  std::vector<Point2> p2;
+  for (const auto& p : pts) p2.push_back(Point2{p[0], p[1]});
+  Rational shoelace = polygon_area(convex_hull(p2));
+  EXPECT_EQ(polytope_volume(hull.value()).value_or_die(), shoelace);
+}
+
+TEST_P(GeometryProperty, VolumeMonotoneUnderConstraintAddition) {
+  Xoshiro rng(GetParam() ^ 0x30);
+  Polyhedron box = Polyhedron::box(2, Rational(-3), Rational(3));
+  Rational before = polytope_volume(box).value_or_die();
+  Polyhedron cut = box;
+  LinearConstraint c;
+  c.coeffs = {Rational(static_cast<std::int64_t>(rng.next() % 5) - 2),
+              Rational(static_cast<std::int64_t>(rng.next() % 5) - 2)};
+  c.rhs = Rational(static_cast<std::int64_t>(rng.next() % 9) - 4);
+  c.cmp = LinCmp::kLe;
+  cut.add_constraint(c);
+  auto after = polytope_volume(cut);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_LE(after.value(), before);
+}
+
+TEST_P(GeometryProperty, SimplexVolumeMatchesHRep) {
+  Xoshiro rng(GetParam() ^ 0x40);
+  // Random nondegenerate simplex in 2-D/3-D: |det|/d! == Lasserre.
+  for (std::size_t dim : {2u, 3u}) {
+    auto pts = random_points(&rng, dim, dim + 1);
+    if (affine_hull_dim(pts) != static_cast<int>(dim)) continue;
+    Rational direct = simplex_volume(pts);
+    auto hull = Polyhedron::hull_of(pts);
+    ASSERT_TRUE(hull.is_ok());
+    EXPECT_EQ(polytope_volume(hull.value()).value_or_die(), direct);
+  }
+}
+
+TEST_P(GeometryProperty, ContainmentMatchesSampledMembership) {
+  Xoshiro rng(GetParam() ^ 0x50);
+  auto pts = random_points(&rng, 2, 6);
+  auto hull = Polyhedron::hull_of(pts);
+  if (!hull.is_ok()) return;
+  std::vector<Point2> p2;
+  for (const auto& p : pts) p2.push_back(Point2{p[0], p[1]});
+  auto chain = convex_hull(p2);
+  // H-rep membership agrees with the 2-D orientation test everywhere.
+  for (int trial = 0; trial < 20; ++trial) {
+    Point2 q{Rational(static_cast<std::int64_t>(rng.next() % 29) - 14, 2),
+             Rational(static_cast<std::int64_t>(rng.next() % 29) - 14, 2)};
+    EXPECT_EQ(hull.value().contains({q.x, q.y}),
+              convex_contains(chain, q))
+        << q.x.to_string() << "," << q.y.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace cqa

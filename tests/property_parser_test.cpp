@@ -1,0 +1,133 @@
+// Print/parse round-trip property: random formulas survive a round trip
+// through the printer with identical semantics and identical re-print.
+
+#include <gtest/gtest.h>
+
+#include "cqa/approx/random.h"
+#include "cqa/logic/eval.h"
+#include "cqa/logic/parser.h"
+#include "cqa/logic/printer.h"
+
+namespace cqa {
+namespace {
+
+class ParserProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random formula over named variables a..d, with polynomial atoms,
+// predicates, and quantifiers.
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed, VarTable* vars) : rng_(seed), vars_(vars) {
+    for (const char* n : {"a", "b", "c", "d"}) {
+      ids_.push_back(vars_->index_of(n));
+    }
+  }
+
+  Polynomial poly(int depth) {
+    Polynomial p = Polynomial::constant(
+        Rational(static_cast<std::int64_t>(rng_.next() % 9) - 4,
+                 1 + static_cast<std::int64_t>(rng_.next() % 3)));
+    const std::size_t terms = 1 + rng_.next() % 3;
+    for (std::size_t t = 0; t < terms; ++t) {
+      Polynomial mono = Polynomial::constant(
+          Rational(static_cast<std::int64_t>(rng_.next() % 7) - 3));
+      const std::size_t factors = 1 + rng_.next() % (depth > 0 ? 2 : 1);
+      for (std::size_t f = 0; f < factors; ++f) {
+        mono *= Polynomial::variable(ids_[rng_.next() % ids_.size()]);
+      }
+      p += mono;
+    }
+    return p;
+  }
+
+  FormulaPtr formula(int depth) {
+    if (depth == 0 || rng_.next() % 4 == 0) {
+      switch (rng_.next() % 3) {
+        case 0:
+          return Formula::atom(poly(depth),
+                               static_cast<RelOp>(rng_.next() % 6));
+        case 1:
+          return Formula::predicate(
+              "R", {poly(0), Polynomial::variable(ids_[0])});
+        default:
+          return Formula::atom(poly(depth), RelOp::kLe);
+      }
+    }
+    switch (rng_.next() % 4) {
+      case 0:
+        return Formula::f_and(formula(depth - 1), formula(depth - 1));
+      case 1:
+        return Formula::f_or(formula(depth - 1), formula(depth - 1));
+      case 2:
+        return Formula::f_not(formula(depth - 1));
+      default:
+        return Formula::exists(ids_[rng_.next() % ids_.size()],
+                               formula(depth - 1));
+    }
+  }
+
+ private:
+  Xoshiro rng_;
+  VarTable* vars_;
+  std::vector<std::size_t> ids_;
+};
+
+TEST_P(ParserProperty, PrintParseFixpoint) {
+  VarTable vars;
+  Gen gen(GetParam(), &vars);
+  for (int i = 0; i < 10; ++i) {
+    FormulaPtr f = gen.formula(3);
+    std::string printed = to_string(f, vars);
+    auto reparsed = parse_formula(printed, &vars);
+    ASSERT_TRUE(reparsed.is_ok()) << printed;
+    // Printing again is a fixpoint.
+    EXPECT_EQ(to_string(reparsed.value(), vars), printed);
+  }
+}
+
+TEST_P(ParserProperty, RoundTripPreservesSemantics) {
+  VarTable vars;
+  Gen gen(GetParam() ^ 0x99, &vars);
+  Xoshiro rng(GetParam());
+  for (int i = 0; i < 5; ++i) {
+    FormulaPtr f = gen.formula(2);
+    if (!f->is_quantifier_free() || f->has_predicates()) continue;
+    std::string printed = to_string(f, vars);
+    auto g = parse_formula(printed, &vars);
+    ASSERT_TRUE(g.is_ok()) << printed;
+    const std::size_t dim =
+        static_cast<std::size_t>(
+            std::max(f->max_var(), g.value()->max_var())) +
+        1;
+    for (int trial = 0; trial < 10; ++trial) {
+      RVec pt(dim);
+      for (auto& x : pt) {
+        x = Rational(static_cast<std::int64_t>(rng.next() % 11) - 5, 2);
+      }
+      EXPECT_EQ(eval_qf(f, pt).value_or_die(),
+                eval_qf(g.value(), pt).value_or_die())
+          << printed;
+    }
+  }
+}
+
+TEST_P(ParserProperty, StructuralCountsSurvive) {
+  VarTable vars;
+  Gen gen(GetParam() ^ 0x77, &vars);
+  for (int i = 0; i < 10; ++i) {
+    FormulaPtr f = gen.formula(3);
+    auto g = parse_formula(to_string(f, vars), &vars);
+    ASSERT_TRUE(g.is_ok());
+    // The factories normalize both sides the same way, so atom and
+    // quantifier counts agree.
+    EXPECT_EQ(f->count_atoms(), g.value()->count_atoms());
+    EXPECT_EQ(f->count_quantifiers(), g.value()->count_quantifiers());
+    EXPECT_EQ(f->free_vars(), g.value()->free_vars());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,175 @@
+// Property-based tests for quantifier elimination: random FO+LIN
+// formulas, QE'd and checked pointwise against independent evaluation.
+
+#include <gtest/gtest.h>
+
+#include "cqa/approx/random.h"
+#include "cqa/constraint/qe.h"
+#include "cqa/logic/decide.h"
+#include "cqa/logic/eval.h"
+#include "cqa/logic/printer.h"
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+namespace {
+
+// Random linear formulas over variables 0..nvars-1 with small rational
+// coefficients; quantifiers bind the high variable indices.
+class FormulaGen {
+ public:
+  explicit FormulaGen(std::uint64_t seed) : rng_(seed) {}
+
+  Polynomial linear_poly(std::size_t nvars) {
+    Polynomial p = Polynomial::constant(small());
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (rng_.next() % 2) p += Polynomial::variable(v) * small();
+    }
+    return p;
+  }
+
+  FormulaPtr atom(std::size_t nvars) {
+    static const RelOp kOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                                 RelOp::kGt, RelOp::kGe, RelOp::kNe};
+    return Formula::atom(linear_poly(nvars), kOps[rng_.next() % 6]);
+  }
+
+  FormulaPtr qf_formula(std::size_t nvars, int depth) {
+    if (depth == 0 || rng_.next() % 3 == 0) return atom(nvars);
+    switch (rng_.next() % 3) {
+      case 0:
+        return Formula::f_and(qf_formula(nvars, depth - 1),
+                              qf_formula(nvars, depth - 1));
+      case 1:
+        return Formula::f_or(qf_formula(nvars, depth - 1),
+                             qf_formula(nvars, depth - 1));
+      default:
+        return Formula::f_not(qf_formula(nvars, depth - 1));
+    }
+  }
+
+  Rational small() {
+    return Rational(static_cast<std::int64_t>(rng_.next() % 7) - 3,
+                    1 + static_cast<std::int64_t>(rng_.next() % 2));
+  }
+
+  Xoshiro& rng() { return rng_; }
+
+ private:
+  Xoshiro rng_;
+};
+
+class QeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QeProperty, ExistsMatchesPointwiseCheck) {
+  FormulaGen gen(GetParam());
+  // Formula over free vars {0,1} and one bound var {2}.
+  FormulaPtr body = gen.qf_formula(3, 2);
+  FormulaPtr quantified = Formula::exists(2, body);
+  auto qf = qe_linear(quantified);
+  ASSERT_TRUE(qf.is_ok()) << to_string(quantified);
+  EXPECT_TRUE(qf.value()->is_quantifier_free());
+  // Pointwise check on a grid: Exists z.body(a, b, z) must match the QE
+  // result at (a, b). Ground truth via one more QE on the substituted
+  // sentence's cells -- but independently through fm feasibility of each
+  // DNF cell of body(a,b,z).
+  for (int a = -2; a <= 2; ++a) {
+    for (int b = -2; b <= 2; ++b) {
+      std::map<std::size_t, Polynomial> sub;
+      sub.emplace(0u, Polynomial::constant(Rational(a)));
+      sub.emplace(1u, Polynomial::constant(Rational(b)));
+      FormulaPtr grounded = substitute_vars(body, sub);
+      // Independent witness search: cells of grounded over z.
+      std::size_t zvar = 0;
+      {
+        auto fv = grounded->free_vars();
+        if (!fv.empty()) zvar = *fv.begin();
+      }
+      std::map<std::size_t, Polynomial> remap;
+      remap.emplace(zvar, Polynomial::variable(0));
+      auto cells = formula_to_cells(substitute_vars(grounded, remap), 1);
+      ASSERT_TRUE(cells.is_ok());
+      bool truth = !cells.value().empty();
+      RVec pt = {Rational(a), Rational(b)};
+      if (qf.value()->max_var() >= static_cast<int>(pt.size())) {
+        pt.resize(static_cast<std::size_t>(qf.value()->max_var()) + 1);
+        pt[0] = Rational(a);
+        pt[1] = Rational(b);
+      }
+      auto got = eval_qf(qf.value(), pt);
+      ASSERT_TRUE(got.is_ok());
+      EXPECT_EQ(got.value(), truth)
+          << "a=" << a << " b=" << b << " formula " << to_string(quantified);
+    }
+  }
+}
+
+TEST_P(QeProperty, ForallIsDualOfExists) {
+  FormulaGen gen(GetParam() ^ 0xabc);
+  FormulaPtr body = gen.qf_formula(2, 2);
+  FormulaPtr fa = Formula::forall(1, body);
+  FormulaPtr dual =
+      Formula::f_not(Formula::exists(1, Formula::f_not(body)));
+  auto qf1 = qe_linear(fa);
+  auto qf2 = qe_linear(dual);
+  ASSERT_TRUE(qf1.is_ok());
+  ASSERT_TRUE(qf2.is_ok());
+  for (int a = -3; a <= 3; ++a) {
+    RVec pt(static_cast<std::size_t>(
+                std::max({qf1.value()->max_var(), qf2.value()->max_var(),
+                          0})) +
+            1);
+    pt[0] = Rational(a, 2);
+    EXPECT_EQ(eval_qf(qf1.value(), pt).value_or_die(),
+              eval_qf(qf2.value(), pt).value_or_die())
+        << "a=" << a;
+  }
+}
+
+TEST_P(QeProperty, SentenceDecisionMatchesDecideOnSeparable) {
+  FormulaGen gen(GetParam() ^ 0xdef);
+  // Single-variable sentences: both engines always apply.
+  FormulaPtr body = gen.qf_formula(1, 2);
+  FormulaPtr sentence = Formula::exists(0, body);
+  auto via_qe = qe_decide_sentence(sentence);
+  auto via_decide = decide_sentence(sentence);
+  ASSERT_TRUE(via_qe.is_ok());
+  ASSERT_TRUE(via_decide.is_ok());
+  EXPECT_EQ(via_qe.value(), via_decide.value()) << to_string(sentence);
+}
+
+TEST_P(QeProperty, FeasibilityMatchesSamplePoint) {
+  FormulaGen gen(GetParam() ^ 0x777);
+  FormulaPtr f = gen.qf_formula(3, 2);
+  auto cells = formula_to_cells(f, 3);
+  ASSERT_TRUE(cells.is_ok());
+  for (const auto& cell : cells.value()) {
+    // Every surviving cell is feasible, so it must yield a sample point
+    // that satisfies all constraints (including strict ones).
+    auto p = cell.sample_point();
+    ASSERT_TRUE(p.has_value()) << cell.to_string();
+    EXPECT_TRUE(cell.contains(*p)) << cell.to_string();
+    // And the point satisfies the original formula.
+    EXPECT_TRUE(eval_qf(f, *p).value_or_die()) << cell.to_string();
+  }
+}
+
+TEST_P(QeProperty, DnfEquivalentToOriginal) {
+  FormulaGen gen(GetParam() ^ 0x999);
+  FormulaPtr f = gen.qf_formula(2, 3);
+  auto dnf = to_dnf(f);
+  ASSERT_TRUE(dnf.is_ok());
+  FormulaPtr g = from_dnf(dnf.value());
+  Xoshiro& rng = gen.rng();
+  for (int i = 0; i < 25; ++i) {
+    RVec pt = {Rational(static_cast<std::int64_t>(rng.next() % 13) - 6, 2),
+               Rational(static_cast<std::int64_t>(rng.next() % 13) - 6, 2)};
+    EXPECT_EQ(eval_qf(f, pt).value_or_die(),
+              eval_qf(g, pt).value_or_die());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QeProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace cqa

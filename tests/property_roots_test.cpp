@@ -1,0 +1,149 @@
+// Property-based tests for root isolation and algebraic numbers:
+// polynomials with planted rational roots, random sign queries, and
+// Sturm-count consistency, parameterized over seeds.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cqa/approx/random.h"
+#include "cqa/poly/algebraic.h"
+#include "cqa/poly/root_isolation.h"
+
+namespace cqa {
+namespace {
+
+class RootsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RootsProperty, PlantedRationalRootsAreFound) {
+  Xoshiro rng(GetParam());
+  // Plant 1..5 distinct rational roots with random multiplicities.
+  std::vector<Rational> roots;
+  const std::size_t k = 1 + rng.next() % 5;
+  while (roots.size() < k) {
+    Rational r(static_cast<std::int64_t>(rng.next() % 21) - 10,
+               1 + static_cast<std::int64_t>(rng.next() % 4));
+    if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
+      roots.push_back(r);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  UPoly p = UPoly::constant(Rational(1));
+  for (const Rational& r : roots) {
+    unsigned mult = 1 + static_cast<unsigned>(rng.next() % 2);
+    for (unsigned m = 0; m < mult; ++m) {
+      p = p * UPoly({-r, Rational(1)});
+    }
+  }
+  auto isolated = isolate_real_roots(p);
+  ASSERT_EQ(isolated.size(), roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(root_cmp(isolated[i], roots[i]), 0)
+        << "root " << roots[i].to_string();
+  }
+  // Sturm agrees on the count of distinct roots.
+  SturmSequence sturm(p);
+  EXPECT_EQ(sturm.count_real_roots(), static_cast<int>(roots.size()));
+}
+
+TEST_P(RootsProperty, MixedRationalIrrationalOrdering) {
+  Xoshiro rng(GetParam() ^ 0xf00);
+  // p = (x^2 - c)(x - a) with c > 0 non-square: roots -sqrt c, a, sqrt c.
+  std::int64_t c = 2 + static_cast<std::int64_t>(rng.next() % 7);
+  if (c == 4) c = 5;  // keep it irrational
+  Rational a(static_cast<std::int64_t>(rng.next() % 9) - 4);
+  UPoly p = UPoly({Rational(-c), Rational(0), Rational(1)}) *
+            UPoly({-a, Rational(1)});
+  auto isolated = isolate_real_roots(p);
+  ASSERT_EQ(isolated.size(), 3u);
+  // Sorted ascending; exactly one is the rational a (unless a happens to
+  // coincide with +-sqrt(c), impossible for non-square c).
+  std::vector<AlgebraicNumber> nums;
+  for (auto& r : isolated) nums.push_back(AlgebraicNumber::from_root(r));
+  for (std::size_t i = 0; i + 1 < nums.size(); ++i) {
+    EXPECT_LT(nums[i].cmp(nums[i + 1]), 0);
+  }
+  int rational_count = 0;
+  for (auto& n : nums) {
+    if (n.cmp(a) == 0) ++rational_count;
+  }
+  EXPECT_EQ(rational_count, 1);
+}
+
+TEST_P(RootsProperty, SignOfIsConsistentWithEvaluation) {
+  Xoshiro rng(GetParam() ^ 0xbeef);
+  // alpha = sqrt(c); query sign of random q at alpha and compare against
+  // interval-refined numeric evaluation.
+  std::int64_t c = 2 + static_cast<std::int64_t>(rng.next() % 10);
+  std::int64_t s = static_cast<std::int64_t>(std::sqrt(static_cast<double>(c)));
+  if (s * s == c) ++c;
+  auto roots = isolate_real_roots(UPoly({Rational(-c), Rational(0),
+                                         Rational(1)}));
+  AlgebraicNumber alpha = AlgebraicNumber::from_root(roots[1]);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Rational> coeffs;
+    for (int i = 0; i < 4; ++i) {
+      coeffs.emplace_back(static_cast<std::int64_t>(rng.next() % 9) - 4);
+    }
+    UPoly q(coeffs);
+    int sign = alpha.sign_of(q);
+    double numeric = q.eval_double(std::sqrt(static_cast<double>(c)));
+    if (std::fabs(numeric) > 1e-6) {
+      EXPECT_EQ(sign, numeric > 0 ? 1 : -1)
+          << q.to_string() << " at sqrt(" << c << ")";
+    }
+  }
+  // The defining polynomial itself is always 0 at alpha.
+  EXPECT_EQ(alpha.sign_of(UPoly({Rational(-c), Rational(0), Rational(1)})),
+            0);
+}
+
+TEST_P(RootsProperty, SturmIntervalCountsPartition) {
+  Xoshiro rng(GetParam() ^ 0xcafe);
+  std::vector<Rational> coeffs;
+  const std::size_t deg = 3 + rng.next() % 3;
+  for (std::size_t i = 0; i <= deg; ++i) {
+    coeffs.emplace_back(static_cast<std::int64_t>(rng.next() % 11) - 5);
+  }
+  UPoly p(coeffs);
+  if (p.degree() < 1) return;
+  SturmSequence sturm(p);
+  const int total = sturm.count_real_roots();
+  // Counts over a partition of (-B, B] sum to the total.
+  Rational b = cauchy_root_bound(p);
+  int sum = 0;
+  Rational prev = -b;
+  for (int i = 1; i <= 4; ++i) {
+    Rational next = -b + (b + b) * Rational(i, 4);
+    sum += sturm.count_roots(prev, next);
+    prev = next;
+  }
+  EXPECT_EQ(sum, total) << p.to_string();
+  // And isolation finds the same number of roots.
+  EXPECT_EQ(static_cast<int>(isolate_real_roots(p).size()), total);
+}
+
+TEST_P(RootsProperty, SimplestRationalDetectsPlantedRoot) {
+  Xoshiro rng(GetParam() ^ 0x5151);
+  // A root with a modest denominator must be detected as exact after a
+  // bounded number of refinements (continued-fraction detection).
+  Rational r(static_cast<std::int64_t>(rng.next() % 39) - 19,
+             1 + static_cast<std::int64_t>(rng.next() % 12));
+  // Pair it with an irrational companion.
+  UPoly p = UPoly({-r, Rational(1)}) *
+            UPoly({Rational(-7), Rational(0), Rational(1)});
+  auto isolated = isolate_real_roots(p);
+  bool found_exact = false;
+  for (auto root : isolated) {
+    for (int i = 0; i < 64 && !root.is_exact(); ++i) refine_root(&root);
+    if (root.is_exact() && root.lo == r) found_exact = true;
+  }
+  EXPECT_TRUE(found_exact) << "planted " << r.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RootsProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,204 @@
+// Property-based tests for the volume engines: randomized workloads,
+// parameterized over seeds (TEST_P), checking the measure-theoretic laws
+// the implementation must satisfy exactly.
+
+#include <gtest/gtest.h>
+
+#include "cqa/approx/random.h"
+#include "cqa/geometry/affine.h"
+#include "cqa/volume/inclusion_exclusion.h"
+#include "cqa/volume/semilinear_volume.h"
+
+namespace cqa {
+namespace {
+
+// Random generator of small rational boxes and half-plane-cut cells.
+class CellGen {
+ public:
+  explicit CellGen(std::uint64_t seed) : rng_(seed) {}
+
+  Rational small_rational(int num_range, int den_max) {
+    std::int64_t n = static_cast<std::int64_t>(rng_.next() %
+                                               (2 * num_range + 1)) -
+                     num_range;
+    std::int64_t d = 1 + static_cast<std::int64_t>(rng_.next() %
+                                                   static_cast<std::uint64_t>(
+                                                       den_max));
+    return Rational(n, d);
+  }
+
+  LinearCell box(std::size_t dim) {
+    LinearCell cell(dim);
+    for (std::size_t v = 0; v < dim; ++v) {
+      Rational lo = small_rational(6, 3);
+      Rational w = small_rational(4, 3).abs() + Rational(1, 3);
+      LinearConstraint a;
+      a.coeffs.assign(dim, Rational());
+      a.coeffs[v] = Rational(-1);
+      a.rhs = -lo;
+      a.cmp = LinCmp::kLe;
+      LinearConstraint b;
+      b.coeffs.assign(dim, Rational());
+      b.coeffs[v] = Rational(1);
+      b.rhs = lo + w;
+      b.cmp = LinCmp::kLe;
+      cell.add(std::move(a));
+      cell.add(std::move(b));
+    }
+    return cell;
+  }
+
+  // A box with up to two random half-plane cuts: still convex, bounded.
+  LinearCell cut_cell(std::size_t dim) {
+    LinearCell cell = box(dim);
+    const std::size_t cuts = rng_.next() % 3;
+    for (std::size_t c = 0; c < cuts; ++c) {
+      LinearConstraint h;
+      h.coeffs.assign(dim, Rational());
+      bool nonzero = false;
+      for (std::size_t v = 0; v < dim; ++v) {
+        h.coeffs[v] = small_rational(2, 2);
+        if (!h.coeffs[v].is_zero()) nonzero = true;
+      }
+      if (!nonzero) continue;
+      h.rhs = small_rational(8, 2);
+      h.cmp = LinCmp::kLe;
+      cell.add(std::move(h));
+    }
+    return cell;
+  }
+
+  std::vector<LinearCell> cell_union(std::size_t dim, std::size_t count) {
+    std::vector<LinearCell> out;
+    for (std::size_t i = 0; i < count; ++i) out.push_back(cut_cell(dim));
+    return out;
+  }
+
+  Xoshiro& rng() { return rng_; }
+
+ private:
+  Xoshiro rng_;
+};
+
+class VolumeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VolumeProperty, SweepMatchesInclusionExclusion) {
+  CellGen gen(GetParam());
+  for (std::size_t dim : {1u, 2u}) {
+    auto cells = gen.cell_union(dim, 1 + gen.rng().next() % 4);
+    auto sweep = semilinear_volume_sweep(cells);
+    auto incl = volume_inclusion_exclusion(cells);
+    ASSERT_TRUE(sweep.is_ok());
+    ASSERT_TRUE(incl.is_ok());
+    EXPECT_EQ(sweep.value(), incl.value()) << "dim=" << dim;
+    // And the auto strategy agrees with both.
+    EXPECT_EQ(semilinear_volume(cells).value_or_die(), sweep.value());
+  }
+}
+
+TEST_P(VolumeProperty, UnionBounds) {
+  CellGen gen(GetParam() ^ 0x1111);
+  auto a = gen.cell_union(2, 2);
+  auto b = gen.cell_union(2, 2);
+  Rational va = semilinear_volume(a).value_or_die();
+  Rational vb = semilinear_volume(b).value_or_die();
+  std::vector<LinearCell> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  Rational vu = semilinear_volume(both).value_or_die();
+  // max(va, vb) <= vol(A u B) <= va + vb.
+  EXPECT_GE(vu, std::max(va, vb));
+  EXPECT_LE(vu, va + vb);
+}
+
+TEST_P(VolumeProperty, MonotoneUnderIntersection) {
+  CellGen gen(GetParam() ^ 0x2222);
+  LinearCell cell = gen.cut_cell(2);
+  Rational whole = semilinear_volume({cell}).value_or_die();
+  // Intersecting with anything cannot increase volume.
+  LinearCell smaller = cell;
+  LinearConstraint cut;
+  cut.coeffs = {Rational(1), Rational(1)};
+  cut.rhs = gen.small_rational(6, 2);
+  cut.cmp = LinCmp::kLe;
+  smaller.add(std::move(cut));
+  Rational part = semilinear_volume({smaller}).value_or_die();
+  EXPECT_LE(part, whole);
+  EXPECT_GE(part, Rational(0));
+}
+
+TEST_P(VolumeProperty, AffineTransformationLaw) {
+  CellGen gen(GetParam() ^ 0x3333);
+  auto cells = gen.cell_union(2, 2);
+  Rational before = semilinear_volume(cells).value_or_die();
+  // Random invertible rational map.
+  Matrix m(2, 2);
+  do {
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        m.at(r, c) = gen.small_rational(3, 2);
+      }
+    }
+  } while (m.determinant().is_zero());
+  AffineMap t(m, {gen.small_rational(5, 2), gen.small_rational(5, 2)});
+  std::vector<LinearCell> image;
+  for (const auto& c : cells) image.push_back(t.apply(c).value_or_die());
+  Rational after = semilinear_volume(image).value_or_die();
+  EXPECT_EQ(after, t.determinant().abs() * before);
+}
+
+TEST_P(VolumeProperty, TranslationInvariance) {
+  CellGen gen(GetParam() ^ 0x4444);
+  auto cells = gen.cell_union(2, 3);
+  Rational before = semilinear_volume(cells).value_or_die();
+  AffineMap t = AffineMap::translation(
+      {gen.small_rational(10, 3), gen.small_rational(10, 3)});
+  std::vector<LinearCell> image;
+  for (const auto& c : cells) image.push_back(t.apply(c).value_or_die());
+  EXPECT_EQ(semilinear_volume(image).value_or_die(), before);
+}
+
+TEST_P(VolumeProperty, ComplementWithinBox) {
+  CellGen gen(GetParam() ^ 0x5555);
+  // vol(box) = vol(box & S) + vol(box & !S) for a random convex S.
+  LinearCell box = LinearCell(2).intersect_box(Rational(-2), Rational(2));
+  Rational box_vol = semilinear_volume({box}).value_or_die();
+  LinearCell s = gen.cut_cell(2);
+  // box & S.
+  LinearCell inter = box;
+  for (const auto& c : s.constraints()) inter.add(c);
+  Rational in_vol = semilinear_volume({inter}).value_or_die();
+  // box & !S: complement of a conjunction is a union of negated atoms.
+  std::vector<LinearCell> outside;
+  for (const auto& c : s.constraints()) {
+    LinearCell piece = box;
+    LinearConstraint neg;
+    neg.coeffs = vec_scale(Rational(-1), c.coeffs);
+    neg.rhs = -c.rhs;
+    neg.cmp = c.cmp == LinCmp::kLe ? LinCmp::kLt : LinCmp::kLe;
+    CQA_CHECK(c.cmp != LinCmp::kEq);
+    piece.add(std::move(neg));
+    outside.push_back(std::move(piece));
+  }
+  Rational out_vol = semilinear_volume(outside).value_or_die();
+  EXPECT_EQ(in_vol + out_vol, box_vol);
+}
+
+TEST_P(VolumeProperty, ScalingPowerLaw) {
+  CellGen gen(GetParam() ^ 0x6666);
+  for (std::size_t dim : {1u, 2u, 3u}) {
+    LinearCell cell = gen.box(dim);
+    Rational v1 = semilinear_volume({cell}).value_or_die();
+    AffineMap s = AffineMap::scaling(dim, Rational(3, 2));
+    Rational v2 =
+        semilinear_volume({s.apply(cell).value_or_die()}).value_or_die();
+    EXPECT_EQ(v2, Rational::pow(Rational(3, 2),
+                                static_cast<std::int64_t>(dim)) *
+                      v1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VolumeProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cqa

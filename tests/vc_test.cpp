@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cqa/logic/parser.h"
+#include "cqa/vc/blowup.h"
+#include "cqa/vc/sample_bounds.h"
+#include "cqa/vc/shattering.h"
+
+namespace cqa {
+namespace {
+
+TEST(TraceFamily, ShatteringBasics) {
+  TraceFamily f(3);
+  // Family = all singletons + empty: shatters singletons but no pair.
+  f.add_trace(0b000);
+  f.add_trace(0b001);
+  f.add_trace(0b010);
+  f.add_trace(0b100);
+  EXPECT_TRUE(f.shatters(0b001));
+  EXPECT_TRUE(f.shatters(0b100));
+  EXPECT_FALSE(f.shatters(0b011));
+  EXPECT_EQ(f.vc_dimension(), 1);
+}
+
+TEST(TraceFamily, PowerSetShattersEverything) {
+  TraceFamily f(4);
+  for (std::uint64_t m = 0; m < 16; ++m) f.add_trace(m);
+  EXPECT_EQ(f.vc_dimension(), 4);
+  EXPECT_TRUE(f.shatters(0b1111));
+}
+
+TEST(TraceFamily, EmptyFamily) {
+  TraceFamily f(3);
+  EXPECT_EQ(f.vc_dimension(), -1);
+  f.add_trace(0b101);
+  EXPECT_EQ(f.vc_dimension(), 0);  // single set shatters only the empty set
+}
+
+TEST(TraceFamily, ThresholdFamilyHasVc1) {
+  // Half-lines {x <= t}: traces over ground {1,2,3,4} are prefixes.
+  TraceFamily f(4);
+  for (int t = 0; t <= 4; ++t) {
+    std::uint64_t m = 0;
+    for (int i = 0; i < t; ++i) m |= 1ull << i;
+    f.add_trace(m);
+  }
+  EXPECT_EQ(f.vc_dimension(), 1);
+}
+
+TEST(BuildTraces, IntervalFamilyOverDatabase) {
+  // phi(a, b; x) = a <= x & x <= b: intervals have VC dimension 2.
+  Database db;
+  VarTable vars;
+  auto phi = parse_formula("a <= x & x <= b", &vars).value_or_die();
+  std::size_t a = static_cast<std::size_t>(vars.find("a"));
+  std::size_t b = static_cast<std::size_t>(vars.find("b"));
+  std::size_t x = static_cast<std::size_t>(vars.find("x"));
+  std::vector<RVec> pool;
+  for (int lo = 0; lo <= 5; ++lo) {
+    for (int hi = lo; hi <= 5; ++hi) {
+      pool.push_back({Rational(lo), Rational(hi)});
+    }
+  }
+  std::vector<RVec> ground = {{Rational(1)}, {Rational(2)}, {Rational(3)},
+                              {Rational(4)}};
+  auto traces =
+      build_traces(db, phi, {a, b}, {x}, pool, ground).value_or_die();
+  EXPECT_EQ(traces.vc_dimension(), 2);
+}
+
+TEST(Prop5, VcDimensionAtLeastLogDbSize) {
+  for (std::size_t k = 2; k <= 6; ++k) {
+    Prop5Instance inst = make_prop5_instance(k);
+    auto traces = build_traces(inst.db, inst.phi, {inst.param_var},
+                               {inst.element_var}, inst.param_pool,
+                               inst.ground_set)
+                      .value_or_die();
+    int vc = traces.vc_dimension();
+    EXPECT_EQ(vc, static_cast<int>(k)) << "k=" << k;
+    // The paper's claim: VCdim >= log |D|.
+    double log_size = std::log2(static_cast<double>(inst.db_size));
+    EXPECT_GE(static_cast<double>(vc) + 1e-9, log_size - 1.0) << "k=" << k;
+  }
+}
+
+TEST(SampleBounds, BlumerMonotonicity) {
+  std::size_t m1 = blumer_sample_bound(0.1, 0.1, 2);
+  std::size_t m2 = blumer_sample_bound(0.05, 0.1, 2);
+  std::size_t m3 = blumer_sample_bound(0.1, 0.01, 2);
+  std::size_t m4 = blumer_sample_bound(0.1, 0.1, 8);
+  EXPECT_GT(m2, m1);  // tighter eps -> more samples
+  EXPECT_GE(m3, m1);  // tighter delta -> at least as many
+  EXPECT_GT(m4, m1);  // higher dimension -> more samples
+  // Bound formula check at a concrete point.
+  double a = (4.0 / 0.1) * std::log2(2.0 / 0.1);
+  double b = (8.0 * 2 / 0.1) * std::log2(13.0 / 0.1);
+  EXPECT_EQ(m1, static_cast<std::size_t>(std::floor(std::max(a, b))) + 1);
+}
+
+TEST(SampleBounds, GoldbergJerrum) {
+  // C = 16 k (p+q)(log2(8 e d p s)+1), increasing in every argument.
+  double c = goldberg_jerrum_constant(2, 2, 3, 1, 10);
+  EXPECT_GT(c, 0);
+  EXPECT_GT(goldberg_jerrum_constant(3, 2, 3, 1, 10), c);
+  EXPECT_GT(goldberg_jerrum_constant(2, 2, 4, 1, 10), c);
+  EXPECT_GT(goldberg_jerrum_constant(2, 2, 3, 5, 10), c);
+  EXPECT_GT(goldberg_jerrum_constant(2, 2, 3, 1, 100), c);
+  // VCdim bound grows logarithmically in |D|.
+  EXPECT_NEAR(vc_dimension_bound(10.0, 1024), 100.0, 1e-9);
+}
+
+TEST(Blowup, Section3ExampleIsInfeasible) {
+  // The paper's headline: at eps = 1/10 the derandomized formula is
+  // astronomically large.
+  BlowupEstimate e = km_blowup_section3_example(100, 0.1);
+  EXPECT_GT(e.atom_count, 1e9);
+  EXPECT_GT(e.quantifiers, 1e6);
+  EXPECT_GT(e.sample_size, 1000u);
+}
+
+TEST(Blowup, GrowsAsEpsilonShrinks) {
+  BlowupEstimate coarse = km_blowup_section3_example(16, 0.25);
+  BlowupEstimate fine = km_blowup_section3_example(16, 0.01);
+  EXPECT_GT(fine.atom_count, coarse.atom_count);
+  EXPECT_GT(fine.quantifiers, coarse.quantifiers);
+  EXPECT_GT(fine.sample_size, coarse.sample_size);
+}
+
+TEST(Blowup, GrowsWithDatabase) {
+  BlowupEstimate small = km_blowup_section3_example(8, 0.1);
+  BlowupEstimate big = km_blowup_section3_example(512, 0.1);
+  EXPECT_GT(big.atom_count, small.atom_count);
+  // Quantifier prefix does not depend on the database (the paper's point
+  // about uniformity failing for other reasons).
+  EXPECT_EQ(big.quantifiers, small.quantifiers);
+}
+
+}  // namespace
+}  // namespace cqa

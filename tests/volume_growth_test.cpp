@@ -1,0 +1,83 @@
+#include "cqa/volume/growth.h"
+
+#include <gtest/gtest.h>
+
+#include "cqa/logic/parser.h"
+#include "cqa/volume/semilinear_volume.h"
+
+namespace cqa {
+namespace {
+
+std::vector<LinearCell> cells_of(const std::string& formula,
+                                 std::size_t dim) {
+  VarTable vars;
+  auto f = parse_formula(formula, &vars).value_or_die();
+  return formula_to_cells(f, dim).value_or_die();
+}
+
+TEST(Growth, BoundedSetConstantGrowth) {
+  auto cells = cells_of("0 <= x & x <= 1 & 0 <= y & y <= 1", 2);
+  auto g = volume_growth(cells).value_or_die();
+  // V(r) = 1 for r beyond the threshold.
+  EXPECT_EQ(g.poly.degree(), 0);
+  EXPECT_EQ(g.poly.coeff(0), Rational(1));
+  EXPECT_EQ(mu_operator(cells).value_or_die(), Rational(0));
+}
+
+TEST(Growth, HalfPlane) {
+  auto cells = cells_of("x >= 0", 2);
+  auto g = volume_growth(cells).value_or_die();
+  // V(r) = r * 2r = 2 r^2; mu = 2/4 = 1/2.
+  EXPECT_EQ(g.poly.degree(), 2);
+  EXPECT_EQ(g.poly.coeff(2), Rational(2));
+  EXPECT_EQ(mu_operator(cells).value_or_die(), Rational(1, 2));
+}
+
+TEST(Growth, FullSpaceAndQuadrant) {
+  std::vector<LinearCell> all = {LinearCell(2)};
+  EXPECT_EQ(mu_operator(all).value_or_die(), Rational(1));
+  auto quad = cells_of("x >= 0 & y >= 0", 2);
+  EXPECT_EQ(mu_operator(quad).value_or_die(), Rational(1, 4));
+}
+
+TEST(Growth, StripHasLinearGrowth) {
+  // 0 <= y <= 1 strip: V(r) = 2r for r > 1; mu = 0 (degree 1 < 2).
+  auto cells = cells_of("0 <= y & y <= 1", 2);
+  auto g = volume_growth(cells).value_or_die();
+  EXPECT_EQ(g.poly.degree(), 1);
+  EXPECT_EQ(g.poly.coeff(1), Rational(2));
+  EXPECT_EQ(mu_operator(cells).value_or_die(), Rational(0));
+}
+
+TEST(Growth, ConeInPlane) {
+  // {0 <= y <= x}: a 45-degree cone, V(r) = r^2/2 + ... for large r;
+  // mu = (1/2 r^2 + r^2?) -- compute: region in [-r,r]^2 with 0<=y<=x is
+  // triangle (0,0),(r,0),(r,r): area r^2/2. mu = (1/2)/4 = 1/8.
+  auto cells = cells_of("0 <= y & y <= x", 2);
+  EXPECT_EQ(mu_operator(cells).value_or_die(), Rational(1, 8));
+}
+
+TEST(Growth, PaperClaimMuZeroOnBounded) {
+  // The paper: "mu(X) = 0 for any bounded set X; thus this operator
+  // cannot be used to deal with volumes." Check on several bounded sets
+  // with different volumes -- mu cannot distinguish them.
+  for (const char* s : {
+           "0 <= x & x <= 1 & 0 <= y & y <= 1",
+           "0 <= x & x <= 3 & 0 <= y & y <= 3",
+           "0 <= x & 0 <= y & x + y <= 1",
+       }) {
+    auto cells = cells_of(s, 2);
+    EXPECT_EQ(mu_operator(cells).value_or_die(), Rational(0)) << s;
+  }
+}
+
+TEST(Growth, UnionOfConeAndBox) {
+  // Union of the cone {0<=y<=x} and a bounded box: same mu as the cone.
+  auto cells = cells_of("(0 <= y & y <= x) | "
+                        "(-3 <= x & x <= -1 & 0 <= y & y <= 1)",
+                        2);
+  EXPECT_EQ(mu_operator(cells).value_or_die(), Rational(1, 8));
+}
+
+}  // namespace
+}  // namespace cqa
