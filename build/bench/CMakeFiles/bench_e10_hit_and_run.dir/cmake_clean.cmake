@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_hit_and_run.dir/bench_e10_hit_and_run.cpp.o"
+  "CMakeFiles/bench_e10_hit_and_run.dir/bench_e10_hit_and_run.cpp.o.d"
+  "bench_e10_hit_and_run"
+  "bench_e10_hit_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_hit_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

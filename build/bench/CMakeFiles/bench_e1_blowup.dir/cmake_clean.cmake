@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_blowup.dir/bench_e1_blowup.cpp.o"
+  "CMakeFiles/bench_e1_blowup.dir/bench_e1_blowup.cpp.o.d"
+  "bench_e1_blowup"
+  "bench_e1_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

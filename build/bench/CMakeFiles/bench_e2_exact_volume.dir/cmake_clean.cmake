@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_exact_volume.dir/bench_e2_exact_volume.cpp.o"
+  "CMakeFiles/bench_e2_exact_volume.dir/bench_e2_exact_volume.cpp.o.d"
+  "bench_e2_exact_volume"
+  "bench_e2_exact_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_exact_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_mc_bounds.dir/bench_e3_mc_bounds.cpp.o"
+  "CMakeFiles/bench_e3_mc_bounds.dir/bench_e3_mc_bounds.cpp.o.d"
+  "bench_e3_mc_bounds"
+  "bench_e3_mc_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_mc_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

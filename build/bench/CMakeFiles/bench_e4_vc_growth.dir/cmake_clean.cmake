@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_vc_growth.dir/bench_e4_vc_growth.cpp.o"
+  "CMakeFiles/bench_e4_vc_growth.dir/bench_e4_vc_growth.cpp.o.d"
+  "bench_e4_vc_growth"
+  "bench_e4_vc_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_vc_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

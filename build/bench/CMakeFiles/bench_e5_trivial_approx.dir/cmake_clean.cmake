@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_trivial_approx.dir/bench_e5_trivial_approx.cpp.o"
+  "CMakeFiles/bench_e5_trivial_approx.dir/bench_e5_trivial_approx.cpp.o.d"
+  "bench_e5_trivial_approx"
+  "bench_e5_trivial_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_trivial_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_polygon_area.dir/bench_e6_polygon_area.cpp.o"
+  "CMakeFiles/bench_e6_polygon_area.dir/bench_e6_polygon_area.cpp.o.d"
+  "bench_e6_polygon_area"
+  "bench_e6_polygon_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_polygon_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

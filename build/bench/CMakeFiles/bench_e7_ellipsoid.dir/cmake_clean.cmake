@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_ellipsoid.dir/bench_e7_ellipsoid.cpp.o"
+  "CMakeFiles/bench_e7_ellipsoid.dir/bench_e7_ellipsoid.cpp.o.d"
+  "bench_e7_ellipsoid"
+  "bench_e7_ellipsoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_ellipsoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_variable_independence.dir/bench_e8_variable_independence.cpp.o"
+  "CMakeFiles/bench_e8_variable_independence.dir/bench_e8_variable_independence.cpp.o.d"
+  "bench_e8_variable_independence"
+  "bench_e8_variable_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_variable_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_volume.dir/approx_volume.cpp.o"
+  "CMakeFiles/approx_volume.dir/approx_volume.cpp.o.d"
+  "approx_volume"
+  "approx_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

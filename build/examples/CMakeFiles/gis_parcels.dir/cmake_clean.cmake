@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_parcels.dir/gis_parcels.cpp.o"
+  "CMakeFiles/gis_parcels.dir/gis_parcels.cpp.o.d"
+  "gis_parcels"
+  "gis_parcels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_parcels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_at_infinity.dir/measure_at_infinity.cpp.o"
+  "CMakeFiles/measure_at_infinity.dir/measure_at_infinity.cpp.o.d"
+  "measure_at_infinity"
+  "measure_at_infinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_at_infinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_aggregates.dir/sensor_aggregates.cpp.o"
+  "CMakeFiles/sensor_aggregates.dir/sensor_aggregates.cpp.o.d"
+  "sensor_aggregates"
+  "sensor_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

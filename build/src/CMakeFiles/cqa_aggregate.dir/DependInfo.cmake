@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/aggregate/database.cpp" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/database.cpp.o" "gcc" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/database.cpp.o.d"
+  "/root/repo/src/cqa/aggregate/endpoints.cpp" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/endpoints.cpp.o" "gcc" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/endpoints.cpp.o.d"
+  "/root/repo/src/cqa/aggregate/polygon_area.cpp" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/polygon_area.cpp.o" "gcc" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/polygon_area.cpp.o.d"
+  "/root/repo/src/cqa/aggregate/sql_aggregates.cpp" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sql_aggregates.cpp.o" "gcc" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sql_aggregates.cpp.o.d"
+  "/root/repo/src/cqa/aggregate/sum_language.cpp" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_language.cpp.o" "gcc" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_language.cpp.o.d"
+  "/root/repo/src/cqa/aggregate/sum_parser.cpp" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_parser.cpp.o" "gcc" "src/CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqa_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/database.cpp.o"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/database.cpp.o.d"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/endpoints.cpp.o"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/endpoints.cpp.o.d"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/polygon_area.cpp.o"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/polygon_area.cpp.o.d"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sql_aggregates.cpp.o"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sql_aggregates.cpp.o.d"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_language.cpp.o"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_language.cpp.o.d"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_parser.cpp.o"
+  "CMakeFiles/cqa_aggregate.dir/cqa/aggregate/sum_parser.cpp.o.d"
+  "libcqa_aggregate.a"
+  "libcqa_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/approx/circuit.cpp" "src/CMakeFiles/cqa_approx.dir/cqa/approx/circuit.cpp.o" "gcc" "src/CMakeFiles/cqa_approx.dir/cqa/approx/circuit.cpp.o.d"
+  "/root/repo/src/cqa/approx/ellipsoid.cpp" "src/CMakeFiles/cqa_approx.dir/cqa/approx/ellipsoid.cpp.o" "gcc" "src/CMakeFiles/cqa_approx.dir/cqa/approx/ellipsoid.cpp.o.d"
+  "/root/repo/src/cqa/approx/gadgets.cpp" "src/CMakeFiles/cqa_approx.dir/cqa/approx/gadgets.cpp.o" "gcc" "src/CMakeFiles/cqa_approx.dir/cqa/approx/gadgets.cpp.o.d"
+  "/root/repo/src/cqa/approx/hit_and_run.cpp" "src/CMakeFiles/cqa_approx.dir/cqa/approx/hit_and_run.cpp.o" "gcc" "src/CMakeFiles/cqa_approx.dir/cqa/approx/hit_and_run.cpp.o.d"
+  "/root/repo/src/cqa/approx/monte_carlo.cpp" "src/CMakeFiles/cqa_approx.dir/cqa/approx/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/cqa_approx.dir/cqa/approx/monte_carlo.cpp.o.d"
+  "/root/repo/src/cqa/approx/random.cpp" "src/CMakeFiles/cqa_approx.dir/cqa/approx/random.cpp.o" "gcc" "src/CMakeFiles/cqa_approx.dir/cqa/approx/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqa_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_aggregate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

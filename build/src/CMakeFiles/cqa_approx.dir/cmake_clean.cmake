@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_approx.dir/cqa/approx/circuit.cpp.o"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/circuit.cpp.o.d"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/ellipsoid.cpp.o"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/ellipsoid.cpp.o.d"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/gadgets.cpp.o"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/gadgets.cpp.o.d"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/hit_and_run.cpp.o"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/hit_and_run.cpp.o.d"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/monte_carlo.cpp.o"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/monte_carlo.cpp.o.d"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/random.cpp.o"
+  "CMakeFiles/cqa_approx.dir/cqa/approx/random.cpp.o.d"
+  "libcqa_approx.a"
+  "libcqa_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

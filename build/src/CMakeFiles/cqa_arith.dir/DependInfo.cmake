@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/arith/bigint.cpp" "src/CMakeFiles/cqa_arith.dir/cqa/arith/bigint.cpp.o" "gcc" "src/CMakeFiles/cqa_arith.dir/cqa/arith/bigint.cpp.o.d"
+  "/root/repo/src/cqa/arith/interval.cpp" "src/CMakeFiles/cqa_arith.dir/cqa/arith/interval.cpp.o" "gcc" "src/CMakeFiles/cqa_arith.dir/cqa/arith/interval.cpp.o.d"
+  "/root/repo/src/cqa/arith/rational.cpp" "src/CMakeFiles/cqa_arith.dir/cqa/arith/rational.cpp.o" "gcc" "src/CMakeFiles/cqa_arith.dir/cqa/arith/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_arith.dir/cqa/arith/bigint.cpp.o"
+  "CMakeFiles/cqa_arith.dir/cqa/arith/bigint.cpp.o.d"
+  "CMakeFiles/cqa_arith.dir/cqa/arith/interval.cpp.o"
+  "CMakeFiles/cqa_arith.dir/cqa/arith/interval.cpp.o.d"
+  "CMakeFiles/cqa_arith.dir/cqa/arith/rational.cpp.o"
+  "CMakeFiles/cqa_arith.dir/cqa/arith/rational.cpp.o.d"
+  "libcqa_arith.a"
+  "libcqa_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

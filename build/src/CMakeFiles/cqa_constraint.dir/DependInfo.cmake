@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/constraint/fourier_motzkin.cpp" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/fourier_motzkin.cpp.o" "gcc" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/fourier_motzkin.cpp.o.d"
+  "/root/repo/src/cqa/constraint/linear_atom.cpp" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_atom.cpp.o" "gcc" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_atom.cpp.o.d"
+  "/root/repo/src/cqa/constraint/linear_cell.cpp" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_cell.cpp.o" "gcc" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_cell.cpp.o.d"
+  "/root/repo/src/cqa/constraint/qe.cpp" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/qe.cpp.o" "gcc" "src/CMakeFiles/cqa_constraint.dir/cqa/constraint/qe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqa_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

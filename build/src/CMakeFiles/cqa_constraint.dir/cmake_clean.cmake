@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/fourier_motzkin.cpp.o"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/fourier_motzkin.cpp.o.d"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_atom.cpp.o"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_atom.cpp.o.d"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_cell.cpp.o"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/linear_cell.cpp.o.d"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/qe.cpp.o"
+  "CMakeFiles/cqa_constraint.dir/cqa/constraint/qe.cpp.o.d"
+  "libcqa_constraint.a"
+  "libcqa_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

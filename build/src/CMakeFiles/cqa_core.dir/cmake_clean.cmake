@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_core.dir/cqa/core/aggregation_engine.cpp.o"
+  "CMakeFiles/cqa_core.dir/cqa/core/aggregation_engine.cpp.o.d"
+  "CMakeFiles/cqa_core.dir/cqa/core/constraint_database.cpp.o"
+  "CMakeFiles/cqa_core.dir/cqa/core/constraint_database.cpp.o.d"
+  "CMakeFiles/cqa_core.dir/cqa/core/query_engine.cpp.o"
+  "CMakeFiles/cqa_core.dir/cqa/core/query_engine.cpp.o.d"
+  "CMakeFiles/cqa_core.dir/cqa/core/volume_engine.cpp.o"
+  "CMakeFiles/cqa_core.dir/cqa/core/volume_engine.cpp.o.d"
+  "libcqa_core.a"
+  "libcqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcqa_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/affine.cpp.o"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/affine.cpp.o.d"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/hull2d.cpp.o"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/hull2d.cpp.o.d"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/polyhedron.cpp.o"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/polyhedron.cpp.o.d"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/polytope_volume.cpp.o"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/polytope_volume.cpp.o.d"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/vertex_enum.cpp.o"
+  "CMakeFiles/cqa_geometry.dir/cqa/geometry/vertex_enum.cpp.o.d"
+  "libcqa_geometry.a"
+  "libcqa_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

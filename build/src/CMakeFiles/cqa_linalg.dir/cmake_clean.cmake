@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_linalg.dir/cqa/linalg/matrix.cpp.o"
+  "CMakeFiles/cqa_linalg.dir/cqa/linalg/matrix.cpp.o.d"
+  "libcqa_linalg.a"
+  "libcqa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/logic/decide.cpp" "src/CMakeFiles/cqa_logic.dir/cqa/logic/decide.cpp.o" "gcc" "src/CMakeFiles/cqa_logic.dir/cqa/logic/decide.cpp.o.d"
+  "/root/repo/src/cqa/logic/eval.cpp" "src/CMakeFiles/cqa_logic.dir/cqa/logic/eval.cpp.o" "gcc" "src/CMakeFiles/cqa_logic.dir/cqa/logic/eval.cpp.o.d"
+  "/root/repo/src/cqa/logic/formula.cpp" "src/CMakeFiles/cqa_logic.dir/cqa/logic/formula.cpp.o" "gcc" "src/CMakeFiles/cqa_logic.dir/cqa/logic/formula.cpp.o.d"
+  "/root/repo/src/cqa/logic/parser.cpp" "src/CMakeFiles/cqa_logic.dir/cqa/logic/parser.cpp.o" "gcc" "src/CMakeFiles/cqa_logic.dir/cqa/logic/parser.cpp.o.d"
+  "/root/repo/src/cqa/logic/printer.cpp" "src/CMakeFiles/cqa_logic.dir/cqa/logic/printer.cpp.o" "gcc" "src/CMakeFiles/cqa_logic.dir/cqa/logic/printer.cpp.o.d"
+  "/root/repo/src/cqa/logic/transform.cpp" "src/CMakeFiles/cqa_logic.dir/cqa/logic/transform.cpp.o" "gcc" "src/CMakeFiles/cqa_logic.dir/cqa/logic/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_logic.dir/cqa/logic/decide.cpp.o"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/decide.cpp.o.d"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/eval.cpp.o"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/eval.cpp.o.d"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/formula.cpp.o"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/formula.cpp.o.d"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/parser.cpp.o"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/parser.cpp.o.d"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/printer.cpp.o"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/printer.cpp.o.d"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/transform.cpp.o"
+  "CMakeFiles/cqa_logic.dir/cqa/logic/transform.cpp.o.d"
+  "libcqa_logic.a"
+  "libcqa_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

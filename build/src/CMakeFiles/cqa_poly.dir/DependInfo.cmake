@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/poly/algebraic.cpp" "src/CMakeFiles/cqa_poly.dir/cqa/poly/algebraic.cpp.o" "gcc" "src/CMakeFiles/cqa_poly.dir/cqa/poly/algebraic.cpp.o.d"
+  "/root/repo/src/cqa/poly/interpolation.cpp" "src/CMakeFiles/cqa_poly.dir/cqa/poly/interpolation.cpp.o" "gcc" "src/CMakeFiles/cqa_poly.dir/cqa/poly/interpolation.cpp.o.d"
+  "/root/repo/src/cqa/poly/polynomial.cpp" "src/CMakeFiles/cqa_poly.dir/cqa/poly/polynomial.cpp.o" "gcc" "src/CMakeFiles/cqa_poly.dir/cqa/poly/polynomial.cpp.o.d"
+  "/root/repo/src/cqa/poly/root_isolation.cpp" "src/CMakeFiles/cqa_poly.dir/cqa/poly/root_isolation.cpp.o" "gcc" "src/CMakeFiles/cqa_poly.dir/cqa/poly/root_isolation.cpp.o.d"
+  "/root/repo/src/cqa/poly/univariate.cpp" "src/CMakeFiles/cqa_poly.dir/cqa/poly/univariate.cpp.o" "gcc" "src/CMakeFiles/cqa_poly.dir/cqa/poly/univariate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_poly.dir/cqa/poly/algebraic.cpp.o"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/algebraic.cpp.o.d"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/interpolation.cpp.o"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/interpolation.cpp.o.d"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/polynomial.cpp.o"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/polynomial.cpp.o.d"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/root_isolation.cpp.o"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/root_isolation.cpp.o.d"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/univariate.cpp.o"
+  "CMakeFiles/cqa_poly.dir/cqa/poly/univariate.cpp.o.d"
+  "libcqa_poly.a"
+  "libcqa_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

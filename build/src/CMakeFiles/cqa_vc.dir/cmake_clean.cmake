@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_vc.dir/cqa/vc/blowup.cpp.o"
+  "CMakeFiles/cqa_vc.dir/cqa/vc/blowup.cpp.o.d"
+  "CMakeFiles/cqa_vc.dir/cqa/vc/sample_bounds.cpp.o"
+  "CMakeFiles/cqa_vc.dir/cqa/vc/sample_bounds.cpp.o.d"
+  "CMakeFiles/cqa_vc.dir/cqa/vc/shattering.cpp.o"
+  "CMakeFiles/cqa_vc.dir/cqa/vc/shattering.cpp.o.d"
+  "libcqa_vc.a"
+  "libcqa_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cqa/volume/growth.cpp" "src/CMakeFiles/cqa_volume.dir/cqa/volume/growth.cpp.o" "gcc" "src/CMakeFiles/cqa_volume.dir/cqa/volume/growth.cpp.o.d"
+  "/root/repo/src/cqa/volume/inclusion_exclusion.cpp" "src/CMakeFiles/cqa_volume.dir/cqa/volume/inclusion_exclusion.cpp.o" "gcc" "src/CMakeFiles/cqa_volume.dir/cqa/volume/inclusion_exclusion.cpp.o.d"
+  "/root/repo/src/cqa/volume/semilinear_volume.cpp" "src/CMakeFiles/cqa_volume.dir/cqa/volume/semilinear_volume.cpp.o" "gcc" "src/CMakeFiles/cqa_volume.dir/cqa/volume/semilinear_volume.cpp.o.d"
+  "/root/repo/src/cqa/volume/variable_independence.cpp" "src/CMakeFiles/cqa_volume.dir/cqa/volume/variable_independence.cpp.o" "gcc" "src/CMakeFiles/cqa_volume.dir/cqa/volume/variable_independence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqa_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqa_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_volume.dir/cqa/volume/growth.cpp.o"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/growth.cpp.o.d"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/inclusion_exclusion.cpp.o"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/inclusion_exclusion.cpp.o.d"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/semilinear_volume.cpp.o"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/semilinear_volume.cpp.o.d"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/variable_independence.cpp.o"
+  "CMakeFiles/cqa_volume.dir/cqa/volume/variable_independence.cpp.o.d"
+  "libcqa_volume.a"
+  "libcqa_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

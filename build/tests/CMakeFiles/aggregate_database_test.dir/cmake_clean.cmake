@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_database_test.dir/aggregate_database_test.cpp.o"
+  "CMakeFiles/aggregate_database_test.dir/aggregate_database_test.cpp.o.d"
+  "aggregate_database_test"
+  "aggregate_database_test.pdb"
+  "aggregate_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_grouping_test.dir/aggregate_grouping_test.cpp.o"
+  "CMakeFiles/aggregate_grouping_test.dir/aggregate_grouping_test.cpp.o.d"
+  "aggregate_grouping_test"
+  "aggregate_grouping_test.pdb"
+  "aggregate_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_polygon_test.dir/aggregate_polygon_test.cpp.o"
+  "CMakeFiles/aggregate_polygon_test.dir/aggregate_polygon_test.cpp.o.d"
+  "aggregate_polygon_test"
+  "aggregate_polygon_test.pdb"
+  "aggregate_polygon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_polygon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

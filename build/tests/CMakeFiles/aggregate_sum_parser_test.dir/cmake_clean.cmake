@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_sum_parser_test.dir/aggregate_sum_parser_test.cpp.o"
+  "CMakeFiles/aggregate_sum_parser_test.dir/aggregate_sum_parser_test.cpp.o.d"
+  "aggregate_sum_parser_test"
+  "aggregate_sum_parser_test.pdb"
+  "aggregate_sum_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_sum_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

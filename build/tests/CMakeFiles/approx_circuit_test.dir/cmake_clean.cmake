@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_circuit_test.dir/approx_circuit_test.cpp.o"
+  "CMakeFiles/approx_circuit_test.dir/approx_circuit_test.cpp.o.d"
+  "approx_circuit_test"
+  "approx_circuit_test.pdb"
+  "approx_circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_in_language_test.dir/approx_in_language_test.cpp.o"
+  "CMakeFiles/approx_in_language_test.dir/approx_in_language_test.cpp.o.d"
+  "approx_in_language_test"
+  "approx_in_language_test.pdb"
+  "approx_in_language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_in_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_bigint_test.dir/arith_bigint_test.cpp.o"
+  "CMakeFiles/arith_bigint_test.dir/arith_bigint_test.cpp.o.d"
+  "arith_bigint_test"
+  "arith_bigint_test.pdb"
+  "arith_bigint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

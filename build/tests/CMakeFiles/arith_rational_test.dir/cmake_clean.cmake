@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_rational_test.dir/arith_rational_test.cpp.o"
+  "CMakeFiles/arith_rational_test.dir/arith_rational_test.cpp.o.d"
+  "arith_rational_test"
+  "arith_rational_test.pdb"
+  "arith_rational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_rational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_fm_test.dir/constraint_fm_test.cpp.o"
+  "CMakeFiles/constraint_fm_test.dir/constraint_fm_test.cpp.o.d"
+  "constraint_fm_test"
+  "constraint_fm_test.pdb"
+  "constraint_fm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_fm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_qe_test.dir/constraint_qe_test.cpp.o"
+  "CMakeFiles/constraint_qe_test.dir/constraint_qe_test.cpp.o.d"
+  "constraint_qe_test"
+  "constraint_qe_test.pdb"
+  "constraint_qe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_qe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

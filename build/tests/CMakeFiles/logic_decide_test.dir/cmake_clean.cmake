@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_decide_test.dir/logic_decide_test.cpp.o"
+  "CMakeFiles/logic_decide_test.dir/logic_decide_test.cpp.o.d"
+  "logic_decide_test"
+  "logic_decide_test.pdb"
+  "logic_decide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_decide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_parser_test.dir/logic_parser_test.cpp.o"
+  "CMakeFiles/logic_parser_test.dir/logic_parser_test.cpp.o.d"
+  "logic_parser_test"
+  "logic_parser_test.pdb"
+  "logic_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_fragment_test.dir/mixed_fragment_test.cpp.o"
+  "CMakeFiles/mixed_fragment_test.dir/mixed_fragment_test.cpp.o.d"
+  "mixed_fragment_test"
+  "mixed_fragment_test.pdb"
+  "mixed_fragment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_fragment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

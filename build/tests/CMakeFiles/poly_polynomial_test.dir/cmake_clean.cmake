@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_polynomial_test.dir/poly_polynomial_test.cpp.o"
+  "CMakeFiles/poly_polynomial_test.dir/poly_polynomial_test.cpp.o.d"
+  "poly_polynomial_test"
+  "poly_polynomial_test.pdb"
+  "poly_polynomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_roots_test.dir/poly_roots_test.cpp.o"
+  "CMakeFiles/poly_roots_test.dir/poly_roots_test.cpp.o.d"
+  "poly_roots_test"
+  "poly_roots_test.pdb"
+  "poly_roots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_roots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_arith_test.dir/property_arith_test.cpp.o"
+  "CMakeFiles/property_arith_test.dir/property_arith_test.cpp.o.d"
+  "property_arith_test"
+  "property_arith_test.pdb"
+  "property_arith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_arith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_endpoints_test.dir/property_endpoints_test.cpp.o"
+  "CMakeFiles/property_endpoints_test.dir/property_endpoints_test.cpp.o.d"
+  "property_endpoints_test"
+  "property_endpoints_test.pdb"
+  "property_endpoints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_endpoints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

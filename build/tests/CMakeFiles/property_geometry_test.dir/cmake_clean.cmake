@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_geometry_test.dir/property_geometry_test.cpp.o"
+  "CMakeFiles/property_geometry_test.dir/property_geometry_test.cpp.o.d"
+  "property_geometry_test"
+  "property_geometry_test.pdb"
+  "property_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

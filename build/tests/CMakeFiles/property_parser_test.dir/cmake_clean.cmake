@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_parser_test.dir/property_parser_test.cpp.o"
+  "CMakeFiles/property_parser_test.dir/property_parser_test.cpp.o.d"
+  "property_parser_test"
+  "property_parser_test.pdb"
+  "property_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_qe_test.dir/property_qe_test.cpp.o"
+  "CMakeFiles/property_qe_test.dir/property_qe_test.cpp.o.d"
+  "property_qe_test"
+  "property_qe_test.pdb"
+  "property_qe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_qe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

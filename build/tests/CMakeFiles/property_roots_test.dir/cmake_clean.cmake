@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_roots_test.dir/property_roots_test.cpp.o"
+  "CMakeFiles/property_roots_test.dir/property_roots_test.cpp.o.d"
+  "property_roots_test"
+  "property_roots_test.pdb"
+  "property_roots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_roots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

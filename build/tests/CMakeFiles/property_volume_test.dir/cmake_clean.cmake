@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_volume_test.dir/property_volume_test.cpp.o"
+  "CMakeFiles/property_volume_test.dir/property_volume_test.cpp.o.d"
+  "property_volume_test"
+  "property_volume_test.pdb"
+  "property_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_test.dir/vc_test.cpp.o"
+  "CMakeFiles/vc_test.dir/vc_test.cpp.o.d"
+  "vc_test"
+  "vc_test.pdb"
+  "vc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

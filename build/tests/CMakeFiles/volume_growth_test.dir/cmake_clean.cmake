@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_growth_test.dir/volume_growth_test.cpp.o"
+  "CMakeFiles/volume_growth_test.dir/volume_growth_test.cpp.o.d"
+  "volume_growth_test"
+  "volume_growth_test.pdb"
+  "volume_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
