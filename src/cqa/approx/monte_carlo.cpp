@@ -19,15 +19,17 @@ McVolumeEstimator::McVolumeEstimator(const Database* db, FormulaPtr phi,
   sample_ = w.draw_sample(sample_size, element_vars_.size());
 }
 
-Result<double> McVolumeEstimator::estimate(
-    const std::map<std::size_t, Rational>& params) const {
-  if (!inlined_->is_quantifier_free()) {
+Result<std::size_t> mc_count_hits(
+    const FormulaPtr& inlined, const std::vector<std::size_t>& element_vars,
+    const std::map<std::size_t, Rational>& params,
+    const std::vector<double>* points, std::size_t count) {
+  if (!inlined->is_quantifier_free()) {
     return Status::unsupported(
         "Monte-Carlo membership requires a quantifier-free query "
         "(run linear QE first)");
   }
-  int mv = inlined_->max_var();
-  for (std::size_t v : element_vars_) {
+  int mv = inlined->max_var();
+  for (std::size_t v : element_vars) {
     mv = std::max(mv, static_cast<int>(v));
   }
   std::vector<double> point(static_cast<std::size_t>(mv + 1), 0.0);
@@ -35,16 +37,35 @@ Result<double> McVolumeEstimator::estimate(
     if (v < point.size()) point[v] = val.to_double();
   }
   std::size_t hits = 0;
-  for (const auto& y : sample_) {
-    for (std::size_t i = 0; i < element_vars_.size(); ++i) {
-      point[element_vars_[i]] = y[i];
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::vector<double>& y = points[p];
+    for (std::size_t i = 0; i < element_vars.size(); ++i) {
+      point[element_vars[i]] = y[i];
     }
-    auto r = eval_qf_double(inlined_, point);
+    auto r = eval_qf_double(inlined, point);
     if (!r.is_ok()) return r.status();
     if (r.value()) ++hits;
   }
+  return hits;
+}
+
+Result<std::size_t> McVolumeEstimator::evaluate_chunk(
+    std::size_t begin, std::size_t end,
+    const std::map<std::size_t, Rational>& params) const {
+  if (begin > end || end > sample_.size()) {
+    return Status::out_of_range("evaluate_chunk: bad sample range");
+  }
+  return mc_count_hits(inlined_, element_vars_, params, sample_.data() + begin,
+                       end - begin);
+}
+
+Result<double> McVolumeEstimator::estimate(
+    const std::map<std::size_t, Rational>& params) const {
+  auto hits = evaluate_chunk(0, sample_.size(), params);
+  if (!hits.is_ok()) return hits.status();
   if (sample_.empty()) return 0.0;
-  return static_cast<double>(hits) / static_cast<double>(sample_.size());
+  return static_cast<double>(hits.value()) /
+         static_cast<double>(sample_.size());
 }
 
 Result<double> mc_volume(const Database& db, const FormulaPtr& phi,

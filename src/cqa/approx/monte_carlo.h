@@ -34,6 +34,20 @@ class McVolumeEstimator {
   Result<double> estimate(
       const std::map<std::size_t, Rational>& params) const;
 
+  /// Hit count over sample indices [begin, end) -- the unit of parallel
+  /// work for cqa::runtime. Summing over any chunking of
+  /// [0, sample_size) reproduces estimate()'s hit count exactly.
+  Result<std::size_t> evaluate_chunk(
+      std::size_t begin, std::size_t end,
+      const std::map<std::size_t, Rational>& params) const;
+
+  /// The query with predicates inlined (membership formula).
+  const FormulaPtr& inlined() const { return inlined_; }
+  /// The volume variables y (sample coordinates bind to these).
+  const std::vector<std::size_t>& element_vars() const {
+    return element_vars_;
+  }
+
   std::size_t sample_size() const { return sample_.size(); }
 
  private:
@@ -42,6 +56,16 @@ class McVolumeEstimator {
   std::vector<std::size_t> element_vars_;
   std::vector<std::vector<double>> sample_;
 };
+
+/// Shared membership-counting kernel: how many of the `count` points at
+/// `points` (each a |element_vars|-vector in [0,1)^m) satisfy the
+/// quantifier-free `inlined` formula with `params` bound. Both the
+/// serial estimator above and the runtime's ParallelSampler delegate
+/// here, so there is exactly one membership semantics.
+Result<std::size_t> mc_count_hits(
+    const FormulaPtr& inlined, const std::vector<std::size_t>& element_vars,
+    const std::map<std::size_t, Rational>& params,
+    const std::vector<double>* points, std::size_t count);
 
 /// One-shot helper: estimate VOL_I(phi(params, D)) with the sample size
 /// implied by (epsilon, delta, vc_dim).

@@ -73,6 +73,13 @@ std::vector<double> halton_point(std::size_t index, std::size_t dim) {
   return p;
 }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 std::vector<std::vector<double>> WitnessOperator::draw_sample(
     std::size_t count, std::size_t m) {
   std::vector<std::vector<double>> out;

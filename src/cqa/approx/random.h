@@ -34,6 +34,12 @@ class Xoshiro {
 /// Halton low-discrepancy sequence point (index >= 0) in [0,1)^dim.
 std::vector<double> halton_point(std::size_t index, std::size_t dim);
 
+/// Counter-based stream seeding: a splitmix64-style mix of (seed,
+/// stream). Chunk c of a partitioned Monte-Carlo sample draws from
+/// Xoshiro(stream_seed(seed, c)), so the sample depends only on (seed,
+/// chunk layout) -- never on which thread evaluates which chunk.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 /// The witness operator W: for Theorem 4's use, W draws uniform sample
 /// points from I^m. Seeded, so derandomizable in tests.
 class WitnessOperator {

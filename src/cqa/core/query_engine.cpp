@@ -1,5 +1,6 @@
 #include "cqa/core/query_engine.h"
 
+#include "cqa/logic/printer.h"
 #include "cqa/logic/transform.h"
 
 namespace cqa {
@@ -32,21 +33,37 @@ Result<std::vector<LinearCell>> QueryEngine::cells(
   return formula_to_cells(remapped, output_vars.size());
 }
 
+Result<std::string> QueryEngine::canonical_key(const std::string& query) {
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
+  if (!parsed.is_ok()) return parsed.status();
+  return to_string(parsed.value());
+}
+
 Result<FormulaPtr> QueryEngine::rewrite(const std::string& query) {
   auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
   if (!parsed.is_ok()) return parsed;
+  std::string key;
+  if (cache_ != nullptr) {
+    key = "qe|" + to_string(parsed.value());
+    if (auto hit = cache_->lookup(key)) return *hit;
+  }
   auto expanded = db_->db().expand_active_domain(parsed.value());
   if (!expanded.is_ok()) return expanded;
   auto inlined = db_->db().inline_predicates(expanded.value());
   if (!inlined.is_ok()) return inlined;
   FormulaPtr g = inlined.value();
-  if (g->is_quantifier_free()) return g;
-  if (!g->is_linear()) {
-    return Status::unsupported(
-        "rewrite: query is nonlinear and quantified; only FO+LIN queries "
-        "admit quantifier elimination here");
+  if (!g->is_quantifier_free()) {
+    if (!g->is_linear()) {
+      return Status::unsupported(
+          "rewrite: query is nonlinear and quantified; only FO+LIN queries "
+          "admit quantifier elimination here");
+    }
+    auto eliminated = qe_linear(g);
+    if (!eliminated.is_ok()) return eliminated;
+    g = eliminated.value();
   }
-  return qe_linear(g);
+  if (cache_ != nullptr) cache_->store(key, g);
+  return g;
 }
 
 Result<bool> QueryEngine::ask(const std::string& sentence) {

@@ -5,6 +5,7 @@
 #ifndef CQA_CORE_QUERY_ENGINE_H_
 #define CQA_CORE_QUERY_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,10 +14,28 @@
 
 namespace cqa {
 
+/// Memo-cache hook for rewrite results. Core defines only this
+/// interface; cqa/runtime/eval_cache provides the sharded LRU
+/// implementation and cqa::Session installs it.
+class RewriteCache {
+ public:
+  virtual ~RewriteCache() = default;
+  virtual std::optional<FormulaPtr> lookup(const std::string& key) = 0;
+  virtual void store(const std::string& key, const FormulaPtr& value) = 0;
+};
+
 /// Stateless query façade over a ConstraintDatabase.
 class QueryEngine {
  public:
   explicit QueryEngine(const ConstraintDatabase* db) : db_(db) {}
+
+  /// Installs a memo-cache for rewrite() results (nullptr disables).
+  /// Not owned; must outlive the engine's use of it.
+  void set_cache(RewriteCache* cache) { cache_ = cache; }
+
+  /// Canonical cache key for a query: the printed form of its parsed
+  /// formula, so spellings that parse to the same tree share a key.
+  Result<std::string> canonical_key(const std::string& query);
 
   /// Evaluates a query with named output variables into a union of linear
   /// cells over those variables (in the given order -- the closure
@@ -36,6 +55,7 @@ class QueryEngine {
 
  private:
   const ConstraintDatabase* db_;
+  RewriteCache* cache_ = nullptr;
 };
 
 }  // namespace cqa

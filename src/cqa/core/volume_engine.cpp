@@ -64,7 +64,32 @@ Result<VolumeAnswer> VolumeEngine::volume(
     return answer;
   }
 
-  // Exact strategies go through the FO+LIN pipeline.
+  // Exact strategies go through the FO+LIN pipeline; their results are
+  // memoizable, keyed on the canonical parsed form plus the output
+  // variable list and the options that change the exact answer.
+  std::optional<std::string> cache_key;
+  const bool exact_strategy =
+      options.strategy == VolumeStrategy::kAuto ||
+      options.strategy == VolumeStrategy::kExactSweep ||
+      options.strategy == VolumeStrategy::kInclusionExclusion ||
+      options.strategy == VolumeStrategy::kVariableIndependent;
+  if (cache_ != nullptr && exact_strategy) {
+    auto canon = queries_.canonical_key(query);
+    if (!canon.is_ok()) return canon.status();
+    std::string key = "vol|" + canon.value();
+    for (const auto& v : output_vars) key += "|" + v;
+    key += "|s" + std::to_string(static_cast<int>(options.strategy));
+    if (options.clip_to_unit_box) key += "|clip";
+    if (auto hit = cache_->lookup(key)) {
+      answer.exact = *hit;
+      return answer;
+    }
+    cache_key = std::move(key);
+  }
+  auto memoize = [&](const Rational& v) {
+    if (cache_key) cache_->store(*cache_key, v);
+  };
+
   auto cells = queries_.cells(query, output_vars);
   if (!cells.is_ok()) return cells.status();
   std::vector<LinearCell> live = cells.value();
@@ -76,24 +101,28 @@ Result<VolumeAnswer> VolumeEngine::volume(
     case VolumeStrategy::kAuto: {
       auto v = semilinear_volume(live);
       if (!v.is_ok()) return v.status();
+      memoize(v.value());
       answer.exact = v.value();
       return answer;
     }
     case VolumeStrategy::kExactSweep: {
       auto v = semilinear_volume_sweep(live);
       if (!v.is_ok()) return v.status();
+      memoize(v.value());
       answer.exact = v.value();
       return answer;
     }
     case VolumeStrategy::kInclusionExclusion: {
       auto v = volume_inclusion_exclusion(live);
       if (!v.is_ok()) return v.status();
+      memoize(v.value());
       answer.exact = v.value();
       return answer;
     }
     case VolumeStrategy::kVariableIndependent: {
       auto v = volume_variable_independent(live);
       if (!v.is_ok()) return v.status();
+      memoize(v.value());
       answer.exact = v.value();
       return answer;
     }

@@ -53,11 +53,27 @@ struct VolumeOptions {
   bool clip_to_unit_box = false;
 };
 
+/// Memo-cache hook for exact volume results (same pattern as
+/// RewriteCache: the runtime layer implements and installs it).
+class VolumeCache {
+ public:
+  virtual ~VolumeCache() = default;
+  virtual std::optional<Rational> lookup(const std::string& key) = 0;
+  virtual void store(const std::string& key, const Rational& value) = 0;
+};
+
 /// Volume façade.
 class VolumeEngine {
  public:
   explicit VolumeEngine(const ConstraintDatabase* db)
       : db_(db), queries_(db) {}
+
+  /// Installs a memo-cache for exact volume results (nullptr disables).
+  /// Approximate strategies are never cached. Not owned.
+  void set_cache(VolumeCache* cache) { cache_ = cache; }
+
+  /// The engine's query pipeline (e.g. to install a RewriteCache on it).
+  QueryEngine& queries() { return queries_; }
 
   /// Volume of the query's denotation over the named output variables.
   Result<VolumeAnswer> volume(const std::string& query,
@@ -78,6 +94,7 @@ class VolumeEngine {
  private:
   const ConstraintDatabase* db_;
   QueryEngine queries_;
+  VolumeCache* cache_ = nullptr;
 };
 
 }  // namespace cqa

@@ -1,0 +1,32 @@
+#include "cqa/runtime/eval_cache.h"
+
+namespace cqa {
+
+namespace {
+Counter* metric_or_null(MetricsRegistry* metrics, const char* name) {
+  return metrics ? metrics->counter(name) : nullptr;
+}
+}  // namespace
+
+EvalCache::EvalCache(EvalCacheOptions options, MetricsRegistry* metrics)
+    : rewrites_(options.rewrite_capacity, options.shards,
+                metric_or_null(metrics, "cache_hits_total"),
+                metric_or_null(metrics, "cache_misses_total"),
+                metric_or_null(metrics, "cache_evictions_total")),
+      volumes_(options.volume_capacity, options.shards,
+               metric_or_null(metrics, "cache_hits_total"),
+               metric_or_null(metrics, "cache_misses_total"),
+               metric_or_null(metrics, "cache_evictions_total")) {}
+
+CacheStats EvalCache::stats() const {
+  const CacheStats r = rewrite_stats();
+  const CacheStats v = volume_stats();
+  CacheStats out;
+  out.hits = r.hits + v.hits;
+  out.misses = r.misses + v.misses;
+  out.evictions = r.evictions + v.evictions;
+  out.entries = r.entries + v.entries;
+  return out;
+}
+
+}  // namespace cqa

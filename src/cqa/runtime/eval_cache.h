@@ -1,0 +1,173 @@
+// Sharded, LRU-bounded memo-cache for expensive engine results.
+//
+// Keys are canonical strings (the printed form of the parsed query, plus
+// any binding/option fingerprint -- see QueryEngine::canonical_key), so
+// textually different spellings of the same formula share an entry.
+// Values are immutable (FormulaPtr is shared_ptr<const Formula>;
+// Rational is copied out under the shard lock), so cached results can be
+// handed to any thread.
+//
+// Sharding bounds lock contention: a key hashes to one shard, each shard
+// is an independent mutex + LRU list + hash index. Capacity is enforced
+// per shard (total/shards, min 1), so the global footprint is bounded by
+// ~capacity entries regardless of access pattern.
+
+#ifndef CQA_RUNTIME_EVAL_CACHE_H_
+#define CQA_RUNTIME_EVAL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/arith/rational.h"
+#include "cqa/logic/formula.h"
+#include "cqa/runtime/metrics.h"
+
+namespace cqa {
+
+/// Aggregated cache accounting.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// A sharded LRU map from canonical-string keys to values of type V.
+template <typename V>
+class ShardedLru {
+ public:
+  /// `capacity` is the total entry bound across shards; optional metric
+  /// counters (may be null) are bumped alongside the internal stats.
+  ShardedLru(std::size_t capacity, std::size_t shards, Counter* hits,
+             Counter* misses, Counter* evictions)
+      : per_shard_capacity_(
+            std::max<std::size_t>(1, capacity / std::max<std::size_t>(
+                                                    1, shards))),
+        hits_metric_(hits),
+        misses_metric_(misses),
+        evictions_metric_(evictions) {
+    shards_.resize(std::max<std::size_t>(1, shards));
+    for (auto& s : shards_) s = std::make_unique<Shard>();
+  }
+
+  std::optional<V> lookup(const std::string& key) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (misses_metric_) misses_metric_->inc();
+      return std::nullopt;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_metric_) hits_metric_->inc();
+    return it->second->second;
+  }
+
+  void store(const std::string& key, V value) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.lru.begin());
+    if (s.lru.size() > per_shard_capacity_) {
+      s.index.erase(s.lru.back().first);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (evictions_metric_) evictions_metric_->inc();
+    }
+  }
+
+  CacheStats stats() const {
+    CacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      out.entries += s->lru.size();
+    }
+    return out;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t per_shard_capacity() const { return per_shard_capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // front = most recently used; index points into the list.
+    std::list<std::pair<std::string, V>> lru;
+    std::unordered_map<std::string,
+                       typename std::list<std::pair<std::string,
+                                                    V>>::iterator>
+        index;
+  };
+
+  Shard& shard_of(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  Counter* hits_metric_;
+  Counter* misses_metric_;
+  Counter* evictions_metric_;
+};
+
+struct EvalCacheOptions {
+  std::size_t rewrite_capacity = 512;
+  std::size_t volume_capacity = 512;
+  std::size_t shards = 8;
+};
+
+/// The runtime's memo-cache: rewrite results (quantifier-eliminated
+/// formulas) and exact volume results, independently LRU-bounded.
+class EvalCache {
+ public:
+  explicit EvalCache(EvalCacheOptions options = {},
+                     MetricsRegistry* metrics = nullptr);
+
+  std::optional<FormulaPtr> lookup_rewrite(const std::string& key) {
+    return rewrites_.lookup(key);
+  }
+  void store_rewrite(const std::string& key, FormulaPtr value) {
+    rewrites_.store(key, std::move(value));
+  }
+
+  std::optional<Rational> lookup_volume(const std::string& key) {
+    return volumes_.lookup(key);
+  }
+  void store_volume(const std::string& key, Rational value) {
+    volumes_.store(key, std::move(value));
+  }
+
+  CacheStats rewrite_stats() const { return rewrites_.stats(); }
+  CacheStats volume_stats() const { return volumes_.stats(); }
+  /// Both kinds combined.
+  CacheStats stats() const;
+
+ private:
+  ShardedLru<FormulaPtr> rewrites_;
+  ShardedLru<Rational> volumes_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_RUNTIME_EVAL_CACHE_H_

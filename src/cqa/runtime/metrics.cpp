@@ -1,0 +1,59 @@
+#include "cqa/runtime/metrics.h"
+
+#include <sstream>
+
+namespace cqa {
+
+void Histogram::observe_ns(std::uint64_t ns) {
+  int b = 0;
+  while ((ns >> (b + 1)) != 0 && b + 1 < kBuckets) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double Histogram::mean_ns() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << "_count " << h->count() << '\n';
+    out << name << "_sum_ns " << h->sum_ns() << '\n';
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      out << name << "_bucket_le_" << (2ull << b) << "ns " << n << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cqa

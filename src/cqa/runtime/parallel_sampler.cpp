@@ -1,0 +1,74 @@
+#include "cqa/runtime/parallel_sampler.h"
+
+#include <algorithm>
+
+#include "cqa/approx/random.h"
+
+namespace cqa {
+
+ParallelSampler::ParallelSampler(const Database* db, FormulaPtr phi,
+                                 std::vector<std::size_t> element_vars,
+                                 std::size_t sample_size,
+                                 std::uint64_t seed,
+                                 std::size_t chunk_size)
+    : element_vars_(std::move(element_vars)),
+      sample_size_(sample_size),
+      seed_(seed),
+      chunk_size_(std::max<std::size_t>(1, chunk_size)) {
+  auto inlined = db->inline_predicates(phi);
+  if (!inlined.is_ok()) {
+    init_ = inlined.status();
+    return;
+  }
+  inlined_ = inlined.value();
+}
+
+Result<double> ParallelSampler::estimate(
+    const std::map<std::size_t, Rational>& params, ThreadPool* pool) const {
+  CQA_RETURN_IF_ERROR(init_);
+  if (sample_size_ == 0) return 0.0;
+  const std::size_t dim = element_vars_.size();
+  const std::size_t nchunks = num_chunks();
+
+  // Chunk-indexed outputs: no shared mutable state between chunks, and
+  // the final reduction runs in chunk order regardless of scheduling.
+  std::vector<std::size_t> hits(nchunks, 0);
+  std::vector<Status> errors(nchunks, Status::ok());
+
+  auto eval_chunk = [&](std::size_t c) {
+    const std::size_t lo = c * chunk_size_;
+    const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
+    Xoshiro rng(stream_seed(seed_, c));
+    std::vector<std::vector<double>> points;
+    points.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) points.push_back(rng.point(dim));
+    auto r = mc_count_hits(inlined_, element_vars_, params, points.data(),
+                           points.size());
+    if (r.is_ok()) {
+      hits[c] = r.value();
+    } else {
+      errors[c] = r.status();
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, nchunks, 1,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t c = lo; c < hi; ++c) {
+                           eval_chunk(c);
+                         }
+                       });
+  } else {
+    for (std::size_t c = 0; c < nchunks; ++c) eval_chunk(c);
+  }
+
+  // First error in chunk order wins (deterministic across schedules).
+  for (const Status& s : errors) {
+    CQA_RETURN_IF_ERROR(s);
+  }
+  std::size_t total = 0;
+  for (std::size_t h : hits) total += h;
+  return static_cast<double>(total) / static_cast<double>(sample_size_);
+}
+
+}  // namespace cqa

@@ -1,0 +1,62 @@
+// Chunked Theorem-4 Monte-Carlo estimation for the concurrent runtime.
+//
+// The M-point sample is partitioned into fixed-size chunks; chunk c
+// draws its points from Xoshiro(stream_seed(seed, c)) -- a counter-based
+// stream -- and counts membership hits with the same mc_count_hits
+// kernel the serial McVolumeEstimator uses. Per-chunk integer hit
+// counts land in a chunk-indexed array and are summed in chunk order,
+// so the estimate is a pure function of (seed, sample_size, chunk_size):
+// bitwise identical whether chunks run serially or on any number of
+// pool threads, in any interleaving.
+//
+// Unlike McVolumeEstimator, the sample is never materialized whole;
+// each chunk's points exist only while that chunk is being evaluated,
+// so memory stays O(chunk_size * dim) per worker at any M.
+
+#ifndef CQA_RUNTIME_PARALLEL_SAMPLER_H_
+#define CQA_RUNTIME_PARALLEL_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cqa/aggregate/database.h"
+#include "cqa/approx/monte_carlo.h"
+#include "cqa/runtime/thread_pool.h"
+
+namespace cqa {
+
+class ParallelSampler {
+ public:
+  /// `phi` is inlined against `db` once, up front (failure surfaces from
+  /// estimate()). Same argument meanings as McVolumeEstimator.
+  ParallelSampler(const Database* db, FormulaPtr phi,
+                  std::vector<std::size_t> element_vars,
+                  std::size_t sample_size, std::uint64_t seed,
+                  std::size_t chunk_size = 2048);
+
+  /// Estimated VOL_I(phi(params, D)). `pool == nullptr` is the serial
+  /// reference path; any pool produces bitwise-identical results.
+  Result<double> estimate(const std::map<std::size_t, Rational>& params,
+                          ThreadPool* pool = nullptr) const;
+
+  std::size_t sample_size() const { return sample_size_; }
+  std::size_t chunk_size() const { return chunk_size_; }
+  std::size_t num_chunks() const {
+    return sample_size_ == 0 ? 0
+                             : (sample_size_ + chunk_size_ - 1) /
+                                   chunk_size_;
+  }
+
+ private:
+  Status init_;  // inline_predicates outcome, checked in estimate()
+  FormulaPtr inlined_;
+  std::vector<std::size_t> element_vars_;
+  std::size_t sample_size_;
+  std::uint64_t seed_;
+  std::size_t chunk_size_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_RUNTIME_PARALLEL_SAMPLER_H_

@@ -1,0 +1,124 @@
+#include "cqa/runtime/session.h"
+
+#include <algorithm>
+
+#include "cqa/runtime/parallel_sampler.h"
+#include "cqa/vc/sample_bounds.h"
+
+namespace cqa {
+
+Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
+    : db_(db),
+      options_(options),
+      cache_(EvalCacheOptions{options.rewrite_cache_capacity,
+                                options.volume_cache_capacity,
+                                options.cache_shards},
+             &metrics_),
+      pool_(options.threads),
+      rewrite_adapter_(&cache_),
+      volume_adapter_(&cache_),
+      queries_(db),
+      volumes_(db),
+      aggregates_(db),
+      qe_rewrites_total_(metrics_.counter("qe_rewrites_total")),
+      volume_calls_total_(metrics_.counter("volume_calls_total")),
+      mc_points_evaluated_total_(
+          metrics_.counter("mc_points_evaluated_total")),
+      aggregate_calls_total_(metrics_.counter("aggregate_calls_total")),
+      rewrite_call_ns_(metrics_.histogram("rewrite_call_ns")),
+      volume_call_ns_(metrics_.histogram("volume_call_ns")),
+      ask_call_ns_(metrics_.histogram("ask_call_ns")),
+      aggregate_call_ns_(metrics_.histogram("aggregate_call_ns")) {
+  queries_.set_cache(&rewrite_adapter_);
+  volumes_.set_cache(&volume_adapter_);
+  // The volume engine's internal pipeline shares the same rewrite cache.
+  volumes_.queries().set_cache(&rewrite_adapter_);
+}
+
+Result<FormulaPtr> Session::rewrite(const std::string& query) {
+  ScopedTimer timer(rewrite_call_ns_);
+  qe_rewrites_total_->inc();
+  return queries_.rewrite(query);
+}
+
+Result<std::vector<LinearCell>> Session::cells(
+    const std::string& query, const std::vector<std::string>& output_vars) {
+  ScopedTimer timer(rewrite_call_ns_);
+  qe_rewrites_total_->inc();
+  return queries_.cells(query, output_vars);
+}
+
+Result<bool> Session::ask(const std::string& sentence) {
+  ScopedTimer timer(ask_call_ns_);
+  return queries_.ask(sentence);
+}
+
+Result<VolumeAnswer> Session::monte_carlo_volume(
+    const std::string& query, const std::vector<std::string>& output_vars,
+    const VolumeOptions& options) {
+  // Same query plumbing as VolumeEngine's Monte-Carlo path, but the
+  // estimate runs chunked on the pool.
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
+  if (!parsed.is_ok()) return parsed.status();
+  std::vector<std::size_t> element_vars;
+  for (const auto& name : output_vars) {
+    int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
+    if (idx < 0) return Status::invalid("unknown output variable: " + name);
+    element_vars.push_back(static_cast<std::size_t>(idx));
+  }
+  for (std::size_t v : parsed.value()->free_vars()) {
+    if (std::find(element_vars.begin(), element_vars.end(), v) ==
+        element_vars.end()) {
+      return Status::invalid(
+          "query has a free variable that is not an output: " +
+          db_->vars().name_of(v));
+    }
+  }
+  const std::size_t m =
+      blumer_sample_bound(options.epsilon, options.delta, options.vc_dim);
+  ParallelSampler sampler(&db_->db(), parsed.value(), element_vars, m,
+                          options.seed, options_.mc_chunk_size);
+  auto est = sampler.estimate({}, &pool_);
+  if (!est.is_ok()) return est.status();
+  mc_points_evaluated_total_->inc(m);
+  VolumeAnswer answer;
+  answer.estimate = est.value();
+  answer.lower = est.value() - options.epsilon;
+  answer.upper = est.value() + options.epsilon;
+  return answer;
+}
+
+Result<VolumeAnswer> Session::volume(
+    const std::string& query, const std::vector<std::string>& output_vars,
+    const VolumeOptions& options) {
+  ScopedTimer timer(volume_call_ns_);
+  volume_calls_total_->inc();
+  if (options.strategy == VolumeStrategy::kMonteCarlo) {
+    return monte_carlo_volume(query, output_vars, options);
+  }
+  return volumes_.volume(query, output_vars, options);
+}
+
+Result<Rational> Session::mu(const std::string& query,
+                             const std::vector<std::string>& output_vars) {
+  ScopedTimer timer(volume_call_ns_);
+  volume_calls_total_->inc();
+  return volumes_.mu(query, output_vars);
+}
+
+Result<UPoly> Session::growth_polynomial(
+    const std::string& query, const std::vector<std::string>& output_vars) {
+  ScopedTimer timer(volume_call_ns_);
+  volume_calls_total_->inc();
+  return volumes_.growth_polynomial(query, output_vars);
+}
+
+Result<Rational> Session::aggregate(
+    AggregateFn fn, const std::string& query, const std::string& output_var,
+    const std::vector<std::pair<std::string, Rational>>& bindings) {
+  ScopedTimer timer(aggregate_call_ns_);
+  aggregate_calls_total_->inc();
+  return aggregates_.aggregate(fn, query, output_var, bindings);
+}
+
+}  // namespace cqa

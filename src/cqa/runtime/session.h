@@ -1,0 +1,140 @@
+// Session: the one-line opt-in to the concurrent runtime.
+//
+//   ConstraintDatabase db; ...
+//   Session session(&db);                  // pool + cache + metrics
+//   session.volume("x^2 + y^2 <= 1", {"x", "y"}, mc_options);
+//
+// A Session owns a work-stealing ThreadPool, a sharded LRU EvalCache,
+// and a MetricsRegistry, and exposes the same call signatures as
+// QueryEngine / VolumeEngine / AggregationEngine:
+//   - rewrite() and exact volume() results are memoized in the cache
+//     (canonical-formula keys, LRU-bounded);
+//   - Monte-Carlo volume() runs chunked on the pool via ParallelSampler,
+//     with results bitwise independent of the thread count;
+//   - every call is counted and timed in the registry
+//     (qe_rewrites_total, cache_hits_total, mc_points_evaluated_total,
+//     *_call_ns histograms; see metrics().dump()).
+//
+// Thread-safety: a Session may be shared by readers as long as the
+// underlying ConstraintDatabase is not mutated concurrently (the
+// engines themselves never mutate it).
+
+#ifndef CQA_RUNTIME_SESSION_H_
+#define CQA_RUNTIME_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "cqa/core/aggregation_engine.h"
+#include "cqa/core/query_engine.h"
+#include "cqa/core/volume_engine.h"
+#include "cqa/runtime/eval_cache.h"
+#include "cqa/runtime/metrics.h"
+#include "cqa/runtime/thread_pool.h"
+
+namespace cqa {
+
+struct SessionOptions {
+  std::size_t threads = 0;  // 0 = hardware_concurrency
+  std::size_t rewrite_cache_capacity = 512;
+  std::size_t volume_cache_capacity = 512;
+  std::size_t cache_shards = 8;
+  std::size_t mc_chunk_size = 2048;
+};
+
+class Session {
+ public:
+  explicit Session(const ConstraintDatabase* db,
+                   const SessionOptions& options = {});
+
+  // --- QueryEngine surface (memoized, metered) ---
+  Result<FormulaPtr> rewrite(const std::string& query);
+  Result<std::vector<LinearCell>> cells(
+      const std::string& query,
+      const std::vector<std::string>& output_vars);
+  Result<bool> ask(const std::string& sentence);
+
+  // --- VolumeEngine surface ---
+  /// Exact strategies are memoized; kMonteCarlo runs chunked on the
+  /// pool (same (seed, chunk) scheme at every thread count).
+  Result<VolumeAnswer> volume(const std::string& query,
+                              const std::vector<std::string>& output_vars,
+                              const VolumeOptions& options = {});
+  Result<Rational> mu(const std::string& query,
+                      const std::vector<std::string>& output_vars);
+  Result<UPoly> growth_polynomial(const std::string& query,
+                                  const std::vector<std::string>&
+                                      output_vars);
+
+  // --- AggregationEngine surface ---
+  Result<Rational> aggregate(AggregateFn fn, const std::string& query,
+                             const std::string& output_var,
+                             const std::vector<std::pair<std::string,
+                                                         Rational>>&
+                                 bindings = {});
+
+  ThreadPool& pool() { return pool_; }
+  EvalCache& cache() { return cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  std::string metrics_dump() const { return metrics_.dump(); }
+
+ private:
+  class RewriteCacheAdapter : public RewriteCache {
+   public:
+    explicit RewriteCacheAdapter(EvalCache* cache) : cache_(cache) {}
+    std::optional<FormulaPtr> lookup(const std::string& key) override {
+      return cache_->lookup_rewrite(key);
+    }
+    void store(const std::string& key, const FormulaPtr& value) override {
+      cache_->store_rewrite(key, value);
+    }
+
+   private:
+    EvalCache* cache_;
+  };
+
+  class VolumeCacheAdapter : public VolumeCache {
+   public:
+    explicit VolumeCacheAdapter(EvalCache* cache) : cache_(cache) {}
+    std::optional<Rational> lookup(const std::string& key) override {
+      return cache_->lookup_volume(key);
+    }
+    void store(const std::string& key, const Rational& value) override {
+      cache_->store_volume(key, value);
+    }
+
+   private:
+    EvalCache* cache_;
+  };
+
+  Result<VolumeAnswer> monte_carlo_volume(
+      const std::string& query,
+      const std::vector<std::string>& output_vars,
+      const VolumeOptions& options);
+
+  const ConstraintDatabase* db_;
+  SessionOptions options_;
+  MetricsRegistry metrics_;
+  EvalCache cache_;
+  ThreadPool pool_;
+  RewriteCacheAdapter rewrite_adapter_;
+  VolumeCacheAdapter volume_adapter_;
+  QueryEngine queries_;
+  VolumeEngine volumes_;
+  AggregationEngine aggregates_;
+
+  // Hot-path metric handles (stable pointers into metrics_).
+  Counter* qe_rewrites_total_;
+  Counter* volume_calls_total_;
+  Counter* mc_points_evaluated_total_;
+  Counter* aggregate_calls_total_;
+  Histogram* rewrite_call_ns_;
+  Histogram* volume_call_ns_;
+  Histogram* ask_call_ns_;
+  Histogram* aggregate_call_ns_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_RUNTIME_SESSION_H_

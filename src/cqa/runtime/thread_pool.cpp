@@ -1,0 +1,166 @@
+#include "cqa/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace cqa {
+
+namespace {
+// Which pool (if any) the current thread is a worker of, and its index;
+// lets submit() push to the local deque and identifies nested calls.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t q;
+  if (tl_pool == this) {
+    q = tl_worker;  // worker submitting: keep it local
+  } else {
+    q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>* out) {
+  // Own queue first (front: submission order), then steal round-robin
+  // from the back of the victims' deques.
+  {
+    auto& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t d = 1; d < queues_.size(); ++d) {
+    auto& q = *queues_[(self + d) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_worker = self;
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Recheck under the wake lock to avoid missing a notify between the
+    // failed pop and the wait.
+    lock.unlock();
+    if (try_pop(self, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    lock.lock();
+    if (stop_.load(std::memory_order_acquire)) return;
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+struct ThreadPool::ForState {
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t nchunks = 0;
+  std::size_t end = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::exception_ptr error;
+  std::condition_variable done_cv;
+};
+
+void ThreadPool::run_chunks(const std::shared_ptr<ForState>& st) {
+  for (;;) {
+    const std::size_t c = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st->nchunks) return;
+    if (!st->failed.load(std::memory_order_acquire)) {
+      const std::size_t lo = st->begin + c * st->grain;
+      const std::size_t hi = std::min(st->end, lo + st->grain);
+      try {
+        (*st->body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (!st->error) st->error = std::current_exception();
+        st->failed.store(true, std::memory_order_release);
+      }
+    }
+    if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        st->nchunks) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  auto st = std::make_shared<ForState>();
+  st->begin = begin;
+  st->end = end;
+  st->grain = grain;
+  st->nchunks = (end - begin + grain - 1) / grain;
+  st->body = &body;
+
+  // Helpers beyond the caller itself; they exit immediately once all
+  // chunks are claimed, so over-subscribing is harmless.
+  const std::size_t helpers =
+      std::min(st->nchunks > 0 ? st->nchunks - 1 : 0, size());
+  for (std::size_t i = 0; i < helpers; ++i) {
+    enqueue([st] { run_chunks(st); });
+  }
+  run_chunks(st);  // caller participates: nested calls always progress
+
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->done_cv.wait(lock, [&] {
+    return st->done.load(std::memory_order_acquire) == st->nchunks;
+  });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace cqa

@@ -1,0 +1,86 @@
+// Work-stealing thread pool for the cqa runtime.
+//
+// Each worker owns a deque: it takes its own work from the front (so a
+// single-worker pool preserves submission order), and steals from the
+// back of a victim's deque when its own is empty. `parallel_for` is
+// caller-participating -- the submitting thread claims chunks alongside
+// the workers -- which makes nested parallel_for calls (a worker issuing
+// its own parallel_for) deadlock-free even when every worker is busy:
+// the nested caller always makes progress on its own chunks.
+//
+// Exceptions: `submit` surfaces them through the returned future;
+// `parallel_for` captures the first body exception, skips remaining
+// unclaimed chunks, and rethrows in the caller.
+
+#ifndef CQA_RUNTIME_THREAD_POOL_H_
+#define CQA_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cqa {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Runs `body(lo, hi)` over contiguous chunks of [begin, end), each at
+  /// most `grain` wide. The calling thread participates; chunks are
+  /// claimed in index order. Safe to call from inside a pool task
+  /// (nested). Rethrows the first body exception after all claimed
+  /// chunks settle.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>&
+                        body);
+
+ private:
+  struct ForState;
+
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>* out);
+  static void run_chunks(const std::shared_ptr<ForState>& st);
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cqa
+
+#endif  // CQA_RUNTIME_THREAD_POOL_H_

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cqa/runtime/thread_pool.h"
+
+namespace cqa {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(1013);
+  pool.parallel_for(0, seen.size(), 7,
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        seen[i].fetch_add(1);
+                      }
+                    });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 1,
+                    [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 37) {
+                            throw std::runtime_error("chunk failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool is reusable after a failed loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1,
+                    [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 100, 10,
+                        [&](std::size_t a, std::size_t b) {
+                          total.fetch_add(static_cast<int>(b - a));
+                        });
+    }
+  });
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, ParallelForFromSubmittedTask) {
+  // A worker issuing its own parallel_for must not deadlock even when
+  // every other worker is busy.
+  ThreadPool pool(1);
+  auto f = pool.submit([&pool] {
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 64, 4,
+                      [&](std::size_t lo, std::size_t hi) {
+                        n.fetch_add(static_cast<int>(hi - lo));
+                      });
+    return n.load();
+  });
+  EXPECT_EQ(f.get(), 64);
+}
+
+TEST(ThreadPool, ManyConcurrentParallelFors) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.submit([&pool] {
+      std::atomic<int> n{0};
+      pool.parallel_for(0, 1000, 13,
+                        [&](std::size_t lo, std::size_t hi) {
+                          n.fetch_add(static_cast<int>(hi - lo));
+                        });
+      return n.load();
+    }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get(), 1000);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+}  // namespace
+}  // namespace cqa
