@@ -14,8 +14,7 @@
 #include "cqa/approx/ellipsoid.h"
 #include "cqa/approx/hit_and_run.h"
 #include "cqa/approx/monte_carlo.h"
-#include "cqa/core/constraint_database.h"
-#include "cqa/core/volume_engine.h"
+#include "cqa/runtime/session.h"
 #include "cqa/vc/sample_bounds.h"
 
 int main() {
@@ -57,20 +56,24 @@ int main() {
       {"cubic region", "y <= x^3", 1.0 / 4.0},
       {"octant of ball", "x^2 + y^2 + z^2 <= 1", M_PI / 6.0},
   };
-  VolumeEngine volumes(&db);
+  // Through Session::run, no strategy is named: the planner sees a
+  // nonlinear membership-testable formula and routes to Theorem-4 MC.
+  Session session(&db);
   for (const Case& c : cases) {
-    VolumeOptions mc;
-    mc.strategy = VolumeStrategy::kMonteCarlo;
-    mc.epsilon = 0.02;
-    mc.vc_dim = 3.0;
-    mc.seed = 99;
-    std::vector<std::string> vars = {"x", "y"};
+    Request req;
+    req.kind = RequestKind::kVolume;
+    req.query = c.formula;
+    req.output_vars = {"x", "y"};
     if (std::string(c.formula).find('z') != std::string::npos) {
-      vars.push_back("z");
+      req.output_vars.push_back("z");
     }
-    auto a = volumes.volume(c.formula, vars, mc).value_or_die();
-    std::printf("  %-16s exact=%-8.5f estimate=%-8.5f in [%.4f, %.4f]\n",
-                c.name, c.exact, *a.estimate, *a.lower, *a.upper);
+    req.budget.epsilon = 0.02;
+    req.seed = 99;
+    auto a = session.run(req).value_or_die();
+    std::printf("  %-16s exact=%-8.5f estimate=%-8.5f in [%.4f, %.4f]"
+                "  (%s)\n",
+                c.name, c.exact, *a.volume.estimate, *a.volume.lower,
+                *a.volume.upper, strategy_name(a.plan->chosen));
   }
 
   std::printf("\n== convex baselines on the 3-cube [0,2]^3 (vol 8) ==\n");

@@ -11,9 +11,7 @@
 #include <cstdio>
 
 #include "cqa/core/aggregation_engine.h"
-#include "cqa/core/constraint_database.h"
-#include "cqa/core/query_engine.h"
-#include "cqa/core/volume_engine.h"
+#include "cqa/runtime/session.h"
 
 int main() {
   using namespace cqa;
@@ -38,17 +36,24 @@ int main() {
                                       {1, 501}, {2, 502}, {3, 501}})
                 .is_ok());
 
-  QueryEngine queries(&db);
-  VolumeEngine volumes(&db);
+  // Every query flows through the Session's one entry point; the
+  // polygon-area program below is the only engine-level call left.
+  Session session(&db);
   AggregationEngine agg(&db);
+  auto volume_of = [&](const std::string& q) {
+    Request req;
+    req.kind = RequestKind::kVolume;
+    req.query = q;
+    req.output_vars = {"x", "y"};
+    return session.run(req).value_or_die().volume;
+  };
 
   std::printf("== exact areas (Theorem 3 engine) ==\n");
   const char* parcels[] = {"ParcelA", "ParcelB", "ParcelC"};
   for (const char* p : parcels) {
     std::string q = std::string(p) + "(x, y)";
-    auto area = volumes.volume(q, {"x", "y"}).value_or_die();
-    auto flooded =
-        volumes.volume(q + " & Flood(x, y)", {"x", "y"}).value_or_die();
+    auto area = volume_of(q);
+    auto flooded = volume_of(q + " & Flood(x, y)");
     std::printf("  %-8s area = %-5s  flooded = %s\n", p,
                 area.exact->to_string().c_str(),
                 flooded.exact->to_string().c_str());
@@ -56,23 +61,24 @@ int main() {
 
   // Union area with overlaps handled exactly (ParcelA and ParcelC
   // overlap; inclusion-exclusion and the sweep agree).
-  auto total = volumes
-                   .volume("ParcelA(x, y) | ParcelB(x, y) | ParcelC(x, y)",
-                           {"x", "y"})
-                   .value_or_die();
+  auto total =
+      volume_of("ParcelA(x, y) | ParcelB(x, y) | ParcelC(x, y)");
   std::printf("  total developed area (union, exact) = %s\n",
               total.exact->to_string().c_str());
 
   std::printf("\n== spatial joins ==\n");
-  bool touching =
-      queries.ask("E x. E y. ParcelA(x, y) & ParcelB(x, y)").value_or_die();
+  Request ask;
+  ask.kind = RequestKind::kAsk;
+  ask.query = "E x. E y. ParcelA(x, y) & ParcelB(x, y)";
+  bool touching = *session.run(ask).value_or_die().truth;
   std::printf("  ParcelA touches ParcelB?   %s\n", touching ? "yes" : "no");
-  auto safe_strip =
-      queries.cells("ParcelA(x, y) & !Flood(x, y)", {"x", "y"})
-          .value_or_die();
+  Request dry;
+  dry.kind = RequestKind::kCells;
+  dry.query = "ParcelA(x, y) & !Flood(x, y)";
+  dry.output_vars = {"x", "y"};
+  auto safe_strip = session.run(dry).value_or_die().cells;
   std::printf("  dry part of ParcelA:       %zu cells\n", safe_strip.size());
-  auto dry_area = volumes.volume("ParcelA(x, y) & !Flood(x, y)", {"x", "y"})
-                      .value_or_die();
+  auto dry_area = volume_of("ParcelA(x, y) & !Flood(x, y)");
   std::printf("  dry area of ParcelA:       %s\n",
               dry_area.exact->to_string().c_str());
 
@@ -85,11 +91,14 @@ int main() {
   std::printf("  geometric oracle:          %s\n", oracle.to_string().c_str());
 
   std::printf("\n== classical aggregation over the owner table ==\n");
-  auto n_parcels =
-      agg.aggregate(AggregateFn::kCount, "E o. Owner(p, o)", "p")
-          .value_or_die();
-  auto owner501 = agg.aggregate(AggregateFn::kCount, "Owner(p, 501)", "p")
-                      .value_or_die();
+  Request count;
+  count.kind = RequestKind::kAggregate;
+  count.aggregate_fn = AggregateFn::kCount;
+  count.query = "E o. Owner(p, o)";
+  count.output_vars = {"p"};
+  auto n_parcels = *session.run(count).value_or_die().aggregate;
+  count.query = "Owner(p, 501)";
+  auto owner501 = *session.run(count).value_or_die().aggregate;
   std::printf("  parcels on file:           %s\n",
               n_parcels.to_string().c_str());
   std::printf("  parcels owned by #501:     %s\n",

@@ -14,8 +14,8 @@
 
 #include "cqa/aggregate/sum_parser.h"
 #include "cqa/approx/gadgets.h"
-#include "cqa/core/constraint_database.h"
 #include "cqa/logic/parser.h"
+#include "cqa/runtime/session.h"
 #include "cqa/volume/growth.h"
 #include "cqa/volume/semilinear_volume.h"
 
@@ -34,20 +34,28 @@ int main() {
       {"45-degree cone", "0 <= y & y <= x"},
       {"horizontal strip", "0 <= y & y <= 1"},
   };
+  // All three columns flow through one Session: kMu, kVolume (exact;
+  // an unbounded set is an error, reported as infinite), and
+  // kGrowthPolynomial.
+  ConstraintDatabase mu_db;
+  Session session(&mu_db);
   std::printf("%-18s %-14s %-10s %-22s\n", "region", "mu", "VOL",
               "growth polynomial V(r)");
   for (const Region& r : regions) {
-    VarTable vars;
-    vars.index_of("x");
-    vars.index_of("y");
-    auto f = parse_formula(r.formula, &vars).value_or_die();
-    auto cells = formula_to_cells(f, 2).value_or_die();
-    Rational mu = mu_operator(cells).value_or_die();
-    auto growth = volume_growth(cells).value_or_die();
-    auto vol = semilinear_volume(cells);
+    Request req;
+    req.query = r.formula;
+    req.output_vars = {"x", "y"};
+    req.kind = RequestKind::kMu;
+    Rational mu = *session.run(req).value_or_die().mu;
+    req.kind = RequestKind::kGrowthPolynomial;
+    UPoly growth = *session.run(req).value_or_die().growth;
+    req.kind = RequestKind::kVolume;
+    auto vol = session.run(req);
     std::printf("%-18s %-14s %-10s %-22s\n", r.name, mu.to_string().c_str(),
-                vol.is_ok() ? vol.value().to_string().c_str() : "(infinite)",
-                growth.poly.to_string("r").c_str());
+                vol.is_ok() && vol.value().volume.exact
+                    ? vol.value().volume.exact->to_string().c_str()
+                    : "(infinite)",
+                growth.to_string("r").c_str());
   }
   std::printf("-> mu separates cones by aperture but scores EVERY bounded "
               "set 0:\n   it cannot express volume (paper, Section 1).\n");

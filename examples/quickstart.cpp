@@ -1,14 +1,12 @@
-// Quickstart: define a constraint database, run FO+LIN queries, compute
-// exact volumes and a safe aggregate -- the whole paper in 60 lines.
+// Quickstart: define a constraint database, open a Session, and push
+// every query through the one entry point -- Session::run(Request) ->
+// Result<Answer>. The whole paper in 70 lines.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "cqa/core/aggregation_engine.h"
-#include "cqa/core/constraint_database.h"
-#include "cqa/core/query_engine.h"
-#include "cqa/core/volume_engine.h"
+#include "cqa/runtime/session.h"
 
 int main() {
   using namespace cqa;
@@ -29,39 +27,58 @@ int main() {
                              {1, 100}, {2, 250}, {3, 40}})
                 .is_ok());
 
+  // One Session = thread pool + memo-cache + metrics + adaptive planner.
+  Session session(&db);
+
   // 1. Boolean queries (FO+LIN decided by quantifier elimination).
-  QueryEngine queries(&db);
-  bool overlap =
-      queries.ask("E x. E y. Disk(x, y) & Band(x, y)").value_or_die();
+  Request ask;
+  ask.kind = RequestKind::kAsk;
+  ask.query = "E x. E y. Disk(x, y) & Band(x, y)";
+  bool overlap = *session.run(ask).value_or_die().truth;
   std::printf("Disk meets Band?            %s\n", overlap ? "yes" : "no");
 
   // 2. The closure property: a query output is again a constraint set.
-  auto cells = queries.cells("Disk(x, y) & Band(x, y)", {"x", "y"})
-                   .value_or_die();
+  Request cells;
+  cells.kind = RequestKind::kCells;
+  cells.query = "Disk(x, y) & Band(x, y)";
+  cells.output_vars = {"x", "y"};
+  auto c = session.run(cells).value_or_die();
   std::printf("Intersection as cells:      %zu conjunctive cell(s)\n",
-              cells.size());
+              c.cells.size());
 
-  // 3. Exact volume (Theorem 3: FO+POLY+SUM computes VOL of semi-linear
-  //    sets; here via the sweep engine it compiles to).
-  VolumeEngine volumes(&db);
-  auto area = volumes.volume("Disk(x, y) & Band(x, y)", {"x", "y"})
-                  .value_or_die();
-  std::printf("Exact area of the overlap:  %s\n",
-              area.exact->to_string().c_str());
+  // 3. Volume. The planner routes a linear query to the exact Theorem-3
+  //    sweep; a polynomial query would flow to Theorem-4 sampling under
+  //    the same Request -- set budget.epsilon/delta/deadline_ms to taste.
+  Request vol;
+  vol.kind = RequestKind::kVolume;
+  vol.query = "Disk(x, y) & Band(x, y)";
+  vol.output_vars = {"x", "y"};
+  vol.budget.epsilon = 0.01;
+  auto area = session.run(vol).value_or_die();
+  std::printf("Exact area of the overlap:  %s   (planner chose: %s)\n",
+              area.volume.exact->to_string().c_str(),
+              strategy_name(area.plan->chosen));
 
-  auto whole = volumes.volume("Disk(x, y)", {"x", "y"}).value_or_die();
+  vol.query = "Disk(x, y)";
+  auto whole = session.run(vol).value_or_die();
   std::printf("Exact area of the diamond:  %s\n",
-              whole.exact->to_string().c_str());
+              whole.volume.exact->to_string().c_str());
 
   // 4. Classical SQL aggregation -- legal only on *safe* (finite) outputs.
-  AggregationEngine agg(&db);
-  auto avg = agg.aggregate(AggregateFn::kAvg,
-                           "E k. Price(k, v) & k <= 2", "v")
-                 .value_or_die();
-  std::printf("AVG price of items 1..2:    %s\n", avg.to_string().c_str());
+  Request agg;
+  agg.kind = RequestKind::kAggregate;
+  agg.aggregate_fn = AggregateFn::kAvg;
+  agg.query = "E k. Price(k, v) & k <= 2";
+  agg.output_vars = {"v"};
+  auto avg = session.run(agg).value_or_die();
+  std::printf("AVG price of items 1..2:    %s\n",
+              avg.aggregate->to_string().c_str());
 
   // Aggregating an infinite output is refused, not silently wrong.
-  auto unsafe = agg.aggregate(AggregateFn::kSum, "Disk(w, 0)", "w");
+  agg.aggregate_fn = AggregateFn::kSum;
+  agg.query = "Disk(w, 0)";
+  agg.output_vars = {"w"};
+  auto unsafe = session.run(agg);
   std::printf("SUM over an infinite set:   %s\n",
               unsafe.status().to_string().c_str());
   return 0;

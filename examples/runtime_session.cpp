@@ -1,7 +1,6 @@
 // The concurrent runtime in one example: a Session owns a work-stealing
-// thread pool, a sharded LRU memo-cache, and a metrics registry, and
-// exposes the familiar engine APIs. Opting in is one line -- construct
-// a Session instead of the individual engines.
+// thread pool, a sharded LRU memo-cache, a metrics registry, and the
+// adaptive planner behind Session::run(Request) -> Result<Answer>.
 //
 // Build & run:  ./build/examples/runtime_session
 
@@ -20,30 +19,54 @@ int main() {
   std::printf("session pool: %zu worker(s)\n\n", session.pool().size());
 
   // Exact volume (Theorem 3 engine) -- the second call is a cache hit.
+  Request req;
+  req.kind = RequestKind::kVolume;
+  req.query = "Parcel(x, y) & Flood(x, y)";
+  req.output_vars = {"x", "y"};
   for (int round = 1; round <= 2; ++round) {
-    auto a = session.volume("Parcel(x, y) & Flood(x, y)", {"x", "y"});
+    auto a = session.run(req).value_or_die();
     std::printf("round %d: exact flooded area = %s   (volume-cache hits "
                 "so far: %llu)\n",
-                round, a.value_or_die().exact->to_string().c_str(),
+                round, a.volume.exact->to_string().c_str(),
                 static_cast<unsigned long long>(
                     session.cache().volume_stats().hits));
   }
 
-  // Monte-Carlo volume (Theorem 4) runs chunked across the pool; the
-  // estimate is bitwise identical at any thread count.
-  VolumeOptions mc;
-  mc.strategy = VolumeStrategy::kMonteCarlo;
-  mc.epsilon = 0.05;
-  mc.vc_dim = 3.0;
-  mc.seed = 7;
-  auto disk = session.volume("x^2 + y^2 <= 1", {"x", "y"}, mc);
-  std::printf("\nMC quarter-disk area ~ %.4f (pi/4 ~ 0.7854)\n",
-              *disk.value_or_die().estimate);
+  // A nonlinear query through the SAME entry point: the planner sees
+  // there is no exact cell decomposition and routes to Theorem-4
+  // Monte-Carlo, chunked across the pool (estimates are bitwise
+  // identical at any thread count).
+  req.query = "x^2 + y^2 <= 1";
+  req.budget.epsilon = 0.05;
+  req.seed = 7;
+  auto disk = session.run(req).value_or_die();
+  std::printf("\nMC quarter-disk area ~ %.4f (pi/4 ~ 0.7854), planner "
+              "chose: %s\n",
+              *disk.volume.estimate, strategy_name(disk.plan->chosen));
+
+  // Deadline-aware degradation: an epsilon this tight wants ~10^6
+  // points; 2 ms affords a fraction. The answer comes back Degraded
+  // with honest (Hoeffding-widened) bars instead of failing.
+  req.budget.epsilon = 0.0005;
+  req.budget.deadline_ms = 2;
+  auto rushed = session.run(req).value_or_die();
+  std::printf("2ms budget: status=%s estimate=%.4f bars=[%.4f, %.4f] "
+              "points=%zu/%zu\n",
+              rushed.degraded() ? "Degraded" : "Ok",
+              rushed.volume.estimate.value_or(0.5),
+              rushed.volume.lower.value_or(0.0),
+              rushed.volume.upper.value_or(1.0),
+              rushed.volume.points_evaluated,
+              rushed.volume.points_requested);
 
   // Rewrites are memoized under canonical-formula keys: a different
   // spelling of the same query is still a hit.
-  session.rewrite("E y. Parcel(x, y)").value_or_die();
-  session.rewrite("E y.  Parcel( x , y )").value_or_die();
+  Request rw;
+  rw.kind = RequestKind::kRewrite;
+  rw.query = "E y. Parcel(x, y)";
+  session.run(rw).value_or_die();
+  rw.query = "E y.  Parcel( x , y )";
+  session.run(rw).value_or_die();
 
   std::printf("\n-- metrics --\n%s", session.metrics_dump().c_str());
   return 0;

@@ -12,9 +12,8 @@
 
 #include "cqa/aggregate/endpoints.h"
 #include "cqa/aggregate/sum_language.h"
-#include "cqa/core/aggregation_engine.h"
-#include "cqa/core/constraint_database.h"
 #include "cqa/logic/transform.h"
+#include "cqa/runtime/session.h"
 
 int main() {
   using namespace cqa;
@@ -33,15 +32,21 @@ int main() {
                              {1, 17}, {2, 23}, {3, 19}, {3, 21}})
                 .is_ok());
 
-  AggregationEngine agg(&db);
+  Session session(&db);
+  auto aggregate = [&](AggregateFn fn, const char* query,
+                       const char* out) {
+    Request req;
+    req.kind = RequestKind::kAggregate;
+    req.aggregate_fn = fn;
+    req.query = query;
+    req.output_vars = {out};
+    return *session.run(req).value_or_die().aggregate;
+  };
 
   std::printf("== SQL aggregates over finite outputs ==\n");
-  auto n = agg.aggregate(AggregateFn::kCount, "E v. Reading(s, v)", "s")
-               .value_or_die();
-  auto avg = agg.aggregate(AggregateFn::kAvg, "E s. Reading(s, v)", "v")
-                 .value_or_die();
-  auto hot = agg.aggregate(AggregateFn::kMax, "E s. Reading(s, v)", "v")
-                 .value_or_die();
+  auto n = aggregate(AggregateFn::kCount, "E v. Reading(s, v)", "s");
+  auto avg = aggregate(AggregateFn::kAvg, "E s. Reading(s, v)", "v");
+  auto hot = aggregate(AggregateFn::kMax, "E s. Reading(s, v)", "v");
   std::printf("  sensors reporting:   %s\n", n.to_string().c_str());
   std::printf("  average reading:     %s\n", avg.to_string().c_str());
   std::printf("  maximum reading:     %s\n", hot.to_string().c_str());

@@ -80,8 +80,11 @@ Result<std::vector<RVec>> RangeRestrictedExpr::enumerate(
   for (const auto& [vars, filter] : pushdown) {
     // Pushdown groups must list their variables in enumeration order.
     for (std::size_t i = 1; i < vars.size(); ++i) {
-      CQA_CHECK(std::find(w_vars.begin(), w_vars.end(), vars[i - 1]) <
-                std::find(w_vars.begin(), w_vars.end(), vars[i]));
+      if (std::find(w_vars.begin(), w_vars.end(), vars[i - 1]) >=
+          std::find(w_vars.begin(), w_vars.end(), vars[i])) {
+        return Status::invalid(
+            "pushdown group lists variables out of enumeration order");
+      }
     }
   }
   auto eps = rational_endpoints_1d(db, range, range_var, params);
@@ -236,7 +239,6 @@ Result<Rational> SumTerm::eval(
       return total;
     }
   }
-  CQA_CHECK(false);
   return Status::internal("unreachable");
 }
 

@@ -127,7 +127,7 @@ class SumParser {
         if (!rhs.is_ok()) return rhs;
         out = SumTerm::mul(out, rhs.value());
       } else if (peek_is_division()) {
-        CQA_CHECK(eat('/'));
+        if (!eat('/')) return err("expected '/'");
         auto rhs = atom();
         if (!rhs.is_ok()) return rhs;
         out = SumTerm::div(out, rhs.value());
@@ -198,11 +198,15 @@ class SumParser {
   enum class Agg { kSum, kCount, kAvg };
 
   Result<SumTermPtr> aggregate_construct(Agg agg) {
+    // atom() dispatched here off at_keyword, so the keyword must still
+    // be next; report malformed input instead of asserting.
+    bool ate = false;
     switch (agg) {
-      case Agg::kSum: CQA_CHECK(eat_keyword("sum")); break;
-      case Agg::kCount: CQA_CHECK(eat_keyword("count")); break;
-      case Agg::kAvg: CQA_CHECK(eat_keyword("avg")); break;
+      case Agg::kSum: ate = eat_keyword("sum"); break;
+      case Agg::kCount: ate = eat_keyword("count"); break;
+      case Agg::kAvg: ate = eat_keyword("avg"); break;
     }
+    if (!ate) return err("expected aggregate keyword");
     if (!eat('[')) return err("expected '[' after aggregate keyword");
     // w variables.
     std::vector<std::size_t> wvars;

@@ -22,7 +22,8 @@ McVolumeEstimator::McVolumeEstimator(const Database* db, FormulaPtr phi,
 Result<std::size_t> mc_count_hits(
     const FormulaPtr& inlined, const std::vector<std::size_t>& element_vars,
     const std::map<std::size_t, Rational>& params,
-    const std::vector<double>* points, std::size_t count) {
+    const std::vector<double>* points, std::size_t count,
+    const CancelToken* cancel) {
   if (!inlined->is_quantifier_free()) {
     return Status::unsupported(
         "Monte-Carlo membership requires a quantifier-free query "
@@ -38,6 +39,9 @@ Result<std::size_t> mc_count_hits(
   }
   std::size_t hits = 0;
   for (std::size_t p = 0; p < count; ++p) {
+    if (cancel != nullptr && p % kCancelPollStride == 0) {
+      CQA_RETURN_IF_ERROR(cancel->check());
+    }
     const std::vector<double>& y = points[p];
     for (std::size_t i = 0; i < element_vars.size(); ++i) {
       point[element_vars[i]] = y[i];
@@ -51,17 +55,19 @@ Result<std::size_t> mc_count_hits(
 
 Result<std::size_t> McVolumeEstimator::evaluate_chunk(
     std::size_t begin, std::size_t end,
-    const std::map<std::size_t, Rational>& params) const {
+    const std::map<std::size_t, Rational>& params,
+    const CancelToken* cancel) const {
   if (begin > end || end > sample_.size()) {
     return Status::out_of_range("evaluate_chunk: bad sample range");
   }
   return mc_count_hits(inlined_, element_vars_, params, sample_.data() + begin,
-                       end - begin);
+                       end - begin, cancel);
 }
 
 Result<double> McVolumeEstimator::estimate(
-    const std::map<std::size_t, Rational>& params) const {
-  auto hits = evaluate_chunk(0, sample_.size(), params);
+    const std::map<std::size_t, Rational>& params,
+    const CancelToken* cancel) const {
+  auto hits = evaluate_chunk(0, sample_.size(), params, cancel);
   if (!hits.is_ok()) return hits.status();
   if (sample_.empty()) return 0.0;
   return static_cast<double>(hits.value()) /

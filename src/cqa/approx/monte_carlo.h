@@ -14,6 +14,7 @@
 
 #include "cqa/aggregate/database.h"
 #include "cqa/approx/random.h"
+#include "cqa/util/cancellation.h"
 #include "cqa/vc/sample_bounds.h"
 
 namespace cqa {
@@ -30,16 +31,18 @@ class McVolumeEstimator {
 
   /// Estimated VOL_I(phi(params, D)): hit fraction of the sample.
   /// Membership is evaluated in double precision (boundary sets have
-  /// measure zero, so this does not bias the estimate).
-  Result<double> estimate(
-      const std::map<std::size_t, Rational>& params) const;
+  /// measure zero, so this does not bias the estimate). An expired
+  /// `cancel` token surfaces kCancelled / kDeadlineExceeded.
+  Result<double> estimate(const std::map<std::size_t, Rational>& params,
+                          const CancelToken* cancel = nullptr) const;
 
   /// Hit count over sample indices [begin, end) -- the unit of parallel
   /// work for cqa::runtime. Summing over any chunking of
   /// [0, sample_size) reproduces estimate()'s hit count exactly.
   Result<std::size_t> evaluate_chunk(
       std::size_t begin, std::size_t end,
-      const std::map<std::size_t, Rational>& params) const;
+      const std::map<std::size_t, Rational>& params,
+      const CancelToken* cancel = nullptr) const;
 
   /// The query with predicates inlined (membership formula).
   const FormulaPtr& inlined() const { return inlined_; }
@@ -61,11 +64,16 @@ class McVolumeEstimator {
 /// `points` (each a |element_vars|-vector in [0,1)^m) satisfy the
 /// quantifier-free `inlined` formula with `params` bound. Both the
 /// serial estimator above and the runtime's ParallelSampler delegate
-/// here, so there is exactly one membership semantics.
+/// here, so there is exactly one membership semantics. The hot loop
+/// polls `cancel` every kCancelPollStride points.
 Result<std::size_t> mc_count_hits(
     const FormulaPtr& inlined, const std::vector<std::size_t>& element_vars,
     const std::map<std::size_t, Rational>& params,
-    const std::vector<double>* points, std::size_t count);
+    const std::vector<double>* points, std::size_t count,
+    const CancelToken* cancel = nullptr);
+
+/// Cancellation poll period of the membership hot loop, in points.
+inline constexpr std::size_t kCancelPollStride = 256;
 
 /// One-shot helper: estimate VOL_I(phi(params, D)) with the sample size
 /// implied by (epsilon, delta, vc_dim).

@@ -6,8 +6,9 @@
 namespace cqa {
 
 Result<std::vector<LinearCell>> QueryEngine::cells(
-    const std::string& query, const std::vector<std::string>& output_vars) {
-  auto rewritten = rewrite(query);
+    const std::string& query, const std::vector<std::string>& output_vars,
+    const RewriteOptions& options) {
+  auto rewritten = rewrite(query, options);
   if (!rewritten.is_ok()) return rewritten.status();
   FormulaPtr qf = rewritten.value();
   // Remap the named outputs onto slots 0..k-1.
@@ -29,6 +30,9 @@ Result<std::vector<LinearCell>> QueryEngine::cells(
                              db_->vars().name_of(v));
     }
   }
+  if (options.cancel != nullptr) {
+    CQA_RETURN_IF_ERROR(options.cancel->check());
+  }
   FormulaPtr remapped = substitute_vars(qf, sub);
   return formula_to_cells(remapped, output_vars.size());
 }
@@ -39,13 +43,18 @@ Result<std::string> QueryEngine::canonical_key(const std::string& query) {
   return to_string(parsed.value());
 }
 
-Result<FormulaPtr> QueryEngine::rewrite(const std::string& query) {
+Result<FormulaPtr> QueryEngine::rewrite(const std::string& query,
+                                        const RewriteOptions& options) {
   auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
   if (!parsed.is_ok()) return parsed;
+  const bool use_cache = cache_ != nullptr && !options.skip_cache;
   std::string key;
-  if (cache_ != nullptr) {
+  if (use_cache) {
     key = "qe|" + to_string(parsed.value());
     if (auto hit = cache_->lookup(key)) return *hit;
+  }
+  if (options.cancel != nullptr) {
+    CQA_RETURN_IF_ERROR(options.cancel->check());
   }
   auto expanded = db_->db().expand_active_domain(parsed.value());
   if (!expanded.is_ok()) return expanded;
@@ -58,19 +67,26 @@ Result<FormulaPtr> QueryEngine::rewrite(const std::string& query) {
           "rewrite: query is nonlinear and quantified; only FO+LIN queries "
           "admit quantifier elimination here");
     }
+    if (options.cancel != nullptr) {
+      CQA_RETURN_IF_ERROR(options.cancel->check());
+    }
     auto eliminated = qe_linear(g);
     if (!eliminated.is_ok()) return eliminated;
     g = eliminated.value();
   }
-  if (cache_ != nullptr) cache_->store(key, g);
+  if (use_cache) cache_->store(key, g);
   return g;
 }
 
-Result<bool> QueryEngine::ask(const std::string& sentence) {
+Result<bool> QueryEngine::ask(const std::string& sentence,
+                              const RewriteOptions& options) {
   auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(sentence);
   if (!parsed.is_ok()) return parsed.status();
   if (!parsed.value()->free_vars().empty()) {
     return Status::invalid("ask: sentence has free variables");
+  }
+  if (options.cancel != nullptr) {
+    CQA_RETURN_IF_ERROR(options.cancel->check());
   }
   return db_->db().holds(parsed.value(), {});
 }

@@ -11,8 +11,19 @@
 
 #include "cqa/constraint/qe.h"
 #include "cqa/core/constraint_database.h"
+#include "cqa/util/cancellation.h"
 
 namespace cqa {
+
+/// Options for the rewrite pipeline (one struct instead of a signature
+/// per knob; extend here, not with overloads).
+struct RewriteOptions {
+  /// Cooperative cancellation checked between pipeline stages
+  /// (parse -> expand -> inline -> QE). Not owned; may be null.
+  const CancelToken* cancel = nullptr;
+  /// Bypass an installed RewriteCache for this call.
+  bool skip_cache = false;
+};
 
 /// Memo-cache hook for rewrite results. Core defines only this
 /// interface; cqa/runtime/eval_cache provides the sharded LRU
@@ -43,15 +54,32 @@ class QueryEngine {
   /// predicates and quantifiers; it must be linear after inlining.
   Result<std::vector<LinearCell>> cells(const std::string& query,
                                         const std::vector<std::string>&
-                                            output_vars);
+                                            output_vars,
+                                        const RewriteOptions& options);
 
   /// Quantifier-free formula equivalent to the query over the database.
-  Result<FormulaPtr> rewrite(const std::string& query);
+  Result<FormulaPtr> rewrite(const std::string& query,
+                             const RewriteOptions& options);
 
   /// Decides a sentence (no free variables) over the database; handles
   /// FO+LIN via QE and the supported FO+POLY fragment via the sample-point
   /// procedure.
-  Result<bool> ask(const std::string& sentence);
+  Result<bool> ask(const std::string& sentence,
+                   const RewriteOptions& options);
+
+  // Deprecated default-options shims (prefer the option-struct forms or,
+  // one level up, Session::run).
+  Result<std::vector<LinearCell>> cells(
+      const std::string& query,
+      const std::vector<std::string>& output_vars) {
+    return cells(query, output_vars, RewriteOptions{});
+  }
+  Result<FormulaPtr> rewrite(const std::string& query) {
+    return rewrite(query, RewriteOptions{});
+  }
+  Result<bool> ask(const std::string& sentence) {
+    return ask(sentence, RewriteOptions{});
+  }
 
  private:
   const ConstraintDatabase* db_;

@@ -4,6 +4,7 @@
 
 #include "cqa/approx/ellipsoid.h"
 #include "cqa/approx/gadgets.h"
+#include "cqa/approx/hit_and_run.h"
 #include "cqa/approx/monte_carlo.h"
 #include "cqa/logic/transform.h"
 #include "cqa/volume/growth.h"
@@ -54,13 +55,20 @@ Result<VolumeAnswer> VolumeEngine::volume(
                                db_->vars().name_of(v));
       }
     }
-    auto est = mc_volume(db_->db(), parsed.value(), element_vars, {},
-                         options.epsilon, options.delta, options.vc_dim,
-                         options.seed);
-    if (!est.is_ok()) return est.status();
-    answer.estimate = est.value();
-    answer.lower = est.value() - options.epsilon;
-    answer.upper = est.value() + options.epsilon;
+    std::size_t m =
+        blumer_sample_bound(options.epsilon, options.delta, options.vc_dim);
+    if (options.max_mc_samples > 0) {
+      m = std::min(m, options.max_mc_samples);
+    }
+    McVolumeEstimator est(&db_->db(), parsed.value(), element_vars, m,
+                          options.seed);
+    auto e = est.estimate({}, options.cancel);
+    if (!e.is_ok()) return e.status();
+    answer.estimate = e.value();
+    answer.lower = e.value() - options.epsilon;
+    answer.upper = e.value() + options.epsilon;
+    answer.points_evaluated = m;
+    answer.points_requested = m;
     return answer;
   }
 
@@ -90,7 +98,9 @@ Result<VolumeAnswer> VolumeEngine::volume(
     if (cache_key) cache_->store(*cache_key, v);
   };
 
-  auto cells = queries_.cells(query, output_vars);
+  RewriteOptions rw;
+  rw.cancel = options.cancel;
+  auto cells = queries_.cells(query, output_vars, rw);
   if (!cells.is_ok()) return cells.status();
   std::vector<LinearCell> live = cells.value();
   if (options.clip_to_unit_box) {
@@ -99,14 +109,14 @@ Result<VolumeAnswer> VolumeEngine::volume(
 
   switch (options.strategy) {
     case VolumeStrategy::kAuto: {
-      auto v = semilinear_volume(live);
+      auto v = semilinear_volume(live, nullptr, options.cancel);
       if (!v.is_ok()) return v.status();
       memoize(v.value());
       answer.exact = v.value();
       return answer;
     }
     case VolumeStrategy::kExactSweep: {
-      auto v = semilinear_volume_sweep(live);
+      auto v = semilinear_volume_sweep(live, nullptr, options.cancel);
       if (!v.is_ok()) return v.status();
       memoize(v.value());
       answer.exact = v.value();
@@ -141,6 +151,18 @@ Result<VolumeAnswer> VolumeEngine::volume(
       auto v = trivial_half_approximation(live, output_vars.size());
       if (!v.is_ok()) return v.status();
       answer.estimate = v.value().to_double();
+      return answer;
+    }
+    case VolumeStrategy::kHitAndRun: {
+      if (live.size() != 1) {
+        return Status::invalid(
+            "hit-and-run requires a single convex cell");
+      }
+      auto r = hit_and_run_volume(Polyhedron(live[0]),
+                                  options.hit_and_run_samples,
+                                  options.seed);
+      if (!r.is_ok()) return r.status();
+      answer.estimate = r.value().volume;
       return answer;
     }
     case VolumeStrategy::kMonteCarlo:

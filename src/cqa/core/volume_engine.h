@@ -23,15 +23,21 @@ enum class VolumeStrategy {
   kMonteCarlo,          // Theorem-4 sampling (eps, delta)
   kEllipsoidBounds,     // Lowner-John relative bounds (convex only)
   kTrivialHalf,         // Proposition-4 trivial approximation
+  kHitAndRun,           // DFK multiphase hit-and-run (convex only)
 };
 
 /// A volume answer: exact rational when the strategy is exact, otherwise
-/// an estimate (possibly with hard lower/upper bounds).
+/// an estimate (possibly with hard lower/upper bounds). `degraded` marks
+/// a best-so-far answer produced under an expired deadline; the
+/// lower/upper bars are widened accordingly.
 struct VolumeAnswer {
   std::optional<Rational> exact;
   std::optional<double> estimate;
   std::optional<double> lower;
   std::optional<double> upper;
+  bool degraded = false;
+  std::size_t points_evaluated = 0;  // MC points actually counted
+  std::size_t points_requested = 0;  // full sample size M (MC only)
 
   double value() const {
     if (exact) return exact->to_double();
@@ -41,7 +47,9 @@ struct VolumeAnswer {
   }
 };
 
-/// Options for the approximate strategies.
+/// Options for volume computation. One struct for every strategy; the
+/// strategy-specific knobs are ignored by the strategies that do not
+/// read them.
 struct VolumeOptions {
   VolumeStrategy strategy = VolumeStrategy::kAuto;
   double epsilon = 0.05;
@@ -51,6 +59,14 @@ struct VolumeOptions {
   /// Restrict to [0,1]^k first (the paper's VOL_I). Exact strategies
   /// require the query to be bounded when this is false.
   bool clip_to_unit_box = false;
+  /// Caps the Monte-Carlo sample size below the Blumer bound (0 = use
+  /// the bound). A cap that bites widens the effective epsilon.
+  std::size_t max_mc_samples = 0;
+  /// Samples per phase of the kHitAndRun estimator.
+  std::size_t hit_and_run_samples = 4000;
+  /// Cooperative cancellation / deadline, polled in every strategy's
+  /// hot loop. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Memo-cache hook for exact volume results (same pattern as

@@ -23,19 +23,30 @@ ParallelSampler::ParallelSampler(const Database* db, FormulaPtr phi,
   inlined_ = inlined.value();
 }
 
-Result<double> ParallelSampler::estimate(
-    const std::map<std::size_t, Rational>& params, ThreadPool* pool) const {
+Result<McPartial> ParallelSampler::estimate_partial(
+    const std::map<std::size_t, Rational>& params, ThreadPool* pool,
+    const CancelToken* cancel) const {
   CQA_RETURN_IF_ERROR(init_);
-  if (sample_size_ == 0) return 0.0;
+  McPartial out;
+  out.requested = sample_size_;
+  if (sample_size_ == 0) {
+    out.complete = true;
+    return out;
+  }
   const std::size_t dim = element_vars_.size();
   const std::size_t nchunks = num_chunks();
 
   // Chunk-indexed outputs: no shared mutable state between chunks, and
   // the final reduction runs in chunk order regardless of scheduling.
+  // A chunk either completes (done[c] = 1) or is dropped whole -- a
+  // chunk interrupted mid-count contributes nothing, so the surviving
+  // chunks are exactly the i.i.d. slices the estimate claims.
   std::vector<std::size_t> hits(nchunks, 0);
+  std::vector<char> done(nchunks, 0);
   std::vector<Status> errors(nchunks, Status::ok());
 
   auto eval_chunk = [&](std::size_t c) {
+    if (token_expired(cancel)) return;
     const std::size_t lo = c * chunk_size_;
     const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
     Xoshiro rng(stream_seed(seed_, c));
@@ -43,10 +54,12 @@ Result<double> ParallelSampler::estimate(
     points.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) points.push_back(rng.point(dim));
     auto r = mc_count_hits(inlined_, element_vars_, params, points.data(),
-                           points.size());
+                           points.size(), cancel);
     if (r.is_ok()) {
       hits[c] = r.value();
-    } else {
+      done[c] = 1;
+    } else if (r.status().code() != StatusCode::kCancelled &&
+               r.status().code() != StatusCode::kDeadlineExceeded) {
       errors[c] = r.status();
     }
   };
@@ -66,9 +79,26 @@ Result<double> ParallelSampler::estimate(
   for (const Status& s : errors) {
     CQA_RETURN_IF_ERROR(s);
   }
-  std::size_t total = 0;
-  for (std::size_t h : hits) total += h;
-  return static_cast<double>(total) / static_cast<double>(sample_size_);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    if (!done[c]) continue;
+    const std::size_t lo = c * chunk_size_;
+    const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
+    out.hits += hits[c];
+    out.evaluated += hi - lo;
+  }
+  out.complete = out.evaluated == sample_size_;
+  if (out.evaluated > 0) {
+    out.estimate = static_cast<double>(out.hits) /
+                   static_cast<double>(out.evaluated);
+  }
+  return out;
+}
+
+Result<double> ParallelSampler::estimate(
+    const std::map<std::size_t, Rational>& params, ThreadPool* pool) const {
+  auto r = estimate_partial(params, pool, /*cancel=*/nullptr);
+  if (!r.is_ok()) return r.status();
+  return r.value().estimate;
 }
 
 }  // namespace cqa

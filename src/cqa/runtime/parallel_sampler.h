@@ -26,6 +26,18 @@
 
 namespace cqa {
 
+/// Outcome of a (possibly deadline-bounded) chunked estimation. When a
+/// cancel token fires mid-run, the chunks that completed before expiry
+/// still form an unbiased estimator (chunks are i.i.d. slices of the
+/// sample); `evaluated` says how many points that is.
+struct McPartial {
+  double estimate = 0.0;      // hits / evaluated (0 when evaluated == 0)
+  std::size_t hits = 0;       // hits in completed chunks
+  std::size_t evaluated = 0;  // points in completed chunks
+  std::size_t requested = 0;  // the full sample size M
+  bool complete = false;      // evaluated == requested
+};
+
 class ParallelSampler {
  public:
   /// `phi` is inlined against `db` once, up front (failure surfaces from
@@ -39,6 +51,14 @@ class ParallelSampler {
   /// reference path; any pool produces bitwise-identical results.
   Result<double> estimate(const std::map<std::size_t, Rational>& params,
                           ThreadPool* pool = nullptr) const;
+
+  /// Best-so-far variant: runs chunks until done or `cancel` expires and
+  /// reports whatever completed. Without a token (or an unexpired one)
+  /// the result is complete and bitwise identical to estimate(). Real
+  /// evaluation errors still surface as error Status; expiry does not.
+  Result<McPartial> estimate_partial(
+      const std::map<std::size_t, Rational>& params, ThreadPool* pool,
+      const CancelToken* cancel) const;
 
   std::size_t sample_size() const { return sample_size_; }
   std::size_t chunk_size() const { return chunk_size_; }

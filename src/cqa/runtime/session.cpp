@@ -1,11 +1,33 @@
 #include "cqa/runtime/session.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "cqa/runtime/parallel_sampler.h"
 #include "cqa/vc/sample_bounds.h"
 
 namespace cqa {
+
+namespace {
+
+// The last rung of the degradation ladder: Proposition 4's constant 1/2
+// with hard bars [0, 1]. Needs no decomposition, so it is always
+// available, even when the deadline expired before any work ran.
+VolumeAnswer trivial_half_answer(bool degraded) {
+  VolumeAnswer a;
+  a.estimate = 0.5;
+  a.lower = 0.0;
+  a.upper = 1.0;
+  a.degraded = degraded;
+  return a;
+}
+
+bool is_expiry(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kCancelled;
+}
+
+}  // namespace
 
 Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
     : db_(db),
@@ -25,43 +47,236 @@ Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
       mc_points_evaluated_total_(
           metrics_.counter("mc_points_evaluated_total")),
       aggregate_calls_total_(metrics_.counter("aggregate_calls_total")),
+      planner_decisions_total_(metrics_.counter("planner_decisions_total")),
+      planner_degraded_total_(metrics_.counter("planner_degraded_total")),
       rewrite_call_ns_(metrics_.histogram("rewrite_call_ns")),
       volume_call_ns_(metrics_.histogram("volume_call_ns")),
       ask_call_ns_(metrics_.histogram("ask_call_ns")),
-      aggregate_call_ns_(metrics_.histogram("aggregate_call_ns")) {
+      aggregate_call_ns_(metrics_.histogram("aggregate_call_ns")),
+      planner_plan_ns_(metrics_.histogram("planner_plan_ns")) {
   queries_.set_cache(&rewrite_adapter_);
   volumes_.set_cache(&volume_adapter_);
   // The volume engine's internal pipeline shares the same rewrite cache.
   volumes_.queries().set_cache(&rewrite_adapter_);
 }
 
-Result<FormulaPtr> Session::rewrite(const std::string& query) {
-  ScopedTimer timer(rewrite_call_ns_);
-  qe_rewrites_total_->inc();
-  return queries_.rewrite(query);
+Result<Answer> Session::run(const Request& request) {
+  CancelToken token;
+  if (request.budget.has_deadline()) {
+    token.set_deadline_after_ms(request.budget.deadline_ms);
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  Answer answer;
+  answer.kind = request.kind;
+
+  switch (request.kind) {
+    case RequestKind::kAsk: {
+      ScopedTimer timer(ask_call_ns_);
+      RewriteOptions rw;
+      rw.cancel = &token;
+      auto r = queries_.ask(request.query, rw);
+      if (!r.is_ok()) return r.status();
+      answer.truth = r.value();
+      break;
+    }
+    case RequestKind::kRewrite: {
+      ScopedTimer timer(rewrite_call_ns_);
+      qe_rewrites_total_->inc();
+      RewriteOptions rw;
+      rw.cancel = &token;
+      auto r = queries_.rewrite(request.query, rw);
+      if (!r.is_ok()) return r.status();
+      answer.formula = r.value();
+      break;
+    }
+    case RequestKind::kCells: {
+      ScopedTimer timer(rewrite_call_ns_);
+      qe_rewrites_total_->inc();
+      RewriteOptions rw;
+      rw.cancel = &token;
+      auto r = queries_.cells(request.query, request.output_vars, rw);
+      if (!r.is_ok()) return r.status();
+      answer.cells = r.value();
+      break;
+    }
+    case RequestKind::kVolume: {
+      auto r = run_volume(request, &token);
+      if (!r.is_ok()) return r.status();
+      answer = std::move(r.value());
+      break;
+    }
+    case RequestKind::kMu: {
+      ScopedTimer timer(volume_call_ns_);
+      volume_calls_total_->inc();
+      auto r = volumes_.mu(request.query, request.output_vars);
+      if (!r.is_ok()) return r.status();
+      answer.mu = r.value();
+      break;
+    }
+    case RequestKind::kGrowthPolynomial: {
+      ScopedTimer timer(volume_call_ns_);
+      volume_calls_total_->inc();
+      auto r = volumes_.growth_polynomial(request.query,
+                                          request.output_vars);
+      if (!r.is_ok()) return r.status();
+      answer.growth = r.value();
+      break;
+    }
+    case RequestKind::kAggregate: {
+      ScopedTimer timer(aggregate_call_ns_);
+      aggregate_calls_total_->inc();
+      if (request.output_vars.size() != 1) {
+        return Status::invalid(
+            "aggregate requests take exactly one output variable");
+      }
+      auto r = aggregates_.aggregate(request.aggregate_fn, request.query,
+                                     request.output_vars[0],
+                                     request.bindings);
+      if (!r.is_ok()) return r.status();
+      answer.aggregate = r.value();
+      break;
+    }
+  }
+
+  answer.elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return answer;
 }
 
-Result<std::vector<LinearCell>> Session::cells(
-    const std::string& query, const std::vector<std::string>& output_vars) {
-  ScopedTimer timer(rewrite_call_ns_);
-  qe_rewrites_total_->inc();
-  return queries_.cells(query, output_vars);
+Result<Answer> Session::run_volume(const Request& request,
+                                   CancelToken* token) {
+  ScopedTimer timer(volume_call_ns_);
+  volume_calls_total_->inc();
+
+  if (request.strategy) {
+    // Planner bypass: the caller pinned a strategy; the budget still
+    // arms the deadline and MC sample sizing.
+    Answer answer;
+    answer.kind = RequestKind::kVolume;
+    auto v = forced_volume(request, *request.strategy, token);
+    if (!v.is_ok()) return v.status();
+    answer.volume = v.value();
+    if (answer.volume.degraded) {
+      answer.status = AnswerStatus::kDegraded;
+      planner_degraded_total_->inc();
+    }
+    return answer;
+  }
+  return run_planned_volume(request, token);
 }
 
-Result<bool> Session::ask(const std::string& sentence) {
-  ScopedTimer timer(ask_call_ns_);
-  return queries_.ask(sentence);
+Result<Answer> Session::run_planned_volume(const Request& request,
+                                           CancelToken* token) {
+  // --- Stats: cheap structure first, the cached rewrite if available --
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(request.query);
+  if (!parsed.is_ok()) return parsed.status();
+  const std::size_t quantifiers = parsed.value()->count_quantifiers();
+
+  auto expanded = db_->db().expand_active_domain(parsed.value());
+  if (!expanded.is_ok()) return expanded.status();
+  auto inlined = db_->db().inline_predicates(expanded.value());
+  if (!inlined.is_ok()) return inlined.status();
+  FormulaPtr analysis = inlined.value();
+
+  if (!analysis->is_quantifier_free() && analysis->is_linear()) {
+    // Quantified FO+LIN: the QE rewrite is what exact evaluation runs
+    // anyway and it is memoized, so analyze the eliminated form. A
+    // deadline firing inside QE falls straight to the last rung.
+    RewriteOptions rw;
+    rw.cancel = token;
+    auto rewritten = volumes_.queries().rewrite(request.query, rw);
+    if (rewritten.is_ok()) {
+      analysis = rewritten.value();
+    } else if (is_expiry(rewritten.status())) {
+      Answer degraded;
+      degraded.kind = RequestKind::kVolume;
+      degraded.status = AnswerStatus::kDegraded;
+      degraded.volume = trivial_half_answer(true);
+      planner_degraded_total_->inc();
+      return degraded;
+    } else {
+      return rewritten.status();
+    }
+  }
+
+  FormulaStats stats =
+      extract_stats(analysis, request.output_vars.size(), quantifiers,
+                    options_.cost_model);
+
+  PlanDecision decision;
+  {
+    ScopedTimer plan_timer(planner_plan_ns_);
+    decision = plan_volume(stats, request.budget, options_.cost_model);
+  }
+  record_plan(decision);
+
+  Answer answer;
+  answer.kind = RequestKind::kVolume;
+  answer.plan = decision;
+
+  switch (decision.chosen) {
+    case VolumeStrategy::kMonteCarlo: {
+      auto v = pooled_monte_carlo(request, decision.mc_samples,
+                                  decision.expected_epsilon, token);
+      if (!v.is_ok()) return v.status();
+      answer.volume = v.value();
+      break;
+    }
+    case VolumeStrategy::kTrivialHalf: {
+      answer.volume = trivial_half_answer(decision.degrade_preplanned);
+      break;
+    }
+    default: {
+      // Exact strategies (and hit-and-run) run in the engine under the
+      // shared token; expiry mid-decomposition cannot salvage a partial
+      // exact answer, so it degrades to the last rung.
+      auto v = forced_volume(request, decision.chosen, token);
+      if (!v.is_ok()) {
+        if (!is_expiry(v.status())) return v.status();
+        answer.volume = trivial_half_answer(true);
+      } else {
+        answer.volume = v.value();
+      }
+      break;
+    }
+  }
+
+  if (answer.volume.degraded || decision.degrade_preplanned) {
+    answer.status = AnswerStatus::kDegraded;
+    planner_degraded_total_->inc();
+  }
+  return answer;
 }
 
-Result<VolumeAnswer> Session::monte_carlo_volume(
-    const std::string& query, const std::vector<std::string>& output_vars,
-    const VolumeOptions& options) {
-  // Same query plumbing as VolumeEngine's Monte-Carlo path, but the
-  // estimate runs chunked on the pool.
-  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
+Result<VolumeAnswer> Session::forced_volume(const Request& request,
+                                            VolumeStrategy strategy,
+                                            CancelToken* token) {
+  if (strategy == VolumeStrategy::kMonteCarlo) {
+    VolumeOptions vo;
+    const std::size_t m = blumer_sample_bound(
+        request.budget.epsilon, request.budget.delta, vo.vc_dim);
+    return pooled_monte_carlo(request, m, request.budget.epsilon, token);
+  }
+  VolumeOptions vo;
+  vo.strategy = strategy;
+  vo.epsilon = request.budget.epsilon;
+  vo.delta = request.budget.delta;
+  vo.seed = request.seed;
+  vo.cancel = token;
+  return volumes_.volume(request.query, request.output_vars, vo);
+}
+
+Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
+                                                 std::size_t sample_size,
+                                                 double target_epsilon,
+                                                 CancelToken* token) {
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(request.query);
   if (!parsed.is_ok()) return parsed.status();
   std::vector<std::size_t> element_vars;
-  for (const auto& name : output_vars) {
+  for (const auto& name : request.output_vars) {
     int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
     if (idx < 0) return Status::invalid("unknown output variable: " + name);
     element_vars.push_back(static_cast<std::size_t>(idx));
@@ -74,51 +289,165 @@ Result<VolumeAnswer> Session::monte_carlo_volume(
           db_->vars().name_of(v));
     }
   }
-  const std::size_t m =
-      blumer_sample_bound(options.epsilon, options.delta, options.vc_dim);
-  ParallelSampler sampler(&db_->db(), parsed.value(), element_vars, m,
-                          options.seed, options_.mc_chunk_size);
-  auto est = sampler.estimate({}, &pool_);
+  ParallelSampler sampler(&db_->db(), parsed.value(), element_vars,
+                          sample_size, request.seed,
+                          options_.mc_chunk_size);
+  auto est = sampler.estimate_partial({}, &pool_, token);
   if (!est.is_ok()) return est.status();
-  mc_points_evaluated_total_->inc(m);
+  const McPartial& p = est.value();
+  mc_points_evaluated_total_->inc(p.evaluated);
+
   VolumeAnswer answer;
-  answer.estimate = est.value();
-  answer.lower = est.value() - options.epsilon;
-  answer.upper = est.value() + options.epsilon;
+  answer.points_evaluated = p.evaluated;
+  answer.points_requested = p.requested;
+  if (p.complete) {
+    answer.estimate = p.estimate;
+    answer.lower = p.estimate - target_epsilon;
+    answer.upper = p.estimate + target_epsilon;
+    return answer;
+  }
+  if (p.evaluated == 0) {
+    // Expired before a single chunk finished: nothing to estimate from.
+    return trivial_half_answer(true);
+  }
+  // Best-so-far: the completed chunks are an unbiased sample; widen the
+  // bars to the Hoeffding half-width the smaller sample supports.
+  const double eps = hoeffding_epsilon(request.budget.delta, p.evaluated);
+  answer.degraded = true;
+  answer.estimate = p.estimate;
+  answer.lower = std::max(0.0, p.estimate - eps);
+  answer.upper = std::min(1.0, p.estimate + eps);
   return answer;
+}
+
+void Session::record_plan(const PlanDecision& decision) {
+  planner_decisions_total_->inc();
+  metrics_
+      .counter(std::string("planner_choice_") +
+               strategy_name(decision.chosen) + "_total")
+      ->inc();
+}
+
+// --- Deprecated per-operation shims ----------------------------------
+
+Result<FormulaPtr> Session::rewrite(const std::string& query) {
+  Request req;
+  req.kind = RequestKind::kRewrite;
+  req.query = query;
+  auto a = run(req);
+  if (!a.is_ok()) return a.status();
+  return a.value().formula;
+}
+
+Result<std::vector<LinearCell>> Session::cells(
+    const std::string& query, const std::vector<std::string>& output_vars) {
+  Request req;
+  req.kind = RequestKind::kCells;
+  req.query = query;
+  req.output_vars = output_vars;
+  auto a = run(req);
+  if (!a.is_ok()) return a.status();
+  return a.value().cells;
+}
+
+Result<bool> Session::ask(const std::string& sentence) {
+  Request req;
+  req.kind = RequestKind::kAsk;
+  req.query = sentence;
+  auto a = run(req);
+  if (!a.is_ok()) return a.status();
+  return *a.value().truth;
 }
 
 Result<VolumeAnswer> Session::volume(
     const std::string& query, const std::vector<std::string>& output_vars,
     const VolumeOptions& options) {
+  // Kept engine-shaped (not a Request round-trip) because VolumeOptions
+  // carries knobs Request deliberately does not (vc_dim override,
+  // clip_to_unit_box, sample caps); behaviour and counters are
+  // unchanged from the pre-run() Session.
   ScopedTimer timer(volume_call_ns_);
   volume_calls_total_->inc();
   if (options.strategy == VolumeStrategy::kMonteCarlo) {
-    return monte_carlo_volume(query, output_vars, options);
+    auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
+    if (!parsed.is_ok()) return parsed.status();
+    std::vector<std::size_t> element_vars;
+    for (const auto& name : output_vars) {
+      int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
+      if (idx < 0) {
+        return Status::invalid("unknown output variable: " + name);
+      }
+      element_vars.push_back(static_cast<std::size_t>(idx));
+    }
+    for (std::size_t v : parsed.value()->free_vars()) {
+      if (std::find(element_vars.begin(), element_vars.end(), v) ==
+          element_vars.end()) {
+        return Status::invalid(
+            "query has a free variable that is not an output: " +
+            db_->vars().name_of(v));
+      }
+    }
+    std::size_t m =
+        blumer_sample_bound(options.epsilon, options.delta, options.vc_dim);
+    if (options.max_mc_samples > 0) m = std::min(m, options.max_mc_samples);
+    ParallelSampler sampler(&db_->db(), parsed.value(), element_vars, m,
+                            options.seed, options_.mc_chunk_size);
+    auto est = sampler.estimate_partial({}, &pool_, options.cancel);
+    if (!est.is_ok()) return est.status();
+    const McPartial& p = est.value();
+    mc_points_evaluated_total_->inc(p.evaluated);
+    VolumeAnswer answer;
+    answer.points_evaluated = p.evaluated;
+    answer.points_requested = p.requested;
+    answer.estimate = p.estimate;
+    if (p.complete) {
+      answer.lower = p.estimate - options.epsilon;
+      answer.upper = p.estimate + options.epsilon;
+    } else {
+      const double eps = hoeffding_epsilon(options.delta, p.evaluated);
+      answer.degraded = true;
+      answer.lower = std::max(0.0, p.estimate - eps);
+      answer.upper = std::min(1.0, p.estimate + eps);
+    }
+    return answer;
   }
   return volumes_.volume(query, output_vars, options);
 }
 
 Result<Rational> Session::mu(const std::string& query,
                              const std::vector<std::string>& output_vars) {
-  ScopedTimer timer(volume_call_ns_);
-  volume_calls_total_->inc();
-  return volumes_.mu(query, output_vars);
+  Request req;
+  req.kind = RequestKind::kMu;
+  req.query = query;
+  req.output_vars = output_vars;
+  auto a = run(req);
+  if (!a.is_ok()) return a.status();
+  return *a.value().mu;
 }
 
 Result<UPoly> Session::growth_polynomial(
     const std::string& query, const std::vector<std::string>& output_vars) {
-  ScopedTimer timer(volume_call_ns_);
-  volume_calls_total_->inc();
-  return volumes_.growth_polynomial(query, output_vars);
+  Request req;
+  req.kind = RequestKind::kGrowthPolynomial;
+  req.query = query;
+  req.output_vars = output_vars;
+  auto a = run(req);
+  if (!a.is_ok()) return a.status();
+  return *a.value().growth;
 }
 
 Result<Rational> Session::aggregate(
     AggregateFn fn, const std::string& query, const std::string& output_var,
     const std::vector<std::pair<std::string, Rational>>& bindings) {
-  ScopedTimer timer(aggregate_call_ns_);
-  aggregate_calls_total_->inc();
-  return aggregates_.aggregate(fn, query, output_var, bindings);
+  Request req;
+  req.kind = RequestKind::kAggregate;
+  req.query = query;
+  req.output_vars = {output_var};
+  req.aggregate_fn = fn;
+  req.bindings = bindings;
+  auto a = run(req);
+  if (!a.is_ok()) return a.status();
+  return *a.value().aggregate;
 }
 
 }  // namespace cqa

@@ -1,19 +1,33 @@
-// Session: the one-line opt-in to the concurrent runtime.
+// Session: the one public query API, backed by the concurrent runtime
+// and the cost-based adaptive planner.
 //
 //   ConstraintDatabase db; ...
-//   Session session(&db);                  // pool + cache + metrics
-//   session.volume("x^2 + y^2 <= 1", {"x", "y"}, mc_options);
+//   Session session(&db);            // pool + cache + metrics + planner
+//   Request req;
+//   req.kind = RequestKind::kVolume;
+//   req.query = "x^2 + y^2 <= 1";
+//   req.output_vars = {"x", "y"};
+//   req.budget = {.epsilon = 0.02, .delta = 0.05, .deadline_ms = 50};
+//   Result<Answer> a = session.run(req);
 //
-// A Session owns a work-stealing ThreadPool, a sharded LRU EvalCache,
-// and a MetricsRegistry, and exposes the same call signatures as
-// QueryEngine / VolumeEngine / AggregationEngine:
-//   - rewrite() and exact volume() results are memoized in the cache
-//     (canonical-formula keys, LRU-bounded);
-//   - Monte-Carlo volume() runs chunked on the pool via ParallelSampler,
-//     with results bitwise independent of the thread count;
-//   - every call is counted and timed in the registry
-//     (qe_rewrites_total, cache_hits_total, mc_points_evaluated_total,
-//     *_call_ns histograms; see metrics().dump()).
+// Every query flows through Session::run(Request) -> Result<Answer>:
+//   - volume requests go through cqa::plan, which picks the strategy
+//     (exact sweep / chunked Theorem-4 MC on the pool / hit-and-run /
+//     trivial 1/2) under the request's Budget{epsilon, delta,
+//     deadline_ms}; the decision lands in Answer.plan and in the
+//     metrics registry (planner_choice_*_total);
+//   - execution is cooperatively cancellable: a deadline arms a
+//     CancelToken threaded through the engine hot loops, and expiry
+//     degrades to the best-so-far estimate with widened error bars and
+//     AnswerStatus::kDegraded instead of an error;
+//   - rewrite() and exact volume results are memoized in the sharded
+//     LRU cache; Monte-Carlo runs chunked on the work-stealing pool
+//     with thread-count-independent results; every call is counted and
+//     timed in the registry.
+//
+// The per-operation methods (rewrite / cells / ask / volume / mu /
+// growth_polynomial / aggregate) survive as deprecated shims over run()
+// for one release; new code should construct Requests.
 //
 // Thread-safety: a Session may be shared by readers as long as the
 // underlying ConstraintDatabase is not mutated concurrently (the
@@ -22,15 +36,18 @@
 #ifndef CQA_RUNTIME_SESSION_H_
 #define CQA_RUNTIME_SESSION_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cqa/core/aggregation_engine.h"
 #include "cqa/core/query_engine.h"
 #include "cqa/core/volume_engine.h"
+#include "cqa/plan/planner.h"
 #include "cqa/runtime/eval_cache.h"
 #include "cqa/runtime/metrics.h"
 #include "cqa/runtime/thread_pool.h"
+#include "cqa/util/cancellation.h"
 
 namespace cqa {
 
@@ -40,6 +57,55 @@ struct SessionOptions {
   std::size_t volume_cache_capacity = 512;
   std::size_t cache_shards = 8;
   std::size_t mc_chunk_size = 2048;
+  CostModel cost_model;  // planner calibration
+};
+
+/// What a Request asks for.
+enum class RequestKind {
+  kAsk,               // decide a sentence
+  kRewrite,           // quantifier-free equivalent
+  kCells,             // closure: output as a union of linear cells
+  kVolume,            // VOL of the denotation (planner-routed)
+  kMu,                // Chomicki-Kuper measure at infinity
+  kGrowthPolynomial,  // V(r) = Vol(S cap [-r,r]^n)
+  kAggregate,         // SQL aggregate over a safe output
+};
+
+/// One query plus its budget: the unit of work Session::run accepts.
+struct Request {
+  RequestKind kind = RequestKind::kVolume;
+  std::string query;
+  std::vector<std::string> output_vars;
+  Budget budget;
+  /// Volume only: bypass the planner and force one strategy.
+  std::optional<VolumeStrategy> strategy;
+  std::uint64_t seed = 1;
+  /// Aggregate only.
+  AggregateFn aggregate_fn = AggregateFn::kCount;
+  std::vector<std::pair<std::string, Rational>> bindings;
+};
+
+enum class AnswerStatus {
+  kOk,        // full-fidelity answer
+  kDegraded,  // deadline expired: best-so-far, widened error bars
+};
+
+/// The one result type. The payload matching the request kind is set;
+/// volume answers carry the plan that produced them.
+struct Answer {
+  RequestKind kind = RequestKind::kVolume;
+  AnswerStatus status = AnswerStatus::kOk;
+  std::optional<bool> truth;             // kAsk
+  FormulaPtr formula;                    // kRewrite
+  std::vector<LinearCell> cells;         // kCells
+  VolumeAnswer volume;                   // kVolume
+  std::optional<Rational> mu;            // kMu
+  std::optional<UPoly> growth;           // kGrowthPolynomial
+  std::optional<Rational> aggregate;     // kAggregate
+  std::optional<PlanDecision> plan;      // kVolume (planner-routed)
+  double elapsed_ms = 0.0;
+
+  bool degraded() const { return status == AnswerStatus::kDegraded; }
 };
 
 class Session {
@@ -47,16 +113,15 @@ class Session {
   explicit Session(const ConstraintDatabase* db,
                    const SessionOptions& options = {});
 
-  // --- QueryEngine surface (memoized, metered) ---
+  /// The API: one entry point for every query kind.
+  Result<Answer> run(const Request& request);
+
+  // --- Deprecated per-operation shims (one release; prefer run()) ----
   Result<FormulaPtr> rewrite(const std::string& query);
   Result<std::vector<LinearCell>> cells(
       const std::string& query,
       const std::vector<std::string>& output_vars);
   Result<bool> ask(const std::string& sentence);
-
-  // --- VolumeEngine surface ---
-  /// Exact strategies are memoized; kMonteCarlo runs chunked on the
-  /// pool (same (seed, chunk) scheme at every thread count).
   Result<VolumeAnswer> volume(const std::string& query,
                               const std::vector<std::string>& output_vars,
                               const VolumeOptions& options = {});
@@ -65,8 +130,6 @@ class Session {
   Result<UPoly> growth_polynomial(const std::string& query,
                                   const std::vector<std::string>&
                                       output_vars);
-
-  // --- AggregationEngine surface ---
   Result<Rational> aggregate(AggregateFn fn, const std::string& query,
                              const std::string& output_var,
                              const std::vector<std::pair<std::string,
@@ -108,10 +171,17 @@ class Session {
     EvalCache* cache_;
   };
 
-  Result<VolumeAnswer> monte_carlo_volume(
-      const std::string& query,
-      const std::vector<std::string>& output_vars,
-      const VolumeOptions& options);
+  Result<Answer> run_volume(const Request& request, CancelToken* token);
+  Result<Answer> run_planned_volume(const Request& request,
+                                    CancelToken* token);
+  Result<VolumeAnswer> forced_volume(const Request& request,
+                                     VolumeStrategy strategy,
+                                     CancelToken* token);
+  Result<VolumeAnswer> pooled_monte_carlo(const Request& request,
+                                          std::size_t sample_size,
+                                          double target_epsilon,
+                                          CancelToken* token);
+  void record_plan(const PlanDecision& decision);
 
   const ConstraintDatabase* db_;
   SessionOptions options_;
@@ -129,10 +199,13 @@ class Session {
   Counter* volume_calls_total_;
   Counter* mc_points_evaluated_total_;
   Counter* aggregate_calls_total_;
+  Counter* planner_decisions_total_;
+  Counter* planner_degraded_total_;
   Histogram* rewrite_call_ns_;
   Histogram* volume_call_ns_;
   Histogram* ask_call_ns_;
   Histogram* aggregate_call_ns_;
+  Histogram* planner_plan_ns_;
 };
 
 }  // namespace cqa

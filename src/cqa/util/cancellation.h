@@ -1,0 +1,92 @@
+// Cooperative cancellation for long-running engine calls.
+//
+// A CancelToken combines an explicit cancel flag with an optional
+// wall-clock deadline. Engines receive `const CancelToken*` (nullptr =
+// never cancelled) and poll expired()/check() at loop boundaries --
+// chunk starts in the Monte-Carlo samplers, section evaluations in the
+// exact sweep -- so cancellation latency is bounded by one unit of work,
+// never by the whole computation.
+//
+// expired() reads the steady clock when a deadline is set; callers on
+// genuinely hot inner loops should poll every N iterations rather than
+// every iteration.
+
+#ifndef CQA_UTIL_CANCELLATION_H_
+#define CQA_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation (thread-safe; any thread may call).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a deadline `ms` milliseconds from now. ms < 0 disarms.
+  void set_deadline_after_ms(std::int64_t ms) {
+    if (ms < 0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+    has_deadline_ = true;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// True once cancelled or past the deadline.
+  bool expired() const {
+    if (cancelled()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// OK while live; kCancelled / kDeadlineExceeded once expired.
+  Status check() const {
+    if (cancelled()) return Status::cancelled("operation cancelled");
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::deadline_exceeded("deadline exceeded");
+    }
+    return Status::ok();
+  }
+
+  /// Milliseconds until the deadline (clamped at 0); a large sentinel
+  /// when no deadline is armed.
+  std::int64_t remaining_ms() const {
+    if (!has_deadline_) return kNoDeadlineMs;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline_ - Clock::now())
+                    .count();
+    return left < 0 ? 0 : left;
+  }
+
+  static constexpr std::int64_t kNoDeadlineMs = INT64_MAX;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Shorthand for the "nullptr token never fires" convention.
+inline bool token_expired(const CancelToken* t) {
+  return t != nullptr && t->expired();
+}
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_CANCELLATION_H_

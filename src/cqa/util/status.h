@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnsupported,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight success/error carrier.
@@ -49,6 +51,12 @@ class Status {
   static Status unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -68,6 +76,8 @@ class Status {
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

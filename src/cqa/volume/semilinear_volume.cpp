@@ -137,12 +137,14 @@ std::vector<Rational> arrangement_breakpoints(
 }
 
 Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
-                              VolumeStats* stats, bool force_sweep);
+                              VolumeStats* stats, bool force_sweep,
+                              const CancelToken* cancel);
 
 // One section evaluation: volume of { y : (t, y) in union of cells }.
 Result<Rational> section_volume(const std::vector<LinearCell>& cells,
                                 const Rational& t, std::size_t dim,
-                                VolumeStats* stats, bool force_sweep) {
+                                VolumeStats* stats, bool force_sweep,
+                                const CancelToken* cancel) {
   std::vector<LinearCell> sections;
   for (const auto& cell : cells) {
     LinearCell restricted = cell.restrict_var(0, t);
@@ -150,11 +152,13 @@ Result<Rational> section_volume(const std::vector<LinearCell>& cells,
     sections.push_back(drop_var(restricted, 0));
   }
   if (stats) ++stats->sections_evaluated;
-  return volume_union(std::move(sections), dim - 1, stats, force_sweep);
+  return volume_union(std::move(sections), dim - 1, stats, force_sweep,
+                      cancel);
 }
 
 Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
-                       VolumeStats* stats, bool force_sweep) {
+                       VolumeStats* stats, bool force_sweep,
+                       const CancelToken* cancel) {
   if (stats) ++stats->sweep_calls;
   if (dim == 1) return interval_union_length(cells);
 
@@ -173,7 +177,10 @@ Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
     // <= dim-1: interpolate from dim exact samples.
     std::vector<std::pair<Rational, Rational>> samples;
     for (const Rational& t : sample_points(a, b, dim)) {
-      auto g = section_volume(cells, t, dim, stats, force_sweep);
+      if (cancel != nullptr) {
+        CQA_RETURN_IF_ERROR(cancel->check());
+      }
+      auto g = section_volume(cells, t, dim, stats, force_sweep, cancel);
       if (!g.is_ok()) return g;
       samples.emplace_back(t, g.value());
     }
@@ -184,7 +191,11 @@ Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
 }
 
 Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
-                              VolumeStats* stats, bool force_sweep) {
+                              VolumeStats* stats, bool force_sweep,
+                              const CancelToken* cancel) {
+  if (cancel != nullptr) {
+    CQA_RETURN_IF_ERROR(cancel->check());
+  }
   // Keep only feasible, full-dimensional cells (others have measure 0).
   std::vector<LinearCell> live;
   for (auto& cell : cells) {
@@ -235,21 +246,25 @@ Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
       return total;
     }
   }
-  return sweep(live, dim, stats, force_sweep);
+  return sweep(live, dim, stats, force_sweep, cancel);
 }
 
 }  // namespace
 
 Result<Rational> semilinear_volume(const std::vector<LinearCell>& cells,
-                                   VolumeStats* stats) {
+                                   VolumeStats* stats,
+                                   const CancelToken* cancel) {
   if (cells.empty()) return Rational(0);
-  return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/false);
+  return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/false,
+                      cancel);
 }
 
 Result<Rational> semilinear_volume_sweep(const std::vector<LinearCell>& cells,
-                                         VolumeStats* stats) {
+                                         VolumeStats* stats,
+                                         const CancelToken* cancel) {
   if (cells.empty()) return Rational(0);
-  return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/true);
+  return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/true,
+                      cancel);
 }
 
 Result<Rational> formula_volume(const FormulaPtr& f, std::size_t dim) {

@@ -21,6 +21,7 @@
 #include "cqa/constraint/linear_cell.h"
 #include "cqa/geometry/polytope_volume.h"
 #include "cqa/logic/formula.h"
+#include "cqa/util/cancellation.h"
 
 namespace cqa {
 
@@ -34,12 +35,16 @@ struct VolumeStats {
 
 /// Exact volume of the union of the cells. All cells must share the same
 /// ambient dimension and be bounded (error otherwise). Overlaps are fine.
+/// An expired `cancel` token aborts the sweep between section
+/// evaluations with kCancelled / kDeadlineExceeded.
 Result<Rational> semilinear_volume(const std::vector<LinearCell>& cells,
-                                   VolumeStats* stats = nullptr);
+                                   VolumeStats* stats = nullptr,
+                                   const CancelToken* cancel = nullptr);
 
 /// Forces the sweep path even where a fast path applies (for ablations).
 Result<Rational> semilinear_volume_sweep(const std::vector<LinearCell>& cells,
-                                         VolumeStats* stats = nullptr);
+                                         VolumeStats* stats = nullptr,
+                                         const CancelToken* cancel = nullptr);
 
 /// VOL(phi(D)) for a quantifier-free, predicate-free FO+LIN formula with
 /// free variables 0..dim-1. The denotation must be bounded.

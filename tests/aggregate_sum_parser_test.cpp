@@ -157,5 +157,35 @@ TEST(SumParser, UnsafeSumRejectedAtEval) {
   EXPECT_FALSE(term->eval(db, {}).is_ok());
 }
 
+
+TEST(SumParser, MalformedInputIsStatusNotAbort) {
+  // Every malformed spelling must come back as an invalid-argument
+  // Status; none may trip an internal assertion.
+  const char* kBad[] = {
+      "",                                    // empty term
+      "1 +",                                 // dangling operator
+      "1 /",                                 // dangling division
+      "(1 + 2",                              // unbalanced paren
+      "sum",                                 // keyword with no body
+      "sum[",                                // unterminated aggregate
+      "sum[w",                               // missing 'in'
+      "sum[w in",                            // missing end(...)
+      "sum[w in end(",                       // unterminated end(...)
+      "sum[w in end(y : U(y))",              // missing ']'
+      "sum[w in end(y : U(y))]",             // sum without gamma
+      "sum[w in end(y : U(y))](x",           // unterminated gamma
+      "sum[w in end(y : U(y))](x : x = w",   // gamma missing ')'
+      "count[w in end(y)]",                  // end(...) missing ':'
+      "avg[in end(y : U(y))](x : x = 0)",    // missing range variable
+      "3 @ 4",                               // stray token
+  };
+  for (const char* text : kBad) {
+    auto r = parse_sum_term(text);
+    EXPECT_FALSE(r.is_ok()) << "accepted: " << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << "wrong code for: " << text;
+  }
+}
+
 }  // namespace
 }  // namespace cqa

@@ -1,0 +1,304 @@
+// Session::run: the unified Request/Answer API, planner routing,
+// deadline degradation, and a concurrent eviction stress on the shared
+// EvalCache.
+
+#include "cqa/runtime/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cqa {
+namespace {
+
+constexpr const char* kTriangle = "x >= 0 & y >= 0 & x + y <= 1";
+constexpr const char* kDisk = "x^2 + y^2 <= 9/10 & 0 <= x & 0 <= y";
+
+SessionOptions two_threads() {
+  SessionOptions opts;
+  opts.threads = 2;
+  return opts;
+}
+
+Request volume_request(const std::string& query) {
+  Request req;
+  req.kind = RequestKind::kVolume;
+  req.query = query;
+  req.output_vars = {"x", "y"};
+  return req;
+}
+
+TEST(SessionRunTest, EveryKindFlowsThroughRun) {
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.add_region("Box", {"s", "t"},
+                            "0 <= s & s <= 1 & 0 <= t & t <= 1")
+                  .is_ok());
+  Session session(&db, two_threads());
+
+  Request ask;
+  ask.kind = RequestKind::kAsk;
+  ask.query = "E x. E y. Box(x, y) & x + y <= 1";
+  auto a = session.run(ask);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(a.value().truth.has_value());
+  EXPECT_TRUE(*a.value().truth);
+
+  Request rewrite;
+  rewrite.kind = RequestKind::kRewrite;
+  rewrite.query = "E u. Box(x, u) & u <= y";
+  auto r = session.run(rewrite);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_NE(r.value().formula, nullptr);
+  EXPECT_TRUE(r.value().formula->is_quantifier_free());
+
+  Request cells;
+  cells.kind = RequestKind::kCells;
+  cells.query = "Box(x, y) & x + y <= 1";
+  cells.output_vars = {"x", "y"};
+  auto c = session.run(cells);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_FALSE(c.value().cells.empty());
+
+  auto v = session.run(volume_request(kTriangle));
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value().status, AnswerStatus::kOk);
+  ASSERT_TRUE(v.value().volume.exact.has_value());
+  EXPECT_EQ(*v.value().volume.exact, Rational(1, 2));
+
+  Request mu;
+  mu.kind = RequestKind::kMu;
+  mu.query = kTriangle;
+  mu.output_vars = {"x", "y"};
+  auto m = session.run(mu);
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_EQ(*m.value().mu, Rational(0));  // bounded set
+
+  Request growth;
+  growth.kind = RequestKind::kGrowthPolynomial;
+  growth.query = kTriangle;
+  growth.output_vars = {"x", "y"};
+  auto g = session.run(growth);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_TRUE(g.value().growth.has_value());
+}
+
+TEST(SessionRunTest, PlannerPicksExactForLinearQueries) {
+  ConstraintDatabase db;
+  Session session(&db);
+  auto a = session.run(volume_request(kTriangle));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(a.value().plan.has_value());
+  EXPECT_EQ(a.value().plan->chosen, VolumeStrategy::kAuto);
+  EXPECT_TRUE(a.value().volume.exact.has_value());
+  EXPECT_EQ(session.metrics().counter_value("planner_choice_exact_total"),
+            1u);
+  EXPECT_EQ(session.metrics().counter_value("planner_decisions_total"),
+            1u);
+}
+
+TEST(SessionRunTest, PlannerPicksMonteCarloForNonlinearQueries) {
+  ConstraintDatabase db;
+  Session session(&db, two_threads());
+  Request req = volume_request(kDisk);
+  req.budget.epsilon = 0.05;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(a.value().plan.has_value());
+  EXPECT_EQ(a.value().plan->chosen, VolumeStrategy::kMonteCarlo);
+  EXPECT_EQ(a.value().status, AnswerStatus::kOk);
+  ASSERT_TRUE(a.value().volume.estimate.has_value());
+  // Quarter-disk of radius sqrt(0.9): area pi * 0.9 / 4 ~ 0.7069.
+  EXPECT_NEAR(*a.value().volume.estimate, 0.7069, 0.05);
+  EXPECT_EQ(a.value().volume.points_evaluated,
+            a.value().volume.points_requested);
+  EXPECT_EQ(session.metrics().counter_value("planner_choice_mc_total"),
+            1u);
+}
+
+TEST(SessionRunTest, ForcedStrategyBypassesPlanner) {
+  ConstraintDatabase db;
+  Session session(&db);
+  Request req = volume_request(kTriangle);
+  req.strategy = VolumeStrategy::kTrivialHalf;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_FALSE(a.value().plan.has_value());
+  EXPECT_EQ(session.metrics().counter_value("planner_decisions_total"),
+            0u);
+}
+
+// What the full (no-deadline) plan would draw, for comparison against
+// the deadline-reduced sample.
+std::size_t full_sample_for(double epsilon, double delta) {
+  FormulaStats s;
+  s.dimension = 2;
+  s.atoms = 3;
+  s.linear = false;
+  s.quantifier_free = true;
+  s.vc_dim = 4.0;
+  Budget b;
+  b.epsilon = epsilon;
+  b.delta = delta;
+  return plan_volume(s, b).mc_samples;
+}
+
+TEST(SessionRunTest, DeadlineExpiryDegradesInsteadOfFailing) {
+  ConstraintDatabase db;
+  Session session(&db, two_threads());
+  Request req = volume_request(kDisk);
+  // An epsilon this small wants hundreds of thousands of points; the
+  // deadline affords a fraction of them.
+  req.budget.epsilon = 0.0005;
+  req.budget.delta = 0.05;
+  req.budget.deadline_ms = 3;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  const Answer& ans = a.value();
+  EXPECT_EQ(ans.status, AnswerStatus::kDegraded);
+  ASSERT_TRUE(ans.plan.has_value());
+  // Either rung of the ladder is acceptable under load (reduced MC or
+  // the trivial 1/2), but the answer must carry finite widened bars.
+  ASSERT_TRUE(ans.volume.estimate.has_value());
+  ASSERT_TRUE(ans.volume.lower.has_value());
+  ASSERT_TRUE(ans.volume.upper.has_value());
+  EXPECT_GE(*ans.volume.upper, *ans.volume.lower);
+  if (ans.plan->chosen == VolumeStrategy::kMonteCarlo) {
+    EXPECT_LT(ans.plan->mc_samples, full_sample_for(0.0005, 0.05));
+  }
+  EXPECT_GE(session.metrics().counter_value("planner_degraded_total"), 1u);
+
+  // The decision must be inspectable after the fact.
+  EXPECT_NE(plan_to_string(*ans.plan).find("->"), std::string::npos);
+}
+
+TEST(SessionRunTest, ZeroDeadlineStillAnswersWithTrivialHalf) {
+  ConstraintDatabase db;
+  Session session(&db);
+  Request req = volume_request(kDisk);
+  req.budget.epsilon = 0.01;
+  req.budget.deadline_ms = 0;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().status, AnswerStatus::kDegraded);
+  ASSERT_TRUE(a.value().volume.estimate.has_value());
+  EXPECT_EQ(*a.value().volume.estimate, 0.5);
+  EXPECT_EQ(*a.value().volume.lower, 0.0);
+  EXPECT_EQ(*a.value().volume.upper, 1.0);
+}
+
+TEST(SessionRunTest, DegradedMonteCarloReportsPartialPoints) {
+  // Drive the partial path deterministically: a cancel token that is
+  // already expired after some chunks complete is hard to time, so use
+  // the legacy option-struct entry with an armed deadline long enough
+  // for a few chunks. Accept either a partial (degraded) or complete
+  // outcome -- what must never happen is an error status.
+  ConstraintDatabase db;
+  Session session(&db, two_threads());
+  CancelToken token;
+  token.set_deadline_after_ms(2);
+  VolumeOptions vo;
+  vo.strategy = VolumeStrategy::kMonteCarlo;
+  vo.epsilon = 0.001;
+  vo.delta = 0.05;
+  vo.cancel = &token;
+  auto v = session.volume(kDisk, {"x", "y"}, vo);
+  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+  EXPECT_LE(v.value().points_evaluated, v.value().points_requested);
+  if (v.value().degraded) {
+    EXPECT_LT(v.value().points_evaluated, v.value().points_requested);
+    ASSERT_TRUE(v.value().lower.has_value());
+    ASSERT_TRUE(v.value().upper.has_value());
+    EXPECT_GE(*v.value().lower, 0.0);
+    EXPECT_LE(*v.value().upper, 1.0);
+  }
+}
+
+TEST(SessionRunTest, AggregateRequest) {
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.add_table("R", std::vector<std::vector<std::int64_t>>{
+                                    {1}, {2}, {3}})
+                  .is_ok());
+  Session session(&db);
+  Request req;
+  req.kind = RequestKind::kAggregate;
+  req.query = "R(v)";
+  req.output_vars = {"v"};
+  req.aggregate_fn = AggregateFn::kSum;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(*a.value().aggregate, Rational(6));
+
+  // Wrong arity is a Status, not a crash.
+  req.output_vars = {"v", "w"};
+  EXPECT_FALSE(session.run(req).is_ok());
+}
+
+TEST(SessionRunTest, ConcurrentEvictionStress) {
+  // Many threads hammer a deliberately tiny cache with more distinct
+  // keys than capacity, mixing hits, misses, and evictions on both the
+  // rewrite and volume sides. The test asserts accounting stays sane
+  // and nothing tears (run under TSan in CI).
+  EvalCache cache(EvalCacheOptions{/*rewrite_capacity=*/16,
+                                   /*volume_capacity=*/16,
+                                   /*shards=*/4});
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeySpace = 200;  // >> capacity: constant eviction
+  std::atomic<int> ready{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = (i * 31 + t * 17) % kKeySpace;
+        const std::string key = "k" + std::to_string(k);
+        if (i % 3 == 0) {
+          cache.store_volume(key, Rational(k, 7));
+        } else if (auto hit = cache.lookup_volume(key)) {
+          // A hit must always carry the value stored for that key.
+          EXPECT_EQ(*hit, Rational(k, 7));
+        }
+        if (i % 5 == 0) {
+          cache.store_rewrite(key, Formula::make_true());
+        } else if (i % 5 == 1) {
+          (void)cache.lookup_rewrite(key);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const CacheStats vol = cache.volume_stats();
+  const CacheStats rw = cache.rewrite_stats();
+  EXPECT_LE(vol.entries, 16u);
+  EXPECT_LE(rw.entries, 16u);
+  EXPECT_GT(vol.evictions, 0u);
+  EXPECT_GT(vol.hits + vol.misses, 0u);
+  // Stores = lookups resolved as misses is not an invariant under LRU,
+  // but total accounted operations must match what the threads issued.
+  EXPECT_GT(rw.evictions, 0u);
+}
+
+TEST(SessionRunTest, LegacyShimsStillWork) {
+  ConstraintDatabase db;
+  Session session(&db);
+  auto v = session.volume(kTriangle, {"x", "y"});
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v.value().exact, Rational(1, 2));
+  auto f = session.rewrite("x >= 0 & x <= 1");
+  ASSERT_TRUE(f.is_ok());
+  auto t = session.ask("E x. x >= 0 & x <= 1");
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_TRUE(t.value());
+  // Shims route through run(), so the same counters move.
+  EXPECT_EQ(session.metrics().counter_value("qe_rewrites_total"), 1u);
+  EXPECT_EQ(session.metrics().counter_value("volume_calls_total"), 1u);
+}
+
+}  // namespace
+}  // namespace cqa
