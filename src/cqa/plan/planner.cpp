@@ -258,21 +258,17 @@ PlanDecision plan_volume(const FormulaStats& stats, const Budget& budget,
       return d;
     }
   }
-  if (mc.feasible && !budget.has_deadline()) {
-    // No deadline, but epsilon was unreachable for the exact engines
-    // (nonlinear query): full-sample MC is still the best effort.
-    d.chosen = VolumeStrategy::kMonteCarlo;
-    d.mc_samples = blumer;
-    d.expected_epsilon = budget.epsilon;
-    d.rationale = "best effort: full-sample MC";
-    return d;
-  }
+  // (With no deadline a feasible MC always wins the main loop -- it
+  // meets epsilon by construction and deadline_ns is infinite -- so the
+  // only way to reach here deadline-free is with MC infeasible too.)
 
   // Last rung: Proposition 4's trivial half-approximation.
   d.chosen = VolumeStrategy::kTrivialHalf;
   d.expected_epsilon = 0.5;
   d.degrade_preplanned = budget.epsilon < 0.5;
-  d.rationale = "deadline too tight for any sampling: trivial 1/2";
+  d.rationale = budget.has_deadline()
+                    ? "deadline too tight for any sampling: trivial 1/2"
+                    : "no feasible strategy for this query: trivial 1/2";
   return d;
 }
 

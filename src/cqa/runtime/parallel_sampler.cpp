@@ -39,8 +39,10 @@ Result<McPartial> ParallelSampler::estimate_partial(
   // Chunk-indexed outputs: no shared mutable state between chunks, and
   // the final reduction runs in chunk order regardless of scheduling.
   // A chunk either completes (done[c] = 1) or is dropped whole -- a
-  // chunk interrupted mid-count contributes nothing, so the surviving
-  // chunks are exactly the i.i.d. slices the estimate claims.
+  // chunk interrupted mid-count contributes nothing. Survivors are
+  // whichever chunks beat the deadline, so a partial estimate carries
+  // the mild survivorship caveat documented on McPartial; a complete
+  // run is exact.
   std::vector<std::size_t> hits(nchunks, 0);
   std::vector<char> done(nchunks, 0);
   std::vector<Status> errors(nchunks, Status::ok());

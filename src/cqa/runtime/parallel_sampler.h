@@ -28,8 +28,11 @@ namespace cqa {
 
 /// Outcome of a (possibly deadline-bounded) chunked estimation. When a
 /// cancel token fires mid-run, the chunks that completed before expiry
-/// still form an unbiased estimator (chunks are i.i.d. slices of the
-/// sample); `evaluated` says how many points that is.
+/// are whole i.i.d. slices of the planned sample; `evaluated` says how
+/// many points that is. Caveat: survivors are selected by finishing
+/// before the deadline, and completion time can correlate with hit/miss
+/// through short-circuit formula evaluation, so a partial estimate may
+/// carry a mild survivorship bias (a complete run has none).
 struct McPartial {
   double estimate = 0.0;      // hits / evaluated (0 when evaluated == 0)
   std::size_t hits = 0;       // hits in completed chunks

@@ -219,7 +219,9 @@ Result<Answer> Session::run_planned_volume(const Request& request,
 
   switch (decision.chosen) {
     case VolumeStrategy::kMonteCarlo: {
-      auto v = pooled_monte_carlo(request, decision.mc_samples,
+      // Sample the analysis formula: for quantified FO+LIN it is the QE
+      // rewrite, and mc_count_hits only accepts quantifier-free input.
+      auto v = pooled_monte_carlo(request, analysis, decision.mc_samples,
                                   decision.expected_epsilon, token);
       if (!v.is_ok()) return v.status();
       answer.volume = v.value();
@@ -255,10 +257,18 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
                                             VolumeStrategy strategy,
                                             CancelToken* token) {
   if (strategy == VolumeStrategy::kMonteCarlo) {
+    auto membership = mc_membership_formula(request.query, token);
+    if (!membership.is_ok()) {
+      // Expiry inside the QE rewrite degrades to the last rung, the
+      // same as expiry inside the sampling itself.
+      if (is_expiry(membership.status())) return trivial_half_answer(true);
+      return membership.status();
+    }
     VolumeOptions vo;
     const std::size_t m = blumer_sample_bound(
         request.budget.epsilon, request.budget.delta, vo.vc_dim);
-    return pooled_monte_carlo(request, m, request.budget.epsilon, token);
+    return pooled_monte_carlo(request, membership.value(), m,
+                              request.budget.epsilon, token);
   }
   VolumeOptions vo;
   vo.strategy = strategy;
@@ -269,10 +279,24 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
   return volumes_.volume(request.query, request.output_vars, vo);
 }
 
+Result<FormulaPtr> Session::mc_membership_formula(const std::string& query,
+                                                  const CancelToken* token) {
+  RewriteOptions rw;
+  rw.cancel = token;
+  // rewrite() expands the active domain, inlines predicates, and runs
+  // linear QE iff the result is still quantified; memoized in the
+  // shared rewrite cache. Quantified nonlinear queries error here with
+  // the engine's kUnsupported, which is the right answer for MC too.
+  return volumes_.queries().rewrite(query, rw);
+}
+
 Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
+                                                 const FormulaPtr& membership,
                                                  std::size_t sample_size,
                                                  double target_epsilon,
                                                  CancelToken* token) {
+  // Validate free variables against the query as written, not the
+  // rewrite (QE may simplify a stray free variable away).
   auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(request.query);
   if (!parsed.is_ok()) return parsed.status();
   std::vector<std::size_t> element_vars;
@@ -289,7 +313,7 @@ Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
           db_->vars().name_of(v));
     }
   }
-  ParallelSampler sampler(&db_->db(), parsed.value(), element_vars,
+  ParallelSampler sampler(&db_->db(), membership, element_vars,
                           sample_size, request.seed,
                           options_.mc_chunk_size);
   auto est = sampler.estimate_partial({}, &pool_, token);
@@ -310,8 +334,10 @@ Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
     // Expired before a single chunk finished: nothing to estimate from.
     return trivial_half_answer(true);
   }
-  // Best-so-far: the completed chunks are an unbiased sample; widen the
-  // bars to the Hoeffding half-width the smaller sample supports.
+  // Best-so-far: the completed chunks are i.i.d. slices of the planned
+  // sample (up to the mild survivorship caveat in parallel_sampler.h);
+  // widen the bars to the Hoeffding half-width the smaller sample
+  // supports.
   const double eps = hoeffding_epsilon(request.budget.delta, p.evaluated);
   answer.degraded = true;
   answer.estimate = p.estimate;
@@ -387,15 +413,27 @@ Result<VolumeAnswer> Session::volume(
             db_->vars().name_of(v));
       }
     }
+    auto membership = mc_membership_formula(query, options.cancel);
+    if (!membership.is_ok()) {
+      if (is_expiry(membership.status())) return trivial_half_answer(true);
+      return membership.status();
+    }
     std::size_t m =
         blumer_sample_bound(options.epsilon, options.delta, options.vc_dim);
     if (options.max_mc_samples > 0) m = std::min(m, options.max_mc_samples);
-    ParallelSampler sampler(&db_->db(), parsed.value(), element_vars, m,
-                            options.seed, options_.mc_chunk_size);
+    ParallelSampler sampler(&db_->db(), membership.value(), element_vars,
+                            m, options.seed, options_.mc_chunk_size);
     auto est = sampler.estimate_partial({}, &pool_, options.cancel);
     if (!est.is_ok()) return est.status();
     const McPartial& p = est.value();
     mc_points_evaluated_total_->inc(p.evaluated);
+    if (!p.complete && p.evaluated == 0) {
+      // Expired before a single chunk finished: mirror run()'s last
+      // rung rather than claiming [0, 0.5] bars from zero data.
+      VolumeAnswer answer = trivial_half_answer(true);
+      answer.points_requested = p.requested;
+      return answer;
+    }
     VolumeAnswer answer;
     answer.points_evaluated = p.evaluated;
     answer.points_requested = p.requested;

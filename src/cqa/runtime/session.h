@@ -177,7 +177,14 @@ class Session {
   Result<VolumeAnswer> forced_volume(const Request& request,
                                      VolumeStrategy strategy,
                                      CancelToken* token);
+  // The quantifier-free membership formula Monte-Carlo evaluates:
+  // expand + inline, plus the (memoized) linear QE rewrite when the
+  // query is quantified. mc_count_hits rejects quantified formulas, so
+  // every MC entry point must sample this, never the raw parse.
+  Result<FormulaPtr> mc_membership_formula(const std::string& query,
+                                           const CancelToken* token);
   Result<VolumeAnswer> pooled_monte_carlo(const Request& request,
+                                          const FormulaPtr& membership,
                                           std::size_t sample_size,
                                           double target_epsilon,
                                           CancelToken* token);

@@ -34,31 +34,41 @@ class CancelToken {
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   /// Arms a deadline `ms` milliseconds from now. ms < 0 disarms.
+  /// Thread-safe like cancel(): the deadline is a single atomic, so it
+  /// may be (re)armed even while workers already poll the token.
   void set_deadline_after_ms(std::int64_t ms) {
     if (ms < 0) {
-      has_deadline_ = false;
+      deadline_ns_.store(kNoDeadlineNs, std::memory_order_relaxed);
       return;
     }
-    deadline_ = Clock::now() + std::chrono::milliseconds(ms);
-    has_deadline_ = true;
+    const std::int64_t now = now_ns();
+    const std::int64_t span =
+        ms > (kNoDeadlineNs - 1 - now) / 1'000'000
+            ? kNoDeadlineNs - 1 - now  // saturate: effectively never
+            : ms * 1'000'000;
+    deadline_ns_.store(now + span, std::memory_order_relaxed);
   }
 
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
-  bool has_deadline() const { return has_deadline_; }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadlineNs;
+  }
 
   /// True once cancelled or past the deadline.
   bool expired() const {
     if (cancelled()) return true;
-    return has_deadline_ && Clock::now() >= deadline_;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != kNoDeadlineNs && now_ns() >= d;
   }
 
   /// OK while live; kCancelled / kDeadlineExceeded once expired.
   Status check() const {
     if (cancelled()) return Status::cancelled("operation cancelled");
-    if (has_deadline_ && Clock::now() >= deadline_) {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadlineNs && now_ns() >= d) {
       return Status::deadline_exceeded("deadline exceeded");
     }
     return Status::ok();
@@ -67,19 +77,26 @@ class CancelToken {
   /// Milliseconds until the deadline (clamped at 0); a large sentinel
   /// when no deadline is armed.
   std::int64_t remaining_ms() const {
-    if (!has_deadline_) return kNoDeadlineMs;
-    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                    deadline_ - Clock::now())
-                    .count();
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadlineNs) return kNoDeadlineMs;
+    const std::int64_t left = (d - now_ns()) / 1'000'000;
     return left < 0 ? 0 : left;
   }
 
   static constexpr std::int64_t kNoDeadlineMs = INT64_MAX;
 
  private:
+  // Deadline as steady-clock nanos since epoch; kNoDeadlineNs = unarmed.
+  static constexpr std::int64_t kNoDeadlineNs = INT64_MAX;
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
   std::atomic<bool> cancelled_{false};
-  bool has_deadline_ = false;
-  Clock::time_point deadline_{};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadlineNs};
 };
 
 /// Shorthand for the "nullptr token never fires" convention.

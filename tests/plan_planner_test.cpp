@@ -107,6 +107,22 @@ TEST(PlannerTest, ImpossibleDeadlineFallsToTrivialHalf) {
   EXPECT_TRUE(d.degrade_preplanned);
 }
 
+TEST(PlannerTest, NoFeasibleStrategyWithoutDeadlineFallsToTrivialHalf) {
+  // Quantified nonlinear: no exact decomposition, no membership test,
+  // no convex cell. Even with no deadline the only answer is the last
+  // rung, pre-marked degraded for a tight epsilon.
+  FormulaStats s = nonlinear_stats();
+  s.quantifier_free = false;
+  s.quantifiers = 1;
+  Budget b;
+  b.epsilon = 0.01;
+  b.delta = 0.05;  // deadline_ms stays -1: none
+  PlanDecision d = plan_volume(s, b);
+  EXPECT_EQ(d.chosen, VolumeStrategy::kTrivialHalf);
+  EXPECT_EQ(d.expected_epsilon, 0.5);
+  EXPECT_TRUE(d.degrade_preplanned);
+}
+
 TEST(PlannerTest, LooseBudgetAcceptsTrivialHalf) {
   // With eps >= 1/2 Proposition 4 already meets the accuracy bar at
   // zero cost, even for a query nothing else could handle in time.

@@ -118,6 +118,71 @@ TEST(SessionRunTest, PlannerPicksMonteCarloForNonlinearQueries) {
             1u);
 }
 
+// {(x, y) : x <= y} inside the unit box, phrased with a quantifier so
+// Monte-Carlo must sample the QE rewrite (mc_count_hits rejects
+// quantified formulas). True volume: 1/2.
+constexpr const char* kQuantifiedHalfBox =
+    "E u. x <= u & u <= y & 0 <= x & y <= 1";
+
+TEST(SessionRunTest, QuantifiedQueryRoutedToMonteCarloUsesQERewrite) {
+  // Regression: the planner analyzes the QE rewrite (so a quantified
+  // FO+LIN query plans as MC-feasible); execution must evaluate that
+  // same rewrite, not the raw parse.
+  ConstraintDatabase db;
+  SessionOptions opts = two_threads();
+  opts.cost_model.exact_cell_ns = 1e12;  // price exact out of the race
+  opts.cost_model.decompose_cell_ns = 1e12;
+  Session session(&db, opts);
+  Request req = volume_request(kQuantifiedHalfBox);
+  req.budget.epsilon = 0.05;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(a.value().plan.has_value());
+  EXPECT_EQ(a.value().plan->chosen, VolumeStrategy::kMonteCarlo);
+  EXPECT_EQ(a.value().status, AnswerStatus::kOk);
+  ASSERT_TRUE(a.value().volume.estimate.has_value());
+  EXPECT_NEAR(*a.value().volume.estimate, 0.5, 0.06);
+}
+
+TEST(SessionRunTest, QuantifiedQueryDeadlineReducedMonteCarlo) {
+  // The deadline-reduced MC rung must hand back a degraded estimate for
+  // a quantified query, not kUnsupported from the raw parse.
+  ConstraintDatabase db;
+  SessionOptions opts = two_threads();
+  opts.cost_model.exact_cell_ns = 1e12;
+  opts.cost_model.decompose_cell_ns = 1e12;
+  Session session(&db, opts);
+  Request req = volume_request(kQuantifiedHalfBox);
+  req.budget.epsilon = 0.0005;  // wants far more points than 5ms affords
+  req.budget.delta = 0.05;
+  req.budget.deadline_ms = 5;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  const Answer& ans = a.value();
+  ASSERT_TRUE(ans.plan.has_value());
+  EXPECT_EQ(ans.plan->chosen, VolumeStrategy::kMonteCarlo);
+  EXPECT_EQ(ans.status, AnswerStatus::kDegraded);
+  ASSERT_TRUE(ans.volume.estimate.has_value());
+  ASSERT_TRUE(ans.volume.lower.has_value());
+  ASSERT_TRUE(ans.volume.upper.has_value());
+  EXPECT_GE(*ans.volume.lower, 0.0);
+  EXPECT_LE(*ans.volume.upper, 1.0);
+}
+
+TEST(SessionRunTest, ForcedMonteCarloOnQuantifiedQuery) {
+  // Pinning the strategy bypasses the planner but must still sample the
+  // QE rewrite.
+  ConstraintDatabase db;
+  Session session(&db, two_threads());
+  Request req = volume_request(kQuantifiedHalfBox);
+  req.strategy = VolumeStrategy::kMonteCarlo;
+  req.budget.epsilon = 0.05;
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(a.value().volume.estimate.has_value());
+  EXPECT_NEAR(*a.value().volume.estimate, 0.5, 0.06);
+}
+
 TEST(SessionRunTest, ForcedStrategyBypassesPlanner) {
   ConstraintDatabase db;
   Session session(&db);
@@ -214,6 +279,26 @@ TEST(SessionRunTest, DegradedMonteCarloReportsPartialPoints) {
     EXPECT_GE(*v.value().lower, 0.0);
     EXPECT_LE(*v.value().upper, 1.0);
   }
+}
+
+TEST(SessionRunTest, LegacyShimExpiredBeforeAnyWorkReturnsTrivialHalf) {
+  // A token that is already expired must yield the honest last rung
+  // (estimate 1/2, bars [0, 1]), never bars derived from zero samples.
+  ConstraintDatabase db;
+  Session session(&db, two_threads());
+  CancelToken token;
+  token.set_deadline_after_ms(0);
+  VolumeOptions vo;
+  vo.strategy = VolumeStrategy::kMonteCarlo;
+  vo.epsilon = 0.01;
+  vo.delta = 0.05;
+  vo.cancel = &token;
+  auto v = session.volume(kDisk, {"x", "y"}, vo);
+  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+  EXPECT_TRUE(v.value().degraded);
+  EXPECT_EQ(*v.value().estimate, 0.5);
+  EXPECT_EQ(*v.value().lower, 0.0);
+  EXPECT_EQ(*v.value().upper, 1.0);
 }
 
 TEST(SessionRunTest, AggregateRequest) {
