@@ -1,0 +1,133 @@
+// A4 -- checking throughput: how many differential/metamorphic oracle
+// trials per second cqa_check sustains per oracle, so harness
+// regressions (an oracle suddenly 10x slower, a shrink loop that stops
+// terminating) show up in CI like any perf regression.
+//
+// The headline table runs every registered oracle for a fixed trial
+// count at the cqa_check defaults and writes BENCH_check.json (one
+// entry per oracle: trials/sec, pass/fail/skip split). Every oracle
+// must appear, no oracle may be violated, and the harness overhead
+// micro-bench (generate + print, no engine work) runs under
+// google-benchmark timing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cqa/check/runner.h"
+
+namespace {
+
+using namespace cqa;
+
+constexpr std::size_t kTrials = 100;
+constexpr std::uint64_t kSeed = 42;
+
+struct OracleRow {
+  std::string name;
+  double seconds = 0.0;
+  OracleStats stats;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<OracleRow> run_all() {
+  std::vector<OracleRow> rows;
+  for (const Oracle* oracle : all_oracles()) {
+    CheckOptions options;
+    options.trials = kTrials;
+    options.seed = kSeed;
+    options.oracle_names = {oracle->name()};
+    OracleRow row;
+    row.name = oracle->name();
+    const double t0 = now_seconds();
+    const CheckReport report = run_checks(options);
+    row.seconds = now_seconds() - t0;
+    if (!report.oracles.empty()) row.stats = report.oracles[0];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table() {
+  cqa_bench::header(
+      "A4: checking throughput -- oracle trials per second",
+      "every oracle sustains its baseline trial rate at the cqa_check "
+      "defaults and no oracle is violated on the seed corpus");
+
+  std::printf("trials per oracle: %zu, seed %llu\n\n", kTrials,
+              static_cast<unsigned long long>(kSeed));
+  std::printf("%-26s %-12s %-10s %-6s %-6s %-6s\n", "oracle",
+              "trials/sec", "seconds", "pass", "fail", "skip");
+
+  const std::vector<OracleRow> rows = run_all();
+  bool any_violated = false;
+  std::string json = "{\n  \"trials\": " + std::to_string(kTrials) +
+                     ",\n  \"seed\": " + std::to_string(kSeed) +
+                     ",\n  \"oracles\": {\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const OracleRow& r = rows[i];
+    const double rate =
+        r.seconds > 0 ? static_cast<double>(r.stats.trials) / r.seconds
+                      : 0.0;
+    std::printf("%-26s %-12.1f %-10.4f %-6zu %-6zu %-6zu%s\n",
+                r.name.c_str(), rate, r.seconds, r.stats.passed,
+                r.stats.failed, r.stats.skipped,
+                r.stats.violated ? "  VIOLATED" : "");
+    any_violated = any_violated || r.stats.violated;
+    json += "    \"" + r.name + "\": {\"trials_per_sec\": " +
+            std::to_string(rate) + ", \"seconds\": " +
+            std::to_string(r.seconds) + ", \"pass\": " +
+            std::to_string(r.stats.passed) + ", \"fail\": " +
+            std::to_string(r.stats.failed) + ", \"skip\": " +
+            std::to_string(r.stats.skipped) + ", \"violated\": " +
+            (r.stats.violated ? "true" : "false") + "}";
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  },\n  \"any_violated\": ";
+  json += any_violated ? "true" : "false";
+  json += "\n}\n";
+
+  std::printf("\nany oracle violated: %s\n", any_violated ? "YES" : "no");
+
+  std::FILE* f = std::fopen("BENCH_check.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_check.json\n");
+  }
+}
+
+// Harness-only overhead: generation + printing, no engine work. If
+// this regresses, trial rates of every oracle sink together.
+void BM_GenerateAndPrint(benchmark::State& state) {
+  GenOptions options;
+  options.quantifiers = static_cast<std::size_t>(state.range(0));
+  FormulaGen gen(options);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const GeneratedFormula g = gen.generate(seed++);
+    benchmark::DoNotOptimize(g.text());
+  }
+}
+BENCHMARK(BM_GenerateAndPrint)->Arg(0)->Arg(2);
+
+// Shrinker cost on a formula that minimizes all the way down.
+void BM_ShrinkToConstant(benchmark::State& state) {
+  FormulaGen gen(GenOptions{});
+  const GeneratedFormula g = gen.generate(17);
+  const StillFails always = [](const GeneratedFormula&) { return true; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shrink(g, always));
+  }
+}
+BENCHMARK(BM_ShrinkToConstant);
+
+}  // namespace
+
+CQA_BENCH_MAIN(print_table)

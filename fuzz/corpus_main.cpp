@@ -1,0 +1,58 @@
+// Plain-main driver replaying a seed corpus through a libFuzzer
+// harness, for toolchains without -fsanitize=fuzzer (GCC). Each
+// argument is a corpus file or a directory of corpus files.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  std::printf("ok %s (%zu bytes)\n", path.c_str(), data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rc = 0;
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(argv[i], ec)) {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(argv[i])) {
+        if (!entry.is_regular_file()) continue;
+        rc |= run_file(entry.path().string());
+        ++files;
+      }
+    } else {
+      rc |= run_file(argv[i]);
+      ++files;
+    }
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 1;
+  }
+  return rc;
+}

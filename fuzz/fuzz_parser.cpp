@@ -1,0 +1,28 @@
+// libFuzzer target for the FO+POLY formula parser.
+//
+// The parser must return Status::invalid on malformed input -- never
+// crash, abort, overflow the stack, or hang. Findings from this target
+// motivated the kMaxExponent and kMaxParseDepth caps in parser.cpp.
+//
+// Build (needs Clang): cmake -DCQA_BUILD_FUZZERS=ON, target fuzz_parser.
+// Run: ./fuzz_parser fuzz/corpus/parser -max_total_time=300
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cqa/logic/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Cap input size: parse time is linear, but huge inputs slow the
+  // fuzzer down without exploring new grammar productions.
+  if (size > 4096) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  cqa::VarTable vars;
+  auto parsed = cqa::parse_formula(text, &vars);
+  if (parsed.is_ok() && parsed.value() == nullptr) {
+    __builtin_trap();  // ok-with-null violates the parser contract
+  }
+  return 0;
+}

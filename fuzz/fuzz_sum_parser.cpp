@@ -1,0 +1,21 @@
+// libFuzzer target for the SUM-language term parser (Section 5's
+// aggregate sublanguage). Same contract as fuzz_parser: malformed
+// input yields Status::invalid, never a crash or hang.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cqa/aggregate/sum_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 4096) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  cqa::VarTable vars;
+  auto parsed = cqa::parse_sum_term(text, &vars);
+  if (parsed.is_ok() && parsed.value() == nullptr) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -145,6 +145,14 @@ class SumParser {
   }
 
   Result<SumTermPtr> atom() {
+    // Fuzzing guard: '('- and '-'-nesting recurse through atom(), so a
+    // pathological input must hit a bounded error, not the stack limit.
+    struct DepthGuard {
+      explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+      ~DepthGuard() { --*depth_; }
+      int* depth_;
+    } guard(&depth_);
+    if (depth_ > 200) return err("sum term nesting too deep");
     skip_ws();
     if (pos_ >= text_.size()) return err("unexpected end of sum term");
     if (eat('-')) {
@@ -268,6 +276,7 @@ class SumParser {
   const std::string& text_;
   VarTable* vars_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,101 @@
+// Seeded random-formula generation for differential and metamorphic
+// testing (cqa::check).
+//
+// The generator produces well-typed FO+LIN / FO+POLY formulae over a
+// fixed set of named output variables v0..v{k-1} (plus quantified
+// variables q0..q{m-1}), with tunable connective depth, atom count,
+// quantifier count, and coefficient magnitude. Every generated formula
+// is conjoined with the unit box over the output variables, so exact
+// volume, VOL_I Monte-Carlo, and hit-and-run all measure the same
+// bounded set and can be compared directly.
+//
+// Generation is a pure function of (options, seed): the same pair
+// always yields the same formula, which is what makes failing trials
+// replayable from a .cqa repro file.
+
+#ifndef CQA_CHECK_GENERATOR_H_
+#define CQA_CHECK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cqa/logic/formula.h"
+#include "cqa/logic/parser.h"
+
+namespace cqa {
+
+/// Knobs for one generated formula.
+struct GenOptions {
+  std::size_t dimension = 2;     // output (volume) variables v0..v{k-1}
+  std::size_t max_depth = 3;     // boolean connective depth of the core
+  std::size_t max_atoms = 6;     // atom budget for the core
+  std::size_t quantifiers = 0;   // prenex quantified variables q0..q{m-1}
+  int coeff_magnitude = 4;       // |numerator| bound; denominators 1..4
+  bool linear_only = true;       // affine atoms (FO+LIN); else degree <= 2
+  bool convex_only = false;      // conjunction of halfspaces, no NOT/OR
+  bool allow_eq_atoms = false;   // admit = and != (measure-zero slices)
+  /// Each atom mentions at most one quantified variable, keeping the
+  /// formula inside decide()'s separable fragment (QE has no such
+  /// restriction, which is exactly what the membership oracle checks).
+  bool separable_quantifiers = true;
+};
+
+/// One generated formula plus everything an oracle needs to run it.
+struct GeneratedFormula {
+  FormulaPtr core;    // the random part; free vars are 0..dimension-1
+  FormulaPtr box;     // 0 <= v_i <= 1 for each output variable
+  FormulaPtr boxed;   // core AND box (what volume oracles measure)
+  std::size_t dimension = 0;
+  std::vector<std::string> output_vars;  // "v0".."v{k-1}"
+  std::uint64_t seed = 0;                // the seed that produced it
+
+  /// Printed boxed formula in the parser's syntax (variables named
+  /// v0..v{k-1}, q0..; parses back to the same denotation).
+  std::string text() const;
+  /// Printed core only (what .cqa repro files store).
+  std::string core_text() const;
+};
+
+/// Size measure used by the shrinker and the repro acceptance check:
+/// formula nodes plus polynomial terms of every atom.
+std::size_t node_count(const FormulaPtr& f);
+
+/// Prints any formula in the generator's variable naming (v0..v{k-1},
+/// q0..; other indices fall back to the printer's x<i> names, which
+/// still round-trip through the parser).
+std::string print_generated(const FormulaPtr& f, std::size_t dimension);
+
+/// The unit box 0 <= v_i <= 1 over variables 0..dimension-1.
+FormulaPtr unit_box(std::size_t dimension);
+
+/// Registers the generator's names (v0..v{k-1} then q0..q7) into `vars`
+/// in index order. Run this on any VarTable that will parse generated
+/// text: boolean simplification can collapse a formula to `true`/
+/// `false`, whose printed form mentions no variables -- without
+/// pre-registration the output variables would then be unknown to the
+/// database.
+void register_generator_vars(VarTable* vars, std::size_t dimension);
+
+/// Rebuilds the derived fields (box, boxed, output_vars) of a formula
+/// whose `core`, `dimension`, and `seed` are set. Used by the shrinker
+/// and the repro reader.
+GeneratedFormula with_core(FormulaPtr core, std::size_t dimension,
+                           std::uint64_t seed);
+
+/// Deterministic generator: generate(seed) is a pure function.
+class FormulaGen {
+ public:
+  explicit FormulaGen(const GenOptions& options) : options_(options) {}
+
+  GeneratedFormula generate(std::uint64_t seed) const;
+
+  const GenOptions& options() const { return options_; }
+
+ private:
+  GenOptions options_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CHECK_GENERATOR_H_

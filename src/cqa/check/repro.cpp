@@ -1,0 +1,101 @@
+#include "cqa/check/repro.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cqa {
+
+std::string repro_to_text(const Repro& repro) {
+  std::ostringstream out;
+  out << "# cqa repro v1\n";
+  out << "oracle: " << repro.oracle << "\n";
+  out << "seed: " << repro.seed << "\n";
+  out << "dimension: " << repro.dimension << "\n";
+  out << "formula: " << repro.formula << "\n";
+  if (!repro.detail.empty()) out << "detail: " << repro.detail << "\n";
+  return out.str();
+}
+
+Result<Repro> repro_from_text(const std::string& text) {
+  Repro repro;
+  bool have_oracle = false, have_formula = false, have_dimension = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto colon = line.find(": ");
+    if (colon == std::string::npos) continue;
+    const std::string key = line.substr(0, colon);
+    const std::string value = line.substr(colon + 2);
+    if (key == "oracle") {
+      repro.oracle = value;
+      have_oracle = true;
+    } else if (key == "seed") {
+      try {
+        repro.seed = std::stoull(value);
+      } catch (...) {
+        return Status::invalid("repro: bad seed: " + value);
+      }
+    } else if (key == "dimension") {
+      try {
+        repro.dimension = std::stoul(value);
+      } catch (...) {
+        return Status::invalid("repro: bad dimension: " + value);
+      }
+      if (repro.dimension == 0 || repro.dimension > 8) {
+        return Status::invalid("repro: dimension out of range: " + value);
+      }
+      have_dimension = true;
+    } else if (key == "formula") {
+      repro.formula = value;
+      have_formula = true;
+    } else if (key == "detail") {
+      repro.detail = value;
+    }
+  }
+  if (!have_oracle) return Status::invalid("repro: missing oracle");
+  if (!have_dimension) return Status::invalid("repro: missing dimension");
+  if (!have_formula) return Status::invalid("repro: missing formula");
+  return repro;
+}
+
+Result<GeneratedFormula> repro_formula(const Repro& repro) {
+  // Pre-register v0..v{k-1} then q0..q7 so names map onto the same
+  // indices the generator (and printer) use.
+  VarTable vars;
+  register_generator_vars(&vars, repro.dimension);
+  auto core = parse_formula(repro.formula, &vars);
+  if (!core.is_ok()) return core.status();
+  return with_core(core.value(), repro.dimension, repro.seed);
+}
+
+Status write_repro_file(const Repro& repro, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::internal("cannot open repro file for writing: " + path);
+  }
+  const std::string text = repro_to_text(repro);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::internal("short write to repro file: " + path);
+  }
+  return Status::ok();
+}
+
+Result<Repro> read_repro_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::invalid("cannot open repro file: " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return repro_from_text(text);
+}
+
+}  // namespace cqa

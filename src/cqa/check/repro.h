@@ -1,0 +1,51 @@
+// Replayable repro files for failing check trials.
+//
+// A .cqa file is a small line-oriented text record:
+//
+//   # cqa repro v1
+//   oracle: exact_vs_mc
+//   seed: 42
+//   dimension: 2
+//   formula: E q0. 2*v0 - q0 <= 1/2 & v1 >= 0
+//   detail: exact 1/4 outside MC bars [0.31, 0.41]
+//
+// `formula` is the printed *core* (the unit box is reattached on load),
+// `seed` re-seeds the oracle's own randomness (sample points, MC
+// streams), so a replay runs the identical trial that failed.
+
+#ifndef CQA_CHECK_REPRO_H_
+#define CQA_CHECK_REPRO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cqa/check/generator.h"
+
+namespace cqa {
+
+struct Repro {
+  std::string oracle;
+  std::uint64_t seed = 0;
+  std::size_t dimension = 0;
+  std::string formula;  // printed core, single line
+  std::string detail;   // human-readable failure description
+};
+
+/// Serializes to the .cqa text format.
+std::string repro_to_text(const Repro& repro);
+
+/// Parses the .cqa text format (unknown keys are ignored; missing
+/// oracle/formula/dimension are errors).
+Result<Repro> repro_from_text(const std::string& text);
+
+/// Reconstructs the generated-formula record a replay runs: parses the
+/// stored core with variables v0..v{k-1}, q0.. pre-registered so
+/// indices match the generator's, then reattaches the unit box.
+Result<GeneratedFormula> repro_formula(const Repro& repro);
+
+Status write_repro_file(const Repro& repro, const std::string& path);
+Result<Repro> read_repro_file(const std::string& path);
+
+}  // namespace cqa
+
+#endif  // CQA_CHECK_REPRO_H_

@@ -1,0 +1,114 @@
+#include "cqa/check/shrinker.h"
+
+#include "cqa/logic/transform.h"
+
+namespace cqa {
+
+namespace {
+
+// All single-edit simplifications of `f`, bigger cuts first (whole
+// subtrees to constants before leaf tweaks), appended to *out.
+void variants(const FormulaPtr& f, std::vector<FormulaPtr>* out) {
+  const Formula::Kind kind = f->kind();
+  if (kind == Formula::Kind::kTrue || kind == Formula::Kind::kFalse) return;
+
+  out->push_back(Formula::make_true());
+  out->push_back(Formula::make_false());
+
+  switch (kind) {
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      const auto& children = f->children();
+      const bool is_and = kind == Formula::Kind::kAnd;
+      // Delete one child.
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        std::vector<FormulaPtr> rest;
+        for (std::size_t j = 0; j < children.size(); ++j) {
+          if (j != i) rest.push_back(children[j]);
+        }
+        out->push_back(is_and ? Formula::f_and(std::move(rest))
+                              : Formula::f_or(std::move(rest)));
+      }
+      // Recurse into one child.
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        std::vector<FormulaPtr> subs;
+        variants(children[i], &subs);
+        for (auto& sub : subs) {
+          std::vector<FormulaPtr> rebuilt = children;
+          rebuilt[i] = std::move(sub);
+          out->push_back(is_and ? Formula::f_and(std::move(rebuilt))
+                                : Formula::f_or(std::move(rebuilt)));
+        }
+      }
+      break;
+    }
+    case Formula::Kind::kNot: {
+      out->push_back(f->children()[0]);  // drop the negation
+      std::vector<FormulaPtr> subs;
+      variants(f->children()[0], &subs);
+      for (auto& sub : subs) out->push_back(Formula::f_not(std::move(sub)));
+      break;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      // Instantiate the bound variable at 1/2 (keeps the formula
+      // closed over the same free variables).
+      out->push_back(
+          substitute_var(f->children()[0], f->var(), Rational(1, 2)));
+      std::vector<FormulaPtr> subs;
+      variants(f->children()[0], &subs);
+      for (auto& sub : subs) {
+        out->push_back(kind == Formula::Kind::kExists
+                           ? Formula::exists(f->var(), std::move(sub),
+                                             f->active_domain())
+                           : Formula::forall(f->var(), std::move(sub),
+                                             f->active_domain()));
+      }
+      break;
+    }
+    case Formula::Kind::kAtom: {
+      // Drop one polynomial term.
+      if (f->poly().num_terms() > 1) {
+        for (const auto& [mono, c] : f->poly().terms()) {
+          Polynomial dropped =
+              f->poly() - Polynomial::from_terms({{mono, c}});
+          out->push_back(Formula::atom(std::move(dropped), f->op()));
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+GeneratedFormula shrink(const GeneratedFormula& failing,
+                        const StillFails& still_fails,
+                        std::size_t max_steps) {
+  GeneratedFormula best = failing;
+  std::size_t steps = 0;
+  bool improved = true;
+  while (improved && steps < max_steps) {
+    improved = false;
+    std::vector<FormulaPtr> candidates;
+    variants(best.core, &candidates);
+    const std::size_t size = node_count(best.core);
+    for (auto& candidate : candidates) {
+      if (steps >= max_steps) break;
+      if (node_count(candidate) >= size) continue;
+      GeneratedFormula next =
+          with_core(std::move(candidate), best.dimension, best.seed);
+      ++steps;
+      if (still_fails(next)) {
+        best = std::move(next);
+        improved = true;
+        break;  // greedy: restart from the smaller formula
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cqa

@@ -1,0 +1,36 @@
+// Greedy formula shrinking: minimize a failing formula before reporting.
+//
+// Given a formula that makes an oracle fail, the shrinker repeatedly
+// tries local simplifications -- replacing a subformula with true/false,
+// deleting a conjunct/disjunct, instantiating a quantifier at 1/2,
+// dropping a polynomial term from an atom -- and keeps any strictly
+// smaller (by node_count) variant that still fails. The result is the
+// fixpoint: no single simplification both shrinks it and preserves the
+// failure. Shrinking is deterministic given a deterministic predicate.
+
+#ifndef CQA_CHECK_SHRINKER_H_
+#define CQA_CHECK_SHRINKER_H_
+
+#include <functional>
+
+#include "cqa/check/generator.h"
+
+namespace cqa {
+
+/// Returns true when the candidate still makes the oracle fail. The
+/// predicate must treat oracle errors (e.g. a candidate the engine
+/// rejects) as "does not fail", so shrinking never escapes into
+/// formulas that cannot reproduce the report.
+using StillFails = std::function<bool(const GeneratedFormula&)>;
+
+/// Greedily shrinks `failing` under the predicate. `max_steps` bounds
+/// the number of predicate evaluations. The result's node_count is <=
+/// the input's, and the result still satisfies the predicate (the input
+/// itself is returned when nothing smaller fails).
+GeneratedFormula shrink(const GeneratedFormula& failing,
+                        const StillFails& still_fails,
+                        std::size_t max_steps = 400);
+
+}  // namespace cqa
+
+#endif  // CQA_CHECK_SHRINKER_H_

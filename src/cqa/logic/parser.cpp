@@ -25,6 +25,13 @@ std::string VarTable::name_of(std::size_t i) const {
 
 namespace {
 
+// Caps found by fuzzing the parser: unbounded exponents overflow
+// std::stoul (and blow up Polynomial::pow), and unbounded grammar
+// recursion overflows the stack on pathological nesting. Both must
+// surface as Status::invalid, never as a crash.
+constexpr unsigned kMaxExponent = 1000;
+constexpr int kMaxParseDepth = 200;
+
 class Parser {
  public:
   Parser(const std::string& text, VarTable* vars)
@@ -205,7 +212,17 @@ class Parser {
     return true;
   }
 
+  // Depth guard wrapping both recursion-carrying productions (every
+  // nesting construct passes through unary() or factor()).
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+
   Result<FormulaPtr> unary() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxParseDepth) return err("formula nesting too deep");
     skip_ws();
     if (eat('!')) {
       auto sub = unary();
@@ -317,6 +334,8 @@ class Parser {
   }
 
   Result<Polynomial> factor() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxParseDepth) return err("expression nesting too deep");
     skip_ws();
     if (eat('-')) {
       auto f = factor();
@@ -334,7 +353,17 @@ class Parser {
         digits.push_back(text_[pos_++]);
       }
       if (digits.empty()) return err("expected exponent");
-      out = out.pow(static_cast<unsigned>(std::stoul(digits)));
+      // Parse by hand: std::stoul throws on overflow, and exponents
+      // beyond kMaxExponent are rejected before Polynomial::pow can
+      // blow up time or memory.
+      unsigned long e = 0;
+      for (char d : digits) {
+        e = e * 10 + static_cast<unsigned long>(d - '0');
+        if (e > kMaxExponent) {
+          return err("exponent exceeds " + std::to_string(kMaxExponent));
+        }
+      }
+      out = out.pow(static_cast<unsigned>(e));
     }
     return out;
   }
@@ -365,6 +394,7 @@ class Parser {
   const std::string& text_;
   VarTable* vars_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -38,6 +38,50 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+void MetricsRegistry::absorb(const MetricsRegistry& other) {
+  // Snapshot `other` under its lock, then merge under ours; never hold
+  // both (same-order deadlock risk if two registries absorb each other).
+  std::map<std::string, std::uint64_t> counters;
+  struct HistSnapshot {
+    std::uint64_t buckets[Histogram::kBuckets];
+    std::uint64_t count;
+    std::uint64_t sum_ns;
+  };
+  std::map<std::string, HistSnapshot> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters[name] = c->value();
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      HistSnapshot& snap = histograms[name];
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        snap.buckets[b] = h->bucket(b);
+      }
+      snap.count = h->count();
+      snap.sum_ns = h->sum_ns();
+    }
+  }
+  for (const auto& [name, value] : counters) {
+    if (value != 0) counter(name)->inc(value);
+  }
+  for (const auto& [name, snap] : histograms) {
+    Histogram* h = histogram(name);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (snap.buckets[b] != 0) {
+        h->buckets_[b].fetch_add(snap.buckets[b],
+                                 std::memory_order_relaxed);
+      }
+    }
+    if (snap.count != 0) {
+      h->count_.fetch_add(snap.count, std::memory_order_relaxed);
+    }
+    if (snap.sum_ns != 0) {
+      h->sum_ns_.fetch_add(snap.sum_ns, std::memory_order_relaxed);
+    }
+  }
+}
+
 std::string MetricsRegistry::dump() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;

@@ -55,6 +55,8 @@ class Histogram {
   double mean_ns() const;
 
  private:
+  friend class MetricsRegistry;  // absorb() merges raw buckets
+
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_ns_{0};
@@ -72,6 +74,11 @@ class MetricsRegistry {
 
   /// Plain-text dump, one metric per line, names sorted.
   std::string dump() const;
+
+  /// Adds every counter and histogram of `other` into this registry
+  /// (creating names as needed). Lets a harness that runs many
+  /// short-lived sessions aggregate their metrics into one registry.
+  void absorb(const MetricsRegistry& other);
 
  private:
   mutable std::mutex mu_;

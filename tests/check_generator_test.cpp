@@ -1,0 +1,218 @@
+// cqa::check generator, shrinker, and repro-format tests.
+
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cqa/check/generator.h"
+#include "cqa/check/repro.h"
+#include "cqa/check/shrinker.h"
+
+namespace cqa {
+namespace {
+
+TEST(GeneratorTest, SameSeedSameFormula) {
+  GenOptions options;
+  options.quantifiers = 1;
+  FormulaGen gen(options);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const GeneratedFormula a = gen.generate(seed);
+    const GeneratedFormula b = gen.generate(seed);
+    EXPECT_EQ(a.text(), b.text()) << "seed " << seed;
+    EXPECT_EQ(a.core_text(), b.core_text()) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  FormulaGen gen(GenOptions{});
+  std::set<std::string> texts;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    texts.insert(gen.generate(seed).core_text());
+  }
+  // Some collisions (trivial cores) are fine; wholesale collapse is not.
+  EXPECT_GT(texts.size(), 50u);
+}
+
+TEST(GeneratorTest, RespectsDimensionAndOutputVars) {
+  GenOptions options;
+  options.dimension = 3;
+  FormulaGen gen(options);
+  const GeneratedFormula g = gen.generate(7);
+  EXPECT_EQ(g.dimension, 3u);
+  ASSERT_EQ(g.output_vars.size(), 3u);
+  EXPECT_EQ(g.output_vars[0], "v0");
+  EXPECT_EQ(g.output_vars[2], "v2");
+  // Boxed formula is closed over by the box: free vars subset of 0..2.
+  for (std::size_t v : g.boxed->free_vars()) EXPECT_LT(v, 3u);
+}
+
+TEST(GeneratorTest, QuantifiedCoreHasNoFreeQuantifierVars) {
+  GenOptions options;
+  options.quantifiers = 2;
+  FormulaGen gen(options);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const GeneratedFormula g = gen.generate(seed);
+    for (std::size_t v : g.core->free_vars()) {
+      EXPECT_LT(v, options.dimension) << "seed " << seed;
+    }
+  }
+}
+
+TEST(GeneratorTest, TextRoundTripsThroughParser) {
+  GenOptions options;
+  options.quantifiers = 1;
+  options.linear_only = false;
+  FormulaGen gen(options);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const GeneratedFormula g = gen.generate(seed);
+    VarTable vars;
+    register_generator_vars(&vars, g.dimension);
+    auto parsed = parse_formula(g.text(), &vars);
+    ASSERT_TRUE(parsed.is_ok())
+        << "seed " << seed << ": " << g.text() << " -- "
+        << parsed.status().to_string();
+    // Reprint of the reparse is identical: printing is canonical.
+    EXPECT_EQ(print_generated(parsed.value(), g.dimension), g.text())
+        << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, ConvexModeEmitsConjunctionOfHalfspaces) {
+  GenOptions options;
+  options.convex_only = true;
+  FormulaGen gen(options);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const GeneratedFormula g = gen.generate(seed);
+    std::function<void(const FormulaPtr&)> walk =
+        [&](const FormulaPtr& f) {
+          switch (f->kind()) {
+            case Formula::Kind::kAnd:
+              for (const auto& c : f->children()) walk(c);
+              break;
+            case Formula::Kind::kAtom:
+            case Formula::Kind::kTrue:
+            case Formula::Kind::kFalse:
+              break;
+            default:
+              ADD_FAILURE() << "non-convex node in convex mode, seed "
+                            << seed << ": " << g.core_text();
+          }
+        };
+    walk(g.core);
+  }
+}
+
+TEST(NodeCountTest, CountsNodesAndAtomTerms) {
+  // (v0 + 1 <= 0) & true: AND node + atom node + 2 poly terms + true.
+  auto atom = Formula::atom(
+      Polynomial::variable(0) + Polynomial::constant(Rational(1)),
+      RelOp::kLe);
+  EXPECT_EQ(node_count(atom), 3u);
+  EXPECT_EQ(node_count(Formula::make_true()), 1u);
+}
+
+// --- Shrinker ---------------------------------------------------------
+
+TEST(ShrinkerTest, ResultIsNoLargerAndStillFails) {
+  FormulaGen gen(GenOptions{});
+  // Fake oracle: fails whenever the formula mentions variable 0.
+  const StillFails mentions_v0 = [](const GeneratedFormula& g) {
+    auto fv = g.core->free_vars();
+    return fv.count(0) > 0;
+  };
+  std::size_t shrunk_strictly = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const GeneratedFormula g = gen.generate(seed);
+    if (!mentions_v0(g)) continue;
+    const GeneratedFormula small = shrink(g, mentions_v0);
+    EXPECT_TRUE(mentions_v0(small)) << "seed " << seed;
+    EXPECT_LE(node_count(small.core), node_count(g.core))
+        << "seed " << seed;
+    if (node_count(small.core) < node_count(g.core)) ++shrunk_strictly;
+  }
+  // Most multi-atom formulas must actually get smaller.
+  EXPECT_GT(shrunk_strictly, 10u);
+}
+
+TEST(ShrinkerTest, MinimizesToSingleAtomWhenPossible) {
+  // v0 <= 0 & (v1 >= 1 | v0 + v1 <= 2) & v1 <= 3, failing iff v0 occurs:
+  // minimal failing core is one atom mentioning v0 with one term.
+  VarTable vars;
+  register_generator_vars(&vars, 2);
+  auto core = parse_formula(
+                  "v0 <= 0 & (v1 >= 1 | v0 + v1 <= 2) & v1 <= 3", &vars)
+                  .value_or_die();
+  const GeneratedFormula g = with_core(core, 2, 0);
+  const StillFails mentions_v0 = [](const GeneratedFormula& c) {
+    return c.core->free_vars().count(0) > 0;
+  };
+  const GeneratedFormula small = shrink(g, mentions_v0);
+  EXPECT_LE(node_count(small.core), 3u) << small.core_text();
+  EXPECT_TRUE(mentions_v0(small));
+}
+
+TEST(ShrinkerTest, ReturnsInputWhenNothingSmallerFails) {
+  VarTable vars;
+  register_generator_vars(&vars, 1);
+  auto core = parse_formula("v0 <= 0", &vars).value_or_die();
+  const GeneratedFormula g = with_core(core, 1, 0);
+  const StillFails always = [](const GeneratedFormula&) { return true; };
+  // true (1 node) still "fails" under the constant predicate, so the
+  // shrinker bottoms out at a constant.
+  const GeneratedFormula small = shrink(g, always);
+  EXPECT_LE(node_count(small.core), node_count(g.core));
+  const StillFails needs_atom = [](const GeneratedFormula& c) {
+    return c.core->kind() == Formula::Kind::kAtom;
+  };
+  const GeneratedFormula same = shrink(g, needs_atom);
+  EXPECT_EQ(same.core_text(), g.core_text());
+}
+
+// --- Repro files ------------------------------------------------------
+
+TEST(ReproTest, RoundTripsThroughText) {
+  Repro repro;
+  repro.oracle = "scaling";
+  repro.seed = 1234567890123ull;
+  repro.dimension = 3;
+  repro.formula = "v0 + v1 <= 1 & v2 >= 0";
+  repro.detail = "vol mismatch";
+  auto back = repro_from_text(repro_to_text(repro));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().oracle, repro.oracle);
+  EXPECT_EQ(back.value().seed, repro.seed);
+  EXPECT_EQ(back.value().dimension, repro.dimension);
+  EXPECT_EQ(back.value().formula, repro.formula);
+  EXPECT_EQ(back.value().detail, repro.detail);
+}
+
+TEST(ReproTest, FormulaReparsesIntoGeneratorIndices) {
+  Repro repro;
+  repro.oracle = "scaling";
+  repro.seed = 9;
+  repro.dimension = 2;
+  repro.formula = "v0 + 2*v1 <= 1";
+  auto g = repro_formula(repro);
+  ASSERT_TRUE(g.is_ok());
+  auto fv = g.value().core->free_vars();
+  EXPECT_TRUE(fv.count(0));
+  EXPECT_TRUE(fv.count(1));
+  EXPECT_EQ(g.value().output_vars.size(), 2u);
+}
+
+TEST(ReproTest, RejectsMalformedInput) {
+  EXPECT_FALSE(repro_from_text("").is_ok());
+  EXPECT_FALSE(repro_from_text("oracle: x\nformula: v0 <= 1\n").is_ok());
+  EXPECT_FALSE(
+      repro_from_text("oracle: x\ndimension: 99\nformula: v0 <= 1\n")
+          .is_ok());
+  Repro bad;
+  bad.oracle = "scaling";
+  bad.dimension = 1;
+  bad.formula = "v0 <=";  // malformed formula text
+  EXPECT_FALSE(repro_formula(bad).is_ok());
+}
+
+}  // namespace
+}  // namespace cqa

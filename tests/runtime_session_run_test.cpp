@@ -369,6 +369,76 @@ TEST(SessionRunTest, ConcurrentEvictionStress) {
   EXPECT_GT(rw.evictions, 0u);
 }
 
+// Fuzz-found parser regressions: every malformed query must come back
+// as a kInvalidArgument Status through run(), for both kAsk and kVolume
+// (planner-routed and forced), never as a crash or a default Answer.
+TEST(SessionRunTest, MalformedQueriesSurfaceAsInvalidArgument) {
+  ConstraintDatabase db;
+  SessionOptions opts;
+  opts.threads = 1;
+  Session session(&db, opts);
+
+  const std::vector<std::string> malformed = {
+      "",                                // empty input
+      "x +",                             // truncated expression
+      "x <=",                            // truncated atom
+      "E . x <= 1",                      // missing bound variable
+      "x ^ 18446744073709551616 <= 1",   // exponent overflows unsigned long
+      "x ^ 4000000000 <= 1",             // exponent beyond the parser cap
+      std::string(5000, '(') + "x",      // unbounded paren nesting
+      std::string(5000, '!') + "x <= 1", // unbounded negation nesting
+      "1/0 <= x",                        // division by zero literal
+  };
+  for (const auto& query : malformed) {
+    Request ask;
+    ask.kind = RequestKind::kAsk;
+    ask.query = query;
+    auto a = session.run(ask);
+    ASSERT_FALSE(a.is_ok()) << "kAsk accepted: " << query.substr(0, 40);
+    EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument)
+        << "kAsk on " << query.substr(0, 40) << ": "
+        << a.status().to_string();
+
+    Request vol = volume_request(query);
+    auto v = session.run(vol);
+    ASSERT_FALSE(v.is_ok()) << "kVolume accepted: " << query.substr(0, 40);
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument)
+        << "kVolume on " << query.substr(0, 40) << ": "
+        << v.status().to_string();
+
+    // Forced strategies must report the same parse error, not run.
+    for (VolumeStrategy s : {VolumeStrategy::kExactSweep,
+                             VolumeStrategy::kMonteCarlo,
+                             VolumeStrategy::kTrivialHalf}) {
+      Request forced = volume_request(query);
+      forced.strategy = s;
+      auto f = session.run(forced);
+      ASSERT_FALSE(f.is_ok());
+      EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(SessionRunTest, ParserCapsStillAdmitDeepButReasonableInput) {
+  ConstraintDatabase db;
+  SessionOptions opts;
+  opts.threads = 1;
+  Session session(&db, opts);
+  // 50 levels of nesting and a degree-20 monomial are fine.
+  std::string nested = std::string(50, '(') + "x" + std::string(50, ')');
+  Request req = volume_request(nested + " >= 0 & x <= 1 & y >= 0 & y <= 1");
+  auto v = session.run(req);
+  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+  EXPECT_EQ(*v.value().volume.exact, Rational(1));
+
+  Request ask;
+  ask.kind = RequestKind::kAsk;
+  ask.query = "E z. z^20 <= 1 & z >= 1";
+  auto a = session.run(ask);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  EXPECT_TRUE(*a.value().truth);
+}
+
 TEST(SessionRunTest, LegacyShimsStillWork) {
   ConstraintDatabase db;
   Session session(&db);

@@ -1,0 +1,166 @@
+// cqa_check: the differential/metamorphic checking driver.
+//
+//   cqa_check --trials 10000 --seed 42
+//   cqa_check --oracle scaling --trials 500
+//   cqa_check --fault exact_vs_mc --repro-dir /tmp/repros
+//   cqa_check --replay /tmp/repros/scaling-17.cqa
+//   cqa_check --list
+//
+// Exit code 0 when every oracle holds (statistical failures within the
+// delta budget), 1 on any violation or replayed failure, 2 on usage
+// errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cqa/check/runner.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trials N] [--seed S] [--oracle NAME]...\n"
+               "          [--fault NAME] [--repro-dir DIR] [--no-shrink]\n"
+               "          [--dimension K] [--epsilon E] [--delta D]\n"
+               "          [--metrics] [--list] [--replay FILE.cqa]...\n",
+               argv0);
+  return 2;
+}
+
+int list_oracles() {
+  for (const cqa::Oracle* oracle : cqa::all_oracles()) {
+    std::printf("%-26s %s\n", oracle->name(),
+                oracle->statistical() ? "statistical (delta-budgeted)"
+                                      : "deterministic");
+  }
+  return 0;
+}
+
+int replay(const std::vector<std::string>& paths, double epsilon,
+           double delta) {
+  int worst = 0;
+  for (const auto& path : paths) {
+    auto repro = cqa::read_repro_file(path);
+    if (!repro.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   repro.status().to_string().c_str());
+      worst = 2;
+      continue;
+    }
+    auto result = cqa::replay_repro(repro.value(), epsilon, delta);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   result.status().to_string().c_str());
+      worst = 2;
+      continue;
+    }
+    switch (result.value().status) {
+      case cqa::TrialStatus::kFail:
+        std::printf("%s: FAIL (%s) -- %s\n", path.c_str(),
+                    repro.value().oracle.c_str(),
+                    result.value().detail.c_str());
+        if (worst < 1) worst = 1;
+        break;
+      case cqa::TrialStatus::kSkip:
+        std::printf("%s: SKIP -- %s\n", path.c_str(),
+                    result.value().detail.c_str());
+        break;
+      case cqa::TrialStatus::kPass:
+        std::printf("%s: PASS (no longer reproduces)\n", path.c_str());
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cqa::CheckOptions options;
+  std::vector<std::string> replay_paths;
+  bool dump_metrics = false;
+
+  auto need_value = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") return list_oracles();
+    if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--trials" && need_value(i)) {
+      options.trials = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && need_value(i)) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--oracle" && need_value(i)) {
+      options.oracle_names.push_back(argv[++i]);
+    } else if (arg == "--fault" && need_value(i)) {
+      options.fault_oracle = argv[++i];
+    } else if (arg == "--repro-dir" && need_value(i)) {
+      options.repro_dir = argv[++i];
+    } else if (arg == "--dimension" && need_value(i)) {
+      options.gen.dimension = std::strtoull(argv[++i], nullptr, 10);
+      if (options.gen.dimension == 0 || options.gen.dimension > 8) {
+        std::fprintf(stderr, "--dimension must be in 1..8\n");
+        return 2;
+      }
+    } else if (arg == "--epsilon" && need_value(i)) {
+      options.epsilon = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--delta" && need_value(i)) {
+      options.delta = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--replay" && need_value(i)) {
+      replay_paths.push_back(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  for (const auto& name : options.oracle_names) {
+    if (cqa::find_oracle(name) == nullptr) {
+      std::fprintf(stderr, "unknown oracle: %s (see --list)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  if (!options.fault_oracle.empty() &&
+      cqa::find_oracle(options.fault_oracle) == nullptr) {
+    std::fprintf(stderr, "unknown --fault oracle: %s (see --list)\n",
+                 options.fault_oracle.c_str());
+    return 2;
+  }
+  if (!replay_paths.empty()) {
+    return replay(replay_paths, options.epsilon, options.delta);
+  }
+
+  cqa::MetricsRegistry metrics;
+  const cqa::CheckReport report = cqa::run_checks(options, &metrics);
+
+  for (const auto& o : report.oracles) {
+    std::printf("%-26s %s  trials=%zu pass=%zu fail=%zu skip=%zu",
+                o.name.c_str(), o.violated ? "VIOLATED" : "ok      ",
+                o.trials, o.passed, o.failed, o.skipped);
+    if (o.statistical) {
+      std::printf(" allowed=%zu", o.allowed_failures);
+    }
+    std::printf("\n");
+    if (o.violated && !o.first_detail.empty()) {
+      std::printf("    first failure: %s\n", o.first_detail.c_str());
+    }
+    for (const auto& repro : o.repros) {
+      std::printf("    repro: seed=%llu dim=%zu  %s\n",
+                  static_cast<unsigned long long>(repro.seed),
+                  repro.dimension, repro.formula.c_str());
+    }
+  }
+  if (dump_metrics) {
+    std::fputs(metrics.dump().c_str(), stdout);
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "cqa_check: oracle violation\n");
+    return 1;
+  }
+  return 0;
+}
