@@ -1,0 +1,239 @@
+// A5 -- guard metering overhead: resource governance must be close to
+// free when quotas never trip. The same exact-volume and elimination
+// workloads run unmetered (meter = nullptr, no thread-local scope) and
+// metered (WorkMeter at the default quotas + MeterScope, so the BigInt
+// hot path charges too); the headline table reports the paired min-of-k
+// overhead and writes BENCH_guard.json with an overhead_ok verdict
+// against the 2% budget from DESIGN.md section 8.
+//
+// Min-of-k timing deliberately: the *minimum* is the principled
+// estimator for deterministic CPU-bound work (everything above the min
+// is scheduler noise), and overhead below noise would otherwise swamp a
+// 2% signal.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cqa/approx/random.h"
+#include "cqa/constraint/fourier_motzkin.h"
+#include "cqa/guard/fault.h"
+#include "cqa/guard/meter.h"
+#include "cqa/volume/semilinear_volume.h"
+
+namespace {
+
+using namespace cqa;
+
+constexpr int kReps = 7;          // min-of-k repetitions per variant
+constexpr double kBudgetPct = 2.0;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Random axis-aligned boxes in [0, 5]^dim with rational corners (the E2
+// workload shape: overlapping boxes defeat the disjoint-sum fast path
+// often enough that the sweep and its section metering run for real).
+std::vector<LinearCell> random_boxes(std::size_t dim, std::size_t count,
+                                     std::uint64_t seed) {
+  Xoshiro rng(seed);
+  std::vector<LinearCell> cells;
+  for (std::size_t c = 0; c < count; ++c) {
+    LinearCell cell(dim);
+    for (std::size_t v = 0; v < dim; ++v) {
+      std::int64_t a = static_cast<std::int64_t>(rng.next() % 12);
+      std::int64_t w = 1 + static_cast<std::int64_t>(rng.next() % 8);
+      LinearConstraint lo;
+      lo.coeffs.assign(dim, Rational());
+      lo.coeffs[v] = Rational(-1);
+      lo.rhs = Rational(-a, 4);
+      lo.cmp = LinCmp::kLe;
+      LinearConstraint hi;
+      hi.coeffs.assign(dim, Rational());
+      hi.coeffs[v] = Rational(a + w, 4);
+      hi.cmp = LinCmp::kLe;
+      cell.add(std::move(lo));
+      cell.add(std::move(hi));
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+// Dense elimination input: n lower and n upper bounds on x0 mixing the
+// other variables, so fm_eliminate's pair loop produces n^2 rows.
+std::vector<LinearConstraint> fm_rows(std::size_t n) {
+  std::vector<LinearConstraint> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    LinearConstraint lo;
+    lo.coeffs = {Rational(-1), Rational(static_cast<std::int64_t>(i % 3)),
+                 Rational(1, static_cast<std::int64_t>(i + 1))};
+    lo.rhs = Rational(-static_cast<std::int64_t>(i), 7);
+    lo.cmp = LinCmp::kLe;
+    rows.push_back(std::move(lo));
+    LinearConstraint hi;
+    hi.coeffs = {Rational(1), Rational(1, static_cast<std::int64_t>(i + 2)),
+                 Rational(static_cast<std::int64_t>(i % 5))};
+    hi.rhs = Rational(static_cast<std::int64_t>(100 + i), 3);
+    hi.cmp = LinCmp::kLe;
+    rows.push_back(std::move(hi));
+  }
+  return rows;
+}
+
+struct Workload {
+  std::string name;
+  // Runs the workload once; meter == nullptr is the unmetered variant.
+  // MeterScope installation (for the BigInt hot path) happens in the
+  // harness, not here.
+  void (*run)(guard::WorkMeter* meter);
+};
+
+// Each workload runs long enough (tens of ms) that a 2% delta clears
+// timer noise; a single sweep of this size is only ~0.1 ms.
+void run_sweep_2d(guard::WorkMeter* meter) {
+  auto cells = random_boxes(2, 8, 42);
+  for (int rep = 0; rep < 200; ++rep) {
+    auto v = semilinear_volume_sweep(cells, nullptr, nullptr, meter);
+    CQA_CHECK(v.is_ok());
+  }
+}
+
+void run_sweep_3d(guard::WorkMeter* meter) {
+  auto cells = random_boxes(3, 4, 43);
+  for (int rep = 0; rep < 200; ++rep) {
+    auto v = semilinear_volume_sweep(cells, nullptr, nullptr, meter);
+    CQA_CHECK(v.is_ok());
+  }
+}
+
+void run_fm(guard::WorkMeter* meter) {
+  auto rows = fm_rows(40);
+  for (int rep = 0; rep < 2; ++rep) {
+    auto out = fm_eliminate(rows, 0, meter);
+    CQA_CHECK(!out.empty() || rows.empty());
+  }
+}
+
+struct Paired {
+  double off = 1e100;
+  double on = 1e100;
+};
+
+// Interleaves the two variants rep by rep so slow machine-load drift
+// hits both equally, then takes each variant's minimum.
+Paired min_of_k(const Workload& w) {
+  Paired best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      const double t0 = now_seconds();
+      w.run(nullptr);
+      best.off = std::min(best.off, now_seconds() - t0);
+    }
+    {
+      guard::WorkMeter meter{guard::ResourceQuota{}};  // Session defaults
+      const double t0 = now_seconds();
+      guard::MeterScope scope(&meter);
+      w.run(&meter);
+      const double dt = now_seconds() - t0;
+      CQA_CHECK(!meter.tripped());  // defaults must not trip here
+      best.on = std::min(best.on, dt);
+    }
+  }
+  return best;
+}
+
+void print_table() {
+  cqa_bench::header(
+      "A5: guard metering overhead (unmetered vs default quotas)",
+      "threading WorkMeter through QE, FM, the exact sweep, and the "
+      "BigInt hot path costs under 2% when quotas never trip");
+
+  const std::vector<Workload> workloads = {
+      {"exact_sweep_2d", run_sweep_2d},
+      {"exact_sweep_3d", run_sweep_3d},
+      {"fm_elimination", run_fm},
+  };
+
+  std::printf("min-of-%d seconds per variant\n\n", kReps);
+  std::printf("%-16s %-12s %-12s %-10s\n", "workload", "off_sec", "on_sec",
+              "overhead%");
+
+  double max_overhead = 0.0;
+  std::string json = "{\n  \"reps\": " + std::to_string(kReps) +
+                     ",\n  \"budget_pct\": " + std::to_string(kBudgetPct) +
+                     ",\n  \"workloads\": {\n";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    const Paired t = min_of_k(w);
+    const double off = t.off;
+    const double on = t.on;
+    const double pct = off > 0 ? (on - off) / off * 100.0 : 0.0;
+    max_overhead = std::max(max_overhead, pct);
+    std::printf("%-16s %-12.5f %-12.5f %-+10.2f\n", w.name.c_str(), off, on,
+                pct);
+    json += "    \"" + w.name + "\": {\"off_sec\": " + std::to_string(off) +
+            ", \"on_sec\": " + std::to_string(on) +
+            ", \"overhead_pct\": " + std::to_string(pct) + "}";
+    json += (i + 1 < workloads.size()) ? ",\n" : "\n";
+  }
+  const bool ok = max_overhead < kBudgetPct;
+  json += "  },\n  \"max_overhead_pct\": " + std::to_string(max_overhead) +
+          ",\n  \"overhead_ok\": " + (ok ? std::string("true")
+                                         : std::string("false")) +
+          "\n}\n";
+
+  std::printf("\nmax overhead: %.2f%% (budget %.1f%%) -> %s\n", max_overhead,
+              kBudgetPct, ok ? "ok" : "OVER BUDGET");
+
+  std::FILE* f = std::fopen("BENCH_guard.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_guard.json\n");
+  }
+}
+
+// Micro costs of the primitives themselves, under google-benchmark
+// timing: one charge call, one never-tripped check, and the
+// fault-hook fast path with no injector installed.
+void BM_MeterCharge(benchmark::State& state) {
+  guard::WorkMeter meter{guard::ResourceQuota{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.charge_qe_atoms(1));
+  }
+}
+BENCHMARK(BM_MeterCharge);
+
+void BM_MeterCheckUntripped(benchmark::State& state) {
+  guard::WorkMeter meter{guard::ResourceQuota{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.check().is_ok());
+  }
+}
+BENCHMARK(BM_MeterCheckUntripped);
+
+void BM_FaultHookOff(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        guard::fault_fires(guard::FaultSite::kBigIntAlloc));
+  }
+}
+BENCHMARK(BM_FaultHookOff);
+
+void BM_BigIntChargeThreadLocalOff(benchmark::State& state) {
+  // No MeterScope installed: the unmetered thread-local fast path.
+  for (auto _ : state) {
+    guard::charge_bigint_bits_tl(64);
+  }
+}
+BENCHMARK(BM_BigIntChargeThreadLocalOff);
+
+}  // namespace
+
+CQA_BENCH_MAIN(print_table)

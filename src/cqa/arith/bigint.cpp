@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <new>
+
+#include "cqa/guard/fault.h"
+#include "cqa/guard/meter.h"
 
 namespace cqa {
 
@@ -282,6 +286,15 @@ BigInt BigInt::operator+(const BigInt& o) const {
 BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
 
 BigInt BigInt::operator*(const BigInt& o) const {
+  // Guard hooks on the two allocating hot ops (multiply, divmod): the
+  // thread meter records the would-be result bit-length *before* the
+  // allocation so a Karpinski-Macintyre coefficient blowup trips the
+  // quota ahead of the OOM, and chaos runs can inject an allocation
+  // failure here. Both are one TLS/atomic load when off.
+  guard::charge_bigint_bits_tl(32 * (limbs_.size() + o.limbs_.size()));
+  if (guard::fault_fires(guard::FaultSite::kBigIntAlloc)) {
+    throw std::bad_alloc();
+  }
   BigInt out;
   out.limbs_ = mul_mag(limbs_, o.limbs_);
   out.negative_ = !out.limbs_.empty() && (negative_ != o.negative_);
@@ -290,6 +303,10 @@ BigInt BigInt::operator*(const BigInt& o) const {
 
 void BigInt::divmod(const BigInt& o, BigInt* q, BigInt* r) const {
   CQA_CHECK(!o.is_zero());
+  guard::charge_bigint_bits_tl(32 * limbs_.size());
+  if (guard::fault_fires(guard::FaultSite::kBigIntAlloc)) {
+    throw std::bad_alloc();
+  }
   std::vector<std::uint32_t> qm, rm;
   divmod_mag(limbs_, o.limbs_, &qm, &rm);
   q->limbs_ = std::move(qm);

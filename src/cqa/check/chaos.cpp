@@ -1,0 +1,175 @@
+#include "cqa/check/chaos.h"
+
+#include <exception>
+#include <memory>
+
+#include "cqa/approx/random.h"
+#include "cqa/check/runner.h"
+
+namespace cqa {
+
+namespace {
+
+// Distinct stream tag so chaos trial randomness never collides with the
+// plain runner's per-oracle streams on the same base seed.
+constexpr std::uint64_t kChaosStream = 0xc4a05c4a05ULL;
+
+// A kFail whose detail carries a typed engine status is a *loud*
+// failure: the fault surfaced as an error the caller can act on, not as
+// a silently wrong value. kOk is deliberately absent.
+bool typed_error_detail(const std::string& detail) {
+  static const char* kMarkers[] = {
+      "Cancelled:",      "DeadlineExceeded:", "ResourceExhausted:",
+      "Internal:",       "InvalidArgument:",  "Unsupported:",
+      "NotImplemented:", "OutOfRange:",
+  };
+  for (const char* m : kMarkers) {
+    if (detail.find(m) != std::string::npos) return true;
+  }
+  return false;
+}
+
+struct ChaosHarness {
+  const Oracle* oracle;
+  GenOptions gen_options;
+  std::unique_ptr<FormulaGen> gen;
+  ConstraintDatabase db;
+  Session session;
+  CheckContext ctx;
+
+  ChaosHarness(const Oracle* o, const ChaosOptions& options)
+      : oracle(o), gen_options(o->tune(options.gen)), session(&db) {
+    gen = std::make_unique<FormulaGen>(gen_options);
+    register_generator_vars(&db.vars(), gen_options.dimension);
+    ctx.db = &db;
+    ctx.session = &session;
+    ctx.epsilon = options.epsilon;
+    ctx.delta = options.delta;
+  }
+};
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosOptions& options,
+                      MetricsRegistry* metrics) {
+  std::vector<const Oracle*> selected;
+  if (options.oracle_names.empty()) {
+    selected = all_oracles();
+  } else {
+    for (const auto& name : options.oracle_names) {
+      const Oracle* oracle = find_oracle(name);
+      if (oracle != nullptr) selected.push_back(oracle);
+    }
+  }
+
+  ChaosReport report;
+  if (selected.empty()) return report;
+
+  // Sessions (and their caches) are shared across an oracle's trials on
+  // purpose: a cache entry poisoned in trial t must be *detected* when
+  // trial t+k reads it with the injector long gone -- exactly the
+  // always-on checksum contract chaos exists to exercise.
+  std::vector<std::unique_ptr<ChaosHarness>> harnesses;
+  harnesses.reserve(selected.size());
+  for (const Oracle* oracle : selected) {
+    harnesses.push_back(std::make_unique<ChaosHarness>(oracle, options));
+  }
+
+  std::size_t stat_effective = 0;  // statistical trials that ran (pass+fail)
+
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    ChaosHarness& h = *harnesses[t % harnesses.size()];
+    const std::uint64_t formula_seed = options.seed + t;
+    const GeneratedFormula g = h.gen->generate(formula_seed);
+    const std::uint64_t trial_seed = stream_seed(formula_seed, kChaosStream);
+    const guard::FaultPlan plan =
+        guard::FaultPlan::random(stream_seed(formula_seed, ~kChaosStream));
+
+    guard::FaultInjector injector(plan);
+    TrialResult result;
+    bool threw = false;
+    std::string thrown_what;
+    {
+      guard::ScopedFaultInjector scope(&injector);
+      try {
+        result = h.oracle->check(h.ctx, g, trial_seed,
+                                 /*inject_fault=*/false);
+      } catch (const std::exception& e) {
+        // Some oracles drive engines directly (no Session wrapper), so
+        // an injected bad_alloc can escape; caught here, it is still a
+        // loud failure -- provided a fault actually fired.
+        threw = true;
+        thrown_what = e.what();
+      } catch (...) {
+        threw = true;
+        thrown_what = "non-std exception";
+      }
+    }
+    // Every oracle joins its engine work (parallel_for participates and
+    // waits) before returning, so the fire counts are final here.
+    const std::uint64_t fired = injector.fired_total();
+    report.faults_injected += fired;
+    for (std::size_t i = 0; i < guard::kNumFaultSites; ++i) {
+      report.faults_by_site[i] +=
+          injector.fired(static_cast<guard::FaultSite>(i));
+    }
+    ++report.trials;
+
+    if (threw) {
+      if (fired > 0) {
+        ++report.contained;
+      } else {
+        report.violations.push_back({h.oracle->name(), formula_seed,
+                                     guard::plan_to_string(plan),
+                                     "exception with no fault fired: " +
+                                         thrown_what});
+      }
+      continue;
+    }
+
+    switch (result.status) {
+      case TrialStatus::kPass:
+        ++report.passed;
+        if (h.oracle->statistical()) ++stat_effective;
+        break;
+      case TrialStatus::kSkip:
+        ++report.skipped;
+        break;
+      case TrialStatus::kFail:
+        if (fired > 0 && typed_error_detail(result.detail)) {
+          ++report.contained;
+        } else if (h.oracle->statistical()) {
+          ++report.stat_misses;
+          ++stat_effective;
+        } else {
+          // A wrong value, or a failure no fault can explain: the one
+          // outcome chaos exists to catch.
+          report.violations.push_back({h.oracle->name(), formula_seed,
+                                       guard::plan_to_string(plan),
+                                       result.detail});
+        }
+        break;
+    }
+  }
+
+  report.allowed_stat_misses = allowed_failures(stat_effective, options.delta);
+
+  if (metrics != nullptr) {
+    metrics->counter("guard_fault_injected_total")
+        ->inc(report.faults_injected);
+    for (std::size_t i = 0; i < guard::kNumFaultSites; ++i) {
+      metrics
+          ->counter(std::string("guard_fault_injected_") +
+                    guard::fault_site_name(
+                        static_cast<guard::FaultSite>(i)) +
+                    "_total")
+          ->inc(report.faults_by_site[i]);
+    }
+    for (auto& h : harnesses) {
+      metrics->absorb(h->session.metrics());
+    }
+  }
+  return report;
+}
+
+}  // namespace cqa

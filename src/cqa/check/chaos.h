@@ -1,0 +1,84 @@
+// Chaos mode: the differential/metamorphic oracles re-run under random
+// seeded fault plans (cqa::guard) to prove the query path degrades, it
+// never lies.
+//
+// Each trial installs a FaultPlan::random(...) injector and runs one
+// oracle trial exactly as the plain runner would. The bar is *not* that
+// trials pass -- injected allocation failures, spurious cancellations
+// and worker throws legitimately break comparisons -- but that every
+// outcome is one of:
+//
+//   pass       the fault landed somewhere harmless (or degraded answers
+//              still satisfied the invariant);
+//   skip       the formula was outside the oracle's domain;
+//   contained  the trial failed *loudly*: a typed engine error
+//              (Cancelled / ResourceExhausted / Internal / ...) or a
+//              caught exception, while faults actually fired;
+//   stat miss  a statistical oracle's Theorem-4 bars missed; budgeted
+//              against the same binomial allowance as the plain runner.
+//
+// Anything else -- a wrong *value* under injection, a failure with no
+// fault fired, or an exception with no fault fired -- is an unsound
+// violation: the chaos run fails. A run that injected zero faults
+// total also fails (the harness must prove the hooks are live).
+
+#ifndef CQA_CHECK_CHAOS_H_
+#define CQA_CHECK_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cqa/check/generator.h"
+#include "cqa/check/oracles.h"
+#include "cqa/guard/guard.h"
+#include "cqa/runtime/metrics.h"
+
+namespace cqa {
+
+struct ChaosOptions {
+  std::size_t trials = 300;     // total (round-robin over the oracles)
+  std::uint64_t seed = 1;       // base seed (trial t uses seed + t)
+  /// Oracle names to rotate through; empty = all registered oracles.
+  std::vector<std::string> oracle_names;
+  GenOptions gen;               // base generator knobs (oracles tune())
+  double epsilon = 0.1;         // MC accuracy target per trial
+  double delta = 0.1;           // MC failure probability per trial
+};
+
+/// One soundness violation: the only thing that fails a chaos run.
+struct ChaosViolation {
+  std::string oracle;
+  std::uint64_t formula_seed = 0;
+  std::string plan;    // guard::plan_to_string of the trial's FaultPlan
+  std::string detail;  // oracle detail or exception message
+};
+
+struct ChaosReport {
+  std::size_t trials = 0;
+  std::size_t passed = 0;
+  std::size_t skipped = 0;
+  std::size_t contained = 0;           // loud typed failures under faults
+  std::size_t stat_misses = 0;         // statistical-oracle bar misses
+  std::size_t allowed_stat_misses = 0; // binomial budget for the misses
+  std::uint64_t faults_injected = 0;   // total fires across all trials
+  std::uint64_t faults_by_site[guard::kNumFaultSites] = {};
+  std::vector<ChaosViolation> violations;
+
+  bool ok() const {
+    return violations.empty() && stat_misses <= allowed_stat_misses &&
+           (trials == 0 || faults_injected > 0);
+  }
+};
+
+/// Runs `options.trials` chaos trials. Fault observability lands in
+/// `metrics` when non-null: guard_fault_injected_total and per-site
+/// guard_fault_injected_<site>_total, plus each oracle session's own
+/// runtime counters (absorbed, so guard_quota_trip_* and
+/// guard_cache_poison_detected_total surface too).
+ChaosReport run_chaos(const ChaosOptions& options,
+                      MetricsRegistry* metrics = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_CHECK_CHAOS_H_

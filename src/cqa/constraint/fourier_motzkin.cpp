@@ -64,7 +64,8 @@ std::vector<LinearConstraint> fm_simplify(
 }
 
 std::vector<LinearConstraint> fm_eliminate(
-    const std::vector<LinearConstraint>& cs, std::size_t var) {
+    const std::vector<LinearConstraint>& cs, std::size_t var,
+    guard::WorkMeter* meter) {
   // Pass 1: if an equality pivots on var, substitute it everywhere.
   for (std::size_t k = 0; k < cs.size(); ++k) {
     const LinearConstraint& eq = cs[k];
@@ -106,7 +107,9 @@ std::vector<LinearConstraint> fm_eliminate(
     }
   }
   for (const auto& lo : lowers) {
+    if (guard::meter_tripped(meter)) break;
     for (const auto& up : uppers) {
+      if (meter != nullptr && !meter->charge_fm_rows(rest.size() + 1)) break;
       // lo: a_l x_var + L <= r_l with a_l < 0  =>  x_var >= (r_l - L)/a_l
       // up: a_u x_var + U <= r_u with a_u > 0  =>  x_var <= (r_u - U)/a_u
       // Combine: a_u * lo - a_l * up eliminates x_var with positive scales
@@ -129,6 +132,8 @@ std::vector<LinearConstraint> fm_eliminate(
       rest.push_back(std::move(c));
     }
   }
+  // Tripped: skip the O(n^2) simplify; the caller discards the result.
+  if (guard::meter_tripped(meter)) return rest;
   return fm_simplify(rest);
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cqa/constraint/linear_atom.h"
+#include "cqa/guard/meter.h"
 
 namespace cqa {
 
@@ -20,8 +21,15 @@ namespace cqa {
 /// (x_0..x_{n-1} without x_var) iff some value of x_var satisfies the
 /// input. Coefficients of `var` in the output are all zero (the slot
 /// remains in the vectors so indices stay stable).
+///
+/// `meter` (nullptr = unmetered) charges one fm_rows high-water unit per
+/// produced row; once the quota trips the pair-combination loop stops
+/// and the (truncated, no longer equivalent) system is returned -- the
+/// caller MUST poll meter->tripped() and discard the result. The quota
+/// is what bounds the quadratic lowers-x-uppers blowup.
 std::vector<LinearConstraint> fm_eliminate(
-    const std::vector<LinearConstraint>& cs, std::size_t var);
+    const std::vector<LinearConstraint>& cs, std::size_t var,
+    guard::WorkMeter* meter = nullptr);
 
 /// Removes syntactic duplicates and pairwise-dominated rows.
 std::vector<LinearConstraint> fm_simplify(

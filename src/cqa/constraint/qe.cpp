@@ -10,7 +10,11 @@ namespace {
 
 using Kind = Formula::Kind;
 
-Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
+// Rough resident-footprint estimate of one constraint row: dim + 1
+// rationals, each two small BigInts plus bookkeeping.
+std::size_t row_bytes(std::size_t dim) { return 48 * (dim + 1); }
+
+Result<FormulaPtr> qe_rec(const FormulaPtr& f, guard::WorkMeter* meter) {
   switch (f->kind()) {
     case Kind::kTrue:
     case Kind::kFalse:
@@ -20,7 +24,7 @@ Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
       return Status::invalid("qe_linear: schema predicate " + f->pred_name() +
                              " (substitute the database first)");
     case Kind::kNot: {
-      auto sub = qe_rec(f->children()[0]);
+      auto sub = qe_rec(f->children()[0], meter);
       if (!sub.is_ok()) return sub;
       return Formula::f_not(sub.value());
     }
@@ -29,7 +33,7 @@ Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
       std::vector<FormulaPtr> kids;
       kids.reserve(f->children().size());
       for (const auto& c : f->children()) {
-        auto sub = qe_rec(c);
+        auto sub = qe_rec(c, meter);
         if (!sub.is_ok()) return sub;
         kids.push_back(sub.value());
       }
@@ -41,16 +45,35 @@ Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
         return Status::invalid(
             "qe_linear: active-domain quantifier outside a database context");
       }
-      auto body = qe_rec(f->children()[0]);
+      auto body = qe_rec(f->children()[0], meter);
       if (!body.is_ok()) return body;
       const std::size_t var = f->var();
       const std::size_t dim = static_cast<std::size_t>(
           std::max(body.value()->max_var(), static_cast<int>(var))) + 1;
       auto cells = formula_to_cells(body.value(), dim);
       if (!cells.is_ok()) return cells.status();
+      // The DNF expansion plus per-cell FM is where Karpinski-Macintyre
+      // blowup materializes: charge every atom the cell list holds, then
+      // meter each elimination and bail at the first trip instead of
+      // building the next 10^9 atoms.
+      if (meter != nullptr) {
+        std::size_t atoms = 0;
+        for (const auto& cell : cells.value()) {
+          atoms += cell.constraints().size();
+        }
+        meter->charge_qe_atoms(atoms);
+        meter->charge_resident_bytes(atoms * row_bytes(dim));
+        CQA_RETURN_IF_ERROR(meter->check());
+      }
       std::vector<LinearCell> projected;
       for (const auto& cell : cells.value()) {
-        projected.emplace_back(dim, fm_eliminate(cell.constraints(), var));
+        auto rows = fm_eliminate(cell.constraints(), var, meter);
+        if (meter != nullptr) {
+          meter->charge_qe_atoms(rows.size());
+          meter->charge_resident_bytes(rows.size() * row_bytes(dim));
+          CQA_RETURN_IF_ERROR(meter->check());
+        }
+        projected.emplace_back(dim, std::move(rows));
       }
       return cells_to_formula(projected);
     }
@@ -61,7 +84,7 @@ Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
       }
       FormulaPtr dual = Formula::f_not(
           Formula::exists(f->var(), Formula::f_not(f->children()[0])));
-      return qe_rec(dual);
+      return qe_rec(dual, meter);
     }
   }
   CQA_CHECK(false);
@@ -70,11 +93,11 @@ Result<FormulaPtr> qe_rec(const FormulaPtr& f) {
 
 }  // namespace
 
-Result<FormulaPtr> qe_linear(const FormulaPtr& f) {
+Result<FormulaPtr> qe_linear(const FormulaPtr& f, guard::WorkMeter* meter) {
   if (!f->is_linear()) {
     return Status::invalid("qe_linear: formula has nonlinear atoms");
   }
-  return qe_rec(f);
+  return qe_rec(f, meter);
 }
 
 Result<std::vector<LinearCell>> qe_to_cells(const FormulaPtr& f,

@@ -9,6 +9,7 @@
 #define CQA_CONSTRAINT_QE_H_
 
 #include "cqa/constraint/linear_cell.h"
+#include "cqa/guard/meter.h"
 #include "cqa/logic/formula.h"
 
 namespace cqa {
@@ -16,7 +17,14 @@ namespace cqa {
 /// Eliminates every quantifier from a predicate-free FO+LIN formula,
 /// returning an equivalent quantifier-free formula over the same free
 /// variables. Fails on nonlinear atoms or schema predicates.
-Result<FormulaPtr> qe_linear(const FormulaPtr& f);
+///
+/// `meter` (nullptr = unmetered) bounds the rewrite: atoms materialized
+/// per exists-block and rows per Fourier-Motzkin elimination are
+/// charged, and the first quota trip aborts the rewrite with
+/// kResourceExhausted instead of building the Karpinski-Macintyre
+/// blowup to completion.
+Result<FormulaPtr> qe_linear(const FormulaPtr& f,
+                             guard::WorkMeter* meter = nullptr);
 
 /// Convenience: QE + cell extraction in one call. `dim` is the ambient
 /// dimension (how many variable slots the caller cares about); it must

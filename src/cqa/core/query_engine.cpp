@@ -70,10 +70,12 @@ Result<FormulaPtr> QueryEngine::rewrite(const std::string& query,
     if (options.cancel != nullptr) {
       CQA_RETURN_IF_ERROR(options.cancel->check());
     }
-    auto eliminated = qe_linear(g);
+    auto eliminated = qe_linear(g, options.meter);
     if (!eliminated.is_ok()) return eliminated;
     g = eliminated.value();
   }
+  // A metered rewrite only reaches here complete (a trip returned
+  // above), so the result is safe to share through the cache.
   if (use_cache) cache_->store(key, g);
   return g;
 }

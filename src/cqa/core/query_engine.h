@@ -23,6 +23,10 @@ struct RewriteOptions {
   const CancelToken* cancel = nullptr;
   /// Bypass an installed RewriteCache for this call.
   bool skip_cache = false;
+  /// Resource meter charged by quantifier elimination (atoms
+  /// materialized, Fourier-Motzkin rows); a quota trip aborts the
+  /// rewrite with kResourceExhausted. Not owned; may be null.
+  guard::WorkMeter* meter = nullptr;
 };
 
 /// Memo-cache hook for rewrite results. Core defines only this

@@ -100,6 +100,7 @@ Result<VolumeAnswer> VolumeEngine::volume(
 
   RewriteOptions rw;
   rw.cancel = options.cancel;
+  rw.meter = options.meter;
   auto cells = queries_.cells(query, output_vars, rw);
   if (!cells.is_ok()) return cells.status();
   std::vector<LinearCell> live = cells.value();
@@ -109,14 +110,16 @@ Result<VolumeAnswer> VolumeEngine::volume(
 
   switch (options.strategy) {
     case VolumeStrategy::kAuto: {
-      auto v = semilinear_volume(live, nullptr, options.cancel);
+      auto v = semilinear_volume(live, nullptr, options.cancel,
+                                 options.meter);
       if (!v.is_ok()) return v.status();
       memoize(v.value());
       answer.exact = v.value();
       return answer;
     }
     case VolumeStrategy::kExactSweep: {
-      auto v = semilinear_volume_sweep(live, nullptr, options.cancel);
+      auto v = semilinear_volume_sweep(live, nullptr, options.cancel,
+                                       options.meter);
       if (!v.is_ok()) return v.status();
       memoize(v.value());
       answer.exact = v.value();

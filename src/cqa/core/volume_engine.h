@@ -67,6 +67,10 @@ struct VolumeOptions {
   /// Cooperative cancellation / deadline, polled in every strategy's
   /// hot loop. Not owned; may be null.
   const CancelToken* cancel = nullptr;
+  /// Resource meter charged by the exact pipeline (QE rewrite, sweep
+  /// sections, BigInt bit-lengths via the thread binding); a quota trip
+  /// surfaces as kResourceExhausted. Not owned; may be null.
+  guard::WorkMeter* meter = nullptr;
 };
 
 /// Memo-cache hook for exact volume results (same pattern as

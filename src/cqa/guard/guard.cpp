@@ -1,0 +1,75 @@
+#include "cqa/guard/guard.h"
+
+#include <cstdio>
+
+namespace cqa {
+namespace guard {
+
+FaultPlan FaultPlan::random(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // 1..3 active sites, rate drawn from a menu spanning "rare" to
+  // "always": rare rates exercise recovery mid-computation, rate 1.0
+  // exercises the first hook on the path.
+  static constexpr double kRates[] = {0.01, 0.05, 0.2, 1.0};
+  const std::uint64_t h0 = fault_mix(seed ^ 0xc4a05u);
+  const std::size_t active = 1 + static_cast<std::size_t>(h0 % 3);
+  for (std::size_t pick = 0; pick < active; ++pick) {
+    const std::uint64_t h = fault_mix(seed ^ (0x9e37u + pick * 0x85ebca6bULL));
+    const std::size_t site = static_cast<std::size_t>(h % kNumFaultSites);
+    plan.rate[site] = kRates[(h >> 8) % (sizeof(kRates) / sizeof(kRates[0]))];
+  }
+  return plan;
+}
+
+const char* rung_name(Rung r) {
+  switch (r) {
+    case Rung::kNone: return "none";
+    case Rung::kExact: return "exact";
+    case Rung::kMonteCarlo: return "mc";
+    case Rung::kMcPartial: return "mc_partial";
+    case Rung::kTrivialHalf: return "trivial_half";
+  }
+  return "unknown";
+}
+
+std::string GuardReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "rung=%s tripped=%s qe_atoms=%llu fm_rows_peak=%llu "
+                "sweep_sections=%llu bigint_bits_peak=%llu resident_bytes=%llu",
+                rung_name(rung),
+                quota_tripped ? tripped_quota.c_str() : "none",
+                static_cast<unsigned long long>(usage.qe_atoms),
+                static_cast<unsigned long long>(usage.fm_rows_peak),
+                static_cast<unsigned long long>(usage.sweep_sections),
+                static_cast<unsigned long long>(usage.bigint_bits_peak),
+                static_cast<unsigned long long>(usage.resident_bytes));
+  return buf;
+}
+
+GuardReport make_report(const WorkMeter& meter) {
+  GuardReport report;
+  report.usage = meter.usage();
+  report.quota_tripped = meter.tripped();
+  if (report.quota_tripped) {
+    report.tripped_quota = quota_kind_name(meter.tripped_kind());
+  }
+  return report;
+}
+
+std::string plan_to_string(const FaultPlan& plan) {
+  std::string out = "seed=" + std::to_string(plan.seed);
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (plan.rate[i] <= 0.0) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s=%g",
+                  fault_site_name(static_cast<FaultSite>(i)), plan.rate[i]);
+    out += buf;
+  }
+  if (!plan.any()) out += " (no faults)";
+  return out;
+}
+
+}  // namespace guard
+}  // namespace cqa

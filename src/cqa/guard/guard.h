@@ -1,0 +1,49 @@
+// cqa::guard umbrella: resource-governance report types plus the
+// non-hot-path pieces of fault injection (random plan construction,
+// plan rendering). Hot-path hooks live header-only in meter.h/fault.h.
+
+#ifndef CQA_GUARD_GUARD_H_
+#define CQA_GUARD_GUARD_H_
+
+#include <string>
+
+#include "cqa/guard/fault.h"
+#include "cqa/guard/meter.h"
+
+namespace cqa {
+namespace guard {
+
+/// Degradation rung that ultimately served a volume query. Mirrors the
+/// planner ladder: exact sweep, full Monte-Carlo, Hoeffding-shrunk
+/// partial Monte-Carlo, trivial [0,1] bars with estimate 1/2.
+enum class Rung : int {
+  kNone = 0,     // non-volume request (rewrite / cells / ask)
+  kExact,
+  kMonteCarlo,
+  kMcPartial,
+  kTrivialHalf,
+};
+
+const char* rung_name(Rung r);
+
+/// What was metered, what (if anything) tripped, and which rung served
+/// the query. Attached to every Session Answer.
+struct GuardReport {
+  GuardUsage usage;
+  bool quota_tripped = false;
+  std::string tripped_quota;  // quota_kind_name(..), "" when none
+  Rung rung = Rung::kNone;
+
+  std::string to_string() const;
+};
+
+/// Builds the report skeleton (usage + trip info) from a meter.
+GuardReport make_report(const WorkMeter& meter);
+
+/// Renders a FaultPlan for logs: "seed=7 bigint_alloc=0.05 ...".
+std::string plan_to_string(const FaultPlan& plan);
+
+}  // namespace guard
+}  // namespace cqa
+
+#endif  // CQA_GUARD_GUARD_H_

@@ -1,0 +1,246 @@
+// Resource governance for the exact query path.
+//
+// Section 3 of the paper (the Karpinski-Macintyre example) shows exact
+// quantifier elimination can blow up to >= 10^9 atomic subformulae. In a
+// service that is an OOM / latency bomb, not a theorem, so every exact
+// stage -- QE recursion, Fourier-Motzkin eliminations, the semilinear
+// sweep, and BigInt arithmetic -- charges a per-session WorkMeter and
+// stops early (Status::resource_exhausted) once a ResourceQuota trips.
+// The planner then treats the trip exactly like deadline expiry and
+// degrades exact -> MC -> Hoeffding-shrunk partial -> trivial-1/2
+// instead of aborting.
+//
+// Design constraints this header answers:
+//  * cqa_arith is the bottom of the library stack, so the meter must be
+//    header-only (no cqa_guard link dependency from BigInt).
+//  * BigInt operators cannot take a meter parameter or return Status, so
+//    hot arithmetic reads a thread-local meter slot (MeterScope) and the
+//    trip is *sticky*: the op that trips still completes correctly and
+//    the enclosing loop (QE cell, FM row, sweep section) notices at its
+//    next poll point and unwinds with a typed error.
+//  * Quotas are estimates of work/footprint, not a hardening allocator:
+//    they bound growth to within one unit of work of the limit.
+//
+// All counters use relaxed atomics: the meter is a governor, not a
+// synchronization point, and exact totals one-op stale are fine.
+
+#ifndef CQA_GUARD_METER_H_
+#define CQA_GUARD_METER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+namespace guard {
+
+/// Which quota a WorkMeter charge is accounted against.
+enum class QuotaKind : int {
+  kQeAtoms = 0,      // cumulative atoms materialized across QE rewriting
+  kFmRows,           // constraints produced by a single FM elimination
+  kSweepSections,    // cumulative section evaluations in the exact sweep
+  kBigIntBits,       // peak bit-length of any BigInt operand/result
+  kResidentBytes,    // cumulative resident-footprint estimate
+};
+
+inline constexpr int kNumQuotaKinds = 5;
+
+inline const char* quota_kind_name(QuotaKind k) {
+  switch (k) {
+    case QuotaKind::kQeAtoms: return "qe_atoms";
+    case QuotaKind::kFmRows: return "fm_rows";
+    case QuotaKind::kSweepSections: return "sweep_sections";
+    case QuotaKind::kBigIntBits: return "bigint_bits";
+    case QuotaKind::kResidentBytes: return "resident_bytes";
+  }
+  return "unknown";
+}
+
+/// Per-request resource ceilings. 0 means "unlimited" for that axis.
+///
+/// The defaults are safe-by-default service limits: generous enough
+/// that every workload in tests/ and bench/ runs to completion, tight
+/// enough that a Karpinski-Macintyre blowup trips long before the
+/// process OOMs (10^9 atoms would exceed max_qe_atoms by ~250x).
+struct ResourceQuota {
+  std::size_t max_qe_atoms = 4'000'000;
+  std::size_t max_fm_rows = 250'000;  // per single elimination
+  std::size_t max_sweep_sections = 500'000;
+  std::size_t max_bigint_bits = 1'000'000;
+  std::size_t max_resident_bytes = std::size_t{1} << 30;  // 1 GiB estimate
+
+  /// No ceilings at all ("quotas off").
+  static ResourceQuota unlimited() {
+    ResourceQuota q;
+    q.max_qe_atoms = 0;
+    q.max_fm_rows = 0;
+    q.max_sweep_sections = 0;
+    q.max_bigint_bits = 0;
+    q.max_resident_bytes = 0;
+    return q;
+  }
+
+  std::size_t limit(QuotaKind k) const {
+    switch (k) {
+      case QuotaKind::kQeAtoms: return max_qe_atoms;
+      case QuotaKind::kFmRows: return max_fm_rows;
+      case QuotaKind::kSweepSections: return max_sweep_sections;
+      case QuotaKind::kBigIntBits: return max_bigint_bits;
+      case QuotaKind::kResidentBytes: return max_resident_bytes;
+    }
+    return 0;
+  }
+};
+
+/// Snapshot of what a meter has accounted, for Answer reporting.
+struct GuardUsage {
+  std::uint64_t qe_atoms = 0;
+  std::uint64_t fm_rows_peak = 0;
+  std::uint64_t sweep_sections = 0;
+  std::uint64_t bigint_bits_peak = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+/// Per-session accounting handle. Thread-safe; charge_* return false
+/// once the corresponding quota (or any earlier one) has tripped, and
+/// the *first* tripped quota is recorded sticky so the caller can report
+/// which ceiling ended the exact attempt.
+class WorkMeter {
+ public:
+  WorkMeter() = default;
+  explicit WorkMeter(const ResourceQuota& quota) : quota_(quota) {}
+  WorkMeter(const WorkMeter&) = delete;
+  WorkMeter& operator=(const WorkMeter&) = delete;
+
+  const ResourceQuota& quota() const { return quota_; }
+
+  /// Cumulative charges. Return true while within quota.
+  bool charge_qe_atoms(std::size_t n) {
+    const std::uint64_t total =
+        qe_atoms_.fetch_add(n, std::memory_order_relaxed) + n;
+    return within(QuotaKind::kQeAtoms, total);
+  }
+  bool charge_resident_bytes(std::size_t n) {
+    const std::uint64_t total =
+        resident_bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+    return within(QuotaKind::kResidentBytes, total);
+  }
+  bool charge_sweep_section() {
+    const std::uint64_t total =
+        sweep_sections_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return within(QuotaKind::kSweepSections, total);
+  }
+
+  /// High-water charges: `n` is the current size, not a delta.
+  bool charge_fm_rows(std::size_t n) {
+    raise_peak(fm_rows_peak_, n);
+    return within(QuotaKind::kFmRows, n);
+  }
+  bool charge_bigint_bits(std::size_t bits) {
+    raise_peak(bigint_bits_peak_, bits);
+    return within(QuotaKind::kBigIntBits, bits);
+  }
+
+  bool tripped() const {
+    return tripped_.load(std::memory_order_relaxed) >= 0;
+  }
+
+  /// Which quota tripped first; meaningless unless tripped().
+  QuotaKind tripped_kind() const {
+    return static_cast<QuotaKind>(tripped_.load(std::memory_order_relaxed));
+  }
+
+  /// OK while within quota; kResourceExhausted naming the first tripped
+  /// quota otherwise. Poll at loop boundaries like CancelToken::check().
+  Status check() const {
+    if (!tripped()) return Status::ok();
+    return Status::resource_exhausted(std::string("quota exceeded: ") +
+                                      quota_kind_name(tripped_kind()));
+  }
+
+  GuardUsage usage() const {
+    GuardUsage u;
+    u.qe_atoms = qe_atoms_.load(std::memory_order_relaxed);
+    u.fm_rows_peak = fm_rows_peak_.load(std::memory_order_relaxed);
+    u.sweep_sections = sweep_sections_.load(std::memory_order_relaxed);
+    u.bigint_bits_peak = bigint_bits_peak_.load(std::memory_order_relaxed);
+    u.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+    return u;
+  }
+
+ private:
+  bool within(QuotaKind k, std::uint64_t total) {
+    const std::size_t limit = quota_.limit(k);
+    if (limit != 0 && total > limit) trip(k);
+    return !tripped();
+  }
+
+  void trip(QuotaKind k) {
+    int expected = -1;  // record only the first tripped quota
+    tripped_.compare_exchange_strong(expected, static_cast<int>(k),
+                                     std::memory_order_relaxed);
+  }
+
+  static void raise_peak(std::atomic<std::uint64_t>& peak, std::uint64_t v) {
+    std::uint64_t cur = peak.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !peak.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  ResourceQuota quota_;
+  std::atomic<std::uint64_t> qe_atoms_{0};
+  std::atomic<std::uint64_t> fm_rows_peak_{0};
+  std::atomic<std::uint64_t> sweep_sections_{0};
+  std::atomic<std::uint64_t> bigint_bits_peak_{0};
+  std::atomic<std::uint64_t> resident_bytes_{0};
+  std::atomic<int> tripped_{-1};
+};
+
+/// Thread-local meter slot for code that cannot take a meter parameter
+/// (BigInt operators deep in cqa_arith). A function-local thread_local
+/// keeps this header-only and the read is one TLS load + null check.
+inline WorkMeter*& thread_meter_slot() {
+  static thread_local WorkMeter* slot = nullptr;
+  return slot;
+}
+
+inline WorkMeter* current_thread_meter() { return thread_meter_slot(); }
+
+/// RAII binding of a meter to the current thread; nests (restores the
+/// previous binding on destruction). Session binds its meter for the
+/// duration of run() so single-threaded exact arithmetic is metered.
+class MeterScope {
+ public:
+  explicit MeterScope(WorkMeter* meter) : previous_(thread_meter_slot()) {
+    thread_meter_slot() = meter;
+  }
+  ~MeterScope() { thread_meter_slot() = previous_; }
+  MeterScope(const MeterScope&) = delete;
+  MeterScope& operator=(const MeterScope&) = delete;
+
+ private:
+  WorkMeter* previous_;
+};
+
+/// BigInt hook: charge the current thread's meter (if any) with an
+/// operand/result bit-length. Never throws, never fails the operation --
+/// the sticky trip is observed by the enclosing engine loop.
+inline void charge_bigint_bits_tl(std::size_t bits) {
+  WorkMeter* m = current_thread_meter();
+  if (m != nullptr) m->charge_bigint_bits(bits);
+}
+
+/// "expired()"-style shorthand for the nullptr-means-unmetered calling
+/// convention used by fm_eliminate / sweep loops.
+inline bool meter_tripped(const WorkMeter* m) {
+  return m != nullptr && m->tripped();
+}
+
+}  // namespace guard
+}  // namespace cqa
+
+#endif  // CQA_GUARD_METER_H_

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cqa/core/volume_engine.h"
+#include "cqa/guard/meter.h"
 #include "cqa/logic/formula.h"
 
 namespace cqa {
@@ -36,6 +37,12 @@ struct Budget {
   double epsilon = 0.05;        // target absolute volume error
   double delta = 0.05;          // failure probability (MC strategies)
   std::int64_t deadline_ms = -1;  // wall-clock cap; < 0 = none
+  /// Resource ceilings for the exact pipeline (QE atoms, FM rows, sweep
+  /// sections, BigInt bits, resident bytes). Defaults are safe service
+  /// limits; guard::ResourceQuota::unlimited() turns metering into pure
+  /// accounting. A tripped quota is treated like deadline expiry: the
+  /// answer degrades down the ladder instead of erroring.
+  guard::ResourceQuota quota;
 
   bool has_deadline() const { return deadline_ms >= 0; }
 };

@@ -1,11 +1,48 @@
 #include "cqa/runtime/eval_cache.h"
 
+#include "cqa/guard/fault.h"
+#include "cqa/logic/printer.h"
+
 namespace cqa {
 
 namespace {
+
 Counter* metric_or_null(MetricsRegistry* metrics, const char* name) {
   return metrics ? metrics->counter(name) : nullptr;
 }
+
+// Content checksums. FNV-1a over the printed form for formulas (the
+// printed form is already the canonical identity the cache keys use);
+// the rational's own hash for volumes. Salted so an all-zero corrupted
+// entry never accidentally verifies.
+constexpr std::uint64_t kChecksumSalt = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t checksum_string(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL ^ kChecksumSalt;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t checksum_formula(const FormulaPtr& f) {
+  return checksum_string(to_string(f));
+}
+
+std::uint64_t checksum_rational(const Rational& r) {
+  return static_cast<std::uint64_t>(r.hash()) ^ kChecksumSalt;
+}
+
+// The kCachePoison chaos fault corrupts the *stored* checksum, modeling
+// an entry whose bytes rotted after being written.
+std::uint64_t maybe_poison(std::uint64_t sum) {
+  if (guard::fault_fires(guard::FaultSite::kCachePoison)) {
+    return sum ^ 0xbadc0ffee0ddf00dULL;
+  }
+  return sum;
+}
+
 }  // namespace
 
 EvalCache::EvalCache(EvalCacheOptions options, MetricsRegistry* metrics)
@@ -16,7 +53,59 @@ EvalCache::EvalCache(EvalCacheOptions options, MetricsRegistry* metrics)
       volumes_(options.volume_capacity, options.shards,
                metric_or_null(metrics, "cache_hits_total"),
                metric_or_null(metrics, "cache_misses_total"),
-               metric_or_null(metrics, "cache_evictions_total")) {}
+               metric_or_null(metrics, "cache_evictions_total")),
+      checksum_fail_metric_(
+          metric_or_null(metrics, "guard_cache_poison_detected_total")) {}
+
+std::optional<FormulaPtr> EvalCache::lookup_rewrite(const std::string& key) {
+  auto entry = rewrites_.lookup(key);
+  if (!entry) return std::nullopt;
+  if (checksum_formula(entry->value) != entry->sum) {
+    rewrite_checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (checksum_fail_metric_) checksum_fail_metric_->inc();
+    return std::nullopt;  // caller recomputes and overwrites the entry
+  }
+  return std::move(entry->value);
+}
+
+void EvalCache::store_rewrite(const std::string& key, FormulaPtr value) {
+  Checked<FormulaPtr> entry;
+  entry.sum = maybe_poison(checksum_formula(value));
+  entry.value = std::move(value);
+  rewrites_.store(key, std::move(entry));
+}
+
+std::optional<Rational> EvalCache::lookup_volume(const std::string& key) {
+  auto entry = volumes_.lookup(key);
+  if (!entry) return std::nullopt;
+  if (checksum_rational(entry->value) != entry->sum) {
+    volume_checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (checksum_fail_metric_) checksum_fail_metric_->inc();
+    return std::nullopt;
+  }
+  return std::move(entry->value);
+}
+
+void EvalCache::store_volume(const std::string& key, Rational value) {
+  Checked<Rational> entry;
+  entry.sum = maybe_poison(checksum_rational(value));
+  entry.value = std::move(value);
+  volumes_.store(key, std::move(entry));
+}
+
+CacheStats EvalCache::rewrite_stats() const {
+  CacheStats out = rewrites_.stats();
+  out.checksum_failures =
+      rewrite_checksum_failures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+CacheStats EvalCache::volume_stats() const {
+  CacheStats out = volumes_.stats();
+  out.checksum_failures =
+      volume_checksum_failures_.load(std::memory_order_relaxed);
+  return out;
+}
 
 CacheStats EvalCache::stats() const {
   const CacheStats r = rewrite_stats();
@@ -26,6 +115,7 @@ CacheStats EvalCache::stats() const {
   out.misses = r.misses + v.misses;
   out.evictions = r.evictions + v.evictions;
   out.entries = r.entries + v.entries;
+  out.checksum_failures = r.checksum_failures + v.checksum_failures;
   return out;
 }
 

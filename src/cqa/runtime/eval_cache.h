@@ -37,6 +37,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
+  /// Entries whose checksum failed verification on lookup (dropped and
+  /// recomputed by the caller; nonzero means corruption was *caught*).
+  std::uint64_t checksum_failures = 0;
 };
 
 /// A sharded LRU map from canonical-string keys to values of type V.
@@ -139,33 +142,40 @@ struct EvalCacheOptions {
 
 /// The runtime's memo-cache: rewrite results (quantifier-eliminated
 /// formulas) and exact volume results, independently LRU-bounded.
+///
+/// Reads are checksum-verified: every entry carries a content checksum
+/// computed at store time and re-verified at lookup. A mismatch (bit
+/// rot, or the cqa::guard kCachePoison chaos fault) is counted, the
+/// entry is treated as a miss, and the caller recomputes + overwrites --
+/// a poisoned cache can cost latency but never a silently wrong answer.
 class EvalCache {
  public:
   explicit EvalCache(EvalCacheOptions options = {},
                      MetricsRegistry* metrics = nullptr);
 
-  std::optional<FormulaPtr> lookup_rewrite(const std::string& key) {
-    return rewrites_.lookup(key);
-  }
-  void store_rewrite(const std::string& key, FormulaPtr value) {
-    rewrites_.store(key, std::move(value));
-  }
+  std::optional<FormulaPtr> lookup_rewrite(const std::string& key);
+  void store_rewrite(const std::string& key, FormulaPtr value);
 
-  std::optional<Rational> lookup_volume(const std::string& key) {
-    return volumes_.lookup(key);
-  }
-  void store_volume(const std::string& key, Rational value) {
-    volumes_.store(key, std::move(value));
-  }
+  std::optional<Rational> lookup_volume(const std::string& key);
+  void store_volume(const std::string& key, Rational value);
 
-  CacheStats rewrite_stats() const { return rewrites_.stats(); }
-  CacheStats volume_stats() const { return volumes_.stats(); }
+  CacheStats rewrite_stats() const;
+  CacheStats volume_stats() const;
   /// Both kinds combined.
   CacheStats stats() const;
 
  private:
-  ShardedLru<FormulaPtr> rewrites_;
-  ShardedLru<Rational> volumes_;
+  template <typename V>
+  struct Checked {
+    V value;
+    std::uint64_t sum = 0;
+  };
+
+  ShardedLru<Checked<FormulaPtr>> rewrites_;
+  ShardedLru<Checked<Rational>> volumes_;
+  std::atomic<std::uint64_t> rewrite_checksum_failures_{0};
+  std::atomic<std::uint64_t> volume_checksum_failures_{0};
+  Counter* checksum_fail_metric_ = nullptr;
 };
 
 }  // namespace cqa

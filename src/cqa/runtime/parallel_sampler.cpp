@@ -1,8 +1,11 @@
 #include "cqa/runtime/parallel_sampler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "cqa/approx/random.h"
+#include "cqa/guard/fault.h"
 
 namespace cqa {
 
@@ -48,7 +51,16 @@ Result<McPartial> ParallelSampler::estimate_partial(
   std::vector<Status> errors(nchunks, Status::ok());
 
   auto eval_chunk = [&](std::size_t c) {
-    if (token_expired(cancel)) return;
+    // Chaos hooks: a spuriously-cancelled chunk is dropped whole --
+    // exactly the failure mode the drop-whole-chunk partials are built
+    // for -- and a slow chunk models a straggler worker.
+    if (token_expired(cancel) ||
+        guard::fault_fires(guard::FaultSite::kSpuriousCancel)) {
+      return;
+    }
+    if (guard::fault_fires(guard::FaultSite::kSlowChunk)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     const std::size_t lo = c * chunk_size_;
     const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
     Xoshiro rng(stream_seed(seed_, c));
@@ -100,6 +112,12 @@ Result<double> ParallelSampler::estimate(
     const std::map<std::size_t, Rational>& params, ThreadPool* pool) const {
   auto r = estimate_partial(params, pool, /*cancel=*/nullptr);
   if (!r.is_ok()) return r.status();
+  // No token was passed, so an incomplete run can only mean injected
+  // spurious cancellation; refuse with a typed error rather than return
+  // a partial estimate as if it covered the full sample.
+  if (!r.value().complete) {
+    return Status::cancelled("sampler chunks dropped by injected fault");
+  }
   return r.value().estimate;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <new>
 
 #include "cqa/runtime/parallel_sampler.h"
 #include "cqa/vc/sample_bounds.h"
@@ -27,6 +29,22 @@ bool is_expiry(const Status& s) {
          s.code() == StatusCode::kCancelled;
 }
 
+// A tripped resource quota degrades a volume answer exactly like
+// deadline expiry: down the ladder, never an error to the caller.
+bool is_degradable(const Status& s) {
+  return is_expiry(s) || s.code() == StatusCode::kResourceExhausted;
+}
+
+// Which degradation rung a finished volume answer represents.
+guard::Rung rung_of(const VolumeAnswer& v) {
+  if (v.exact) return guard::Rung::kExact;
+  if (v.degraded) {
+    return v.points_evaluated > 0 ? guard::Rung::kMcPartial
+                                  : guard::Rung::kTrivialHalf;
+  }
+  return guard::Rung::kMonteCarlo;
+}
+
 }  // namespace
 
 Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
@@ -49,6 +67,7 @@ Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
       aggregate_calls_total_(metrics_.counter("aggregate_calls_total")),
       planner_decisions_total_(metrics_.counter("planner_decisions_total")),
       planner_degraded_total_(metrics_.counter("planner_degraded_total")),
+      guard_quota_trip_total_(metrics_.counter("guard_quota_trip_total")),
       rewrite_call_ns_(metrics_.histogram("rewrite_call_ns")),
       volume_call_ns_(metrics_.histogram("volume_call_ns")),
       ask_call_ns_(metrics_.histogram("ask_call_ns")),
@@ -61,11 +80,59 @@ Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
 }
 
 Result<Answer> Session::run(const Request& request) {
+  // One meter per request, scoped to the calling thread for the BigInt
+  // thread-local hook (the exact pipeline is single-threaded; MC workers
+  // run unmetered, which is safe because sampling is O(1) per point).
+  guard::WorkMeter meter(request.budget.quota);
+  guard::MeterScope meter_scope(&meter);
+  const auto start = std::chrono::steady_clock::now();
+
+  Result<Answer> result = [&]() -> Result<Answer> {
+    try {
+      return run_impl(request, &meter);
+    } catch (const std::bad_alloc&) {
+      // Allocation failure -- real, or injected at the BigInt layer by
+      // FaultSite::kBigIntAlloc. Volume requests still own a sound
+      // answer (the last rung); everything else gets a typed error.
+      if (request.kind == RequestKind::kVolume) {
+        Answer a;
+        a.kind = RequestKind::kVolume;
+        a.status = AnswerStatus::kDegraded;
+        a.volume = trivial_half_answer(true);
+        a.guard.rung = guard::Rung::kTrivialHalf;
+        planner_degraded_total_->inc();
+        return a;
+      }
+      return Status::resource_exhausted(
+          "allocation failure during query evaluation");
+    } catch (const std::exception& e) {
+      return Status::internal(std::string("query evaluation threw: ") +
+                              e.what());
+    }
+  }();
+
+  if (result.is_ok()) {
+    Answer& answer = result.value();
+    const guard::Rung rung = answer.guard.rung;
+    answer.guard = guard::make_report(meter);
+    answer.guard.rung = rung;
+    answer.elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    record_guard(answer.guard);
+  } else {
+    record_guard(guard::make_report(meter));
+  }
+  return result;
+}
+
+Result<Answer> Session::run_impl(const Request& request,
+                                 guard::WorkMeter* meter) {
   CancelToken token;
   if (request.budget.has_deadline()) {
     token.set_deadline_after_ms(request.budget.deadline_ms);
   }
-  const auto start = std::chrono::steady_clock::now();
 
   Answer answer;
   answer.kind = request.kind;
@@ -75,6 +142,7 @@ Result<Answer> Session::run(const Request& request) {
       ScopedTimer timer(ask_call_ns_);
       RewriteOptions rw;
       rw.cancel = &token;
+      rw.meter = meter;
       auto r = queries_.ask(request.query, rw);
       if (!r.is_ok()) return r.status();
       answer.truth = r.value();
@@ -85,6 +153,7 @@ Result<Answer> Session::run(const Request& request) {
       qe_rewrites_total_->inc();
       RewriteOptions rw;
       rw.cancel = &token;
+      rw.meter = meter;
       auto r = queries_.rewrite(request.query, rw);
       if (!r.is_ok()) return r.status();
       answer.formula = r.value();
@@ -95,13 +164,14 @@ Result<Answer> Session::run(const Request& request) {
       qe_rewrites_total_->inc();
       RewriteOptions rw;
       rw.cancel = &token;
+      rw.meter = meter;
       auto r = queries_.cells(request.query, request.output_vars, rw);
       if (!r.is_ok()) return r.status();
       answer.cells = r.value();
       break;
     }
     case RequestKind::kVolume: {
-      auto r = run_volume(request, &token);
+      auto r = run_volume(request, &token, meter);
       if (!r.is_ok()) return r.status();
       answer = std::move(r.value());
       break;
@@ -139,37 +209,44 @@ Result<Answer> Session::run(const Request& request) {
     }
   }
 
-  answer.elapsed_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
   return answer;
 }
 
 Result<Answer> Session::run_volume(const Request& request,
-                                   CancelToken* token) {
+                                   CancelToken* token,
+                                   guard::WorkMeter* meter) {
   ScopedTimer timer(volume_call_ns_);
   volume_calls_total_->inc();
 
   if (request.strategy) {
     // Planner bypass: the caller pinned a strategy; the budget still
-    // arms the deadline and MC sample sizing.
+    // arms the deadline and MC sample sizing. A tripped quota degrades
+    // to the last rung (expiry keeps its pre-guard error contract for
+    // pinned strategies).
     Answer answer;
     answer.kind = RequestKind::kVolume;
-    auto v = forced_volume(request, *request.strategy, token);
-    if (!v.is_ok()) return v.status();
-    answer.volume = v.value();
+    auto v = forced_volume(request, *request.strategy, token, meter);
+    if (!v.is_ok()) {
+      if (v.status().code() != StatusCode::kResourceExhausted) {
+        return v.status();
+      }
+      answer.volume = trivial_half_answer(true);
+    } else {
+      answer.volume = v.value();
+    }
+    answer.guard.rung = rung_of(answer.volume);
     if (answer.volume.degraded) {
       answer.status = AnswerStatus::kDegraded;
       planner_degraded_total_->inc();
     }
     return answer;
   }
-  return run_planned_volume(request, token);
+  return run_planned_volume(request, token, meter);
 }
 
 Result<Answer> Session::run_planned_volume(const Request& request,
-                                           CancelToken* token) {
+                                           CancelToken* token,
+                                           guard::WorkMeter* meter) {
   // --- Stats: cheap structure first, the cached rewrite if available --
   auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(request.query);
   if (!parsed.is_ok()) return parsed.status();
@@ -184,17 +261,21 @@ Result<Answer> Session::run_planned_volume(const Request& request,
   if (!analysis->is_quantifier_free() && analysis->is_linear()) {
     // Quantified FO+LIN: the QE rewrite is what exact evaluation runs
     // anyway and it is memoized, so analyze the eliminated form. A
-    // deadline firing inside QE falls straight to the last rung.
+    // deadline or quota firing inside QE falls straight to the last
+    // rung -- for a quota, MC is no rescue here because mc_count_hits
+    // needs a quantifier-free formula and QE is exactly what tripped.
     RewriteOptions rw;
     rw.cancel = token;
+    rw.meter = meter;
     auto rewritten = volumes_.queries().rewrite(request.query, rw);
     if (rewritten.is_ok()) {
       analysis = rewritten.value();
-    } else if (is_expiry(rewritten.status())) {
+    } else if (is_degradable(rewritten.status())) {
       Answer degraded;
       degraded.kind = RequestKind::kVolume;
       degraded.status = AnswerStatus::kDegraded;
       degraded.volume = trivial_half_answer(true);
+      degraded.guard.rung = guard::Rung::kTrivialHalf;
       planner_degraded_total_->inc();
       return degraded;
     } else {
@@ -233,19 +314,42 @@ Result<Answer> Session::run_planned_volume(const Request& request,
     }
     default: {
       // Exact strategies (and hit-and-run) run in the engine under the
-      // shared token; expiry mid-decomposition cannot salvage a partial
-      // exact answer, so it degrades to the last rung.
-      auto v = forced_volume(request, decision.chosen, token);
-      if (!v.is_ok()) {
-        if (!is_expiry(v.status())) return v.status();
+      // shared token and meter. Expiry mid-decomposition cannot salvage
+      // a partial exact answer, so it degrades to the last rung; a
+      // tripped quota first falls one rung to Monte-Carlo on the
+      // (quantifier-free) analysis formula -- sampling is O(1)-memory
+      // per point, so it runs fine where the exact sweep could not --
+      // and only reaches trivial-1/2 if sampling fails too.
+      auto v = forced_volume(request, decision.chosen, token, meter);
+      if (v.is_ok()) {
+        answer.volume = v.value();
+      } else if (v.status().code() == StatusCode::kResourceExhausted &&
+                 analysis->is_quantifier_free()) {
+        const std::size_t m = blumer_sample_bound(
+            request.budget.epsilon, request.budget.delta, stats.vc_dim);
+        auto mc = pooled_monte_carlo(request, analysis, m,
+                                     request.budget.epsilon, token);
+        if (mc.is_ok()) {
+          answer.volume = mc.value();
+          answer.guard.rung = rung_of(answer.volume);
+          answer.volume.degraded = true;  // carries no exact guarantee
+        } else if (is_degradable(mc.status())) {
+          answer.volume = trivial_half_answer(true);
+        } else {
+          return mc.status();
+        }
+      } else if (is_degradable(v.status())) {
         answer.volume = trivial_half_answer(true);
       } else {
-        answer.volume = v.value();
+        return v.status();
       }
       break;
     }
   }
 
+  if (answer.guard.rung == guard::Rung::kNone) {
+    answer.guard.rung = rung_of(answer.volume);
+  }
   if (answer.volume.degraded || decision.degrade_preplanned) {
     answer.status = AnswerStatus::kDegraded;
     planner_degraded_total_->inc();
@@ -255,13 +359,16 @@ Result<Answer> Session::run_planned_volume(const Request& request,
 
 Result<VolumeAnswer> Session::forced_volume(const Request& request,
                                             VolumeStrategy strategy,
-                                            CancelToken* token) {
+                                            CancelToken* token,
+                                            guard::WorkMeter* meter) {
   if (strategy == VolumeStrategy::kMonteCarlo) {
     auto membership = mc_membership_formula(request.query, token);
     if (!membership.is_ok()) {
-      // Expiry inside the QE rewrite degrades to the last rung, the
-      // same as expiry inside the sampling itself.
-      if (is_expiry(membership.status())) return trivial_half_answer(true);
+      // Expiry or a quota trip inside the QE rewrite degrades to the
+      // last rung, the same as expiry inside the sampling itself.
+      if (is_degradable(membership.status())) {
+        return trivial_half_answer(true);
+      }
       return membership.status();
     }
     VolumeOptions vo;
@@ -276,6 +383,7 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
   vo.delta = request.budget.delta;
   vo.seed = request.seed;
   vo.cancel = token;
+  vo.meter = meter;
   return volumes_.volume(request.query, request.output_vars, vo);
 }
 
@@ -352,6 +460,22 @@ void Session::record_plan(const PlanDecision& decision) {
       .counter(std::string("planner_choice_") +
                strategy_name(decision.chosen) + "_total")
       ->inc();
+}
+
+void Session::record_guard(const guard::GuardReport& report) {
+  if (report.quota_tripped) {
+    guard_quota_trip_total_->inc();
+    metrics_
+        .counter(std::string("guard_quota_trip_") + report.tripped_quota +
+                 "_total")
+        ->inc();
+  }
+  if (report.rung != guard::Rung::kNone) {
+    metrics_
+        .counter(std::string("guard_degradation_rung_") +
+                 guard::rung_name(report.rung) + "_total")
+        ->inc();
+  }
 }
 
 // --- Deprecated per-operation shims ----------------------------------

@@ -43,6 +43,7 @@
 #include "cqa/core/aggregation_engine.h"
 #include "cqa/core/query_engine.h"
 #include "cqa/core/volume_engine.h"
+#include "cqa/guard/guard.h"
 #include "cqa/plan/planner.h"
 #include "cqa/runtime/eval_cache.h"
 #include "cqa/runtime/metrics.h"
@@ -87,7 +88,7 @@ struct Request {
 
 enum class AnswerStatus {
   kOk,        // full-fidelity answer
-  kDegraded,  // deadline expired: best-so-far, widened error bars
+  kDegraded,  // deadline expired or quota tripped: best-so-far answer
 };
 
 /// The one result type. The payload matching the request kind is set;
@@ -103,6 +104,9 @@ struct Answer {
   std::optional<UPoly> growth;           // kGrowthPolynomial
   std::optional<Rational> aggregate;     // kAggregate
   std::optional<PlanDecision> plan;      // kVolume (planner-routed)
+  /// What the request's WorkMeter accounted, whether a quota tripped,
+  /// and which degradation rung served a volume request.
+  guard::GuardReport guard;
   double elapsed_ms = 0.0;
 
   bool degraded() const { return status == AnswerStatus::kDegraded; }
@@ -171,12 +175,16 @@ class Session {
     EvalCache* cache_;
   };
 
-  Result<Answer> run_volume(const Request& request, CancelToken* token);
+  Result<Answer> run_impl(const Request& request, guard::WorkMeter* meter);
+  Result<Answer> run_volume(const Request& request, CancelToken* token,
+                            guard::WorkMeter* meter);
   Result<Answer> run_planned_volume(const Request& request,
-                                    CancelToken* token);
+                                    CancelToken* token,
+                                    guard::WorkMeter* meter);
   Result<VolumeAnswer> forced_volume(const Request& request,
                                      VolumeStrategy strategy,
-                                     CancelToken* token);
+                                     CancelToken* token,
+                                     guard::WorkMeter* meter);
   // The quantifier-free membership formula Monte-Carlo evaluates:
   // expand + inline, plus the (memoized) linear QE rewrite when the
   // query is quantified. mc_count_hits rejects quantified formulas, so
@@ -189,6 +197,7 @@ class Session {
                                           double target_epsilon,
                                           CancelToken* token);
   void record_plan(const PlanDecision& decision);
+  void record_guard(const guard::GuardReport& report);
 
   const ConstraintDatabase* db_;
   SessionOptions options_;
@@ -208,6 +217,7 @@ class Session {
   Counter* aggregate_calls_total_;
   Counter* planner_decisions_total_;
   Counter* planner_degraded_total_;
+  Counter* guard_quota_trip_total_;
   Histogram* rewrite_call_ns_;
   Histogram* volume_call_ns_;
   Histogram* ask_call_ns_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
+
+#include "cqa/guard/fault.h"
 
 namespace cqa {
 
@@ -72,14 +75,48 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>* out) {
   return false;
 }
 
+// Executes one raw task. submit() and parallel_for() wrappers already
+// route their exceptions through the future / ForState, so anything
+// escaping here is either the kWorkerThrow chaos fault or a wrapper
+// that failed before reaching its own handler; both are captured so
+// the worker thread (and the process) survives.
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    if (guard::fault_fires(guard::FaultSite::kWorkerThrow)) {
+      throw std::runtime_error("cqa::guard injected worker-task fault");
+    }
+    task();
+  } catch (...) {
+    task_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  task = nullptr;
+}
+
+Status ThreadPool::drain_error() {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (!err) return Status::ok();
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("worker task threw: ") + e.what());
+  } catch (...) {
+    return Status::internal("worker task threw a non-std exception");
+  }
+}
+
 void ThreadPool::worker_loop(std::size_t self) {
   tl_pool = this;
   tl_worker = self;
   std::function<void()> task;
   for (;;) {
     if (try_pop(self, &task)) {
-      task();
-      task = nullptr;
+      run_task(task);
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);
@@ -88,8 +125,7 @@ void ThreadPool::worker_loop(std::size_t self) {
     // failed pop and the wait.
     lock.unlock();
     if (try_pop(self, &task)) {
-      task();
-      task = nullptr;
+      run_task(task);
       continue;
     }
     lock.lock();

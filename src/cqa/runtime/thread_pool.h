@@ -10,7 +10,12 @@
 //
 // Exceptions: `submit` surfaces them through the returned future;
 // `parallel_for` captures the first body exception, skips remaining
-// unclaimed chunks, and rethrows in the caller.
+// unclaimed chunks, and rethrows in the caller. A *raw* task that
+// throws out of its wrapper (possible only through the cqa::guard
+// kWorkerThrow chaos fault or a pathological allocator failure inside
+// the wrapper itself) must never std::terminate the worker: the loop
+// captures it, counts it in task_failures(), keeps the first as a
+// Status for drain_error(), and the worker keeps serving tasks.
 
 #ifndef CQA_RUNTIME_THREAD_POOL_H_
 #define CQA_RUNTIME_THREAD_POOL_H_
@@ -26,6 +31,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "cqa/util/status.h"
 
 namespace cqa {
 
@@ -60,10 +67,22 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>&
                         body);
 
+  /// Raw task exceptions captured by the worker loop (tasks that threw
+  /// out of their wrapper instead of through a future / ForState).
+  std::size_t task_failures() const {
+    return task_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns-and-clears the first captured raw-task exception as a
+  /// Status (kOk when none). The "rethrow at join" policy, minus the
+  /// throw: the destructor must stay noexcept, so joiners poll this.
+  Status drain_error();
+
  private:
   struct ForState;
 
   void enqueue(std::function<void()> task);
+  void run_task(std::function<void()>& task);
   void worker_loop(std::size_t self);
   bool try_pop(std::size_t self, std::function<void()>* out);
   static void run_chunks(const std::shared_ptr<ForState>& st);
@@ -79,6 +98,9 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> task_failures_{0};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace cqa

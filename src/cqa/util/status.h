@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnsupported,
   kDeadlineExceeded,
   kCancelled,
+  kResourceExhausted,
 };
 
 /// Lightweight success/error carrier.
@@ -57,6 +58,9 @@ class Status {
   static Status cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +82,7 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cqa/guard/fault.h"
 #include "cqa/poly/interpolation.h"
 #include "cqa/poly/univariate.h"
 
@@ -138,13 +139,15 @@ std::vector<Rational> arrangement_breakpoints(
 
 Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
                               VolumeStats* stats, bool force_sweep,
-                              const CancelToken* cancel);
+                              const CancelToken* cancel,
+                              guard::WorkMeter* meter);
 
 // One section evaluation: volume of { y : (t, y) in union of cells }.
 Result<Rational> section_volume(const std::vector<LinearCell>& cells,
                                 const Rational& t, std::size_t dim,
                                 VolumeStats* stats, bool force_sweep,
-                                const CancelToken* cancel) {
+                                const CancelToken* cancel,
+                                guard::WorkMeter* meter) {
   std::vector<LinearCell> sections;
   for (const auto& cell : cells) {
     LinearCell restricted = cell.restrict_var(0, t);
@@ -152,18 +155,27 @@ Result<Rational> section_volume(const std::vector<LinearCell>& cells,
     sections.push_back(drop_var(restricted, 0));
   }
   if (stats) ++stats->sections_evaluated;
+  if (meter != nullptr && !meter->charge_sweep_section()) {
+    return meter->check();
+  }
   return volume_union(std::move(sections), dim - 1, stats, force_sweep,
-                      cancel);
+                      cancel, meter);
 }
 
 Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
                        VolumeStats* stats, bool force_sweep,
-                       const CancelToken* cancel) {
+                       const CancelToken* cancel, guard::WorkMeter* meter) {
   if (stats) ++stats->sweep_calls;
   if (dim == 1) return interval_union_length(cells);
 
   std::vector<Rational> bps = arrangement_breakpoints(cells, dim);
   if (stats) stats->breakpoints += bps.size();
+  if (meter != nullptr) {
+    // Breakpoint enumeration is C(m, dim) determinant solves; account the
+    // materialized breakpoint list before interpolating over it.
+    meter->charge_resident_bytes(bps.size() * 32);
+    CQA_RETURN_IF_ERROR(meter->check());
+  }
   if (bps.size() < 2) {
     // Bounded full-dimensional cells must produce at least two distinct
     // breakpoints; none means the union is empty or degenerate.
@@ -180,7 +192,8 @@ Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
       if (cancel != nullptr) {
         CQA_RETURN_IF_ERROR(cancel->check());
       }
-      auto g = section_volume(cells, t, dim, stats, force_sweep, cancel);
+      auto g = section_volume(cells, t, dim, stats, force_sweep, cancel,
+                              meter);
       if (!g.is_ok()) return g;
       samples.emplace_back(t, g.value());
     }
@@ -192,9 +205,16 @@ Result<Rational> sweep(const std::vector<LinearCell>& cells, std::size_t dim,
 
 Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
                               VolumeStats* stats, bool force_sweep,
-                              const CancelToken* cancel) {
+                              const CancelToken* cancel,
+                              guard::WorkMeter* meter) {
   if (cancel != nullptr) {
     CQA_RETURN_IF_ERROR(cancel->check());
+  }
+  if (guard::fault_fires(guard::FaultSite::kSpuriousCancel)) {
+    return Status::cancelled("injected spurious cancellation (sweep)");
+  }
+  if (meter != nullptr) {
+    CQA_RETURN_IF_ERROR(meter->check());
   }
   // Keep only feasible, full-dimensional cells (others have measure 0).
   std::vector<LinearCell> live;
@@ -246,25 +266,27 @@ Result<Rational> volume_union(std::vector<LinearCell> cells, std::size_t dim,
       return total;
     }
   }
-  return sweep(live, dim, stats, force_sweep, cancel);
+  return sweep(live, dim, stats, force_sweep, cancel, meter);
 }
 
 }  // namespace
 
 Result<Rational> semilinear_volume(const std::vector<LinearCell>& cells,
                                    VolumeStats* stats,
-                                   const CancelToken* cancel) {
+                                   const CancelToken* cancel,
+                                   guard::WorkMeter* meter) {
   if (cells.empty()) return Rational(0);
   return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/false,
-                      cancel);
+                      cancel, meter);
 }
 
 Result<Rational> semilinear_volume_sweep(const std::vector<LinearCell>& cells,
                                          VolumeStats* stats,
-                                         const CancelToken* cancel) {
+                                         const CancelToken* cancel,
+                                         guard::WorkMeter* meter) {
   if (cells.empty()) return Rational(0);
   return volume_union(cells, cells[0].dim(), stats, /*force_sweep=*/true,
-                      cancel);
+                      cancel, meter);
 }
 
 Result<Rational> formula_volume(const FormulaPtr& f, std::size_t dim) {

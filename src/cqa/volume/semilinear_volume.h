@@ -20,6 +20,7 @@
 
 #include "cqa/constraint/linear_cell.h"
 #include "cqa/geometry/polytope_volume.h"
+#include "cqa/guard/meter.h"
 #include "cqa/logic/formula.h"
 #include "cqa/util/cancellation.h"
 
@@ -36,15 +37,20 @@ struct VolumeStats {
 /// Exact volume of the union of the cells. All cells must share the same
 /// ambient dimension and be bounded (error otherwise). Overlaps are fine.
 /// An expired `cancel` token aborts the sweep between section
-/// evaluations with kCancelled / kDeadlineExceeded.
+/// evaluations with kCancelled / kDeadlineExceeded; a tripped `meter`
+/// quota (sections evaluated, resident-bytes estimate) aborts the same
+/// way with kResourceExhausted, so a blowing-up sweep stops within one
+/// section of the limit instead of running the whole arrangement.
 Result<Rational> semilinear_volume(const std::vector<LinearCell>& cells,
                                    VolumeStats* stats = nullptr,
-                                   const CancelToken* cancel = nullptr);
+                                   const CancelToken* cancel = nullptr,
+                                   guard::WorkMeter* meter = nullptr);
 
 /// Forces the sweep path even where a fast path applies (for ablations).
 Result<Rational> semilinear_volume_sweep(const std::vector<LinearCell>& cells,
                                          VolumeStats* stats = nullptr,
-                                         const CancelToken* cancel = nullptr);
+                                         const CancelToken* cancel = nullptr,
+                                         guard::WorkMeter* meter = nullptr);
 
 /// VOL(phi(D)) for a quantifier-free, predicate-free FO+LIN formula with
 /// free variables 0..dim-1. The denotation must be bounded.

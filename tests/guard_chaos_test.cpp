@@ -1,0 +1,224 @@
+// cqa::guard fault injection: deterministic plans, each hook site's
+// containment contract, and the chaos runner end-to-end.
+
+#include "cqa/guard/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <string>
+
+#include "cqa/arith/bigint.h"
+#include "cqa/check/chaos.h"
+#include "cqa/guard/guard.h"
+#include "cqa/runtime/eval_cache.h"
+#include "cqa/runtime/parallel_sampler.h"
+#include "cqa/runtime/session.h"
+
+namespace cqa {
+namespace {
+
+guard::FaultPlan single_site_plan(guard::FaultSite site, double rate) {
+  guard::FaultPlan plan;
+  plan.seed = 99;
+  plan.rate[static_cast<std::size_t>(site)] = rate;
+  return plan;
+}
+
+TEST(FaultPlan, RandomPlansAreDeterministicAndBounded) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const guard::FaultPlan a = guard::FaultPlan::random(seed);
+    const guard::FaultPlan b = guard::FaultPlan::random(seed);
+    EXPECT_EQ(a.seed, b.seed);
+    int active = 0;
+    for (std::size_t i = 0; i < guard::kNumFaultSites; ++i) {
+      EXPECT_EQ(a.rate[i], b.rate[i]) << "seed " << seed << " site " << i;
+      EXPECT_GE(a.rate[i], 0.0);
+      EXPECT_LE(a.rate[i], 1.0);
+      if (a.rate[i] > 0.0) ++active;
+    }
+    EXPECT_GE(active, 1) << "seed " << seed;
+    EXPECT_LE(active, 3) << "seed " << seed;
+    EXPECT_TRUE(a.any());
+  }
+  EXPECT_FALSE(guard::FaultPlan::none().any());
+}
+
+TEST(FaultInjector, FireSequenceIsDeterministicPerArrival) {
+  const auto plan = single_site_plan(guard::FaultSite::kBigIntAlloc, 0.3);
+  std::vector<bool> first;
+  {
+    guard::FaultInjector injector(plan);
+    for (int i = 0; i < 200; ++i) {
+      first.push_back(injector.should_fire(guard::FaultSite::kBigIntAlloc));
+    }
+    EXPECT_EQ(injector.checks(guard::FaultSite::kBigIntAlloc), 200u);
+    EXPECT_GT(injector.fired(guard::FaultSite::kBigIntAlloc), 0u);
+    EXPECT_LT(injector.fired(guard::FaultSite::kBigIntAlloc), 200u);
+  }
+  guard::FaultInjector replay(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(replay.should_fire(guard::FaultSite::kBigIntAlloc),
+              first[static_cast<std::size_t>(i)])
+        << "arrival " << i;
+  }
+}
+
+TEST(FaultInjector, NoInjectorInstalledMeansNoFires) {
+  ASSERT_EQ(guard::current_fault_injector(), nullptr);
+  EXPECT_FALSE(guard::fault_fires(guard::FaultSite::kBigIntAlloc));
+  EXPECT_FALSE(guard::fault_fires(guard::FaultSite::kWorkerThrow));
+}
+
+TEST(FaultInjector, ScopedInstallAndRestore) {
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kSlowChunk, 1.0));
+  {
+    guard::ScopedFaultInjector scope(&injector);
+    EXPECT_EQ(guard::current_fault_injector(), &injector);
+    EXPECT_TRUE(guard::fault_fires(guard::FaultSite::kSlowChunk));
+    EXPECT_FALSE(guard::fault_fires(guard::FaultSite::kCachePoison));
+  }
+  EXPECT_EQ(guard::current_fault_injector(), nullptr);
+}
+
+TEST(FaultSites, BigIntAllocThrowsBadAlloc) {
+  const BigInt a = BigInt::pow(BigInt(3), 50);  // built before injection
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kBigIntAlloc, 1.0));
+  guard::ScopedFaultInjector scope(&injector);
+  EXPECT_THROW({ BigInt b = a * a; (void)b; }, std::bad_alloc);
+  EXPECT_GT(injector.fired(guard::FaultSite::kBigIntAlloc), 0u);
+}
+
+TEST(FaultSites, CachePoisonIsDetectedAndRecovered) {
+  // Poison persists past the injector's lifetime; detection must be
+  // always-on. A poisoned entry reads as a miss, the caller recomputes
+  // and overwrites, and the failure is counted.
+  MetricsRegistry metrics;
+  EvalCache cache(EvalCacheOptions{}, &metrics);
+  {
+    guard::FaultInjector injector(
+        single_site_plan(guard::FaultSite::kCachePoison, 1.0));
+    guard::ScopedFaultInjector scope(&injector);
+    cache.store_volume("vol:k", Rational(1, 3));
+  }
+  // Injector long gone: the read still catches the corruption.
+  auto r = cache.lookup_volume("vol:k");
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(cache.stats().checksum_failures, 1u);
+  EXPECT_EQ(metrics.counter_value("guard_cache_poison_detected_total"), 1u);
+  // Recovery: an honest overwrite makes the entry readable again.
+  cache.store_volume("vol:k", Rational(1, 3));
+  auto ok = cache.lookup_volume("vol:k");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, Rational(1, 3));
+  EXPECT_EQ(cache.stats().checksum_failures, 1u);  // no new failures
+}
+
+TEST(FaultSites, CleanCacheRoundTripsWithChecksumOn) {
+  EvalCache cache;
+  cache.store_volume("v", Rational(7, 2));
+  auto r = cache.lookup_volume("v");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Rational(7, 2));
+  EXPECT_EQ(cache.stats().checksum_failures, 0u);
+}
+
+TEST(FaultSites, SpuriousCancelYieldsTypedSamplerError) {
+  // With no CancelToken passed, dropped chunks must surface as a typed
+  // error -- never a partial estimate dressed up as a full one.
+  ConstraintDatabase db;
+  auto phi = db.parse("x >= 0 & x <= 1/2");  // interns x at index 0
+  ASSERT_TRUE(phi.is_ok());
+  ParallelSampler sampler(&db.db(), phi.value(), {0}, 4096, 1, 256);
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kSpuriousCancel, 1.0));
+  guard::ScopedFaultInjector scope(&injector);
+  auto est = sampler.estimate({}, nullptr);
+  ASSERT_FALSE(est.is_ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kCancelled);
+  EXPECT_GT(injector.fired(guard::FaultSite::kSpuriousCancel), 0u);
+}
+
+TEST(FaultSites, SlowChunkOnlyAddsLatency) {
+  ConstraintDatabase db;
+  auto phi = db.parse("x >= 0 & x <= 1/2");  // interns x at index 0
+  ASSERT_TRUE(phi.is_ok());
+  ParallelSampler sampler(&db.db(), phi.value(), {0}, 1024, 1, 256);
+  auto clean = sampler.estimate({}, nullptr);
+  ASSERT_TRUE(clean.is_ok());
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kSlowChunk, 1.0));
+  guard::ScopedFaultInjector scope(&injector);
+  auto slow = sampler.estimate({}, nullptr);
+  ASSERT_TRUE(slow.is_ok());
+  EXPECT_EQ(clean.value(), slow.value());  // same value, just later
+  EXPECT_GT(injector.fired(guard::FaultSite::kSlowChunk), 0u);
+}
+
+TEST(GuardSession, InjectedAllocFailureDegradesVolumeToSoundAnswer) {
+  // Every BigInt multiply throws bad_alloc: Session must convert the
+  // exact path's collapse into a degraded kOk answer, not crash and not
+  // return kUnknown-style garbage.
+  ConstraintDatabase db;
+  Session session(&db);
+  Request req;
+  req.kind = RequestKind::kVolume;
+  req.query = "x >= 0 & y >= 0 & x + y <= 1";
+  req.output_vars = {"x", "y"};
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kBigIntAlloc, 1.0));
+  guard::ScopedFaultInjector scope(&injector);
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().status, AnswerStatus::kDegraded);
+  ASSERT_TRUE(a.value().volume.estimate.has_value());
+  EXPECT_GE(a.value().volume.lower, 0.0);
+  EXPECT_LE(a.value().volume.upper, 1.0);
+  EXPECT_LE(a.value().volume.lower, a.value().volume.upper);
+}
+
+TEST(ChaosRunner, SmokeRunIsSoundAndObservable) {
+  ChaosOptions options;
+  options.trials = 40;
+  options.seed = 2026;
+  MetricsRegistry metrics;
+  const ChaosReport report = run_chaos(options, &metrics);
+  EXPECT_EQ(report.trials, 40u);
+  EXPECT_TRUE(report.violations.empty())
+      << report.violations.front().oracle << ": "
+      << report.violations.front().detail;
+  EXPECT_LE(report.stat_misses, report.allowed_stat_misses);
+  EXPECT_TRUE(report.ok());
+  // Every injected fault is observable in the metrics registry.
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_EQ(metrics.counter_value("guard_fault_injected_total"),
+            report.faults_injected);
+  std::uint64_t by_site = 0;
+  for (std::size_t i = 0; i < guard::kNumFaultSites; ++i) {
+    by_site += metrics.counter_value(
+        std::string("guard_fault_injected_") +
+        guard::fault_site_name(static_cast<guard::FaultSite>(i)) +
+        "_total");
+  }
+  EXPECT_EQ(by_site, report.faults_injected);
+}
+
+TEST(ChaosRunner, EmptyAndZeroTrialEdges) {
+  // Zero trials: vacuously ok (the faults_injected > 0 gate only binds
+  // when trials ran).
+  ChaosOptions none;
+  none.trials = 0;
+  const ChaosReport empty = run_chaos(none);
+  EXPECT_EQ(empty.trials, 0u);
+  EXPECT_TRUE(empty.ok());
+  // Unknown oracle names select nothing and report cleanly.
+  ChaosOptions unknown;
+  unknown.trials = 10;
+  unknown.oracle_names = {"no_such_oracle"};
+  EXPECT_EQ(run_chaos(unknown).trials, 0u);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cqa/guard/fault.h"
 #include "cqa/runtime/thread_pool.h"
 
 namespace cqa {
@@ -129,6 +130,47 @@ TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
   EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, InjectedWorkerThrowDoesNotTerminateWorkers) {
+  // kWorkerThrow at rate 1.0 makes every raw task throw *before* it
+  // runs -- the exact failure that used to escape worker_loop and
+  // std::terminate the process. The pool must capture it, count it,
+  // and keep its workers alive.
+  ThreadPool pool(2);
+  {
+    guard::FaultPlan plan;
+    plan.rate[static_cast<std::size_t>(guard::FaultSite::kWorkerThrow)] =
+        1.0;
+    guard::FaultInjector injector(plan);
+    guard::ScopedFaultInjector scope(&injector);
+    // The injected throw preempts the packaged_task wrapper, so the
+    // future's promise is abandoned: get() reports broken_promise
+    // (a loud, typed failure) instead of blocking or crashing. get()
+    // also synchronizes: the worker has processed the task before the
+    // injector is uninstalled below.
+    auto f = pool.submit([] { return 7; });
+    EXPECT_THROW(f.get(), std::future_error);
+    EXPECT_GT(injector.fired(guard::FaultSite::kWorkerThrow), 0u);
+  }
+  EXPECT_GT(pool.task_failures(), 0u);
+
+  // The captured exception surfaces as a typed Status, exactly once.
+  Status drained = pool.drain_error();
+  EXPECT_FALSE(drained.is_ok());
+  EXPECT_EQ(drained.code(), StatusCode::kInternal);
+  EXPECT_NE(drained.message().find("worker task threw"),
+            std::string::npos);
+  EXPECT_TRUE(pool.drain_error().is_ok());
+
+  // Workers survived: the pool still runs work with the injector gone.
+  EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPool, DrainErrorEmptyIsOk) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.drain_error().is_ok());
+  EXPECT_EQ(pool.task_failures(), 0u);
 }
 
 }  // namespace

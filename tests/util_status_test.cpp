@@ -20,6 +20,24 @@ TEST(Status, OkAndErrors) {
   EXPECT_EQ(Status::unsupported("x").code(), StatusCode::kUnsupported);
 }
 
+TEST(Status, ResourceExhausted) {
+  Status s = Status::resource_exhausted("quota exceeded: qe_atoms");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "quota exceeded: qe_atoms");
+  EXPECT_EQ(s.to_string(), "ResourceExhausted: quota exceeded: qe_atoms");
+  // Distinct from the expiry codes it degrades alongside.
+  EXPECT_NE(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.code(), StatusCode::kCancelled);
+}
+
+TEST(Status, ResourceExhaustedThroughResult) {
+  Result<int> r = Status::resource_exhausted("out of sweep sections");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.status().message(), "out of sweep sections");
+}
+
 TEST(ResultT, ValueAndStatus) {
   Result<int> ok = 42;
   EXPECT_TRUE(ok.is_ok());

@@ -4,7 +4,13 @@
 //   cqa_check --oracle scaling --trials 500
 //   cqa_check --fault exact_vs_mc --repro-dir /tmp/repros
 //   cqa_check --replay /tmp/repros/scaling-17.cqa
+//   cqa_check --chaos --trials 300 --seed 7
 //   cqa_check --list
+//
+// --chaos reruns the oracles under random seeded guard::FaultPlans:
+// trials must pass, skip, fail *loudly* (typed error while faults
+// fired), or land within the statistical delta budget -- a silently
+// wrong value, or a run that injected no faults at all, fails.
 //
 // Exit code 0 when every oracle holds (statistical failures within the
 // delta budget), 1 on any violation or replayed failure, 2 on usage
@@ -16,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cqa/check/chaos.h"
 #include "cqa/check/runner.h"
 
 namespace {
@@ -25,7 +32,8 @@ int usage(const char* argv0) {
                "usage: %s [--trials N] [--seed S] [--oracle NAME]...\n"
                "          [--fault NAME] [--repro-dir DIR] [--no-shrink]\n"
                "          [--dimension K] [--epsilon E] [--delta D]\n"
-               "          [--metrics] [--list] [--replay FILE.cqa]...\n",
+               "          [--chaos] [--metrics] [--list]\n"
+               "          [--replay FILE.cqa]...\n",
                argv0);
   return 2;
 }
@@ -76,12 +84,52 @@ int replay(const std::vector<std::string>& paths, double epsilon,
   return worst;
 }
 
+int run_chaos_mode(const cqa::CheckOptions& options, bool dump_metrics) {
+  cqa::ChaosOptions chaos;
+  chaos.trials = options.trials;
+  chaos.seed = options.seed;
+  chaos.oracle_names = options.oracle_names;
+  chaos.gen = options.gen;
+  chaos.epsilon = options.epsilon;
+  chaos.delta = options.delta;
+
+  cqa::MetricsRegistry metrics;
+  const cqa::ChaosReport report = cqa::run_chaos(chaos, &metrics);
+
+  std::printf(
+      "chaos: trials=%zu pass=%zu skip=%zu contained=%zu "
+      "stat_misses=%zu (allowed=%zu) faults_injected=%llu\n",
+      report.trials, report.passed, report.skipped, report.contained,
+      report.stat_misses, report.allowed_stat_misses,
+      static_cast<unsigned long long>(report.faults_injected));
+  for (std::size_t i = 0; i < cqa::guard::kNumFaultSites; ++i) {
+    std::printf("    %-16s fired=%llu\n",
+                cqa::guard::fault_site_name(
+                    static_cast<cqa::guard::FaultSite>(i)),
+                static_cast<unsigned long long>(report.faults_by_site[i]));
+  }
+  for (const auto& v : report.violations) {
+    std::printf("UNSOUND %s seed=%llu [%s]\n    %s\n", v.oracle.c_str(),
+                static_cast<unsigned long long>(v.formula_seed),
+                v.plan.c_str(), v.detail.c_str());
+  }
+  if (dump_metrics) {
+    std::fputs(metrics.dump().c_str(), stdout);
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "cqa_check: chaos violation\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cqa::CheckOptions options;
   std::vector<std::string> replay_paths;
   bool dump_metrics = false;
+  bool chaos_mode = false;
 
   auto need_value = [&](int i) { return i + 1 < argc; };
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +139,8 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--chaos") {
+      chaos_mode = true;
     } else if (arg == "--trials" && need_value(i)) {
       options.trials = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && need_value(i)) {
@@ -133,6 +183,9 @@ int main(int argc, char** argv) {
   }
   if (!replay_paths.empty()) {
     return replay(replay_paths, options.epsilon, options.delta);
+  }
+  if (chaos_mode) {
+    return run_chaos_mode(options, dump_metrics);
   }
 
   cqa::MetricsRegistry metrics;
