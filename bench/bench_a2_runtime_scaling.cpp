@@ -100,10 +100,10 @@ void print_table() {
   const double cold_sec = (now_seconds() - t0) / reps;
 
   Session session(&qdb, SessionOptions{.threads = 1});
-  session.rewrite(kQeQuery).value_or_die();  // warm the cache
+  session.run(Request::rewrite(kQeQuery)).value_or_die();  // warm the cache
   t0 = now_seconds();
   for (int i = 0; i < reps; ++i) {
-    session.rewrite(kQeQuery).value_or_die();
+    session.run(Request::rewrite(kQeQuery)).value_or_die();
   }
   const double warm_sec = (now_seconds() - t0) / reps;
   const auto stats = session.cache().rewrite_stats();
@@ -168,9 +168,10 @@ void BM_RewriteCached(benchmark::State& state) {
   ConstraintDatabase db;
   add_zone(&db);
   Session session(&db, SessionOptions{.threads = 1});
-  session.rewrite(kQeQuery).value_or_die();
+  session.run(Request::rewrite(kQeQuery)).value_or_die();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(session.rewrite(kQeQuery).value_or_die());
+    benchmark::DoNotOptimize(
+        session.run(Request::rewrite(kQeQuery)).value_or_die());
   }
 }
 BENCHMARK(BM_RewriteCached);
@@ -179,10 +180,11 @@ void BM_ExactVolumeCached(benchmark::State& state) {
   ConstraintDatabase db;
   add_zone(&db);
   Session session(&db, SessionOptions{.threads = 1});
-  session.volume("Zone(x, y)", {"x", "y"}).value_or_die();
+  session.run(Request::volume("Zone(x, y)").vars({"x", "y"})).value_or_die();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        session.volume("Zone(x, y)", {"x", "y"}).value_or_die());
+        session.run(Request::volume("Zone(x, y)").vars({"x", "y"}))
+            .value_or_die());
   }
 }
 BENCHMARK(BM_ExactVolumeCached);

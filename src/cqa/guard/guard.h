@@ -33,6 +33,10 @@ struct GuardReport {
   bool quota_tripped = false;
   std::string tripped_quota;  // quota_kind_name(..), "" when none
   Rung rung = Rung::kNone;
+  /// True when the serving layer shed this request at admission (queue
+  /// over capacity): the answer is the last rung, computed without
+  /// running any engine.
+  bool shed = false;
 
   std::string to_string() const;
 };

@@ -5,7 +5,13 @@
 namespace cqa {
 
 std::size_t VarTable::index_of(const std::string& name) {
-  auto it = index_.find(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);  // re-check: another interner may have won
   if (it != index_.end()) return it->second;
   std::size_t idx = names_.size();
   index_.emplace(name, idx);
@@ -14,11 +20,13 @@ std::size_t VarTable::index_of(const std::string& name) {
 }
 
 int VarTable::find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(name);
   return it == index_.end() ? -1 : static_cast<int>(it->second);
 }
 
 std::string VarTable::name_of(std::size_t i) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (i < names_.size()) return names_[i];
   return "x" + std::to_string(i);
 }

@@ -23,6 +23,8 @@
 #define CQA_LOGIC_PARSER_H_
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,18 +33,50 @@
 namespace cqa {
 
 /// Maps variable names to indices (and back) across parses.
+///
+/// Internally synchronized: a ConstraintDatabase's table is shared by
+/// every parse, and the serving layer runs parses on concurrent
+/// executor threads. Interning takes the lock exclusively; lookups take
+/// it shared. names() returns a snapshot for the same reason.
 class VarTable {
  public:
+  VarTable() = default;
+  VarTable(const VarTable& other) : VarTable(other, ReadLocked(other)) {}
+  VarTable& operator=(const VarTable& other) {
+    if (this != &other) {
+      VarTable copy(other);
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      index_ = std::move(copy.index_);
+      names_ = std::move(copy.names_);
+    }
+    return *this;
+  }
+
   /// Index of `name`, allocating the next free index if new.
   std::size_t index_of(const std::string& name);
   /// Index if present, -1 otherwise.
   int find(const std::string& name) const;
   /// Name of index i ("x<i>" if the index was never named).
   std::string name_of(std::size_t i) const;
-  std::size_t size() const { return names_.size(); }
-  const std::vector<std::string>& names() const { return names_; }
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.size();
+  }
+  std::vector<std::string> names() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_;
+  }
 
  private:
+  // Copy-under-lock helper: holds other's lock while members copy.
+  struct ReadLocked {
+    explicit ReadLocked(const VarTable& t) : lock(t.mu_) {}
+    std::shared_lock<std::shared_mutex> lock;
+  };
+  VarTable(const VarTable& other, const ReadLocked&)
+      : index_(other.index_), names_(other.names_) {}
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::size_t> index_;
   std::vector<std::string> names_;
 };

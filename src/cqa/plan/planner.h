@@ -108,6 +108,19 @@ FormulaStats extract_stats(const FormulaPtr& analysis,
 /// confidence 1 - delta: sqrt(ln(2/delta) / 2n). Returns 0.5 for n == 0.
 double hoeffding_epsilon(double delta, std::size_t n);
 
+/// The last rung of the degradation ladder: Proposition 4's constant 1/2
+/// with hard bars [0, 1]. Needs no decomposition, so it is always
+/// available -- when a deadline expires before any work runs, when a
+/// quota trips inside QE, or when the serving layer sheds at admission.
+inline VolumeAnswer trivial_half_volume(bool degraded) {
+  VolumeAnswer a;
+  a.estimate = 0.5;
+  a.lower = 0.0;
+  a.upper = 1.0;
+  a.degraded = degraded;
+  return a;
+}
+
 /// The planner: pure function from stats + budget to a decision.
 PlanDecision plan_volume(const FormulaStats& stats, const Budget& budget,
                          const CostModel& model = {});

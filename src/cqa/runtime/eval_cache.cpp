@@ -43,7 +43,77 @@ std::uint64_t maybe_poison(std::uint64_t sum) {
   return sum;
 }
 
+// Serve-context marker. A depth counter (not a flag) keeps nested
+// scopes -- a scheduler executor running a request that spawns another
+// scoped section -- well defined.
+thread_local int tl_serve_depth = 0;
+
 }  // namespace
+
+bool in_serve_context() { return tl_serve_depth > 0; }
+
+ServeFlightScope::ServeFlightScope(EvalCache* cache) : cache_(cache) {
+  ++tl_serve_depth;
+}
+
+ServeFlightScope::~ServeFlightScope() {
+  --tl_serve_depth;
+  if (cache_ != nullptr) {
+    cache_->rewrite_flights_.abandon_thread();
+    cache_->volume_flights_.abandon_thread();
+  }
+}
+
+FlightTable::JoinResult FlightTable::join(const std::string& key,
+                                          Counter* coalesced) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) {
+    flights_.emplace(key, std::this_thread::get_id());
+    return JoinResult::kLeader;
+  }
+  if (it->second == std::this_thread::get_id()) {
+    // Recursive lookup of a key this thread is already computing (the
+    // volume pipeline consulting the rewrite entry it leads): compute
+    // inline; the nested store lands the flight early, which is fine.
+    return JoinResult::kLeader;
+  }
+  if (coalesced) coalesced->inc();
+  // Wait until no flight exists for the key. A *new* leader may take
+  // over between the wake and the predicate re-check; keep waiting on
+  // it -- the caller only cares that some leader published or died.
+  cv_.wait(lock, [&] { return flights_.find(key) == flights_.end(); });
+  return JoinResult::kRetry;
+}
+
+void FlightTable::land(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it != flights_.end() && it->second == std::this_thread::get_id()) {
+    flights_.erase(it);
+    cv_.notify_all();
+  }
+}
+
+std::size_t FlightTable::abandon_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = flights_.begin(); it != flights_.end();) {
+    if (it->second == std::this_thread::get_id()) {
+      it = flights_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) cv_.notify_all();
+  return dropped;
+}
+
+std::size_t FlightTable::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
 
 EvalCache::EvalCache(EvalCacheOptions options, MetricsRegistry* metrics)
     : rewrites_(options.rewrite_capacity, options.shards,
@@ -55,9 +125,11 @@ EvalCache::EvalCache(EvalCacheOptions options, MetricsRegistry* metrics)
                metric_or_null(metrics, "cache_misses_total"),
                metric_or_null(metrics, "cache_evictions_total")),
       checksum_fail_metric_(
-          metric_or_null(metrics, "guard_cache_poison_detected_total")) {}
+          metric_or_null(metrics, "guard_cache_poison_detected_total")),
+      coalesced_metric_(metric_or_null(metrics, "serve_coalesced_total")) {}
 
-std::optional<FormulaPtr> EvalCache::lookup_rewrite(const std::string& key) {
+std::optional<FormulaPtr> EvalCache::lookup_rewrite_once(
+    const std::string& key) {
   auto entry = rewrites_.lookup(key);
   if (!entry) return std::nullopt;
   if (checksum_formula(entry->value) != entry->sum) {
@@ -68,14 +140,31 @@ std::optional<FormulaPtr> EvalCache::lookup_rewrite(const std::string& key) {
   return std::move(entry->value);
 }
 
+std::optional<FormulaPtr> EvalCache::lookup_rewrite(const std::string& key) {
+  if (!in_serve_context()) return lookup_rewrite_once(key);
+  for (;;) {
+    if (auto hit = lookup_rewrite_once(key)) return hit;
+    if (rewrite_flights_.join(key, coalesced_metric_) ==
+        FlightTable::JoinResult::kLeader) {
+      // Miss returned to the engine, which computes and stores (landing
+      // the flight) -- or errors, in which case the ServeFlightScope
+      // abandons the flight and a follower takes over.
+      return std::nullopt;
+    }
+    // A leader landed or abandoned while we waited: retry the lookup.
+  }
+}
+
 void EvalCache::store_rewrite(const std::string& key, FormulaPtr value) {
   Checked<FormulaPtr> entry;
   entry.sum = maybe_poison(checksum_formula(value));
   entry.value = std::move(value);
   rewrites_.store(key, std::move(entry));
+  rewrite_flights_.land(key);
 }
 
-std::optional<Rational> EvalCache::lookup_volume(const std::string& key) {
+std::optional<Rational> EvalCache::lookup_volume_once(
+    const std::string& key) {
   auto entry = volumes_.lookup(key);
   if (!entry) return std::nullopt;
   if (checksum_rational(entry->value) != entry->sum) {
@@ -86,11 +175,27 @@ std::optional<Rational> EvalCache::lookup_volume(const std::string& key) {
   return std::move(entry->value);
 }
 
+std::optional<Rational> EvalCache::lookup_volume(const std::string& key) {
+  if (!in_serve_context()) return lookup_volume_once(key);
+  for (;;) {
+    if (auto hit = lookup_volume_once(key)) return hit;
+    if (volume_flights_.join(key, coalesced_metric_) ==
+        FlightTable::JoinResult::kLeader) {
+      return std::nullopt;
+    }
+  }
+}
+
 void EvalCache::store_volume(const std::string& key, Rational value) {
   Checked<Rational> entry;
   entry.sum = maybe_poison(checksum_rational(value));
   entry.value = std::move(value);
   volumes_.store(key, std::move(entry));
+  volume_flights_.land(key);
+}
+
+std::size_t EvalCache::flights_in_flight() const {
+  return rewrite_flights_.in_flight() + volume_flights_.in_flight();
 }
 
 CacheStats EvalCache::rewrite_stats() const {

@@ -16,12 +16,14 @@
 #define CQA_RUNTIME_EVAL_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -140,6 +142,66 @@ struct EvalCacheOptions {
   std::size_t shards = 8;
 };
 
+/// Registry of in-flight computations, keyed by cache key: the
+/// single-flight half of the cache (the LRU dedups *completed* work;
+/// this dedups work that is still running). The first thread to join a
+/// key becomes its leader and computes; later joiners block until the
+/// leader lands the value (store) or abandons (error / scope exit),
+/// then retry the cache lookup. A leader re-joining its own key (the
+/// volume pipeline re-entering the rewrite lookup it is computing)
+/// stays leader and computes inline rather than self-deadlocking.
+class FlightTable {
+ public:
+  enum class JoinResult {
+    kLeader,  // caller owns the computation; publish via land/abandon
+    kRetry,   // a leader finished meanwhile; redo the cache lookup
+  };
+
+  /// Blocks while another thread leads `key`. `coalesced` (may be null)
+  /// is bumped once per blocked joiner -- the serve_coalesced_total
+  /// metric counts exactly the duplicate computations avoided.
+  JoinResult join(const std::string& key, Counter* coalesced);
+
+  /// Leader publishes: the value is in the cache, wake all followers.
+  /// No-op unless the calling thread leads `key` (idempotent, and safe
+  /// against a racing synchronous store from a non-serve thread).
+  void land(const std::string& key);
+
+  /// Drops every flight the calling thread still leads (computation
+  /// errored out before store). Followers wake, retry, and the first
+  /// one to re-join becomes the new leader. Returns the number dropped.
+  std::size_t abandon_thread();
+
+  std::size_t in_flight() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, std::thread::id> flights_;
+};
+
+/// True while the calling thread runs a request on behalf of the
+/// serving layer. Single-flight joins happen only in this context:
+/// synchronous Session::run keeps the plain lookup/compute/store path,
+/// because a blocking join would change its latency contract and the
+/// serve layer is the first place where requests interact.
+bool in_serve_context();
+
+/// RAII serve-context marker, installed by serve::Scheduler executors
+/// around each request. On exit it abandons any flights the thread
+/// still leads (the computation failed before landing), so followers
+/// can never be stranded by a leader that errored.
+class ServeFlightScope {
+ public:
+  explicit ServeFlightScope(class EvalCache* cache);
+  ~ServeFlightScope();
+  ServeFlightScope(const ServeFlightScope&) = delete;
+  ServeFlightScope& operator=(const ServeFlightScope&) = delete;
+
+ private:
+  class EvalCache* cache_;
+};
+
 /// The runtime's memo-cache: rewrite results (quantifier-eliminated
 /// formulas) and exact volume results, independently LRU-bounded.
 ///
@@ -148,6 +210,12 @@ struct EvalCacheOptions {
 /// rot, or the cqa::guard kCachePoison chaos fault) is counted, the
 /// entry is treated as a miss, and the caller recomputes + overwrites --
 /// a poisoned cache can cost latency but never a silently wrong answer.
+///
+/// In serve context (see ServeFlightScope) lookups additionally join a
+/// FlightTable: a miss on a key another serve thread is already
+/// computing blocks until that leader stores (then hits) instead of
+/// recomputing -- N identical concurrent requests cost one computation
+/// plus N reads.
 class EvalCache {
  public:
   explicit EvalCache(EvalCacheOptions options = {},
@@ -164,7 +232,17 @@ class EvalCache {
   /// Both kinds combined.
   CacheStats stats() const;
 
+  /// Flights still running (for tests / introspection).
+  std::size_t flights_in_flight() const;
+
  private:
+  friend class ServeFlightScope;
+
+  // One verified read of the underlying LRU (nullopt on miss or
+  // checksum failure); the serve-context wrappers loop join() around
+  // these.
+  std::optional<FormulaPtr> lookup_rewrite_once(const std::string& key);
+  std::optional<Rational> lookup_volume_once(const std::string& key);
   template <typename V>
   struct Checked {
     V value;
@@ -173,9 +251,12 @@ class EvalCache {
 
   ShardedLru<Checked<FormulaPtr>> rewrites_;
   ShardedLru<Checked<Rational>> volumes_;
+  FlightTable rewrite_flights_;
+  FlightTable volume_flights_;
   std::atomic<std::uint64_t> rewrite_checksum_failures_{0};
   std::atomic<std::uint64_t> volume_checksum_failures_{0};
   Counter* checksum_fail_metric_ = nullptr;
+  Counter* coalesced_metric_ = nullptr;
 };
 
 }  // namespace cqa

@@ -25,6 +25,13 @@ Counter* MetricsRegistry::counter(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
@@ -38,10 +45,17 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
 void MetricsRegistry::absorb(const MetricsRegistry& other) {
   // Snapshot `other` under its lock, then merge under ours; never hold
   // both (same-order deadlock risk if two registries absorb each other).
   std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauge_peaks;
   struct HistSnapshot {
     std::uint64_t buckets[Histogram::kBuckets];
     std::uint64_t count;
@@ -52,6 +66,9 @@ void MetricsRegistry::absorb(const MetricsRegistry& other) {
     std::lock_guard<std::mutex> lock(other.mu_);
     for (const auto& [name, c] : other.counters_) {
       counters[name] = c->value();
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauge_peaks[name] = g->peak();
     }
     for (const auto& [name, h] : other.histograms_) {
       HistSnapshot& snap = histograms[name];
@@ -64,6 +81,12 @@ void MetricsRegistry::absorb(const MetricsRegistry& other) {
   }
   for (const auto& [name, value] : counters) {
     if (value != 0) counter(name)->inc(value);
+  }
+  // Gauges are levels, not totals: merging current values from a
+  // finished session would be meaningless, so absorb keeps the max of
+  // the high-water marks instead.
+  for (const auto& [name, pk] : gauge_peaks) {
+    gauge(name)->raise_peak(pk);
   }
   for (const auto& [name, snap] : histograms) {
     Histogram* h = histogram(name);
@@ -87,6 +110,10 @@ std::string MetricsRegistry::dump() const {
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     out << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << ' ' << g->value() << '\n';
+    out << name << "_peak " << g->peak() << '\n';
   }
   for (const auto& [name, h] : histograms_) {
     out << name << "_count " << h->count() << '\n';

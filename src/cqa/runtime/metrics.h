@@ -34,6 +34,43 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Level gauge (current queue depth, in-flight work): unlike a Counter
+/// it moves both ways. add()/sub()/set() are wait-free; `peak` tracks
+/// the high-water mark so a dump shows pressure even after it drains.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) {
+    const std::int64_t now =
+        value_.fetch_add(n, std::memory_order_relaxed) + n;
+    raise_peak(now);
+  }
+  void sub(std::int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    raise_peak(v);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;  // absorb() merges peaks only
+
+  void raise_peak(std::int64_t v) {
+    std::int64_t cur = peak_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !peak_.compare_exchange_weak(cur, v,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
 /// Latency histogram with power-of-two nanosecond buckets: bucket b
 /// counts observations in [2^b, 2^(b+1)) ns (bucket 0 also catches 0).
 /// observe() is wait-free.
@@ -67,10 +104,14 @@ class Histogram {
 class MetricsRegistry {
  public:
   Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
 
   /// Value of a counter if registered, 0 otherwise (for tests).
   std::uint64_t counter_value(const std::string& name) const;
+
+  /// Value of a gauge if registered, 0 otherwise (for tests).
+  std::int64_t gauge_value(const std::string& name) const;
 
   /// Plain-text dump, one metric per line, names sorted.
   std::string dump() const;
@@ -83,6 +124,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

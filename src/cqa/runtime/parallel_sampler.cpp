@@ -26,73 +26,54 @@ ParallelSampler::ParallelSampler(const Database* db, FormulaPtr phi,
   inlined_ = inlined.value();
 }
 
-Result<McPartial> ParallelSampler::estimate_partial(
-    const std::map<std::size_t, Rational>& params, ThreadPool* pool,
-    const CancelToken* cancel) const {
-  CQA_RETURN_IF_ERROR(init_);
-  McPartial out;
-  out.requested = sample_size_;
-  if (sample_size_ == 0) {
-    out.complete = true;
-    return out;
+// Chunk-indexed outputs: no shared mutable state between chunks, and
+// the final reduction runs in chunk order regardless of scheduling.
+// A chunk either completes (done = 1) or is dropped whole -- a chunk
+// interrupted mid-count contributes nothing. Survivors are whichever
+// chunks beat the deadline, so a partial estimate carries the mild
+// survivorship caveat documented on McPartial; a complete run is exact.
+void ParallelSampler::eval_chunk_into(
+    std::size_t c, const std::map<std::size_t, Rational>& params,
+    const CancelToken* cancel, std::size_t* hit_out, char* done_out,
+    Status* err_out) const {
+  // Chaos hooks: a spuriously-cancelled chunk is dropped whole --
+  // exactly the failure mode the drop-whole-chunk partials are built
+  // for -- and a slow chunk models a straggler worker.
+  if (token_expired(cancel) ||
+      guard::fault_fires(guard::FaultSite::kSpuriousCancel)) {
+    return;
+  }
+  if (guard::fault_fires(guard::FaultSite::kSlowChunk)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   const std::size_t dim = element_vars_.size();
-  const std::size_t nchunks = num_chunks();
-
-  // Chunk-indexed outputs: no shared mutable state between chunks, and
-  // the final reduction runs in chunk order regardless of scheduling.
-  // A chunk either completes (done[c] = 1) or is dropped whole -- a
-  // chunk interrupted mid-count contributes nothing. Survivors are
-  // whichever chunks beat the deadline, so a partial estimate carries
-  // the mild survivorship caveat documented on McPartial; a complete
-  // run is exact.
-  std::vector<std::size_t> hits(nchunks, 0);
-  std::vector<char> done(nchunks, 0);
-  std::vector<Status> errors(nchunks, Status::ok());
-
-  auto eval_chunk = [&](std::size_t c) {
-    // Chaos hooks: a spuriously-cancelled chunk is dropped whole --
-    // exactly the failure mode the drop-whole-chunk partials are built
-    // for -- and a slow chunk models a straggler worker.
-    if (token_expired(cancel) ||
-        guard::fault_fires(guard::FaultSite::kSpuriousCancel)) {
-      return;
-    }
-    if (guard::fault_fires(guard::FaultSite::kSlowChunk)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-    const std::size_t lo = c * chunk_size_;
-    const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
-    Xoshiro rng(stream_seed(seed_, c));
-    std::vector<std::vector<double>> points;
-    points.reserve(hi - lo);
-    for (std::size_t i = lo; i < hi; ++i) points.push_back(rng.point(dim));
-    auto r = mc_count_hits(inlined_, element_vars_, params, points.data(),
-                           points.size(), cancel);
-    if (r.is_ok()) {
-      hits[c] = r.value();
-      done[c] = 1;
-    } else if (r.status().code() != StatusCode::kCancelled &&
-               r.status().code() != StatusCode::kDeadlineExceeded) {
-      errors[c] = r.status();
-    }
-  };
-
-  if (pool != nullptr) {
-    pool->parallel_for(0, nchunks, 1,
-                       [&](std::size_t lo, std::size_t hi) {
-                         for (std::size_t c = lo; c < hi; ++c) {
-                           eval_chunk(c);
-                         }
-                       });
-  } else {
-    for (std::size_t c = 0; c < nchunks; ++c) eval_chunk(c);
+  const std::size_t lo = c * chunk_size_;
+  const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
+  Xoshiro rng(stream_seed(seed_, c));
+  std::vector<std::vector<double>> points;
+  points.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) points.push_back(rng.point(dim));
+  auto r = mc_count_hits(inlined_, element_vars_, params, points.data(),
+                         points.size(), cancel);
+  if (r.is_ok()) {
+    *hit_out = r.value();
+    *done_out = 1;
+  } else if (r.status().code() != StatusCode::kCancelled &&
+             r.status().code() != StatusCode::kDeadlineExceeded) {
+    *err_out = r.status();
   }
+}
 
+Result<McPartial> ParallelSampler::reduce_partial(
+    const std::vector<std::size_t>& hits, const std::vector<char>& done,
+    const std::vector<Status>& errors) const {
   // First error in chunk order wins (deterministic across schedules).
   for (const Status& s : errors) {
     CQA_RETURN_IF_ERROR(s);
   }
+  McPartial out;
+  out.requested = sample_size_;
+  const std::size_t nchunks = num_chunks();
   for (std::size_t c = 0; c < nchunks; ++c) {
     if (!done[c]) continue;
     const std::size_t lo = c * chunk_size_;
@@ -106,6 +87,103 @@ Result<McPartial> ParallelSampler::estimate_partial(
                    static_cast<double>(out.evaluated);
   }
   return out;
+}
+
+Result<McPartial> ParallelSampler::estimate_partial(
+    const std::map<std::size_t, Rational>& params, ThreadPool* pool,
+    const CancelToken* cancel) const {
+  CQA_RETURN_IF_ERROR(init_);
+  if (sample_size_ == 0) {
+    McPartial out;
+    out.complete = true;
+    return out;
+  }
+  const std::size_t nchunks = num_chunks();
+  std::vector<std::size_t> hits(nchunks, 0);
+  std::vector<char> done(nchunks, 0);
+  std::vector<Status> errors(nchunks, Status::ok());
+
+  auto eval_chunk = [&](std::size_t c) {
+    eval_chunk_into(c, params, cancel, &hits[c], &done[c], &errors[c]);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, nchunks, 1,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t c = lo; c < hi; ++c) {
+                           eval_chunk(c);
+                         }
+                       });
+  } else {
+    for (std::size_t c = 0; c < nchunks; ++c) eval_chunk(c);
+  }
+  return reduce_partial(hits, done, errors);
+}
+
+std::vector<Result<McPartial>> ParallelSampler::estimate_partial_batch(
+    const std::vector<McBatchItem>& items,
+    const std::map<std::size_t, Rational>& params, ThreadPool* pool) {
+  const std::size_t n = items.size();
+  std::vector<Result<McPartial>> results(
+      n, Status::internal("batch slot not filled"));
+
+  // Per-item chunk grids, laid out consecutively in one global index
+  // space: global chunk g belongs to the item whose [offset, offset +
+  // num_chunks) range contains it. Items that failed to inline (or are
+  // empty) occupy zero global chunks and resolve immediately.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<std::vector<std::size_t>> hits(n);
+  std::vector<std::vector<char>> done(n);
+  std::vector<std::vector<Status>> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ParallelSampler& s = *items[i].sampler;
+    std::size_t chunks = 0;
+    if (!s.init_.is_ok()) {
+      results[i] = s.init_;
+    } else if (s.sample_size_ == 0) {
+      McPartial out;
+      out.complete = true;
+      results[i] = out;
+    } else {
+      chunks = s.num_chunks();
+      hits[i].assign(chunks, 0);
+      done[i].assign(chunks, 0);
+      errors[i].assign(chunks, Status::ok());
+    }
+    offsets[i + 1] = offsets[i] + chunks;
+  }
+  const std::size_t total = offsets[n];
+
+  auto eval_global = [&](std::size_t g) {
+    // Find the owning item: last offset <= g.
+    const std::size_t i =
+        static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), g) -
+            offsets.begin()) -
+        1;
+    const std::size_t c = g - offsets[i];
+    items[i].sampler->eval_chunk_into(c, params, items[i].cancel,
+                                      &hits[i][c], &done[i][c],
+                                      &errors[i][c]);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, total, 1,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t g = lo; g < hi; ++g) {
+                           eval_global(g);
+                         }
+                       });
+  } else {
+    for (std::size_t g = 0; g < total; ++g) eval_global(g);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (offsets[i + 1] == offsets[i]) continue;  // resolved up front
+    results[i] =
+        items[i].sampler->reduce_partial(hits[i], done[i], errors[i]);
+  }
+  return results;
 }
 
 Result<double> ParallelSampler::estimate(

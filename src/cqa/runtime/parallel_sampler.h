@@ -41,6 +41,16 @@ struct McPartial {
   bool complete = false;      // evaluated == requested
 };
 
+class ParallelSampler;
+
+/// One member of a fused batch estimation: a sampler plus the cancel
+/// token of the request it serves (tokens stay per-request so one
+/// caller's deadline never cancels another's chunks).
+struct McBatchItem {
+  const ParallelSampler* sampler = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
 class ParallelSampler {
  public:
   /// `phi` is inlined against `db` once, up front (failure surfaces from
@@ -63,6 +73,17 @@ class ParallelSampler {
       const std::map<std::size_t, Rational>& params, ThreadPool* pool,
       const CancelToken* cancel) const;
 
+  /// Fuses the chunk grids of several samplers into ONE parallel_for so
+  /// a batch of compatible Monte-Carlo requests shares pool scheduling
+  /// instead of running back to back. Each item's chunks use its own
+  /// (seed, sample_size, chunk_size) stream and its own cancel token,
+  /// so results[i] is bitwise identical to items[i].sampler->
+  /// estimate_partial(params, pool, items[i].cancel) run solo. Errors
+  /// are per-item: one bad formula fails its own slot only.
+  static std::vector<Result<McPartial>> estimate_partial_batch(
+      const std::vector<McBatchItem>& items,
+      const std::map<std::size_t, Rational>& params, ThreadPool* pool);
+
   std::size_t sample_size() const { return sample_size_; }
   std::size_t chunk_size() const { return chunk_size_; }
   std::size_t num_chunks() const {
@@ -72,6 +93,18 @@ class ParallelSampler {
   }
 
  private:
+  // One chunk of this sampler's grid: draws its points, counts hits,
+  // writes into the chunk-indexed output slots. Shared by the solo and
+  // batch paths so their per-chunk behaviour is the same code.
+  void eval_chunk_into(std::size_t c,
+                       const std::map<std::size_t, Rational>& params,
+                       const CancelToken* cancel, std::size_t* hit_out,
+                       char* done_out, Status* err_out) const;
+  // Chunk-order reduction of one grid's outputs into a McPartial.
+  Result<McPartial> reduce_partial(const std::vector<std::size_t>& hits,
+                                   const std::vector<char>& done,
+                                   const std::vector<Status>& errors) const;
+
   Status init_;  // inline_predicates outcome, checked in estimate()
   FormulaPtr inlined_;
   std::vector<std::size_t> element_vars_;

@@ -1,0 +1,42 @@
+#include "cqa/runtime/request.h"
+
+namespace cqa {
+
+namespace {
+
+bool is_volume_kind(RequestKind k) {
+  return k == RequestKind::kVolume || k == RequestKind::kMu ||
+         k == RequestKind::kGrowthPolynomial;
+}
+
+}  // namespace
+
+Status validate_request(const Request& request) {
+  if (request.query.empty()) {
+    return Status::invalid("request has an empty query");
+  }
+  if (!(request.budget.epsilon > 0.0 && request.budget.epsilon < 1.0)) {
+    return Status::invalid(
+        "budget.epsilon must lie in (0, 1), got " +
+        std::to_string(request.budget.epsilon));
+  }
+  if (!(request.budget.delta > 0.0 && request.budget.delta < 1.0)) {
+    return Status::invalid("budget.delta must lie in (0, 1), got " +
+                           std::to_string(request.budget.delta));
+  }
+  if (is_volume_kind(request.kind) && request.output_vars.empty()) {
+    return Status::invalid(
+        "volume-kind requests need at least one output variable");
+  }
+  if (request.kind == RequestKind::kAggregate &&
+      request.output_vars.size() != 1) {
+    return Status::invalid(
+        "aggregate requests take exactly one output variable");
+  }
+  if (request.vc_dim && !(*request.vc_dim > 0.0)) {
+    return Status::invalid("vc_dim override must be positive");
+  }
+  return Status::ok();
+}
+
+}  // namespace cqa

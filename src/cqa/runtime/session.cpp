@@ -6,23 +6,12 @@
 #include <new>
 
 #include "cqa/runtime/parallel_sampler.h"
+#include "cqa/serve/scheduler.h"
 #include "cqa/vc/sample_bounds.h"
 
 namespace cqa {
 
 namespace {
-
-// The last rung of the degradation ladder: Proposition 4's constant 1/2
-// with hard bars [0, 1]. Needs no decomposition, so it is always
-// available, even when the deadline expired before any work ran.
-VolumeAnswer trivial_half_answer(bool degraded) {
-  VolumeAnswer a;
-  a.estimate = 0.5;
-  a.lower = 0.0;
-  a.upper = 1.0;
-  a.degraded = degraded;
-  return a;
-}
 
 bool is_expiry(const Status& s) {
   return s.code() == StatusCode::kDeadlineExceeded ||
@@ -79,7 +68,30 @@ Session::Session(const ConstraintDatabase* db, const SessionOptions& options)
   volumes_.queries().set_cache(&rewrite_adapter_);
 }
 
+// Out of line for the unique_ptr<serve::Scheduler> member; the
+// scheduler (declared last) is destroyed before the pool and caches
+// its executors use.
+Session::~Session() = default;
+
+serve::Scheduler& Session::scheduler() {
+  std::call_once(scheduler_once_, [&] {
+    serve::SchedulerOptions so;
+    so.executors = options_.serve_executors;
+    so.queue_capacity = options_.serve_queue_capacity;
+    so.promote_within_ms = options_.serve_promote_within_ms;
+    so.max_mc_batch = options_.serve_max_mc_batch;
+    scheduler_ = std::make_unique<serve::Scheduler>(this, so);
+  });
+  return *scheduler_;
+}
+
+serve::Ticket Session::submit(Request request) {
+  return scheduler().submit(std::move(request));
+}
+
 Result<Answer> Session::run(const Request& request) {
+  if (Status v = validate_request(request); !v.is_ok()) return v;
+
   // One meter per request, scoped to the calling thread for the BigInt
   // thread-local hook (the exact pipeline is single-threaded; MC workers
   // run unmetered, which is safe because sampling is O(1) per point).
@@ -98,7 +110,7 @@ Result<Answer> Session::run(const Request& request) {
         Answer a;
         a.kind = RequestKind::kVolume;
         a.status = AnswerStatus::kDegraded;
-        a.volume = trivial_half_answer(true);
+        a.volume = trivial_half_volume(true);
         a.guard.rung = guard::Rung::kTrivialHalf;
         planner_degraded_total_->inc();
         return a;
@@ -129,9 +141,14 @@ Result<Answer> Session::run(const Request& request) {
 
 Result<Answer> Session::run_impl(const Request& request,
                                  guard::WorkMeter* meter) {
-  CancelToken token;
-  if (request.budget.has_deadline()) {
-    token.set_deadline_after_ms(request.budget.deadline_ms);
+  // The caller's token governs when provided (the serve layer arms its
+  // deadline at submit time so queue wait counts); otherwise a local
+  // token carries the budget deadline for this call only.
+  CancelToken local_token;
+  CancelToken* token =
+      request.cancel != nullptr ? request.cancel : &local_token;
+  if (request.budget.has_deadline() && !token->has_deadline()) {
+    token->set_deadline_after_ms(request.budget.deadline_ms);
   }
 
   Answer answer;
@@ -141,7 +158,7 @@ Result<Answer> Session::run_impl(const Request& request,
     case RequestKind::kAsk: {
       ScopedTimer timer(ask_call_ns_);
       RewriteOptions rw;
-      rw.cancel = &token;
+      rw.cancel = token;
       rw.meter = meter;
       auto r = queries_.ask(request.query, rw);
       if (!r.is_ok()) return r.status();
@@ -152,7 +169,7 @@ Result<Answer> Session::run_impl(const Request& request,
       ScopedTimer timer(rewrite_call_ns_);
       qe_rewrites_total_->inc();
       RewriteOptions rw;
-      rw.cancel = &token;
+      rw.cancel = token;
       rw.meter = meter;
       auto r = queries_.rewrite(request.query, rw);
       if (!r.is_ok()) return r.status();
@@ -163,7 +180,7 @@ Result<Answer> Session::run_impl(const Request& request,
       ScopedTimer timer(rewrite_call_ns_);
       qe_rewrites_total_->inc();
       RewriteOptions rw;
-      rw.cancel = &token;
+      rw.cancel = token;
       rw.meter = meter;
       auto r = queries_.cells(request.query, request.output_vars, rw);
       if (!r.is_ok()) return r.status();
@@ -171,7 +188,7 @@ Result<Answer> Session::run_impl(const Request& request,
       break;
     }
     case RequestKind::kVolume: {
-      auto r = run_volume(request, &token, meter);
+      auto r = run_volume(request, token, meter);
       if (!r.is_ok()) return r.status();
       answer = std::move(r.value());
       break;
@@ -196,10 +213,6 @@ Result<Answer> Session::run_impl(const Request& request,
     case RequestKind::kAggregate: {
       ScopedTimer timer(aggregate_call_ns_);
       aggregate_calls_total_->inc();
-      if (request.output_vars.size() != 1) {
-        return Status::invalid(
-            "aggregate requests take exactly one output variable");
-      }
       auto r = aggregates_.aggregate(request.aggregate_fn, request.query,
                                      request.output_vars[0],
                                      request.bindings);
@@ -230,7 +243,7 @@ Result<Answer> Session::run_volume(const Request& request,
       if (v.status().code() != StatusCode::kResourceExhausted) {
         return v.status();
       }
-      answer.volume = trivial_half_answer(true);
+      answer.volume = trivial_half_volume(true);
     } else {
       answer.volume = v.value();
     }
@@ -274,7 +287,7 @@ Result<Answer> Session::run_planned_volume(const Request& request,
       Answer degraded;
       degraded.kind = RequestKind::kVolume;
       degraded.status = AnswerStatus::kDegraded;
-      degraded.volume = trivial_half_answer(true);
+      degraded.volume = trivial_half_volume(true);
       degraded.guard.rung = guard::Rung::kTrivialHalf;
       planner_degraded_total_->inc();
       return degraded;
@@ -286,6 +299,7 @@ Result<Answer> Session::run_planned_volume(const Request& request,
   FormulaStats stats =
       extract_stats(analysis, request.output_vars.size(), quantifiers,
                     options_.cost_model);
+  if (request.vc_dim) stats.vc_dim = *request.vc_dim;
 
   PlanDecision decision;
   {
@@ -309,7 +323,7 @@ Result<Answer> Session::run_planned_volume(const Request& request,
       break;
     }
     case VolumeStrategy::kTrivialHalf: {
-      answer.volume = trivial_half_answer(decision.degrade_preplanned);
+      answer.volume = trivial_half_volume(decision.degrade_preplanned);
       break;
     }
     default: {
@@ -334,12 +348,12 @@ Result<Answer> Session::run_planned_volume(const Request& request,
           answer.guard.rung = rung_of(answer.volume);
           answer.volume.degraded = true;  // carries no exact guarantee
         } else if (is_degradable(mc.status())) {
-          answer.volume = trivial_half_answer(true);
+          answer.volume = trivial_half_volume(true);
         } else {
           return mc.status();
         }
       } else if (is_degradable(v.status())) {
-        answer.volume = trivial_half_answer(true);
+        answer.volume = trivial_half_volume(true);
       } else {
         return v.status();
       }
@@ -361,19 +375,23 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
                                             VolumeStrategy strategy,
                                             CancelToken* token,
                                             guard::WorkMeter* meter) {
+  VolumeOptions defaults;
+  const double vc_dim = request.vc_dim.value_or(defaults.vc_dim);
   if (strategy == VolumeStrategy::kMonteCarlo) {
     auto membership = mc_membership_formula(request.query, token);
     if (!membership.is_ok()) {
       // Expiry or a quota trip inside the QE rewrite degrades to the
       // last rung, the same as expiry inside the sampling itself.
       if (is_degradable(membership.status())) {
-        return trivial_half_answer(true);
+        return trivial_half_volume(true);
       }
       return membership.status();
     }
-    VolumeOptions vo;
-    const std::size_t m = blumer_sample_bound(
-        request.budget.epsilon, request.budget.delta, vo.vc_dim);
+    std::size_t m = blumer_sample_bound(request.budget.epsilon,
+                                        request.budget.delta, vc_dim);
+    if (request.max_mc_samples > 0) {
+      m = std::min(m, request.max_mc_samples);
+    }
     return pooled_monte_carlo(request, membership.value(), m,
                               request.budget.epsilon, token);
   }
@@ -382,6 +400,8 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
   vo.epsilon = request.budget.epsilon;
   vo.delta = request.budget.delta;
   vo.seed = request.seed;
+  vo.vc_dim = vc_dim;
+  if (request.max_mc_samples > 0) vo.max_mc_samples = request.max_mc_samples;
   vo.cancel = token;
   vo.meter = meter;
   return volumes_.volume(request.query, request.output_vars, vo);
@@ -440,7 +460,7 @@ Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
   }
   if (p.evaluated == 0) {
     // Expired before a single chunk finished: nothing to estimate from.
-    return trivial_half_answer(true);
+    return trivial_half_volume(true);
   }
   // Best-so-far: the completed chunks are i.i.d. slices of the planned
   // sample (up to the mild survivorship caveat in parallel_sampler.h);
@@ -452,6 +472,141 @@ Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
   answer.lower = std::max(0.0, p.estimate - eps);
   answer.upper = std::min(1.0, p.estimate + eps);
   return answer;
+}
+
+// Wraps one batch member's McPartial exactly the way pooled_monte_carlo
+// + run_volume would have: complete -> +-epsilon bars, partial ->
+// Hoeffding-shrunk degraded bars, empty -> trivial 1/2.
+Result<Answer> Session::finish_mc_answer(const Request& request,
+                                         Result<McPartial> part,
+                                         double target_epsilon) {
+  if (!part.is_ok()) return part.status();
+  const McPartial& p = part.value();
+  mc_points_evaluated_total_->inc(p.evaluated);
+
+  Answer answer;
+  answer.kind = RequestKind::kVolume;
+  VolumeAnswer& v = answer.volume;
+  v.points_evaluated = p.evaluated;
+  v.points_requested = p.requested;
+  if (p.complete) {
+    v.estimate = p.estimate;
+    v.lower = p.estimate - target_epsilon;
+    v.upper = p.estimate + target_epsilon;
+  } else if (p.evaluated == 0) {
+    v = trivial_half_volume(true);
+    v.points_requested = p.requested;
+  } else {
+    const double eps = hoeffding_epsilon(request.budget.delta, p.evaluated);
+    v.degraded = true;
+    v.estimate = p.estimate;
+    v.lower = std::max(0.0, p.estimate - eps);
+    v.upper = std::min(1.0, p.estimate + eps);
+  }
+  answer.guard.rung = rung_of(v);
+  if (v.degraded) {
+    answer.status = AnswerStatus::kDegraded;
+    planner_degraded_total_->inc();
+  }
+  record_guard(answer.guard);
+  return answer;
+}
+
+std::vector<Result<Answer>> Session::run_mc_batch(
+    const std::vector<const Request*>& requests,
+    const std::vector<CancelToken*>& tokens) {
+  const std::size_t n = requests.size();
+  std::vector<Result<Answer>> results(
+      n, Status::internal("batch slot not filled"));
+  if (n == 0) return results;
+  const auto start = std::chrono::steady_clock::now();
+  ScopedTimer timer(volume_call_ns_);
+  volume_calls_total_->inc(n);
+
+  // All members share (query, output_vars), so membership + variable
+  // validation happen once; an error that is not expiry fails every
+  // member the same way a solo run would have.
+  const Request& head = *requests[0];
+  auto fail_all = [&](const Result<VolumeAnswer>& fallback) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fallback.is_ok()) {
+        Answer a;
+        a.kind = RequestKind::kVolume;
+        a.volume = fallback.value();
+        a.guard.rung = rung_of(a.volume);
+        if (a.volume.degraded) {
+          a.status = AnswerStatus::kDegraded;
+          planner_degraded_total_->inc();
+        }
+        record_guard(a.guard);
+        results[i] = std::move(a);
+      } else {
+        results[i] = fallback.status();
+      }
+    }
+    return results;
+  };
+
+  auto membership = mc_membership_formula(head.query, tokens[0]);
+  if (!membership.is_ok()) {
+    if (is_degradable(membership.status())) {
+      return fail_all(trivial_half_volume(true));
+    }
+    return fail_all(membership.status());
+  }
+
+  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(head.query);
+  if (!parsed.is_ok()) return fail_all(parsed.status());
+  std::vector<std::size_t> element_vars;
+  for (const auto& name : head.output_vars) {
+    int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
+    if (idx < 0) {
+      return fail_all(Status::invalid("unknown output variable: " + name));
+    }
+    element_vars.push_back(static_cast<std::size_t>(idx));
+  }
+  for (std::size_t v : parsed.value()->free_vars()) {
+    if (std::find(element_vars.begin(), element_vars.end(), v) ==
+        element_vars.end()) {
+      return fail_all(Status::invalid(
+          "query has a free variable that is not an output: " +
+          db_->vars().name_of(v)));
+    }
+  }
+
+  // One sampler per member: its own Blumer-sized sample from its own
+  // (epsilon, delta, vc_dim, seed), capped by its own max_mc_samples --
+  // the identical construction pooled_monte_carlo would use solo.
+  VolumeOptions defaults;
+  std::vector<std::unique_ptr<ParallelSampler>> samplers;
+  std::vector<McBatchItem> items;
+  samplers.reserve(n);
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request& r = *requests[i];
+    std::size_t m =
+        blumer_sample_bound(r.budget.epsilon, r.budget.delta,
+                            r.vc_dim.value_or(defaults.vc_dim));
+    if (r.max_mc_samples > 0) m = std::min(m, r.max_mc_samples);
+    samplers.push_back(std::make_unique<ParallelSampler>(
+        &db_->db(), membership.value(), element_vars, m, r.seed,
+        options_.mc_chunk_size));
+    items.push_back(McBatchItem{samplers.back().get(), tokens[i]});
+  }
+
+  std::vector<Result<McPartial>> parts =
+      ParallelSampler::estimate_partial_batch(items, {}, &pool_);
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = finish_mc_answer(*requests[i], std::move(parts[i]),
+                                  requests[i]->budget.epsilon);
+    if (results[i].is_ok()) {
+      results[i].value().elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+    }
+  }
+  return results;
 }
 
 void Session::record_plan(const PlanDecision& decision) {
@@ -476,140 +631,6 @@ void Session::record_guard(const guard::GuardReport& report) {
                  guard::rung_name(report.rung) + "_total")
         ->inc();
   }
-}
-
-// --- Deprecated per-operation shims ----------------------------------
-
-Result<FormulaPtr> Session::rewrite(const std::string& query) {
-  Request req;
-  req.kind = RequestKind::kRewrite;
-  req.query = query;
-  auto a = run(req);
-  if (!a.is_ok()) return a.status();
-  return a.value().formula;
-}
-
-Result<std::vector<LinearCell>> Session::cells(
-    const std::string& query, const std::vector<std::string>& output_vars) {
-  Request req;
-  req.kind = RequestKind::kCells;
-  req.query = query;
-  req.output_vars = output_vars;
-  auto a = run(req);
-  if (!a.is_ok()) return a.status();
-  return a.value().cells;
-}
-
-Result<bool> Session::ask(const std::string& sentence) {
-  Request req;
-  req.kind = RequestKind::kAsk;
-  req.query = sentence;
-  auto a = run(req);
-  if (!a.is_ok()) return a.status();
-  return *a.value().truth;
-}
-
-Result<VolumeAnswer> Session::volume(
-    const std::string& query, const std::vector<std::string>& output_vars,
-    const VolumeOptions& options) {
-  // Kept engine-shaped (not a Request round-trip) because VolumeOptions
-  // carries knobs Request deliberately does not (vc_dim override,
-  // clip_to_unit_box, sample caps); behaviour and counters are
-  // unchanged from the pre-run() Session.
-  ScopedTimer timer(volume_call_ns_);
-  volume_calls_total_->inc();
-  if (options.strategy == VolumeStrategy::kMonteCarlo) {
-    auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(query);
-    if (!parsed.is_ok()) return parsed.status();
-    std::vector<std::size_t> element_vars;
-    for (const auto& name : output_vars) {
-      int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
-      if (idx < 0) {
-        return Status::invalid("unknown output variable: " + name);
-      }
-      element_vars.push_back(static_cast<std::size_t>(idx));
-    }
-    for (std::size_t v : parsed.value()->free_vars()) {
-      if (std::find(element_vars.begin(), element_vars.end(), v) ==
-          element_vars.end()) {
-        return Status::invalid(
-            "query has a free variable that is not an output: " +
-            db_->vars().name_of(v));
-      }
-    }
-    auto membership = mc_membership_formula(query, options.cancel);
-    if (!membership.is_ok()) {
-      if (is_expiry(membership.status())) return trivial_half_answer(true);
-      return membership.status();
-    }
-    std::size_t m =
-        blumer_sample_bound(options.epsilon, options.delta, options.vc_dim);
-    if (options.max_mc_samples > 0) m = std::min(m, options.max_mc_samples);
-    ParallelSampler sampler(&db_->db(), membership.value(), element_vars,
-                            m, options.seed, options_.mc_chunk_size);
-    auto est = sampler.estimate_partial({}, &pool_, options.cancel);
-    if (!est.is_ok()) return est.status();
-    const McPartial& p = est.value();
-    mc_points_evaluated_total_->inc(p.evaluated);
-    if (!p.complete && p.evaluated == 0) {
-      // Expired before a single chunk finished: mirror run()'s last
-      // rung rather than claiming [0, 0.5] bars from zero data.
-      VolumeAnswer answer = trivial_half_answer(true);
-      answer.points_requested = p.requested;
-      return answer;
-    }
-    VolumeAnswer answer;
-    answer.points_evaluated = p.evaluated;
-    answer.points_requested = p.requested;
-    answer.estimate = p.estimate;
-    if (p.complete) {
-      answer.lower = p.estimate - options.epsilon;
-      answer.upper = p.estimate + options.epsilon;
-    } else {
-      const double eps = hoeffding_epsilon(options.delta, p.evaluated);
-      answer.degraded = true;
-      answer.lower = std::max(0.0, p.estimate - eps);
-      answer.upper = std::min(1.0, p.estimate + eps);
-    }
-    return answer;
-  }
-  return volumes_.volume(query, output_vars, options);
-}
-
-Result<Rational> Session::mu(const std::string& query,
-                             const std::vector<std::string>& output_vars) {
-  Request req;
-  req.kind = RequestKind::kMu;
-  req.query = query;
-  req.output_vars = output_vars;
-  auto a = run(req);
-  if (!a.is_ok()) return a.status();
-  return *a.value().mu;
-}
-
-Result<UPoly> Session::growth_polynomial(
-    const std::string& query, const std::vector<std::string>& output_vars) {
-  Request req;
-  req.kind = RequestKind::kGrowthPolynomial;
-  req.query = query;
-  req.output_vars = output_vars;
-  auto a = run(req);
-  if (!a.is_ok()) return a.status();
-  return *a.value().growth;
-}
-
-Result<Rational> Session::aggregate(
-    AggregateFn fn, const std::string& query, const std::string& output_var,
-    const std::vector<std::pair<std::string, Rational>>& bindings) {
-  Request req;
-  req.kind = RequestKind::kAggregate;
-  req.query = query;
-  req.output_vars = {output_var};
-  req.aggregate_fn = fn;
-  req.bindings = bindings;
-  auto a = run(req);
-  if (!a.is_ok()) return a.status();
-  return *a.value().aggregate;
 }
 
 }  // namespace cqa

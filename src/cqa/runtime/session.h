@@ -1,33 +1,44 @@
-// Session: the one public query API, backed by the concurrent runtime
-// and the cost-based adaptive planner.
+// Session: the one public query API, backed by the concurrent runtime,
+// the cost-based adaptive planner, and the serving layer.
 //
 //   ConstraintDatabase db; ...
 //   Session session(&db);            // pool + cache + metrics + planner
-//   Request req;
-//   req.kind = RequestKind::kVolume;
-//   req.query = "x^2 + y^2 <= 1";
-//   req.output_vars = {"x", "y"};
-//   req.budget = {.epsilon = 0.02, .delta = 0.05, .deadline_ms = 50};
-//   Result<Answer> a = session.run(req);
+//   Request req = Request::volume("x^2 + y^2 <= 1")
+//                     .vars({"x", "y"})
+//                     .epsilon(0.02)
+//                     .deadline_ms(50);
+//   Result<Answer> a = session.run(req);        // synchronous
+//   serve::Ticket t = session.submit(req2);     // asynchronous
+//   Result<Answer> b = t.wait();
 //
-// Every query flows through Session::run(Request) -> Result<Answer>:
+// Every query flows through Request -> Result<Answer>:
+//   - requests are validated up front (empty query, epsilon/delta out
+//     of (0, 1), missing output variables -> kInvalidArgument before
+//     any engine runs);
 //   - volume requests go through cqa::plan, which picks the strategy
 //     (exact sweep / chunked Theorem-4 MC on the pool / hit-and-run /
 //     trivial 1/2) under the request's Budget{epsilon, delta,
 //     deadline_ms}; the decision lands in Answer.plan and in the
 //     metrics registry (planner_choice_*_total);
 //   - execution is cooperatively cancellable: a deadline arms a
-//     CancelToken threaded through the engine hot loops, and expiry
-//     degrades to the best-so-far estimate with widened error bars and
+//     CancelToken (the caller's Request.cancel when provided) threaded
+//     through the engine hot loops, and expiry degrades to the
+//     best-so-far estimate with widened error bars and
 //     AnswerStatus::kDegraded instead of an error;
 //   - rewrite() and exact volume results are memoized in the sharded
 //     LRU cache; Monte-Carlo runs chunked on the work-stealing pool
 //     with thread-count-independent results; every call is counted and
 //     timed in the registry.
 //
-// The per-operation methods (rewrite / cells / ask / volume / mu /
-// growth_polynomial / aggregate) survive as deprecated shims over run()
-// for one release; new code should construct Requests.
+// submit() hands the request to the serve::Scheduler (created lazily on
+// first use): bounded per-priority lanes, in-flight duplicate
+// coalescing, fused Monte-Carlo batching, and load shedding down the
+// degradation ladder. See serve/scheduler.h.
+//
+// The per-operation shims (rewrite / cells / ask / volume / mu /
+// growth_polynomial / aggregate) that bridged the pre-run() API were
+// removed at the end of their deprecation window; construct Requests
+// (README has the migration table).
 //
 // Thread-safety: a Session may be shared by readers as long as the
 // underlying ConstraintDatabase is not mutated concurrently (the
@@ -36,6 +47,8 @@
 #ifndef CQA_RUNTIME_SESSION_H_
 #define CQA_RUNTIME_SESSION_H_
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,10 +60,17 @@
 #include "cqa/plan/planner.h"
 #include "cqa/runtime/eval_cache.h"
 #include "cqa/runtime/metrics.h"
+#include "cqa/runtime/parallel_sampler.h"
+#include "cqa/runtime/request.h"
 #include "cqa/runtime/thread_pool.h"
+#include "cqa/serve/ticket.h"
 #include "cqa/util/cancellation.h"
 
 namespace cqa {
+
+namespace serve {
+class Scheduler;
+}  // namespace serve
 
 struct SessionOptions {
   std::size_t threads = 0;  // 0 = hardware_concurrency
@@ -59,86 +79,32 @@ struct SessionOptions {
   std::size_t cache_shards = 8;
   std::size_t mc_chunk_size = 2048;
   CostModel cost_model;  // planner calibration
-};
 
-/// What a Request asks for.
-enum class RequestKind {
-  kAsk,               // decide a sentence
-  kRewrite,           // quantifier-free equivalent
-  kCells,             // closure: output as a union of linear cells
-  kVolume,            // VOL of the denotation (planner-routed)
-  kMu,                // Chomicki-Kuper measure at infinity
-  kGrowthPolynomial,  // V(r) = Vol(S cap [-r,r]^n)
-  kAggregate,         // SQL aggregate over a safe output
-};
-
-/// One query plus its budget: the unit of work Session::run accepts.
-struct Request {
-  RequestKind kind = RequestKind::kVolume;
-  std::string query;
-  std::vector<std::string> output_vars;
-  Budget budget;
-  /// Volume only: bypass the planner and force one strategy.
-  std::optional<VolumeStrategy> strategy;
-  std::uint64_t seed = 1;
-  /// Aggregate only.
-  AggregateFn aggregate_fn = AggregateFn::kCount;
-  std::vector<std::pair<std::string, Rational>> bindings;
-};
-
-enum class AnswerStatus {
-  kOk,        // full-fidelity answer
-  kDegraded,  // deadline expired or quota tripped: best-so-far answer
-};
-
-/// The one result type. The payload matching the request kind is set;
-/// volume answers carry the plan that produced them.
-struct Answer {
-  RequestKind kind = RequestKind::kVolume;
-  AnswerStatus status = AnswerStatus::kOk;
-  std::optional<bool> truth;             // kAsk
-  FormulaPtr formula;                    // kRewrite
-  std::vector<LinearCell> cells;         // kCells
-  VolumeAnswer volume;                   // kVolume
-  std::optional<Rational> mu;            // kMu
-  std::optional<UPoly> growth;           // kGrowthPolynomial
-  std::optional<Rational> aggregate;     // kAggregate
-  std::optional<PlanDecision> plan;      // kVolume (planner-routed)
-  /// What the request's WorkMeter accounted, whether a quota tripped,
-  /// and which degradation rung served a volume request.
-  guard::GuardReport guard;
-  double elapsed_ms = 0.0;
-
-  bool degraded() const { return status == AnswerStatus::kDegraded; }
+  // Serving layer (submit()); see serve::SchedulerOptions.
+  std::size_t serve_executors = 2;
+  std::size_t serve_queue_capacity = 256;
+  std::int64_t serve_promote_within_ms = 5;
+  std::size_t serve_max_mc_batch = 8;
 };
 
 class Session {
  public:
   explicit Session(const ConstraintDatabase* db,
                    const SessionOptions& options = {});
+  ~Session();
 
-  /// The API: one entry point for every query kind.
+  /// The synchronous API: one entry point for every query kind.
   Result<Answer> run(const Request& request);
 
-  // --- Deprecated per-operation shims (one release; prefer run()) ----
-  Result<FormulaPtr> rewrite(const std::string& query);
-  Result<std::vector<LinearCell>> cells(
-      const std::string& query,
-      const std::vector<std::string>& output_vars);
-  Result<bool> ask(const std::string& sentence);
-  Result<VolumeAnswer> volume(const std::string& query,
-                              const std::vector<std::string>& output_vars,
-                              const VolumeOptions& options = {});
-  Result<Rational> mu(const std::string& query,
-                      const std::vector<std::string>& output_vars);
-  Result<UPoly> growth_polynomial(const std::string& query,
-                                  const std::vector<std::string>&
-                                      output_vars);
-  Result<Rational> aggregate(AggregateFn fn, const std::string& query,
-                             const std::string& output_var,
-                             const std::vector<std::pair<std::string,
-                                                         Rational>>&
-                                 bindings = {});
+  /// The asynchronous API: validates, enqueues with the scheduler, and
+  /// returns immediately. Ticket::wait()/try_get() resolve to what
+  /// run() would have produced -- plus the serving layer's coalescing,
+  /// batching, and admission control.
+  serve::Ticket submit(Request request);
+
+  /// The scheduler behind submit(), created lazily on first use.
+  /// Exposed for its pause()/resume() test seam and queue introspection.
+  serve::Scheduler& scheduler();
 
   ThreadPool& pool() { return pool_; }
   EvalCache& cache() { return cache_; }
@@ -147,6 +113,8 @@ class Session {
   std::string metrics_dump() const { return metrics_.dump(); }
 
  private:
+  friend class serve::Scheduler;
+
   class RewriteCacheAdapter : public RewriteCache {
    public:
     explicit RewriteCacheAdapter(EvalCache* cache) : cache_(cache) {}
@@ -196,6 +164,16 @@ class Session {
                                           std::size_t sample_size,
                                           double target_epsilon,
                                           CancelToken* token);
+  /// Serve-layer entry point: executes a batch of compatible
+  /// forced-Monte-Carlo volume requests (same query and output_vars,
+  /// arbitrary seeds/budgets) through ONE fused pool dispatch. Answer i
+  /// is bitwise identical to run() on requests[i] alone.
+  std::vector<Result<Answer>> run_mc_batch(
+      const std::vector<const Request*>& requests,
+      const std::vector<CancelToken*>& tokens);
+  Result<Answer> finish_mc_answer(const Request& request,
+                                  Result<McPartial> part,
+                                  double target_epsilon);
   void record_plan(const PlanDecision& decision);
   void record_guard(const guard::GuardReport& report);
 
@@ -223,6 +201,11 @@ class Session {
   Histogram* ask_call_ns_;
   Histogram* aggregate_call_ns_;
   Histogram* planner_plan_ns_;
+
+  // Declared last: the scheduler's executors call back into everything
+  // above, so it must be destroyed first.
+  std::once_flag scheduler_once_;
+  std::unique_ptr<serve::Scheduler> scheduler_;
 };
 
 }  // namespace cqa

@@ -1,0 +1,358 @@
+#include "cqa/serve/scheduler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "cqa/runtime/eval_cache.h"
+#include "cqa/runtime/session.h"
+
+namespace cqa {
+namespace serve {
+
+namespace {
+
+std::size_t lane_of(const Request& request) {
+  int p = static_cast<int>(request.priority);
+  if (p < 0 || p >= kNumPriorities) p = static_cast<int>(Priority::kNormal);
+  return static_cast<std::size_t>(p);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Session* session, const SchedulerOptions& options)
+    : session_(session), options_(options) {
+  MetricsRegistry& m = session_->metrics();
+  queue_depth_ = m.gauge("serve_queue_depth");
+  submitted_ = m.counter("serve_submitted_total");
+  coalesced_ = m.counter("serve_coalesced_total");
+  batched_ = m.counter("serve_mc_batched_total");
+  shed_ = m.counter("serve_shed_total");
+  wait_ns_ = m.histogram("serve_wait_ns");
+  const std::size_t n = std::max<std::size_t>(1, options_.executors);
+  executors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : executors_) t.join();
+  // Executors are gone: whatever is still queued resolves now, so no
+  // Ticket::wait() can outlive the scheduler blocked.
+  for (auto& lane : lanes_) {
+    for (Job& job : lane) {
+      publish(job.state, Status::cancelled("scheduler shut down"));
+      queue_depth_->sub();
+    }
+    lane.clear();
+  }
+  queued_ = 0;
+}
+
+// The coalescing fingerprint: every field that affects the answer,
+// including the seed and the deadline budget. Equal deadline_ms is
+// required for soundness -- the leader armed its (absolute) deadline no
+// later than any follower's, so the leader's answer satisfies every
+// follower's budget. Requests with caller-owned cancel tokens or
+// bindings are never coalesced (distinct cancellation identity).
+std::string Scheduler::fingerprint_of(const Request& request) {
+  if (request.cancel != nullptr || !request.bindings.empty()) return "";
+  std::ostringstream fp;
+  fp << static_cast<int>(request.kind) << '|' << request.query << '|';
+  for (const auto& v : request.output_vars) fp << v << ',';
+  fp << '|' << request.budget.epsilon << '|' << request.budget.delta
+     << '|' << request.budget.deadline_ms << '|' << request.seed << '|'
+     << (request.strategy ? static_cast<int>(*request.strategy) : -1)
+     << '|' << (request.vc_dim ? *request.vc_dim : -1.0) << '|'
+     << request.max_mc_samples;
+  return fp.str();
+}
+
+bool Scheduler::mc_batchable(const Request& a, const Request& b) {
+  return a.kind == RequestKind::kVolume && b.kind == RequestKind::kVolume &&
+         a.strategy && b.strategy &&
+         *a.strategy == VolumeStrategy::kMonteCarlo &&
+         *b.strategy == VolumeStrategy::kMonteCarlo &&
+         a.query == b.query && a.output_vars == b.output_vars &&
+         a.bindings.empty() && b.bindings.empty();
+}
+
+Ticket Scheduler::submit(Request request) {
+  auto state = std::make_shared<TicketState>();
+  Ticket ticket(state);
+
+  if (Status v = validate_request(request); !v.is_ok()) {
+    publish(state, std::move(v));
+    return ticket;
+  }
+  submitted_->inc();
+
+  // Arm the deadline now: queue wait is part of the caller's latency
+  // budget. A caller-owned token that is already armed stays as-is.
+  state->external_cancel = request.cancel;
+  if (request.budget.has_deadline()) {
+    CancelToken* t =
+        request.cancel != nullptr ? request.cancel : &state->cancel;
+    if (!t->has_deadline()) {
+      t->set_deadline_after_ms(request.budget.deadline_ms);
+    }
+  }
+
+  Job job;
+  job.state = state;
+  job.enqueued_at = Clock::now();
+  job.has_deadline = request.budget.has_deadline();
+  if (job.has_deadline) {
+    job.deadline_at = job.enqueued_at + std::chrono::milliseconds(
+                                            request.budget.deadline_ms);
+  }
+  job.fingerprint = fingerprint_of(request);
+  const std::size_t lane = lane_of(request);
+  const RequestKind kind = request.kind;
+  job.request = std::move(request);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      publish(state, Status::cancelled("scheduler shut down"));
+      return ticket;
+    }
+    if (queued_ >= options_.queue_capacity) {
+      // Load shed. Volume requests still own a sound answer -- the last
+      // rung of the degradation ladder, honest [0, 1] bars -- computed
+      // right here without touching any engine. Kinds the ladder cannot
+      // serve get the typed error.
+      shed_->inc();
+      if (kind == RequestKind::kVolume) {
+        Answer a;
+        a.kind = RequestKind::kVolume;
+        a.status = AnswerStatus::kDegraded;
+        a.volume = trivial_half_volume(true);
+        a.guard.rung = guard::Rung::kTrivialHalf;
+        a.guard.shed = true;
+        publish(state, std::move(a));
+      } else {
+        publish(state, Status::resource_exhausted(
+                           "serve queue over capacity"));
+      }
+      return ticket;
+    }
+    lanes_[lane].push_back(std::move(job));
+    ++queued_;
+    queue_depth_->add();
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void Scheduler::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+std::size_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+bool Scheduler::lanes_empty() const { return queued_ == 0; }
+
+// Highest-priority lane first, FIFO within a lane -- unless some queued
+// request is within promote_within_ms of its deadline, in which case
+// the nearest-deadline one dispatches next regardless of lane.
+Scheduler::Job Scheduler::pop_head() {
+  const auto now = Clock::now();
+  const auto window = std::chrono::milliseconds(options_.promote_within_ms);
+  std::deque<Job>* urgent_lane = nullptr;
+  std::size_t urgent_idx = 0;
+  Clock::time_point urgent_deadline = Clock::time_point::max();
+  for (auto& lane : lanes_) {
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+      const Job& j = lane[i];
+      if (!j.has_deadline) continue;
+      if (j.deadline_at - now <= window && j.deadline_at < urgent_deadline) {
+        urgent_lane = &lane;
+        urgent_idx = i;
+        urgent_deadline = j.deadline_at;
+      }
+    }
+  }
+  std::deque<Job>* lane = urgent_lane;
+  std::size_t idx = urgent_idx;
+  if (lane == nullptr) {
+    for (auto& l : lanes_) {
+      if (!l.empty()) {
+        lane = &l;
+        idx = 0;
+        break;
+      }
+    }
+  }
+  Job head = std::move((*lane)[idx]);
+  lane->erase(lane->begin() + static_cast<std::ptrdiff_t>(idx));
+  --queued_;
+  queue_depth_->sub();
+  return head;
+}
+
+// Pulls everything that can ride with `head` out of the lanes: exact
+// duplicates of any group member become followers of that member, and
+// (for a forced-Monte-Carlo head) compatible MC requests become
+// additional batch members up to max_mc_batch.
+std::vector<Scheduler::Exec> Scheduler::collect_group(Job head) {
+  std::vector<Exec> group;
+  std::unordered_map<std::string, std::size_t> by_fp;
+  const bool batching =
+      head.request.kind == RequestKind::kVolume && head.request.strategy &&
+      *head.request.strategy == VolumeStrategy::kMonteCarlo;
+  if (!head.fingerprint.empty()) by_fp.emplace(head.fingerprint, 0);
+  group.push_back(Exec{std::move(head), {}});
+
+  for (auto& lane : lanes_) {
+    for (auto it = lane.begin(); it != lane.end();) {
+      bool taken = false;
+      if (!it->fingerprint.empty()) {
+        auto dup = by_fp.find(it->fingerprint);
+        if (dup != by_fp.end()) {
+          coalesced_->inc();
+          group[dup->second].duplicates.push_back(std::move(*it));
+          taken = true;
+        }
+      }
+      if (!taken && batching && group.size() < options_.max_mc_batch &&
+          mc_batchable(group[0].job.request, it->request)) {
+        if (!it->fingerprint.empty()) {
+          by_fp.emplace(it->fingerprint, group.size());
+        }
+        batched_->inc();
+        group.push_back(Exec{std::move(*it), {}});
+        taken = true;
+      }
+      if (taken) {
+        it = lane.erase(it);
+        --queued_;
+        queue_depth_->sub();
+      } else {
+        ++it;
+      }
+    }
+  }
+  return group;
+}
+
+void Scheduler::executor_loop() {
+  for (;;) {
+    std::vector<Exec> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (!paused_ && !lanes_empty());
+      });
+      if (stop_) return;
+      group = collect_group(pop_head());
+    }
+    execute(std::move(group));
+  }
+}
+
+Result<Answer> Scheduler::run_job(Job& job) {
+  if (job.state->cancel_requested.load(std::memory_order_acquire)) {
+    return Status::cancelled("request cancelled before execution");
+  }
+  Request request = std::move(job.request);
+  if (request.cancel == nullptr) request.cancel = &job.state->cancel;
+  return session_->run(request);
+}
+
+void Scheduler::execute(std::vector<Exec> group) {
+  const auto now = Clock::now();
+  auto observe_wait = [&](const Job& j) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - j.enqueued_at)
+                        .count();
+    wait_ns_->observe_ns(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+  };
+  for (const Exec& e : group) {
+    observe_wait(e.job);
+    for (const Job& d : e.duplicates) observe_wait(d);
+  }
+
+  // Single-flight participation for everything this executor runs: a
+  // leader that errors out has its flights abandoned on scope exit.
+  ServeFlightScope flight_scope(&session_->cache());
+
+  if (group.size() == 1) {
+    Exec& e = group[0];
+    Result<Answer> r = run_job(e.job);
+    for (const Job& d : e.duplicates) publish(d.state, r);
+    publish(e.job.state, std::move(r));
+    return;
+  }
+
+  // Fused MC batch. Members cancelled while queued drop out first.
+  std::vector<Exec> live;
+  live.reserve(group.size());
+  for (Exec& e : group) {
+    if (e.job.state->cancel_requested.load(std::memory_order_acquire)) {
+      Result<Answer> r{Status::cancelled("request cancelled before execution")};
+      for (const Job& d : e.duplicates) publish(d.state, r);
+      publish(e.job.state, std::move(r));
+    } else {
+      live.push_back(std::move(e));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    Exec& e = live[0];
+    Result<Answer> r = run_job(e.job);
+    for (const Job& d : e.duplicates) publish(d.state, r);
+    publish(e.job.state, std::move(r));
+    return;
+  }
+
+  std::vector<const Request*> requests;
+  std::vector<CancelToken*> tokens;
+  requests.reserve(live.size());
+  tokens.reserve(live.size());
+  for (Exec& e : live) {
+    requests.push_back(&e.job.request);
+    tokens.push_back(e.job.request.cancel != nullptr
+                         ? e.job.request.cancel
+                         : &e.job.state->cancel);
+  }
+  std::vector<Result<Answer>> results =
+      session_->run_mc_batch(requests, tokens);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (const Job& d : live[i].duplicates) publish(d.state, results[i]);
+    publish(live[i].job.state, std::move(results[i]));
+  }
+}
+
+void Scheduler::publish(const std::shared_ptr<TicketState>& state,
+                        Result<Answer> result) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->ready) return;
+    state->result = std::move(result);
+    state->ready = true;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace serve
+}  // namespace cqa

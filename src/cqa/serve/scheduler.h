@@ -1,0 +1,138 @@
+// serve::Scheduler -- asynchronous batched execution of Session
+// requests, with admission control.
+//
+// submit() enqueues a request into one of three per-priority FIFO lanes
+// and returns a Ticket immediately; a small set of executor threads
+// drains the lanes. The scheduler is where requests first interact:
+//
+//   - Coalescing: when an executor dequeues a request, every queued
+//     request with an identical fingerprint (same kind, query, vars,
+//     budget, strategy, seed) rides along and receives a copy of the
+//     leader's answer -- N duplicates cost one computation. Below the
+//     request level, executors run inside a ServeFlightScope, so
+//     *overlapping* requests that share a rewrite or exact-volume cache
+//     key single-flight through the EvalCache FlightTable as well.
+//     Both paths count into serve_coalesced_total.
+//   - MC batching: queued volume requests that force kMonteCarlo on the
+//     same (query, output_vars) are fused into one pooled
+//     estimate_partial_batch call. Each keeps its own seed stream and
+//     cancel token, so every answer is bitwise identical to a solo run.
+//   - Admission control: the queue is bounded. Over capacity, volume
+//     requests are shed to the last degradation rung (trivial 1/2 with
+//     honest [0, 1] bars, guard.shed = true) instead of being rejected;
+//     kinds the ladder cannot serve get a typed kResourceExhausted.
+//   - Deadline awareness: a request within promote_within_ms of its
+//     deadline is dispatched next regardless of lane, so near-deadline
+//     work is not starved by a full interactive lane. Deadlines are
+//     armed at submit time -- queue wait counts against the budget.
+//
+// Metrics: serve_queue_depth (gauge + peak), serve_submitted_total,
+// serve_coalesced_total, serve_mc_batched_total, serve_shed_total,
+// serve_wait_ns (admission-to-dispatch latency histogram).
+
+#ifndef CQA_SERVE_SCHEDULER_H_
+#define CQA_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/runtime/metrics.h"
+#include "cqa/runtime/request.h"
+#include "cqa/serve/ticket.h"
+
+namespace cqa {
+
+class Session;
+
+namespace serve {
+
+struct SchedulerOptions {
+  std::size_t executors = 2;          // dispatcher threads
+  std::size_t queue_capacity = 256;   // total queued requests before shed
+  std::int64_t promote_within_ms = 5; // near-deadline promotion window
+  std::size_t max_mc_batch = 8;       // requests fused per MC batch
+};
+
+class Scheduler {
+ public:
+  Scheduler(Session* session, const SchedulerOptions& options = {});
+  ~Scheduler();  // stops executors, resolves every still-queued ticket
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Validates and enqueues; never blocks on execution. The Ticket is
+  /// already resolved when validation fails or admission sheds.
+  Ticket submit(Request request);
+
+  /// Test seam: executors stop dequeuing (submissions still admit), so
+  /// a test can pile up duplicates and assert they coalesce. resume()
+  /// restarts dispatch.
+  void pause();
+  void resume();
+
+  std::size_t queue_depth() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Request request;
+    std::shared_ptr<TicketState> state;
+    Clock::time_point enqueued_at;
+    Clock::time_point deadline_at;  // only meaningful if has_deadline
+    bool has_deadline = false;
+    std::string fingerprint;  // "" = never coalesced
+  };
+
+  /// One unit of executor work: a leader job plus the queued duplicates
+  /// that will receive copies of its answer.
+  struct Exec {
+    Job job;
+    std::vector<Job> duplicates;
+  };
+
+  void executor_loop();
+  // All three run under mu_.
+  Job pop_head();
+  std::vector<Exec> collect_group(Job head);
+  bool lanes_empty() const;
+
+  void execute(std::vector<Exec> group);
+  Result<Answer> run_job(Job& job);
+  void publish(const std::shared_ptr<TicketState>& state,
+               Result<Answer> result);
+
+  static std::string fingerprint_of(const Request& request);
+  static bool mc_batchable(const Request& a, const Request& b);
+
+  Session* session_;
+  SchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> lanes_[kNumPriorities];
+  std::size_t queued_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> executors_;
+
+  Gauge* queue_depth_;
+  Counter* submitted_;
+  Counter* coalesced_;
+  Counter* batched_;
+  Counter* shed_;
+  Histogram* wait_ns_;
+};
+
+}  // namespace serve
+}  // namespace cqa
+
+#endif  // CQA_SERVE_SCHEDULER_H_

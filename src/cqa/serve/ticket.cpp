@@ -1,0 +1,31 @@
+#include "cqa/serve/ticket.h"
+
+namespace cqa {
+namespace serve {
+
+Result<Answer> Ticket::wait() {
+  if (!state_) return Status::invalid("wait() on an empty Ticket");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->ready; });
+  return state_->result;
+}
+
+std::optional<Result<Answer>> Ticket::try_get() {
+  if (!state_) {
+    return std::optional<Result<Answer>>(
+        Status::invalid("try_get() on an empty Ticket"));
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (!state_->ready) return std::nullopt;
+  return state_->result;
+}
+
+void Ticket::cancel() {
+  if (!state_) return;
+  state_->cancel_requested.store(true, std::memory_order_release);
+  state_->cancel.cancel();
+  if (state_->external_cancel != nullptr) state_->external_cancel->cancel();
+}
+
+}  // namespace serve
+}  // namespace cqa

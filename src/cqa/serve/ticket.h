@@ -1,0 +1,90 @@
+// serve::Ticket -- the caller's handle to an asynchronously submitted
+// request.
+//
+// Session::submit(Request) enqueues the request with the Scheduler and
+// returns a Ticket immediately. The Ticket resolves exactly once, to a
+// Result<Answer>:
+//
+//   Ticket t = session.submit(std::move(req));
+//   ...                       // do other work
+//   Result<Answer> a = t.wait();            // blocks until resolved
+//
+//   if (auto r = t.try_get()) { ... }       // non-blocking poll
+//
+//   t.cancel();  // queued -> resolves kCancelled without running;
+//                // executing -> trips the request's CancelToken, so it
+//                // degrades or errors through the normal ladder.
+//
+// Tickets are cheap shared handles (copying one shares the same
+// pending answer) and outlive the Scheduler safely: shutdown resolves
+// every unfinished ticket, so wait() can never block forever.
+
+#ifndef CQA_SERVE_TICKET_H_
+#define CQA_SERVE_TICKET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "cqa/runtime/request.h"
+#include "cqa/util/cancellation.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+namespace serve {
+
+class Scheduler;
+
+/// Shared slot a Ticket and the Scheduler communicate through. The
+/// scheduler publishes exactly once; waiters block on the condition
+/// variable. `cancel` is the token execution polls (armed with the
+/// request deadline at submit time, so queue wait counts against it).
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Result<Answer> result{Status::internal("pending")};
+
+  CancelToken cancel;
+  /// Caller-supplied Request.cancel, if any: Ticket::cancel() trips it
+  /// too, because execution polls it instead of `cancel` then.
+  CancelToken* external_cancel = nullptr;
+  /// Set by Ticket::cancel(); a still-queued request resolves
+  /// kCancelled without running.
+  std::atomic<bool> cancel_requested{false};
+};
+
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// False for a default-constructed (empty) ticket.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the scheduler publishes, then returns the answer.
+  /// Calling wait() (or try_get()) again returns the same answer.
+  Result<Answer> wait();
+
+  /// Non-blocking: the answer once published, nullopt while pending.
+  std::optional<Result<Answer>> try_get();
+
+  /// Requests cancellation. Queued requests resolve Status::cancelled
+  /// without running; an executing request's token trips, and it
+  /// resolves to whatever the degradation ladder produces. Either way
+  /// the ticket still resolves -- no waiter is ever stranded.
+  void cancel();
+
+ private:
+  friend class Scheduler;
+  explicit Ticket(std::shared_ptr<TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<TicketState> state_;
+};
+
+}  // namespace serve
+}  // namespace cqa
+
+#endif  // CQA_SERVE_TICKET_H_

@@ -82,17 +82,17 @@ TEST(Session, RepeatedRewriteHitsCache) {
                   .is_ok());
   Session session(&db, SessionOptions{.threads = 1});
   const std::string query = "E y. Parcel(x, y)";
-  auto first = session.rewrite(query);
+  auto first = session.run(Request::rewrite(query));
   ASSERT_TRUE(first.is_ok());
   EXPECT_EQ(session.cache().rewrite_stats().hits, 0u);
   // Different spelling, same parse tree: still a hit.
-  auto second = session.rewrite("E y.   Parcel(x,y)");
+  auto second = session.run(Request::rewrite("E y.   Parcel(x,y)"));
   ASSERT_TRUE(second.is_ok());
   EXPECT_EQ(session.cache().rewrite_stats().hits, 1u);
   EXPECT_EQ(session.metrics().counter_value("cache_hits_total"), 1u);
   EXPECT_EQ(session.metrics().counter_value("qe_rewrites_total"), 2u);
   // The cached formula is the same object, not a recomputation.
-  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(first.value().formula.get(), second.value().formula.get());
 }
 
 TEST(Session, RepeatedExactVolumeHitsCache) {
@@ -101,15 +101,15 @@ TEST(Session, RepeatedExactVolumeHitsCache) {
                             "0 <= x & x <= 2 & 0 <= y & y <= 1")
                   .is_ok());
   Session session(&db, SessionOptions{.threads = 1});
-  auto first = session.volume("Parcel(x, y)", {"x", "y"});
+  auto first = session.run(Request::volume("Parcel(x, y)").vars({"x", "y"}));
   ASSERT_TRUE(first.is_ok());
-  ASSERT_TRUE(first.value().exact.has_value());
-  EXPECT_EQ(*first.value().exact, Rational(2));
+  ASSERT_TRUE(first.value().volume.exact.has_value());
+  EXPECT_EQ(*first.value().volume.exact, Rational(2));
   EXPECT_EQ(session.cache().volume_stats().hits, 0u);
-  auto second = session.volume("Parcel(x,y)", {"x", "y"});
+  auto second = session.run(Request::volume("Parcel(x,y)").vars({"x", "y"}));
   ASSERT_TRUE(second.is_ok());
-  ASSERT_TRUE(second.value().exact.has_value());
-  EXPECT_EQ(*second.value().exact, Rational(2));
+  ASSERT_TRUE(second.value().volume.exact.has_value());
+  EXPECT_EQ(*second.value().volume.exact, Rational(2));
   EXPECT_EQ(session.cache().volume_stats().hits, 1u);
 }
 
@@ -119,15 +119,15 @@ TEST(Session, VolumeCacheKeySeparatesOutputVarsAndStrategy) {
                             "0 <= x & x <= 1 & 0 <= y & y <= 3")
                   .is_ok());
   Session session(&db, SessionOptions{.threads = 1});
-  auto xy = session.volume("Box(x, y)", {"x", "y"});
+  auto xy = session.run(Request::volume("Box(x, y)").vars({"x", "y"}));
   ASSERT_TRUE(xy.is_ok());
-  EXPECT_EQ(*xy.value().exact, Rational(3));
+  EXPECT_EQ(*xy.value().volume.exact, Rational(3));
   // Same query text, different strategy: distinct entry, not a wrong hit.
-  VolumeOptions sweep;
-  sweep.strategy = VolumeStrategy::kExactSweep;
-  auto swept = session.volume("Box(x, y)", {"x", "y"}, sweep);
+  auto swept = session.run(Request::volume("Box(x, y)")
+                               .vars({"x", "y"})
+                               .strategy(VolumeStrategy::kExactSweep));
   ASSERT_TRUE(swept.is_ok());
-  EXPECT_EQ(*swept.value().exact, Rational(3));
+  EXPECT_EQ(*swept.value().volume.exact, Rational(3));
   EXPECT_EQ(session.cache().volume_stats().hits, 0u);
   EXPECT_EQ(session.cache().volume_stats().entries, 2u);
 }
@@ -136,7 +136,7 @@ TEST(Session, MetricsDumpContainsCounters) {
   ConstraintDatabase db;
   ASSERT_TRUE(db.add_region("Box", {"x"}, "0 <= x & x <= 1").is_ok());
   Session session(&db, SessionOptions{.threads = 1});
-  ASSERT_TRUE(session.volume("Box(x)", {"x"}).is_ok());
+  ASSERT_TRUE(session.run(Request::volume("Box(x)").vars({"x"})).is_ok());
   const std::string dump = session.metrics_dump();
   EXPECT_NE(dump.find("volume_calls_total 1"), std::string::npos);
   EXPECT_NE(dump.find("qe_rewrites_total"), std::string::npos);

@@ -110,13 +110,13 @@ TEST(Session, MonteCarloVolumeIndependentOfThreadCount) {
     SessionOptions opts;
     opts.threads = threads;
     Session session(&db, opts);
-    VolumeOptions mc;
-    mc.strategy = VolumeStrategy::kMonteCarlo;
-    mc.epsilon = 0.05;
-    mc.vc_dim = 3.0;
-    mc.seed = 1234;
-    auto a = session.volume("x^2 + y^2 <= 1", {"x", "y"}, mc);
-    return *a.value_or_die().estimate;
+    auto a = session.run(Request::volume("x^2 + y^2 <= 1")
+                             .vars({"x", "y"})
+                             .strategy(VolumeStrategy::kMonteCarlo)
+                             .epsilon(0.05)
+                             .vc_dim(3.0)
+                             .seed(1234));
+    return *a.value_or_die().volume.estimate;
   };
   const double t1 = run(1);
   const double t2 = run(2);
@@ -129,12 +129,13 @@ TEST(Session, MonteCarloVolumeIndependentOfThreadCount) {
 TEST(Session, McPointsCounted) {
   ConstraintDatabase db;
   Session session(&db, SessionOptions{.threads = 2});
-  VolumeOptions mc;
-  mc.strategy = VolumeStrategy::kMonteCarlo;
-  mc.epsilon = 0.1;
-  mc.delta = 0.1;
-  mc.vc_dim = 3.0;
-  ASSERT_TRUE(session.volume("x^2 + y^2 <= 1", {"x", "y"}, mc).is_ok());
+  ASSERT_TRUE(session.run(Request::volume("x^2 + y^2 <= 1")
+                              .vars({"x", "y"})
+                              .strategy(VolumeStrategy::kMonteCarlo)
+                              .epsilon(0.1)
+                              .delta(0.1)
+                              .vc_dim(3.0))
+                  .is_ok());
   EXPECT_GT(session.metrics().counter_value("mc_points_evaluated_total"),
             0u);
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -255,50 +256,53 @@ TEST(SessionRunTest, ZeroDeadlineStillAnswersWithTrivialHalf) {
 }
 
 TEST(SessionRunTest, DegradedMonteCarloReportsPartialPoints) {
-  // Drive the partial path deterministically: a cancel token that is
-  // already expired after some chunks complete is hard to time, so use
-  // the legacy option-struct entry with an armed deadline long enough
-  // for a few chunks. Accept either a partial (degraded) or complete
-  // outcome -- what must never happen is an error status.
+  // Drive the partial path deterministically: a caller-owned cancel
+  // token with an armed deadline long enough for a few chunks. Accept
+  // either a partial (degraded) or complete outcome -- what must never
+  // happen is an error status.
   ConstraintDatabase db;
   Session session(&db, two_threads());
   CancelToken token;
   token.set_deadline_after_ms(2);
-  VolumeOptions vo;
-  vo.strategy = VolumeStrategy::kMonteCarlo;
-  vo.epsilon = 0.001;
-  vo.delta = 0.05;
-  vo.cancel = &token;
-  auto v = session.volume(kDisk, {"x", "y"}, vo);
-  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
-  EXPECT_LE(v.value().points_evaluated, v.value().points_requested);
-  if (v.value().degraded) {
-    EXPECT_LT(v.value().points_evaluated, v.value().points_requested);
-    ASSERT_TRUE(v.value().lower.has_value());
-    ASSERT_TRUE(v.value().upper.has_value());
-    EXPECT_GE(*v.value().lower, 0.0);
-    EXPECT_LE(*v.value().upper, 1.0);
+  Request req = Request::volume(kDisk)
+                    .vars({"x", "y"})
+                    .strategy(VolumeStrategy::kMonteCarlo)
+                    .epsilon(0.001)
+                    .delta(0.05)
+                    .cancel(&token);
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  const VolumeAnswer& v = a.value().volume;
+  EXPECT_LE(v.points_evaluated, v.points_requested);
+  if (v.degraded) {
+    EXPECT_LT(v.points_evaluated, v.points_requested);
+    ASSERT_TRUE(v.lower.has_value());
+    ASSERT_TRUE(v.upper.has_value());
+    EXPECT_GE(*v.lower, 0.0);
+    EXPECT_LE(*v.upper, 1.0);
   }
 }
 
-TEST(SessionRunTest, LegacyShimExpiredBeforeAnyWorkReturnsTrivialHalf) {
+TEST(SessionRunTest, CallerTokenExpiredBeforeAnyWorkReturnsTrivialHalf) {
   // A token that is already expired must yield the honest last rung
   // (estimate 1/2, bars [0, 1]), never bars derived from zero samples.
   ConstraintDatabase db;
   Session session(&db, two_threads());
   CancelToken token;
   token.set_deadline_after_ms(0);
-  VolumeOptions vo;
-  vo.strategy = VolumeStrategy::kMonteCarlo;
-  vo.epsilon = 0.01;
-  vo.delta = 0.05;
-  vo.cancel = &token;
-  auto v = session.volume(kDisk, {"x", "y"}, vo);
-  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
-  EXPECT_TRUE(v.value().degraded);
-  EXPECT_EQ(*v.value().estimate, 0.5);
-  EXPECT_EQ(*v.value().lower, 0.0);
-  EXPECT_EQ(*v.value().upper, 1.0);
+  Request req = Request::volume(kDisk)
+                    .vars({"x", "y"})
+                    .strategy(VolumeStrategy::kMonteCarlo)
+                    .epsilon(0.01)
+                    .delta(0.05)
+                    .cancel(&token);
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  const VolumeAnswer& v = a.value().volume;
+  EXPECT_TRUE(v.degraded);
+  EXPECT_EQ(*v.estimate, 0.5);
+  EXPECT_EQ(*v.lower, 0.0);
+  EXPECT_EQ(*v.upper, 1.0);
 }
 
 TEST(SessionRunTest, AggregateRequest) {
@@ -439,20 +443,83 @@ TEST(SessionRunTest, ParserCapsStillAdmitDeepButReasonableInput) {
   EXPECT_TRUE(*a.value().truth);
 }
 
-TEST(SessionRunTest, LegacyShimsStillWork) {
+TEST(SessionRunTest, BuilderRequestsCoverTheOldShimSurface) {
+  // The per-operation shims are gone; the fluent builders express the
+  // same calls through run() and move the same counters.
   ConstraintDatabase db;
   Session session(&db);
-  auto v = session.volume(kTriangle, {"x", "y"});
+  auto v = session.run(Request::volume(kTriangle).vars({"x", "y"}));
   ASSERT_TRUE(v.is_ok());
-  EXPECT_EQ(*v.value().exact, Rational(1, 2));
-  auto f = session.rewrite("x >= 0 & x <= 1");
+  EXPECT_EQ(*v.value().volume.exact, Rational(1, 2));
+  auto f = session.run(Request::rewrite("x >= 0 & x <= 1"));
   ASSERT_TRUE(f.is_ok());
-  auto t = session.ask("E x. x >= 0 & x <= 1");
+  ASSERT_NE(f.value().formula, nullptr);
+  auto t = session.run(Request::ask("E x. x >= 0 & x <= 1"));
   ASSERT_TRUE(t.is_ok());
-  EXPECT_TRUE(t.value());
-  // Shims route through run(), so the same counters move.
+  EXPECT_TRUE(*t.value().truth);
   EXPECT_EQ(session.metrics().counter_value("qe_rewrites_total"), 1u);
   EXPECT_EQ(session.metrics().counter_value("volume_calls_total"), 1u);
+}
+
+TEST(SessionRunTest, RunRejectsInvalidRequestsUpFront) {
+  ConstraintDatabase db;
+  Session session(&db);
+
+  // Empty query.
+  auto empty = session.run(Request::volume("").vars({"x"}));
+  ASSERT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // Epsilon outside (0, 1) -- both ends and NaN.
+  for (double bad : {0.0, 1.0, -0.5, 2.0,
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    auto a = session.run(
+        Request::volume(kTriangle).vars({"x", "y"}).epsilon(bad));
+    ASSERT_FALSE(a.is_ok()) << "epsilon=" << bad;
+    EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Delta outside (0, 1).
+  for (double bad : {0.0, 1.0, -1.0}) {
+    auto a = session.run(
+        Request::volume(kTriangle).vars({"x", "y"}).delta(bad));
+    ASSERT_FALSE(a.is_ok()) << "delta=" << bad;
+    EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Volume kinds with no output variables.
+  for (RequestKind kind : {RequestKind::kVolume, RequestKind::kMu,
+                           RequestKind::kGrowthPolynomial}) {
+    Request req;
+    req.kind = kind;
+    req.query = kTriangle;
+    auto a = session.run(req);
+    ASSERT_FALSE(a.is_ok()) << "kind=" << static_cast<int>(kind);
+    EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Aggregate arity: exactly one output variable.
+  Request agg = Request::aggregate(AggregateFn::kSum, "R(v)");
+  agg.output_vars = {"v", "w"};
+  auto a = session.run(agg);
+  ASSERT_FALSE(a.is_ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+
+  // Non-positive VC-dimension override.
+  auto vc = session.run(
+      Request::volume(kTriangle).vars({"x", "y"}).vc_dim(0.0));
+  ASSERT_FALSE(vc.is_ok());
+  EXPECT_EQ(vc.status().code(), StatusCode::kInvalidArgument);
+
+  // submit() resolves invalid requests immediately, same code.
+  serve::Ticket ticket = session.submit(Request::volume("").vars({"x"}));
+  auto got = ticket.try_get();
+  ASSERT_TRUE(got.has_value());  // already resolved, no executor needed
+  ASSERT_FALSE(got->is_ok());
+  EXPECT_EQ(got->status().code(), StatusCode::kInvalidArgument);
+
+  // Nothing above reached an engine.
+  EXPECT_EQ(session.metrics().counter_value("volume_calls_total"), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,312 @@
+// serve::Scheduler functional coverage: tickets resolve to what run()
+// produces, queued duplicates coalesce into one computation, compatible
+// Monte-Carlo requests batch without changing their answers, admission
+// control sheds honestly, and deadlines are armed at submit time.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/runtime/session.h"
+#include "cqa/serve/scheduler.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kTriangle = "x >= 0 & y >= 0 & x + y <= 1";
+constexpr const char* kDisk = "x^2 + y^2 <= 9/10 & 0 <= x & 0 <= y";
+
+SessionOptions serve_opts() {
+  SessionOptions opts;
+  opts.threads = 2;
+  opts.serve_executors = 2;
+  return opts;
+}
+
+TEST(ServeScheduler, SubmitResolvesLikeRun) {
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  Request req = Request::volume(kTriangle).vars({"x", "y"});
+  serve::Ticket t = session.submit(req);
+  ASSERT_TRUE(t.valid());
+  auto a = t.wait();
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(a.value().volume.exact.has_value());
+  EXPECT_EQ(*a.value().volume.exact, Rational(1, 2));
+
+  auto direct = session.run(req);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(*direct.value().volume.exact, *a.value().volume.exact);
+}
+
+TEST(ServeScheduler, QueuedDuplicatesCoalesceIntoOneComputation) {
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+
+  const int kDup = 8;
+  std::vector<serve::Ticket> tickets;
+  for (int i = 0; i < kDup; ++i) {
+    tickets.push_back(
+        session.submit(Request::volume(kTriangle).vars({"x", "y"})));
+  }
+  EXPECT_EQ(sched.queue_depth(), static_cast<std::size_t>(kDup));
+  EXPECT_EQ(session.metrics().gauge_value("serve_queue_depth"), kDup);
+  sched.resume();
+
+  for (auto& t : tickets) {
+    auto a = t.wait();
+    ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+    EXPECT_EQ(*a.value().volume.exact, Rational(1, 2));
+  }
+  // One leader ran; the other kDup - 1 rode along.
+  EXPECT_EQ(session.metrics().counter_value("volume_calls_total"), 1u);
+  EXPECT_EQ(session.metrics().counter_value("serve_coalesced_total"),
+            static_cast<std::uint64_t>(kDup - 1));
+  EXPECT_EQ(session.metrics().counter_value("serve_submitted_total"),
+            static_cast<std::uint64_t>(kDup));
+  EXPECT_EQ(sched.queue_depth(), 0u);
+  EXPECT_GE(session.metrics().gauge("serve_queue_depth")->peak(), kDup);
+}
+
+TEST(ServeScheduler, CallerCancelTokenDisablesCoalescing) {
+  // Requests with caller-owned cancel tokens have distinct cancellation
+  // identity: they must never share a leader's answer. One executor so
+  // the two run back-to-back (no cache-level single-flight either).
+  ConstraintDatabase db;
+  SessionOptions opts = serve_opts();
+  opts.serve_executors = 1;
+  Session session(&db, opts);
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  CancelToken t1, t2;
+  auto a = session.submit(
+      Request::volume(kTriangle).vars({"x", "y"}).cancel(&t1));
+  auto b = session.submit(
+      Request::volume(kTriangle).vars({"x", "y"}).cancel(&t2));
+  sched.resume();
+  ASSERT_TRUE(a.wait().is_ok());
+  ASSERT_TRUE(b.wait().is_ok());
+  EXPECT_EQ(session.metrics().counter_value("serve_coalesced_total"), 0u);
+  // Both ran; the second hit the volume cache rather than coalescing.
+  EXPECT_EQ(session.metrics().counter_value("volume_calls_total"), 2u);
+}
+
+TEST(ServeScheduler, McBatchAnswersAreBitIdenticalToSoloRuns) {
+  auto solo = [](std::uint64_t seed) {
+    ConstraintDatabase db;
+    Session session(&db, SessionOptions{.threads = 2});
+    auto a = session.run(Request::volume(kDisk)
+                             .vars({"x", "y"})
+                             .strategy(VolumeStrategy::kMonteCarlo)
+                             .epsilon(0.05)
+                             .vc_dim(3.0)
+                             .seed(seed));
+    return *a.value_or_die().volume.estimate;
+  };
+
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  const std::vector<std::uint64_t> seeds = {7, 11, 13, 17};
+  std::vector<serve::Ticket> tickets;
+  for (std::uint64_t s : seeds) {
+    tickets.push_back(session.submit(Request::volume(kDisk)
+                                         .vars({"x", "y"})
+                                         .strategy(VolumeStrategy::kMonteCarlo)
+                                         .epsilon(0.05)
+                                         .vc_dim(3.0)
+                                         .seed(s)));
+  }
+  sched.resume();
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    auto a = tickets[i].wait();
+    ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+    EXPECT_EQ(*a.value().volume.estimate, solo(seeds[i]))
+        << "seed " << seeds[i];
+  }
+  // The four distinct-seed requests fused into one pool dispatch.
+  EXPECT_GE(session.metrics().counter_value("serve_mc_batched_total"),
+            static_cast<std::uint64_t>(seeds.size() - 1));
+}
+
+TEST(ServeScheduler, McBatchCoalescesExactDuplicatesWithinTheBatch) {
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  auto mc = [&](std::uint64_t seed) {
+    return Request::volume(kDisk)
+        .vars({"x", "y"})
+        .strategy(VolumeStrategy::kMonteCarlo)
+        .epsilon(0.05)
+        .vc_dim(3.0)
+        .seed(seed)
+        .build();
+  };
+  serve::Ticket a = session.submit(mc(7));
+  serve::Ticket b = session.submit(mc(9));
+  serve::Ticket dup = session.submit(mc(9));  // duplicate of b
+  sched.resume();
+  auto ra = a.wait();
+  auto rb = b.wait();
+  auto rdup = dup.wait();
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+  ASSERT_TRUE(rdup.is_ok());
+  EXPECT_NE(*ra.value().volume.estimate, *rb.value().volume.estimate);
+  EXPECT_EQ(*rb.value().volume.estimate, *rdup.value().volume.estimate);
+  EXPECT_EQ(session.metrics().counter_value("serve_coalesced_total"), 1u);
+}
+
+TEST(ServeScheduler, OverCapacityShedsVolumeToTrivialHalf) {
+  ConstraintDatabase db;
+  SessionOptions opts = serve_opts();
+  opts.serve_queue_capacity = 2;
+  Session session(&db, opts);
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+
+  std::vector<serve::Ticket> queued;
+  queued.push_back(
+      session.submit(Request::volume(kTriangle).vars({"x", "y"})));
+  queued.push_back(
+      session.submit(Request::volume("x >= 0 & x <= 1 & y >= 0 & y <= 2")
+                         .vars({"x", "y"})));
+
+  // Queue full: a volume request is shed to the last rung, resolved
+  // immediately with honest [0, 1] bars and the shed marker.
+  serve::Ticket shed_vol =
+      session.submit(Request::volume(kDisk).vars({"x", "y"}));
+  auto sv = shed_vol.try_get();
+  ASSERT_TRUE(sv.has_value());
+  ASSERT_TRUE(sv->is_ok());
+  EXPECT_EQ(sv->value().status, AnswerStatus::kDegraded);
+  EXPECT_EQ(*sv->value().volume.estimate, 0.5);
+  EXPECT_EQ(*sv->value().volume.lower, 0.0);
+  EXPECT_EQ(*sv->value().volume.upper, 1.0);
+  EXPECT_TRUE(sv->value().guard.shed);
+  EXPECT_EQ(sv->value().guard.rung, guard::Rung::kTrivialHalf);
+
+  // A kind the degradation ladder cannot serve gets the typed error.
+  serve::Ticket shed_ask =
+      session.submit(Request::ask("E x. x >= 0 & x <= 1"));
+  auto sa = shed_ask.try_get();
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_FALSE(sa->is_ok());
+  EXPECT_EQ(sa->status().code(), StatusCode::kResourceExhausted);
+
+  EXPECT_EQ(session.metrics().counter_value("serve_shed_total"), 2u);
+  sched.resume();
+  for (auto& t : queued) {
+    EXPECT_TRUE(t.wait().is_ok());
+  }
+}
+
+TEST(ServeScheduler, DeadlineIsArmedAtSubmitSoQueueWaitCounts) {
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  serve::Ticket t =
+      session.submit(Request::volume(kDisk)
+                         .vars({"x", "y"})
+                         .strategy(VolumeStrategy::kMonteCarlo)
+                         .epsilon(0.01)
+                         .deadline_ms(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sched.resume();
+  auto a = t.wait();
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  // The budget was spent in the queue: the answer must be degraded
+  // (partial or trivial half), never presented at full fidelity.
+  EXPECT_EQ(a.value().status, AnswerStatus::kDegraded);
+  EXPECT_TRUE(a.value().volume.degraded);
+}
+
+TEST(ServeScheduler, CancelBeforeExecutionResolvesCancelled) {
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  serve::Ticket t =
+      session.submit(Request::volume(kTriangle).vars({"x", "y"}));
+  t.cancel();
+  sched.resume();
+  auto a = t.wait();
+  ASSERT_FALSE(a.is_ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kCancelled);
+  // The cancelled request never reached an engine.
+  EXPECT_EQ(session.metrics().counter_value("volume_calls_total"), 0u);
+}
+
+TEST(ServeScheduler, DestructionResolvesQueuedTickets) {
+  std::vector<serve::Ticket> tickets;
+  {
+    ConstraintDatabase db;
+    Session session(&db, serve_opts());
+    session.scheduler().pause();
+    for (int i = 0; i < 4; ++i) {
+      tickets.push_back(
+          session.submit(Request::volume(kTriangle).vars({"x", "y"})));
+    }
+    // Session (and its scheduler) destroyed with work still queued.
+  }
+  for (auto& t : tickets) {
+    auto a = t.wait();  // must not hang
+    ASSERT_FALSE(a.is_ok());
+    EXPECT_EQ(a.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ServeScheduler, AllPriorityLanesDrain) {
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  std::vector<serve::Ticket> tickets;
+  const Priority prios[] = {Priority::kBatch, Priority::kInteractive,
+                            Priority::kNormal, Priority::kBatch,
+                            Priority::kInteractive};
+  int i = 0;
+  for (Priority p : prios) {
+    // Distinct queries so nothing coalesces.
+    tickets.push_back(session.submit(
+        Request::volume("x >= 0 & x <= 1 & y >= 0 & y <= " +
+                        std::to_string(i + 1))
+            .vars({"x", "y"})
+            .priority(p)));
+    ++i;
+  }
+  sched.resume();
+  for (std::size_t k = 0; k < tickets.size(); ++k) {
+    auto a = tickets[k].wait();
+    ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+    EXPECT_EQ(*a.value().volume.exact, Rational(static_cast<int>(k + 1)));
+  }
+  EXPECT_EQ(sched.queue_depth(), 0u);
+}
+
+TEST(ServeScheduler, NonVolumeKindsFlowThroughSubmit) {
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.add_region("Box", {"s", "t"},
+                            "0 <= s & s <= 1 & 0 <= t & t <= 1")
+                  .is_ok());
+  Session session(&db, serve_opts());
+  serve::Ticket ask =
+      session.submit(Request::ask("E x. E y. Box(x, y) & x + y <= 1"));
+  serve::Ticket rw = session.submit(Request::rewrite("E u. Box(x, u)"));
+  auto a = ask.wait();
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  EXPECT_TRUE(*a.value().truth);
+  auto r = rw.wait();
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(r.value().formula->is_quantifier_free());
+}
+
+}  // namespace
+}  // namespace cqa
