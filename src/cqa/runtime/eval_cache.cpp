@@ -1,5 +1,7 @@
 #include "cqa/runtime/eval_cache.h"
 
+#include <chrono>
+
 #include "cqa/guard/fault.h"
 #include "cqa/logic/printer.h"
 
@@ -48,9 +50,22 @@ std::uint64_t maybe_poison(std::uint64_t sum) {
 // scoped section -- well defined.
 thread_local int tl_serve_depth = 0;
 
+// The token of the request this serve thread is running, polled by
+// blocked FlightTable followers (see ServeTokenScope).
+thread_local const CancelToken* tl_serve_token = nullptr;
+
 }  // namespace
 
 bool in_serve_context() { return tl_serve_depth > 0; }
+
+const CancelToken* current_serve_token() { return tl_serve_token; }
+
+ServeTokenScope::ServeTokenScope(const CancelToken* token)
+    : previous_(tl_serve_token) {
+  tl_serve_token = token;
+}
+
+ServeTokenScope::~ServeTokenScope() { tl_serve_token = previous_; }
 
 ServeFlightScope::ServeFlightScope(EvalCache* cache) : cache_(cache) {
   ++tl_serve_depth;
@@ -65,7 +80,8 @@ ServeFlightScope::~ServeFlightScope() {
 }
 
 FlightTable::JoinResult FlightTable::join(const std::string& key,
-                                          Counter* coalesced) {
+                                          Counter* coalesced,
+                                          const CancelToken* token) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = flights_.find(key);
   if (it == flights_.end()) {
@@ -82,8 +98,17 @@ FlightTable::JoinResult FlightTable::join(const std::string& key,
   // Wait until no flight exists for the key. A *new* leader may take
   // over between the wake and the predicate re-check; keep waiting on
   // it -- the caller only cares that some leader published or died.
-  cv_.wait(lock, [&] { return flights_.find(key) == flights_.end(); });
-  return JoinResult::kRetry;
+  // The wait is periodic because the follower's own token can trip
+  // without anyone signalling this cv (Ticket::cancel, deadline
+  // expiry): a follower that outlived its budget leaves the queue
+  // instead of head-of-line blocking an executor behind a slow leader.
+  for (;;) {
+    const bool gone =
+        cv_.wait_for(lock, std::chrono::milliseconds(1),
+                     [&] { return flights_.find(key) == flights_.end(); });
+    if (gone) return JoinResult::kRetry;
+    if (token_expired(token)) return JoinResult::kExpired;
+  }
 }
 
 void FlightTable::land(const std::string& key) {
@@ -144,14 +169,25 @@ std::optional<FormulaPtr> EvalCache::lookup_rewrite(const std::string& key) {
   if (!in_serve_context()) return lookup_rewrite_once(key);
   for (;;) {
     if (auto hit = lookup_rewrite_once(key)) return hit;
-    if (rewrite_flights_.join(key, coalesced_metric_) ==
-        FlightTable::JoinResult::kLeader) {
-      // Miss returned to the engine, which computes and stores (landing
-      // the flight) -- or errors, in which case the ServeFlightScope
-      // abandons the flight and a follower takes over.
-      return std::nullopt;
+    switch (rewrite_flights_.join(key, coalesced_metric_,
+                                  current_serve_token())) {
+      case FlightTable::JoinResult::kLeader:
+        // Miss returned to the engine, which computes and stores
+        // (landing the flight) -- or errors, in which case the
+        // ServeFlightScope abandons the flight and a follower takes
+        // over.
+        return std::nullopt;
+      case FlightTable::JoinResult::kExpired:
+        // This request's own token tripped while it waited: report a
+        // miss (without becoming leader) so the engine starts
+        // computing, notices the expired token at its next poll, and
+        // degrades down the normal ladder.
+        return std::nullopt;
+      case FlightTable::JoinResult::kRetry:
+        // A leader landed or abandoned while we waited: retry the
+        // lookup.
+        break;
     }
-    // A leader landed or abandoned while we waited: retry the lookup.
   }
 }
 
@@ -179,9 +215,13 @@ std::optional<Rational> EvalCache::lookup_volume(const std::string& key) {
   if (!in_serve_context()) return lookup_volume_once(key);
   for (;;) {
     if (auto hit = lookup_volume_once(key)) return hit;
-    if (volume_flights_.join(key, coalesced_metric_) ==
-        FlightTable::JoinResult::kLeader) {
-      return std::nullopt;
+    switch (volume_flights_.join(key, coalesced_metric_,
+                                 current_serve_token())) {
+      case FlightTable::JoinResult::kLeader:
+      case FlightTable::JoinResult::kExpired:
+        return std::nullopt;
+      case FlightTable::JoinResult::kRetry:
+        break;
     }
   }
 }

@@ -30,6 +30,7 @@
 #include "cqa/arith/rational.h"
 #include "cqa/logic/formula.h"
 #include "cqa/runtime/metrics.h"
+#include "cqa/util/cancellation.h"
 
 namespace cqa {
 
@@ -153,14 +154,21 @@ struct EvalCacheOptions {
 class FlightTable {
  public:
   enum class JoinResult {
-    kLeader,  // caller owns the computation; publish via land/abandon
-    kRetry,   // a leader finished meanwhile; redo the cache lookup
+    kLeader,   // caller owns the computation; publish via land/abandon
+    kRetry,    // a leader finished meanwhile; redo the cache lookup
+    kExpired,  // the follower's own token tripped while it waited
   };
 
   /// Blocks while another thread leads `key`. `coalesced` (may be null)
   /// is bumped once per blocked joiner -- the serve_coalesced_total
-  /// metric counts exactly the duplicate computations avoided.
-  JoinResult join(const std::string& key, Counter* coalesced);
+  /// metric counts exactly the duplicate computations avoided. A
+  /// blocked joiner polls `token` (may be null): Ticket::cancel cannot
+  /// signal this condition variable, and a follower must not sit past
+  /// its own deadline behind a slow leader, so a tripped token returns
+  /// kExpired and the caller falls back to computing inline (where the
+  /// engine's own token polls unwind it down the degradation ladder).
+  JoinResult join(const std::string& key, Counter* coalesced,
+                  const CancelToken* token);
 
   /// Leader publishes: the value is in the cache, wake all followers.
   /// No-op unless the calling thread leads `key` (idempotent, and safe
@@ -186,6 +194,27 @@ class FlightTable {
 /// because a blocking join would change its latency contract and the
 /// serve layer is the first place where requests interact.
 bool in_serve_context();
+
+/// The cancel token of the request the calling serve thread is
+/// currently running (null when none is bound). FlightTable followers
+/// poll it so a blocked joiner wakes when its own deadline expires or
+/// its ticket is cancelled, instead of waiting on the leader.
+const CancelToken* current_serve_token();
+
+/// RAII binding of a request's token to the calling serve thread;
+/// nests (restores the previous binding on destruction). Installed by
+/// serve::Scheduler around each job execution and by the fused-MC path
+/// around each member's share of the batch's common work.
+class ServeTokenScope {
+ public:
+  explicit ServeTokenScope(const CancelToken* token);
+  ~ServeTokenScope();
+  ServeTokenScope(const ServeTokenScope&) = delete;
+  ServeTokenScope& operator=(const ServeTokenScope&) = delete;
+
+ private:
+  const CancelToken* previous_;
+};
 
 /// RAII serve-context marker, installed by serve::Scheduler executors
 /// around each request. On exit it abandons any flights the thread

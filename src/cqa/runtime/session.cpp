@@ -378,7 +378,7 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
   VolumeOptions defaults;
   const double vc_dim = request.vc_dim.value_or(defaults.vc_dim);
   if (strategy == VolumeStrategy::kMonteCarlo) {
-    auto membership = mc_membership_formula(request.query, token);
+    auto membership = mc_membership_formula(request.query, token, meter);
     if (!membership.is_ok()) {
       // Expiry or a quota trip inside the QE rewrite degrades to the
       // last rung, the same as expiry inside the sampling itself.
@@ -408,9 +408,11 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
 }
 
 Result<FormulaPtr> Session::mc_membership_formula(const std::string& query,
-                                                  const CancelToken* token) {
+                                                  const CancelToken* token,
+                                                  guard::WorkMeter* meter) {
   RewriteOptions rw;
   rw.cancel = token;
+  rw.meter = meter;
   // rewrite() expands the active domain, inlines predicates, and runs
   // linear QE iff the result is still quantified; memoized in the
   // shared rewrite cache. Quantified nonlinear queries error here with
@@ -508,7 +510,8 @@ Result<Answer> Session::finish_mc_answer(const Request& request,
     answer.status = AnswerStatus::kDegraded;
     planner_degraded_total_->inc();
   }
-  record_guard(answer.guard);
+  // run_mc_batch fills in the member's metered usage and records the
+  // guard report when it resolves the slot.
   return answer;
 }
 
@@ -523,88 +526,136 @@ std::vector<Result<Answer>> Session::run_mc_batch(
   ScopedTimer timer(volume_call_ns_);
   volume_calls_total_->inc(n);
 
-  // All members share (query, output_vars), so membership + variable
-  // validation happen once; an error that is not expiry fails every
-  // member the same way a solo run would have.
-  const Request& head = *requests[0];
-  auto fail_all = [&](const Result<VolumeAnswer>& fallback) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (fallback.is_ok()) {
-        Answer a;
-        a.kind = RequestKind::kVolume;
-        a.volume = fallback.value();
-        a.guard.rung = rung_of(a.volume);
-        if (a.volume.degraded) {
-          a.status = AnswerStatus::kDegraded;
-          planner_degraded_total_->inc();
-        }
-        record_guard(a.guard);
-        results[i] = std::move(a);
-      } else {
-        results[i] = fallback.status();
-      }
+  // One meter per member: each request's own budget.quota governs the
+  // work attributed to it, and each answer's guard report comes from
+  // its own meter -- the same accounting run() gives a solo request.
+  std::vector<std::unique_ptr<guard::WorkMeter>> meters;
+  meters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    meters.push_back(
+        std::make_unique<guard::WorkMeter>(requests[i]->budget.quota));
+  }
+
+  // resolve() is the single exit for a slot: it stamps the member's
+  // metered usage into the guard report (preserving the rung the answer
+  // already carries), records it, and never overwrites a resolved slot.
+  std::vector<bool> resolved(n, false);
+  auto resolve = [&](std::size_t i, Result<Answer> r) {
+    if (resolved[i]) return;
+    resolved[i] = true;
+    if (r.is_ok()) {
+      Answer& a = r.value();
+      const guard::Rung rung = a.guard.rung;
+      a.guard = guard::make_report(*meters[i]);
+      a.guard.rung = rung;
+      a.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      record_guard(a.guard);
+    } else {
+      record_guard(guard::make_report(*meters[i]));
     }
+    results[i] = std::move(r);
+  };
+  auto degraded_half = [&]() {
+    Answer a;
+    a.kind = RequestKind::kVolume;
+    a.status = AnswerStatus::kDegraded;
+    a.volume = trivial_half_volume(true);
+    a.guard.rung = guard::Rung::kTrivialHalf;
+    planner_degraded_total_->inc();
+    return a;
+  };
+  auto fail_rest = [&](const Status& s) {
+    for (std::size_t i = 0; i < n; ++i) resolve(i, s);
     return results;
   };
 
-  auto membership = mc_membership_formula(head.query, tokens[0]);
-  if (!membership.is_ok()) {
-    if (is_degradable(membership.status())) {
-      return fail_all(trivial_half_volume(true));
+  // The same handler boundary run() has around run_impl: an allocation
+  // failure (real, or the injected FaultSite::kBigIntAlloc) anywhere in
+  // the shared work must not escape onto the executor thread -- volume
+  // requests still own the last rung; anything else is kInternal.
+  try {
+    // All members share (query, output_vars), so membership + variable
+    // validation happen once. The shared membership rewrite runs under
+    // one member's token and meter at a time: a degradable failure
+    // (that member's deadline, cancellation, or quota) degrades *that
+    // member only* to trivial-1/2, and the next still-live member
+    // retries -- cancelling request X never degrades request Y. A
+    // structural error fails every member the same way a solo run
+    // would have.
+    Result<FormulaPtr> membership{Status::internal("no live member")};
+    bool have_membership = false;
+    for (std::size_t i = 0; i < n && !have_membership; ++i) {
+      guard::MeterScope meter_scope(meters[i].get());
+      ServeTokenScope token_scope(tokens[i]);
+      membership = mc_membership_formula(requests[i]->query, tokens[i],
+                                         meters[i].get());
+      if (membership.is_ok()) {
+        have_membership = true;
+      } else if (is_degradable(membership.status())) {
+        resolve(i, degraded_half());
+      } else {
+        return fail_rest(membership.status());
+      }
     }
-    return fail_all(membership.status());
-  }
+    if (!have_membership) return results;  // every member degraded
 
-  auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(head.query);
-  if (!parsed.is_ok()) return fail_all(parsed.status());
-  std::vector<std::size_t> element_vars;
-  for (const auto& name : head.output_vars) {
-    int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
-    if (idx < 0) {
-      return fail_all(Status::invalid("unknown output variable: " + name));
+    const Request& head = *requests[0];
+    auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(head.query);
+    if (!parsed.is_ok()) return fail_rest(parsed.status());
+    std::vector<std::size_t> element_vars;
+    for (const auto& name : head.output_vars) {
+      int idx = const_cast<ConstraintDatabase*>(db_)->vars().find(name);
+      if (idx < 0) {
+        return fail_rest(Status::invalid("unknown output variable: " + name));
+      }
+      element_vars.push_back(static_cast<std::size_t>(idx));
     }
-    element_vars.push_back(static_cast<std::size_t>(idx));
-  }
-  for (std::size_t v : parsed.value()->free_vars()) {
-    if (std::find(element_vars.begin(), element_vars.end(), v) ==
-        element_vars.end()) {
-      return fail_all(Status::invalid(
-          "query has a free variable that is not an output: " +
-          db_->vars().name_of(v)));
+    for (std::size_t v : parsed.value()->free_vars()) {
+      if (std::find(element_vars.begin(), element_vars.end(), v) ==
+          element_vars.end()) {
+        return fail_rest(Status::invalid(
+            "query has a free variable that is not an output: " +
+            db_->vars().name_of(v)));
+      }
     }
-  }
 
-  // One sampler per member: its own Blumer-sized sample from its own
-  // (epsilon, delta, vc_dim, seed), capped by its own max_mc_samples --
-  // the identical construction pooled_monte_carlo would use solo.
-  VolumeOptions defaults;
-  std::vector<std::unique_ptr<ParallelSampler>> samplers;
-  std::vector<McBatchItem> items;
-  samplers.reserve(n);
-  items.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Request& r = *requests[i];
-    std::size_t m =
-        blumer_sample_bound(r.budget.epsilon, r.budget.delta,
-                            r.vc_dim.value_or(defaults.vc_dim));
-    if (r.max_mc_samples > 0) m = std::min(m, r.max_mc_samples);
-    samplers.push_back(std::make_unique<ParallelSampler>(
-        &db_->db(), membership.value(), element_vars, m, r.seed,
-        options_.mc_chunk_size));
-    items.push_back(McBatchItem{samplers.back().get(), tokens[i]});
-  }
-
-  std::vector<Result<McPartial>> parts =
-      ParallelSampler::estimate_partial_batch(items, {}, &pool_);
-  for (std::size_t i = 0; i < n; ++i) {
-    results[i] = finish_mc_answer(*requests[i], std::move(parts[i]),
-                                  requests[i]->budget.epsilon);
-    if (results[i].is_ok()) {
-      results[i].value().elapsed_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start)
-              .count();
+    // One sampler per still-live member: its own Blumer-sized sample
+    // from its own (epsilon, delta, vc_dim, seed), capped by its own
+    // max_mc_samples -- the identical construction pooled_monte_carlo
+    // would use solo.
+    VolumeOptions defaults;
+    std::vector<std::size_t> live;
+    std::vector<std::unique_ptr<ParallelSampler>> samplers;
+    std::vector<McBatchItem> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resolved[i]) continue;
+      const Request& r = *requests[i];
+      std::size_t m =
+          blumer_sample_bound(r.budget.epsilon, r.budget.delta,
+                              r.vc_dim.value_or(defaults.vc_dim));
+      if (r.max_mc_samples > 0) m = std::min(m, r.max_mc_samples);
+      samplers.push_back(std::make_unique<ParallelSampler>(
+          &db_->db(), membership.value(), element_vars, m, r.seed,
+          options_.mc_chunk_size));
+      items.push_back(McBatchItem{samplers.back().get(), tokens[i]});
+      live.push_back(i);
     }
+
+    std::vector<Result<McPartial>> parts =
+        ParallelSampler::estimate_partial_batch(items, {}, &pool_);
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const std::size_t i = live[k];
+      resolve(i, finish_mc_answer(*requests[i], std::move(parts[k]),
+                                  requests[i]->budget.epsilon));
+    }
+  } catch (const std::bad_alloc&) {
+    for (std::size_t i = 0; i < n; ++i) resolve(i, degraded_half());
+  } catch (const std::exception& e) {
+    const Status s = Status::internal(
+        std::string("query evaluation threw: ") + e.what());
+    for (std::size_t i = 0; i < n; ++i) resolve(i, s);
   }
   return results;
 }

@@ -158,7 +158,8 @@ class Session {
   // query is quantified. mc_count_hits rejects quantified formulas, so
   // every MC entry point must sample this, never the raw parse.
   Result<FormulaPtr> mc_membership_formula(const std::string& query,
-                                           const CancelToken* token);
+                                           const CancelToken* token,
+                                           guard::WorkMeter* meter);
   Result<VolumeAnswer> pooled_monte_carlo(const Request& request,
                                           const FormulaPtr& membership,
                                           std::size_t sample_size,

@@ -65,9 +65,17 @@ Scheduler::~Scheduler() {
 std::string Scheduler::fingerprint_of(const Request& request) {
   if (request.cancel != nullptr || !request.bindings.empty()) return "";
   std::ostringstream fp;
-  fp << static_cast<int>(request.kind) << '|' << request.query << '|';
-  for (const auto& v : request.output_vars) fp << v << ',';
-  fp << '|' << request.budget.epsilon << '|' << request.budget.delta
+  // Caller-controlled strings are length-prefixed so no choice of query
+  // or variable names can collide with another request's encoding
+  // (e.g. output_vars {"a,b"} vs {"a", "b"} must stay distinct).
+  auto field = [&fp](const std::string& s) {
+    fp << s.size() << ':' << s << '|';
+  };
+  fp << static_cast<int>(request.kind) << '|';
+  field(request.query);
+  fp << request.output_vars.size() << '|';
+  for (const auto& v : request.output_vars) field(v);
+  fp << request.budget.epsilon << '|' << request.budget.delta
      << '|' << request.budget.deadline_ms << '|' << request.seed << '|'
      << (request.strategy ? static_cast<int>(*request.strategy) : -1)
      << '|' << (request.vc_dim ? *request.vc_dim : -1.0) << '|'
@@ -276,6 +284,10 @@ Result<Answer> Scheduler::run_job(Job& job) {
   }
   Request request = std::move(job.request);
   if (request.cancel == nullptr) request.cancel = &job.state->cancel;
+  // Bind the token for FlightTable followers: if this request blocks
+  // behind another executor's in-flight computation, its own cancel /
+  // deadline can still wake it.
+  ServeTokenScope token_scope(request.cancel);
   return session_->run(request);
 }
 

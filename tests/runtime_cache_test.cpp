@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
 #include "cqa/core/constraint_database.h"
 #include "cqa/core/query_engine.h"
@@ -60,6 +61,26 @@ TEST(EvalCache, CountsIntoMetricsRegistry) {
     cache.store_volume("v" + std::to_string(i), Rational(i));
   }
   EXPECT_GE(metrics.counter_value("cache_evictions_total"), 1u);
+}
+
+TEST(FlightTable, FollowerWakesOnItsOwnTokenExpiry) {
+  // A follower blocked behind a slow leader must not wait past its own
+  // cancellation: Ticket::cancel never signals the flight cv, so the
+  // periodic wait has to notice the tripped token and return kExpired.
+  FlightTable flights;
+  // Take the flight from another thread and never land it, simulating a
+  // leader stuck mid-computation.
+  std::thread leader([&] { flights.join("k", nullptr, nullptr); });
+  leader.join();
+  ASSERT_EQ(flights.in_flight(), 1u);
+
+  CancelToken token;
+  token.cancel();
+  EXPECT_EQ(flights.join("k", nullptr, &token),
+            FlightTable::JoinResult::kExpired);
+  // Without a token the same joiner would still be a plain follower --
+  // the flight is intact, not stolen.
+  EXPECT_EQ(flights.in_flight(), 1u);
 }
 
 TEST(QueryEngine, CanonicalKeyIgnoresSpelling) {

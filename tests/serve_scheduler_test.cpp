@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cqa/guard/fault.h"
 #include "cqa/runtime/session.h"
 #include "cqa/serve/scheduler.h"
 
@@ -17,6 +19,10 @@ namespace {
 
 constexpr const char* kTriangle = "x >= 0 & y >= 0 & x + y <= 1";
 constexpr const char* kDisk = "x^2 + y^2 <= 9/10 & 0 <= x & 0 <= y";
+// Quantified FO+LIN whose membership formula requires a QE rewrite (it
+// denotes the same triangle), so the fused-MC shared work is nontrivial.
+constexpr const char* kQuantifiedTriangle =
+    "E u. 0 <= u & u <= 1 & x + y <= u & x >= 0 & y >= 0";
 
 SessionOptions serve_opts() {
   SessionOptions opts;
@@ -289,6 +295,153 @@ TEST(ServeScheduler, AllPriorityLanesDrain) {
     EXPECT_EQ(*a.value().volume.exact, Rational(static_cast<int>(k + 1)));
   }
   EXPECT_EQ(sched.queue_depth(), 0u);
+}
+
+TEST(ServeScheduler, FingerprintFieldInjectionDoesNotCoalesce) {
+  // output_vars {"x,y"} and {"x", "y"} encode differently now that
+  // fields are length-prefixed: the malformed request must keep its own
+  // kInvalidArgument instead of receiving the other request's volume.
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  auto mc = [&](std::vector<std::string> vars) {
+    return Request::volume(kDisk)
+        .vars(std::move(vars))
+        .strategy(VolumeStrategy::kMonteCarlo)
+        .epsilon(0.05)
+        .vc_dim(3.0)
+        .build();
+  };
+  serve::Ticket bad = session.submit(mc({"x,y"}));
+  serve::Ticket good = session.submit(mc({"x", "y"}));
+  sched.resume();
+
+  auto rb = bad.wait();
+  ASSERT_FALSE(rb.is_ok());
+  EXPECT_EQ(rb.status().code(), StatusCode::kInvalidArgument);
+  auto rg = good.wait();
+  ASSERT_TRUE(rg.is_ok()) << rg.status().to_string();
+  EXPECT_TRUE(rg.value().volume.estimate.has_value());
+}
+
+TEST(ServeScheduler, ExpiredBatchMemberDoesNotDegradeTheOthers) {
+  // Two fused MC members with different budgets: the head's deadline
+  // expiring during the shared membership rewrite degrades the head
+  // only; the other member must still match its solo run bit for bit.
+  auto mc = [](std::uint64_t seed) {
+    return Request::volume(kQuantifiedTriangle)
+        .vars({"x", "y"})
+        .strategy(VolumeStrategy::kMonteCarlo)
+        .epsilon(0.05)
+        .vc_dim(3.0)
+        .seed(seed)
+        .build();
+  };
+  double solo = 0.0;
+  {
+    ConstraintDatabase db;
+    Session session(&db, SessionOptions{.threads = 2});
+    solo = *session.run(mc(11)).value_or_die().volume.estimate;
+  }
+
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  Request doomed_req = mc(7);
+  doomed_req.budget.deadline_ms = 1;
+  serve::Ticket doomed = session.submit(std::move(doomed_req));
+  serve::Ticket healthy = session.submit(mc(11));
+  // Let the head's (submit-armed) deadline expire while both sit queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sched.resume();
+
+  auto rd = doomed.wait();
+  ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
+  EXPECT_TRUE(rd.value().degraded());
+  auto rh = healthy.wait();
+  ASSERT_TRUE(rh.is_ok()) << rh.status().to_string();
+  EXPECT_EQ(rh.value().status, AnswerStatus::kOk);
+  ASSERT_TRUE(rh.value().volume.estimate.has_value());
+  EXPECT_EQ(*rh.value().volume.estimate, solo);
+}
+
+TEST(ServeScheduler, BatchedMemberQuotaIsEnforcedAndReported) {
+  // A quota that would trip this request solo must trip it when fused
+  // into a batch too, and its guard report must say so -- without
+  // dragging the roomy member down with it.
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  auto mc = [](std::uint64_t seed) {
+    return Request::volume(kQuantifiedTriangle)
+        .vars({"x", "y"})
+        .strategy(VolumeStrategy::kMonteCarlo)
+        .epsilon(0.05)
+        .vc_dim(3.0)
+        .seed(seed)
+        .build();
+  };
+  guard::ResourceQuota tight = guard::ResourceQuota::unlimited();
+  tight.max_qe_atoms = 1;  // any elimination trips
+  Request capped_req = mc(3);
+  capped_req.budget.quota = tight;
+  serve::Ticket capped = session.submit(std::move(capped_req));
+  serve::Ticket roomy = session.submit(mc(5));
+  sched.resume();
+
+  auto rc = capped.wait();
+  ASSERT_TRUE(rc.is_ok()) << rc.status().to_string();
+  EXPECT_TRUE(rc.value().degraded());
+  EXPECT_TRUE(rc.value().guard.quota_tripped);
+  EXPECT_EQ(rc.value().guard.tripped_quota, "qe_atoms");
+  EXPECT_EQ(rc.value().guard.rung, guard::Rung::kTrivialHalf);
+  auto rr = roomy.wait();
+  ASSERT_TRUE(rr.is_ok()) << rr.status().to_string();
+  EXPECT_EQ(rr.value().status, AnswerStatus::kOk);
+  EXPECT_TRUE(rr.value().volume.estimate.has_value());
+}
+
+TEST(ServeScheduler, BatchSurvivesInjectedAllocationFailure) {
+  // FaultSite::kBigIntAlloc firing inside the batch's shared membership
+  // work must not escape the executor thread (std::terminate); every
+  // member degrades to the honest last rung instead.
+  ConstraintDatabase db;
+  Session session(&db, serve_opts());
+  serve::Scheduler& sched = session.scheduler();
+  sched.pause();
+  auto mc = [](std::uint64_t seed) {
+    return Request::volume(kQuantifiedTriangle)
+        .vars({"x", "y"})
+        .strategy(VolumeStrategy::kMonteCarlo)
+        .epsilon(0.05)
+        .vc_dim(3.0)
+        .seed(seed)
+        .build();
+  };
+  serve::Ticket a = session.submit(mc(7));
+  serve::Ticket b = session.submit(mc(9));
+
+  guard::FaultPlan plan;
+  plan.seed = 99;
+  plan.rate[static_cast<std::size_t>(guard::FaultSite::kBigIntAlloc)] = 1.0;
+  guard::FaultInjector injector(plan);
+  {
+    guard::ScopedFaultInjector scoped(&injector);
+    sched.resume();
+    for (serve::Ticket* t : {&a, &b}) {
+      auto r = t->wait();
+      ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+      EXPECT_TRUE(r.value().degraded());
+      EXPECT_EQ(r.value().guard.rung, guard::Rung::kTrivialHalf);
+      ASSERT_TRUE(r.value().volume.estimate.has_value());
+      EXPECT_EQ(*r.value().volume.estimate, 0.5);
+      EXPECT_EQ(r.value().volume.lower, 0.0);
+      EXPECT_EQ(r.value().volume.upper, 1.0);
+    }
+  }
 }
 
 TEST(ServeScheduler, NonVolumeKindsFlowThroughSubmit) {
