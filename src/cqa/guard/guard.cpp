@@ -36,11 +36,12 @@ const char* rung_name(Rung r) {
 std::string GuardReport::to_string() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "rung=%s tripped=%s%s qe_atoms=%llu fm_rows_peak=%llu "
+                "rung=%s tripped=%s%s%s qe_atoms=%llu fm_rows_peak=%llu "
                 "sweep_sections=%llu bigint_bits_peak=%llu resident_bytes=%llu",
                 rung_name(rung),
                 quota_tripped ? tripped_quota.c_str() : "none",
                 shed ? " shed=1" : "",
+                worker_crashed ? " worker_crashed=1" : "",
                 static_cast<unsigned long long>(usage.qe_atoms),
                 static_cast<unsigned long long>(usage.fm_rows_peak),
                 static_cast<unsigned long long>(usage.sweep_sections),

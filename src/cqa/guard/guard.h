@@ -37,6 +37,11 @@ struct GuardReport {
   /// over capacity): the answer is the last rung, computed without
   /// running any engine.
   bool shed = false;
+  /// True when the worker process executing this request died (crash,
+  /// OOM kill, kill -9) and the sharded front degraded the in-flight
+  /// request honestly instead of leaving the caller hung. The answer is
+  /// the last rung; the crash cost one shard, not the service.
+  bool worker_crashed = false;
 
   std::string to_string() const;
 };

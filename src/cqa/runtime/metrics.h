@@ -56,6 +56,16 @@ class Gauge {
   }
   std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
+  /// Reads the high-water mark and resets it to the *current* level, so
+  /// each scrape window reports its own peak instead of the process
+  /// lifetime's (per-shard overload reporting needs the former). A
+  /// concurrent add() racing the reset can only raise the new peak, so
+  /// the invariant peak >= value self-heals on the next movement.
+  std::int64_t take_peak() {
+    return peak_.exchange(value_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+
  private:
   friend class MetricsRegistry;  // absorb() merges peaks only
 

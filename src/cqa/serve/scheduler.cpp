@@ -1,12 +1,13 @@
 #include "cqa/serve/scheduler.h"
 
 #include <algorithm>
-#include <sstream>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 
 #include "cqa/runtime/eval_cache.h"
 #include "cqa/runtime/session.h"
+#include "cqa/util/bincode.h"
 
 namespace cqa {
 namespace serve {
@@ -56,31 +57,52 @@ Scheduler::~Scheduler() {
   queued_ = 0;
 }
 
-// The coalescing fingerprint: every field that affects the answer,
-// including the seed and the deadline budget. Equal deadline_ms is
+std::string request_fingerprint(const Request& request) {
+  using namespace bincode;
+  std::string fp;
+  fp.reserve(128 + request.query.size());
+  // Format version: bump when an answer-affecting field is added so a
+  // disk cache written by an older build can never alias a new shape.
+  put_u8(&fp, 1);
+  put_u8(&fp, static_cast<std::uint8_t>(request.kind));
+  put_str(&fp, request.query);
+  put_u64(&fp, request.output_vars.size());
+  for (const auto& v : request.output_vars) put_str(&fp, v);
+  put_f64(&fp, request.budget.epsilon);
+  put_f64(&fp, request.budget.delta);
+  put_i64(&fp, request.budget.deadline_ms);
+  // Quotas degrade answers when they trip, so they are answer-affecting.
+  put_u64(&fp, request.budget.quota.max_qe_atoms);
+  put_u64(&fp, request.budget.quota.max_fm_rows);
+  put_u64(&fp, request.budget.quota.max_sweep_sections);
+  put_u64(&fp, request.budget.quota.max_bigint_bits);
+  put_u64(&fp, request.budget.quota.max_resident_bytes);
+  put_u64(&fp, request.seed);
+  put_u8(&fp, request.strategy
+                  ? static_cast<std::uint8_t>(*request.strategy)
+                  : std::uint8_t{0xff});
+  put_u8(&fp, request.vc_dim ? 1 : 0);
+  put_f64(&fp, request.vc_dim ? *request.vc_dim : 0.0);
+  put_u64(&fp, request.max_mc_samples);
+  put_u8(&fp, static_cast<std::uint8_t>(request.aggregate_fn));
+  put_u64(&fp, request.bindings.size());
+  for (const auto& [name, value] : request.bindings) {
+    put_str(&fp, name);
+    put_str(&fp, value.to_string());
+  }
+  return fp;
+}
+
+// The coalescing fingerprint: the stable encoding above -- identical
+// across builds and processes, so the served shard-router hashing it
+// coalesces duplicates *across* workers too. Equal deadline_ms is
 // required for soundness -- the leader armed its (absolute) deadline no
 // later than any follower's, so the leader's answer satisfies every
 // follower's budget. Requests with caller-owned cancel tokens or
 // bindings are never coalesced (distinct cancellation identity).
 std::string Scheduler::fingerprint_of(const Request& request) {
   if (request.cancel != nullptr || !request.bindings.empty()) return "";
-  std::ostringstream fp;
-  // Caller-controlled strings are length-prefixed so no choice of query
-  // or variable names can collide with another request's encoding
-  // (e.g. output_vars {"a,b"} vs {"a", "b"} must stay distinct).
-  auto field = [&fp](const std::string& s) {
-    fp << s.size() << ':' << s << '|';
-  };
-  fp << static_cast<int>(request.kind) << '|';
-  field(request.query);
-  fp << request.output_vars.size() << '|';
-  for (const auto& v : request.output_vars) field(v);
-  fp << request.budget.epsilon << '|' << request.budget.delta
-     << '|' << request.budget.deadline_ms << '|' << request.seed << '|'
-     << (request.strategy ? static_cast<int>(*request.strategy) : -1)
-     << '|' << (request.vc_dim ? *request.vc_dim : -1.0) << '|'
-     << request.max_mc_samples;
-  return fp.str();
+  return request_fingerprint(request);
 }
 
 bool Scheduler::mc_batchable(const Request& a, const Request& b) {
@@ -357,13 +379,19 @@ void Scheduler::execute(std::vector<Exec> group) {
 
 void Scheduler::publish(const std::shared_ptr<TicketState>& state,
                         Result<Answer> result) {
+  std::function<void(const Result<Answer>&)> on_ready;
   {
     std::lock_guard<std::mutex> lock(state->mu);
     if (state->ready) return;
     state->result = std::move(result);
     state->ready = true;
+    on_ready = std::move(state->on_ready);
+    state->on_ready = nullptr;
   }
   state->cv.notify_all();
+  // Outside the lock: `result` is immutable once ready, and a callback
+  // that re-enters the ticket (wait/try_get) must not deadlock.
+  if (on_ready) on_ready(state->result);
 }
 
 }  // namespace serve

@@ -60,6 +60,19 @@ struct SchedulerOptions {
   std::size_t max_mc_batch = 8;       // requests fused per MC batch
 };
 
+/// Platform-stable binary fingerprint over every answer-affecting field
+/// of a Request: fixed-width little-endian integers, IEEE-754 bit
+/// patterns for doubles, and u64 little-endian length prefixes on every
+/// caller-controlled string (so no choice of query or variable names
+/// can collide with another request's encoding). Two processes -- or
+/// two builds on different platforms -- fingerprint the same request to
+/// the same bytes, which is what cross-process coalescing in
+/// cqa::served's shard router and the disk-backed result cache key on.
+/// The leading byte is a fingerprint-format version: bump it whenever
+/// an answer-affecting field is added, so stale disk-cache entries can
+/// never alias a new request shape.
+std::string request_fingerprint(const Request& request);
+
 class Scheduler {
  public:
   Scheduler(Session* session, const SchedulerOptions& options = {});

@@ -20,6 +20,20 @@ std::optional<Result<Answer>> Ticket::try_get() {
   return state_->result;
 }
 
+void Ticket::then(std::function<void(const Result<Answer>&)> fn) {
+  if (!state_ || !fn) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (state_->ready) {
+    // Already resolved (validation failure, shed at admission, or a
+    // fast executor): run inline. `result` is immutable once ready, so
+    // reading it outside the lock is safe.
+    lock.unlock();
+    fn(state_->result);
+    return;
+  }
+  state_->on_ready = std::move(fn);
+}
+
 void Ticket::cancel() {
   if (!state_) return;
   state_->cancel_requested.store(true, std::memory_order_release);

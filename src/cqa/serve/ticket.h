@@ -24,9 +24,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "cqa/runtime/request.h"
 #include "cqa/util/cancellation.h"
@@ -54,6 +56,9 @@ struct TicketState {
   /// Set by Ticket::cancel(); a still-queued request resolves
   /// kCancelled without running.
   std::atomic<bool> cancel_requested{false};
+  /// Optional completion callback (Ticket::then). Invoked exactly once,
+  /// after `result` is published, outside the state lock.
+  std::function<void(const Result<Answer>&)> on_ready;
 };
 
 class Ticket {
@@ -75,6 +80,15 @@ class Ticket {
   /// resolves to whatever the degradation ladder produces. Either way
   /// the ticket still resolves -- no waiter is ever stranded.
   void cancel();
+
+  /// Registers a completion callback, invoked exactly once with the
+  /// published answer: immediately (on the calling thread) if the
+  /// ticket already resolved, otherwise on the scheduler thread that
+  /// publishes it. At most one callback per ticket (the last then()
+  /// wins while unresolved); the callback must not block the executor.
+  /// This is how cqa::served workers stream answers back without one
+  /// blocked wait() thread per in-flight request.
+  void then(std::function<void(const Result<Answer>&)> fn);
 
  private:
   friend class Scheduler;

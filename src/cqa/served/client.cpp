@@ -1,0 +1,154 @@
+#include "cqa/served/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace cqa {
+namespace served {
+
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Client::Client(int fd)
+    : fd_(fd), db_(std::make_unique<ConstraintDatabase>()) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_), db_(std::move(other.db_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    db_ = std::move(other.db_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<Client> Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid("unix socket path too long: " + path);
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::internal("socket(AF_UNIX) failed");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return Status::internal("connect failed: " + path + " (" +
+                            std::strerror(errno) + ")");
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::connect_tcp(const std::string& host,
+                                   std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::internal("socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::invalid("bad host: " + host);
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return Status::internal("connect failed: " + host + ":" +
+                            std::to_string(port) + " (" +
+                            std::strerror(errno) + ")");
+  }
+  return Client(fd);
+}
+
+Status Client::roundtrip(MsgType type, const std::string& payload,
+                         std::int64_t timeout_ms, Frame* reply) {
+  if (fd_ < 0) return Status::internal("client not connected");
+  const std::uint64_t id = next_id_++;
+  CQA_RETURN_IF_ERROR(write_frame(fd_, type, id, payload));
+  const std::int64_t deadline =
+      timeout_ms < 0 ? -1 : now_ms() + timeout_ms;
+  for (;;) {
+    if (deadline >= 0) {
+      const std::int64_t remaining = deadline - now_ms();
+      if (remaining <= 0) {
+        return Status::deadline_exceeded("served call timed out");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc =
+          poll(&pfd, 1, static_cast<int>(
+                            remaining > 1000000 ? 1000000 : remaining));
+      if (rc < 0 && errno != EINTR) {
+        return Status::internal("poll failed");
+      }
+      if (rc <= 0) continue;
+    }
+    CQA_RETURN_IF_ERROR(read_frame(fd_, reply));
+    // A lone client is strictly request/response, so any mismatched id
+    // is a stale answer from an abandoned (timed-out) call; skip it.
+    if (reply->id == id) return Status::ok();
+  }
+}
+
+Result<Answer> Client::call(const Request& request, std::int64_t timeout_ms) {
+  Frame reply;
+  Status s =
+      roundtrip(MsgType::kRequest, encode_request(request), timeout_ms,
+                &reply);
+  if (!s.is_ok()) return s;
+  if (reply.type != MsgType::kAnswer) {
+    return Status::internal("served: unexpected reply type");
+  }
+  Result<Answer> out{Status::internal("undecoded")};
+  CQA_RETURN_IF_ERROR(decode_answer(reply.payload, db_.get(), &out));
+  return out;
+}
+
+Status Client::ping(std::int64_t timeout_ms) {
+  const std::string token = "cqa-ping-" + std::to_string(next_id_);
+  Frame reply;
+  CQA_RETURN_IF_ERROR(roundtrip(MsgType::kPing, token, timeout_ms, &reply));
+  if (reply.type != MsgType::kPong || reply.payload != token) {
+    return Status::internal("served: bad pong");
+  }
+  return Status::ok();
+}
+
+Result<std::string> Client::stats(std::int64_t timeout_ms) {
+  Frame reply;
+  Status s = roundtrip(MsgType::kStats, "", timeout_ms, &reply);
+  if (!s.is_ok()) return s;
+  if (reply.type != MsgType::kStatsReply) {
+    return Status::internal("served: unexpected reply type");
+  }
+  return std::move(reply.payload);
+}
+
+}  // namespace served
+}  // namespace cqa

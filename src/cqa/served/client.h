@@ -1,0 +1,71 @@
+// Client for a cqa::served server: a thin blocking wrapper over the
+// wire protocol.
+//
+//   auto client = served::Client::connect_unix("/tmp/cqa.sock");
+//   Result<Answer> a = client.value().call(
+//       Request::volume("x^2 + y^2 <= 1").vars({"x", "y"}));
+//
+// call() is synchronous request/response; answers carry the same
+// degradation status and guard report a local Session::run returns
+// (guard.shed when the router shed the request at admission,
+// guard.worker_crashed when its shard died mid-request). Rewrite
+// formulas are re-parsed into the client's own ConstraintDatabase.
+//
+// A Client owns one connection and is NOT thread-safe; open one per
+// thread (the server multiplexes connections cheaply).
+
+#ifndef CQA_SERVED_CLIENT_H_
+#define CQA_SERVED_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cqa/core/constraint_database.h"
+#include "cqa/runtime/request.h"
+#include "cqa/served/wire.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+namespace served {
+
+class Client {
+ public:
+  static Result<Client> connect_unix(const std::string& path);
+  static Result<Client> connect_tcp(const std::string& host,
+                                    std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One round trip: encode, send, block for the matching answer.
+  /// `timeout_ms` < 0 waits forever; on expiry the connection is left
+  /// in an indeterminate state and the call returns kDeadlineExceeded
+  /// (reconnect to keep going -- frames cannot be un-sent).
+  Result<Answer> call(const Request& request, std::int64_t timeout_ms = -1);
+
+  /// Health check: round-trips an opaque token. Ok iff the echo matches.
+  Status ping(std::int64_t timeout_ms = 2000);
+
+  /// The server's plain-text stats dump (router counters plus each
+  /// shard's pid, in-flight gauge, and metrics registry).
+  Result<std::string> stats(std::int64_t timeout_ms = 5000);
+
+ private:
+  explicit Client(int fd);
+  Status roundtrip(MsgType type, const std::string& payload,
+                   std::int64_t timeout_ms, Frame* reply);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  /// Variable space for re-parsing formula-bearing answers.
+  std::unique_ptr<ConstraintDatabase> db_;
+};
+
+}  // namespace served
+}  // namespace cqa
+
+#endif  // CQA_SERVED_CLIENT_H_

@@ -1,0 +1,94 @@
+// Disk-backed persistent result cache for the cqa::served front door.
+//
+// Maps the collision-proof request fingerprint (serve::request_fingerprint,
+// platform-stable bytes) to the encoded wire answer, so a restarted
+// server keeps its hot set: the first arrival of a fingerprint after
+// restart is served from disk instead of recomputed. Only full-fidelity
+// answers (is_ok() and AnswerStatus::kOk) are ever stored -- degraded
+// answers depend on the load and deadline weather that produced them,
+// so caching them would freeze an unlucky moment forever, while
+// full-fidelity answers are deterministic in the fingerprint (the
+// fingerprint covers the seed, budget, and strategy).
+//
+// File format (all integers u64 little-endian):
+//
+//   header : "CQADC" u8 format_version
+//   record : u64 key_len | key | u64 val_len | val | u64 checksum
+//
+// where checksum = FNV-1a(key || val, salt). Loading tolerates
+// corruption: a bad header starts the cache empty, a record with a
+// mismatched checksum or a truncated tail drops that record and
+// everything after it (counted in stats().dropped_corrupt), and open()
+// rewrites the file compacted -- duplicates last-win, corruption is
+// gone, and the next crash loses at most the records since the last
+// store. A poisoned entry can cost a recompute, never a wrong answer.
+//
+// Thread-safe: lookups and stores take one mutex (the store path also
+// appends + flushes, so the cache is consistent after any crash point).
+
+#ifndef CQA_SERVED_DISK_CACHE_H_
+#define CQA_SERVED_DISK_CACHE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cqa/util/status.h"
+
+namespace cqa {
+namespace served {
+
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t loaded = 0;           // records restored by open()
+  std::uint64_t dropped_corrupt = 0;  // records dropped by open()
+  std::uint64_t rejected_full = 0;    // stores refused at capacity
+  std::size_t entries = 0;
+};
+
+class DiskCache {
+ public:
+  /// `path` is created on first store if absent. capacity bounds the
+  /// in-memory index (and, via compaction, the file).
+  explicit DiskCache(std::string path, std::size_t capacity = 4096);
+
+  /// Loads whatever survives validation and rewrites the file
+  /// compacted. Always leaves the cache usable; the Status reports
+  /// filesystem-level trouble (unwritable directory) for logs.
+  Status open();
+
+  std::optional<std::string> lookup(const std::string& fingerprint);
+
+  /// Stores fingerprint -> encoded answer (last write wins) and appends
+  /// the record to disk. Silently refuses at capacity.
+  void store(const std::string& fingerprint, const std::string& value);
+
+  DiskCacheStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void append_record(const std::string& key, const std::string& value);
+
+  std::string path_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> index_;
+  std::ofstream out_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+  std::uint64_t loaded_ = 0;
+  std::uint64_t dropped_corrupt_ = 0;
+  std::uint64_t rejected_full_ = 0;
+};
+
+}  // namespace served
+}  // namespace cqa
+
+#endif  // CQA_SERVED_DISK_CACHE_H_

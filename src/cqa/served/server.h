@@ -1,0 +1,218 @@
+// cqa::served -- the multi-process sharded front door.
+//
+//                        +----------------------------+
+//   client ---frame--->  |  router (this process)     |
+//   client ---frame--->  |   - fingerprint -> shard   |   socketpair
+//   client ---frame--->  |   - admission / shed       | <---------> worker 0
+//                        |   - disk result cache      | <---------> worker 1
+//                        |   - crash containment      | <---------> worker N-1
+//                        +----------------------------+    (forked processes)
+//
+// Server::start() forks N worker processes, each owning a full Session
+// (engines + pool + EvalCache + serve::Scheduler), then serves client
+// connections on a TCP or unix-domain socket. Every incoming request is
+// fingerprinted with serve::request_fingerprint -- the same
+// platform-stable bytes the in-process scheduler coalesces on -- and
+// routed by fingerprint hash, so duplicate-heavy traffic lands on the
+// same worker and coalesces *across* client connections and processes.
+//
+// The shed-to-certified-trivial-1/2 ladder holds end-to-end:
+//
+//   - Admission: a shard over its in-flight capacity (or down while
+//     respawning) sheds volume requests to the last rung -- honest
+//     [0, 1] bars, guard.shed = true -- and answers non-degradable
+//     kinds with typed kResourceExhausted, computed at the router
+//     without touching any engine.
+//   - Crash containment: a worker dying on a pathological query (FM
+//     blowup, OOM kill, kill -9) costs one shard. The per-shard
+//     supervisor thread reaps the corpse, degrades every in-flight
+//     request on that shard honestly (volume -> trivial-1/2 with
+//     guard.worker_crashed = true, others -> typed error; nothing ever
+//     hangs), forks a replacement, and the shard is back.
+//   - Persistence: full-fidelity answers land in a disk-backed result
+//     cache keyed by the fingerprint (checksummed records, versioned
+//     header, corrupt-tail tolerance), so a restarted server serves its
+//     hot set without recomputing; workers additionally snapshot their
+//     exact-volume EvalCache entries on clean shutdown and restore them
+//     on (re)spawn.
+//
+// The Server object is also usable in-process (tests, benches spawn it
+// directly); tools/cqa_served wraps it in a binary.
+
+#ifndef CQA_SERVED_SERVER_H_
+#define CQA_SERVED_SERVER_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/runtime/session.h"
+#include "cqa/served/disk_cache.h"
+#include "cqa/served/wire.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+namespace served {
+
+struct ServedOptions {
+  /// Worker processes (= shards). Each owns a Session.
+  std::size_t workers = 4;
+  /// Non-empty: listen on this unix-domain socket path (unlinked and
+  /// rebound at start). Empty: listen on TCP.
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;  // 0 = ephemeral; see Server::port()
+  /// Per-shard in-flight cap before the router sheds at admission.
+  std::size_t shard_capacity = 256;
+  /// Non-empty: persistent result cache file; workers also snapshot
+  /// exact-volume cache entries to "<cache_path>.volumes.shard<i>".
+  std::string cache_path;
+  std::size_t cache_capacity = 4096;
+  /// Per-worker Session/Scheduler knobs. Defaults are sized for a
+  /// fleet: small pools beat one oversubscribed process.
+  SessionOptions session;
+
+  ServedOptions() {
+    session.threads = 2;
+    session.serve_executors = 2;
+  }
+};
+
+/// Router-side counters (worker-side metrics travel in stats frames).
+struct ServerStats {
+  std::uint64_t requests = 0;        // request frames admitted or shed
+  std::uint64_t answers = 0;         // answers forwarded from workers
+  std::uint64_t shed = 0;            // shed at admission (capacity/down)
+  std::uint64_t crash_degraded = 0;  // in-flight degraded by a crash
+  std::uint64_t respawns = 0;        // workers refleeted after death
+  std::uint64_t cache_hits = 0;      // served straight from DiskCache
+};
+
+class Server {
+ public:
+  explicit Server(ServedOptions options);
+  ~Server();  // stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, forks the fleet, starts router threads. Fails (kInternal)
+  /// on socket errors; the fleet is torn down on failure.
+  Status start();
+
+  /// Stops accepting, closes every connection, shuts the fleet down
+  /// (workers exit on EOF and are reaped), joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Resolved TCP port (after start(), TCP mode only).
+  std::uint16_t port() const { return resolved_port_; }
+
+  std::size_t worker_count() const { return workers_.size(); }
+  /// Current pid of a shard's worker (test seam for kill -9).
+  pid_t worker_pid(std::size_t shard) const;
+  /// The shard a request routes to (test seam: aim a kill at the shard
+  /// that serves a known query).
+  std::size_t shard_of(const Request& request) const;
+
+  ServerStats stats() const;
+  DiskCacheStats cache_stats() const;
+
+ private:
+  struct ClientConn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+  using ClientConnPtr = std::shared_ptr<ClientConn>;
+
+  /// Rendezvous for router-internal worker queries (stats fan-out).
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Frame frame;
+  };
+
+  /// One in-flight request the router forwarded to a worker.
+  struct Pending {
+    ClientConnPtr conn;            // null when waiter is set
+    std::shared_ptr<Waiter> waiter;
+    std::uint64_t client_id = 0;
+    std::size_t shard = 0;
+    RequestKind kind = RequestKind::kVolume;
+    std::string fingerprint;       // cache key ("" = don't cache)
+    bool counted = false;          // holds a slot of the shard's capacity
+  };
+
+  /// One shard: a forked worker process plus its supervisor state.
+  struct Worker {
+    mutable std::mutex mu;  // guards fd/pid/alive + serializes writes
+    int fd = -1;
+    pid_t pid = -1;
+    bool alive = false;
+    std::atomic<std::size_t> in_flight{0};
+    std::thread supervisor;
+  };
+
+  Status bind_listener();
+  Status spawn_worker(std::size_t shard);
+  [[noreturn]] void worker_main(int fd, std::size_t shard);
+
+  void accept_loop();
+  void client_loop(ClientConnPtr conn);
+  void supervisor_loop(std::size_t shard);
+
+  void handle_request(const ClientConnPtr& conn, const Frame& frame);
+  void handle_stats(const ClientConnPtr& conn, const Frame& frame);
+
+  /// Sends a frame on a client connection (no-op once closed).
+  void send_to_client(const ClientConnPtr& conn, MsgType type,
+                      std::uint64_t id, const std::string& payload);
+  /// Resolves one pending entry with an already-encoded answer.
+  void resolve_pending(Pending&& entry, MsgType type,
+                       const std::string& payload);
+  /// The honest no-engine answer for a request that cannot reach a
+  /// worker: volume -> trivial-1/2 (shed or crash flavor), other kinds
+  /// -> typed kResourceExhausted.
+  static std::string degraded_payload(RequestKind kind, bool crashed);
+
+  ServedOptions options_;
+  std::unique_ptr<DiskCache> cache_;
+
+  int listener_ = -1;
+  std::uint16_t resolved_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<ClientConnPtr> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> answers_total_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> crash_degraded_total_{0};
+  std::atomic<std::uint64_t> respawn_total_{0};
+  std::atomic<std::uint64_t> cache_hit_total_{0};
+};
+
+}  // namespace served
+}  // namespace cqa
+
+#endif  // CQA_SERVED_SERVER_H_

@@ -1,0 +1,179 @@
+// serve::Ticket edge semantics: wait-after-cancel, repeated wait,
+// try_get before publish, unawaited destruction, and the then()
+// completion callback. Every path must resolve -- a stranded waiter or
+// a lost callback is the bug these tests exist to catch. Run under TSan
+// in CI alongside the scheduler concurrency suite.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cqa/runtime/session.h"
+#include "cqa/serve/scheduler.h"
+#include "gtest/gtest.h"
+
+namespace cqa {
+namespace {
+
+SessionOptions small_opts() {
+  SessionOptions opts;
+  opts.threads = 2;
+  opts.serve_executors = 2;
+  return opts;
+}
+
+Request cheap_volume(std::uint64_t seed = 1) {
+  return Request::volume("0 <= x & x <= 1 & 0 <= y & y <= 1")
+      .vars({"x", "y"})
+      .seed(seed)
+      .build();
+}
+
+// then() callbacks run on the publishing thread after the waiter wakes,
+// so give them a bounded grace period before asserting.
+void spin_until(const std::atomic<int>& counter, int want) {
+  for (int i = 0; i < 2000 && counter.load() < want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(TicketEdge, WaitAfterCancelAlwaysResolves) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  // Pause the queue so cancel() definitely lands before execution.
+  session.scheduler().pause();
+  serve::Ticket t = session.submit(cheap_volume());
+  t.cancel();
+  session.scheduler().resume();
+  Result<Answer> a = t.wait();
+  // A queued cancel resolves kCancelled; a raced one may still produce
+  // an answer. Either way wait() returned -- nobody is stranded.
+  if (!a.is_ok()) {
+    EXPECT_EQ(a.status().code(), StatusCode::kCancelled);
+  }
+  // Cancelling an already-resolved ticket is a no-op.
+  t.cancel();
+  EXPECT_EQ(t.wait().is_ok(), a.is_ok());
+}
+
+TEST(TicketEdge, DoubleWaitReturnsTheSameAnswer) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  serve::Ticket t = session.submit(cheap_volume());
+  Result<Answer> first = t.wait();
+  Result<Answer> second = t.wait();
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().volume.exact, second.value().volume.exact);
+}
+
+TEST(TicketEdge, TryGetBeforePublishIsNulloptNotBlocking) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  session.scheduler().pause();
+  serve::Ticket t = session.submit(cheap_volume());
+  EXPECT_FALSE(t.try_get().has_value());
+  session.scheduler().resume();
+  Result<Answer> a = t.wait();
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(t.try_get().has_value());
+  EXPECT_TRUE(t.try_get()->is_ok());
+}
+
+TEST(TicketEdge, UnawaitedTicketsDoNotLeakOrHangShutdown) {
+  ConstraintDatabase db;
+  {
+    Session session(&db, small_opts());
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      session.submit(cheap_volume(i));  // ticket dropped on the floor
+    }
+    // Session teardown must drain/resolve everything without a waiter.
+  }
+  SUCCEED();
+}
+
+TEST(TicketEdge, ThenFiresExactlyOnceOnPublish) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  std::atomic<int> calls{0};
+  std::atomic<bool> ok{false};
+  serve::Ticket t = session.submit(cheap_volume());
+  t.then([&](const Result<Answer>& a) {
+    calls.fetch_add(1);
+    ok.store(a.is_ok());
+  });
+  ASSERT_TRUE(t.wait().is_ok());
+  spin_until(calls, 1);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(TicketEdge, ThenAfterResolutionRunsInline) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  serve::Ticket t = session.submit(cheap_volume());
+  ASSERT_TRUE(t.wait().is_ok());
+  int calls = 0;
+  t.then([&](const Result<Answer>& a) {
+    ++calls;
+    EXPECT_TRUE(a.is_ok());
+  });
+  EXPECT_EQ(calls, 1);  // synchronous: already-resolved tickets call back
+}
+
+TEST(TicketEdge, LastThenWinsWhileUnresolved) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  session.scheduler().pause();
+  serve::Ticket t = session.submit(cheap_volume());
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  t.then([&](const Result<Answer>&) { first.fetch_add(1); });
+  t.then([&](const Result<Answer>&) { second.fetch_add(1); });
+  session.scheduler().resume();
+  ASSERT_TRUE(t.wait().is_ok());
+  spin_until(second, 1);
+  EXPECT_EQ(first.load(), 0);
+  EXPECT_EQ(second.load(), 1);
+}
+
+TEST(TicketEdge, ThenFromManyThreadsEachTicketFiresOnce) {
+  ConstraintDatabase db;
+  Session session(&db, small_opts());
+  constexpr int kTickets = 64;
+  std::atomic<int> fired{0};
+  std::vector<serve::Ticket> tickets;
+  tickets.reserve(kTickets);
+  for (int i = 0; i < kTickets; ++i) {
+    tickets.push_back(session.submit(cheap_volume(i % 4)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < kTickets; i += 4) {
+        tickets[i].then(
+            [&](const Result<Answer>&) { fired.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& ticket : tickets) ticket.wait();
+  spin_until(fired, kTickets);
+  EXPECT_EQ(fired.load(), kTickets);
+}
+
+TEST(TicketEdge, EmptyTicketIsInvalidAndInert) {
+  serve::Ticket t;
+  EXPECT_FALSE(t.valid());
+  t.cancel();                            // no-op, no crash
+  t.then([](const Result<Answer>&) {});  // no-op, no crash
+  // try_get on an empty ticket reports the error eagerly rather than
+  // pretending an answer is pending.
+  auto r = t.try_get();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->is_ok());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,130 @@
+// cqa_served: the standalone sharded serving binary.
+//
+//   cqa_served --workers 4 --unix /tmp/cqa.sock --cache /var/tmp/cqa.cache
+//   cqa_served --workers 4 --tcp 7411
+//
+// Forks one worker process per shard, routes requests by fingerprint,
+// sheds honestly at admission, survives worker death by respawning the
+// shard, and persists full-fidelity answers across restarts when
+// --cache is given. Health-check and inspect with cqa_servedctl.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cqa/served/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workers N] [--unix PATH | --tcp PORT] [--host ADDR]\n"
+      "          [--cache FILE] [--cache-capacity N] [--shard-capacity N]\n"
+      "          [--threads N] [--executors N]\n"
+      "\n"
+      "  --workers N         worker processes / shards (default 4)\n"
+      "  --unix PATH         listen on a unix-domain socket\n"
+      "  --tcp PORT          listen on TCP (default; 0 = ephemeral)\n"
+      "  --host ADDR         TCP bind address (default 127.0.0.1)\n"
+      "  --cache FILE        persistent result cache file\n"
+      "  --cache-capacity N  max cached answers (default 4096)\n"
+      "  --shard-capacity N  per-shard in-flight cap (default 256)\n"
+      "  --threads N         pool threads per worker (default 2)\n"
+      "  --executors N       serve executors per worker (default 2)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cqa::served::ServedOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      options.workers = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--unix") {
+      options.unix_path = next();
+    } else if (arg == "--tcp") {
+      options.tcp_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--host") {
+      options.tcp_host = next();
+    } else if (arg == "--cache") {
+      options.cache_path = next();
+    } else if (arg == "--cache-capacity") {
+      options.cache_capacity = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--shard-capacity") {
+      options.shard_capacity = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--threads") {
+      options.session.threads = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--executors") {
+      options.session.serve_executors =
+          static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  signal(SIGINT, on_signal);
+  signal(SIGTERM, on_signal);
+  signal(SIGPIPE, SIG_IGN);
+
+  cqa::served::Server server(options);
+  cqa::Status started = server.start();
+  if (!started.is_ok()) {
+    std::fprintf(stderr, "cqa_served: %s\n", started.to_string().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("cqa_served: listening on unix:%s\n",
+                options.unix_path.c_str());
+  } else {
+    std::printf("cqa_served: listening on tcp:%s:%u\n",
+                options.tcp_host.c_str(), server.port());
+  }
+  std::printf("cqa_served: router pid %d, %zu workers:",
+              static_cast<int>(getpid()), server.worker_count());
+  for (std::size_t i = 0; i < server.worker_count(); ++i) {
+    std::printf(" %d", static_cast<int>(server.worker_pid(i)));
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    usleep(100 * 1000);
+  }
+  std::printf("cqa_served: shutting down\n");
+  server.stop();
+  const cqa::served::ServerStats s = server.stats();
+  std::printf(
+      "cqa_served: served %llu answers (%llu requests, %llu shed, "
+      "%llu crash-degraded, %llu respawns, %llu cache hits)\n",
+      static_cast<unsigned long long>(s.answers),
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.crash_degraded),
+      static_cast<unsigned long long>(s.respawns),
+      static_cast<unsigned long long>(s.cache_hits));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// cqa_servedctl: operator CLI for a running cqa_served fleet.
+//
+//   cqa_servedctl --unix /tmp/cqa.sock ping
+//   cqa_servedctl --tcp 7411 stats
+//
+// `ping` round-trips a token through the router (exit 0 on success);
+// `stats` prints the router counters plus each shard's pid, in-flight
+// gauge, per-scrape-window queue-depth peak, and metrics registry. CI
+// and humans share this one health-check path: the served-smoke job
+// parses `shard N pid P` lines out of `stats` to aim its kill -9.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cqa/served/client.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--unix PATH | --tcp PORT] [--host ADDR] "
+               "ping|stats\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      unix_path = next();
+    } else if (arg == "--tcp") {
+      port = std::atoi(next());
+    } else if (arg == "--host") {
+      host = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (command.empty() && arg[0] != '-') {
+      command = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if ((unix_path.empty() && port < 0) || command.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto connected =
+      unix_path.empty()
+          ? cqa::served::Client::connect_tcp(
+                host, static_cast<std::uint16_t>(port))
+          : cqa::served::Client::connect_unix(unix_path);
+  if (!connected.is_ok()) {
+    std::fprintf(stderr, "cqa_servedctl: %s\n",
+                 connected.status().to_string().c_str());
+    return 1;
+  }
+  cqa::served::Client client = std::move(connected).take();
+
+  if (command == "ping") {
+    cqa::Status s = client.ping();
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "cqa_servedctl: ping failed: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = client.stats();
+    if (!stats.is_ok()) {
+      std::fprintf(stderr, "cqa_servedctl: stats failed: %s\n",
+                   stats.status().to_string().c_str());
+      return 1;
+    }
+    std::fputs(stats.value().c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  usage(argv[0]);
+  return 2;
+}
