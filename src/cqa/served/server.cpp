@@ -4,10 +4,12 @@
 #include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -44,6 +46,10 @@ namespace served {
 namespace {
 
 constexpr std::uint64_t kShardSalt = 0x5ca1ab1e0fULL;
+/// A client that stops reading (full socket buffer) must cost itself,
+/// not the shard supervisor delivering its answer: writes block at most
+/// this long, then the connection is dropped.
+constexpr int kClientSendTimeoutSec = 5;
 constexpr std::uint64_t kVolumeSnapSalt = 0x70a57ed5a17ULL;
 constexpr char kVolumeMagic[] = "CQAVS";  // 5 bytes, then format version
 constexpr std::uint8_t kVolumeFormatVersion = 1;
@@ -325,6 +331,10 @@ void Server::worker_main(int fd, std::size_t shard) {
   close_inherited_fds(fd);
   {
     ConstraintDatabase db;
+    // Declared before Session: ~Scheduler joins executors and publishes
+    // still-queued tickets, whose then-callbacks lock write_mu -- it
+    // must outlive the session's teardown.
+    std::mutex write_mu;  // read loop + executor then-callbacks share fd
     Session session(&db, options_.session);
     const std::string snapshot_path =
         options_.cache_path.empty()
@@ -333,7 +343,6 @@ void Server::worker_main(int fd, std::size_t shard) {
     if (!snapshot_path.empty()) {
       load_volume_snapshot(session.cache(), snapshot_path);
     }
-    std::mutex write_mu;  // read loop + executor then-callbacks share fd
     for (;;) {
       Frame frame;
       if (!read_frame(fd, &frame).is_ok()) break;
@@ -380,7 +389,17 @@ void Server::worker_main(int fd, std::size_t shard) {
                        &db](const Result<Answer>& result) {
             const std::string payload = encode_answer(result, &db.vars());
             std::lock_guard<std::mutex> lock(write_mu);
-            (void)write_frame(fd, MsgType::kAnswer, id, payload);
+            if (!write_frame(fd, MsgType::kAnswer, id, payload).is_ok()) {
+              // An answer over kMaxFrameBody must still resolve the
+              // router's pending slot: downgrade to a typed error that
+              // always fits. On a dead pipe this write fails too, which
+              // is fine -- the router has already swept the shard.
+              (void)write_frame(
+                  fd, MsgType::kAnswer, id,
+                  encode_answer(Result<Answer>(Status::resource_exhausted(
+                                    "answer exceeds wire frame bound")),
+                                nullptr));
+            }
           });
           break;
         }
@@ -409,12 +428,47 @@ void Server::accept_loop() {
       close(fd);
       continue;
     }
+    reap_connections();
+    timeval tv{};
+    tv.tv_sec = kClientSendTimeoutSec;
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     auto conn = std::make_shared<ClientConn>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(conn);
     conn_threads_.emplace_back(&Server::client_loop, this, conn);
+    conn->tid = conn_threads_.back().get_id();
   }
+}
+
+void Server::reap_connections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (!(*it)->done.load()) {
+        ++it;
+        continue;
+      }
+      const std::thread::id tid = (*it)->tid;
+      for (auto& t : conn_threads_) {
+        if (t.joinable() && t.get_id() == tid) {
+          finished.push_back(std::move(t));
+          break;
+        }
+      }
+      it = conns_.erase(it);
+    }
+    if (!finished.empty()) {
+      conn_threads_.erase(
+          std::remove_if(conn_threads_.begin(), conn_threads_.end(),
+                         [](const std::thread& t) { return !t.joinable(); }),
+          conn_threads_.end());
+    }
+  }
+  // done was stored as the loop's last act; join outside the lock (it
+  // waits only for the thread's final return).
+  for (auto& t : finished) t.join();
 }
 
 void Server::client_loop(ClientConnPtr conn) {
@@ -442,6 +496,7 @@ void Server::client_loop(ClientConnPtr conn) {
     close(conn->fd);
     conn->fd = -1;
   }
+  conn->done.store(true);  // reapable; must be the loop's last act
 }
 
 void Server::handle_request(const ClientConnPtr& conn, const Frame& frame) {
@@ -502,6 +557,7 @@ void Server::handle_request(const ClientConnPtr& conn, const Frame& frame) {
     p.kind = request.kind;
     p.fingerprint = cache_ ? fingerprint : std::string();
     p.counted = true;
+    p.generation = w.generation;  // w.mu still held
     pending_.emplace(gid, std::move(p));
   }
   w.in_flight.fetch_add(1);
@@ -522,13 +578,21 @@ void Server::handle_request(const ClientConnPtr& conn, const Frame& frame) {
       }
     }
     if (claimed) {
-      if (w.in_flight.load() > 0) w.in_flight.fetch_sub(1);
+      release_slot(w, entry);
       crash_degraded_total_.fetch_add(1, std::memory_order_relaxed);
       const std::string payload =
           degraded_payload(entry.kind, /*crashed=*/true);
       resolve_pending(std::move(entry), MsgType::kAnswer, payload);
     }
   }
+}
+
+void Server::release_slot(Worker& w, const Pending& entry) {
+  if (!entry.counted) return;
+  std::lock_guard<std::mutex> lock(w.mu);
+  // A crash sweep that already zeroed in_flight bumped the generation;
+  // this entry's slot is gone and must not be charged to the respawn.
+  if (w.generation == entry.generation) w.in_flight.fetch_sub(1);
 }
 
 void Server::handle_stats(const ClientConnPtr& conn, const Frame& frame) {
@@ -614,7 +678,7 @@ void Server::supervisor_loop(std::size_t shard) {
         entry = std::move(it->second);
         pending_.erase(it);
       }
-      if (entry.counted && w.in_flight.load() > 0) w.in_flight.fetch_sub(1);
+      release_slot(w, entry);
       if (frame.type == MsgType::kAnswer) {
         answers_total_.fetch_add(1, std::memory_order_relaxed);
         if (cache_ && !entry.fingerprint.empty() &&
@@ -636,6 +700,12 @@ void Server::supervisor_loop(std::size_t shard) {
         close(w.fd);
         w.fd = -1;
       }
+      // Reclaim the whole shard's capacity and invalidate every counted
+      // Pending of the old worker in one step: slow paths that still
+      // hold such an entry see the generation mismatch in release_slot
+      // and leave the fresh worker's counter alone.
+      ++w.generation;
+      w.in_flight.store(0);
     }
     if (pid > 0) waitpid(pid, nullptr, 0);
     std::vector<Pending> orphans;
@@ -650,7 +720,6 @@ void Server::supervisor_loop(std::size_t shard) {
         }
       }
     }
-    w.in_flight.store(0);
     for (auto& entry : orphans) {
       if (entry.waiter) {
         resolve_pending(std::move(entry), MsgType::kStatsReply,
@@ -678,7 +747,11 @@ void Server::send_to_client(const ClientConnPtr& conn, MsgType type,
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (!conn->open.load() || conn->fd < 0) return;
   if (!write_frame(conn->fd, type, id, payload).is_ok()) {
+    // Write failed or timed out (SO_SNDTIMEO): drop the connection.
+    // shutdown() wakes the reader thread so it closes the fd and the
+    // acceptor's sweep reaps it; later sends no-op on open == false.
     conn->open.store(false);
+    shutdown(conn->fd, SHUT_RDWR);
   }
 }
 
@@ -739,6 +812,11 @@ ServerStats Server::stats() const {
 
 DiskCacheStats Server::cache_stats() const {
   return cache_ ? cache_->stats() : DiskCacheStats{};
+}
+
+std::size_t Server::live_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
 }
 
 }  // namespace served

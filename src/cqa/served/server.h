@@ -126,11 +126,19 @@ class Server {
   ServerStats stats() const;
   DiskCacheStats cache_stats() const;
 
+  /// Connections not yet reaped (test seam: closed connections must not
+  /// accumulate for the server's lifetime).
+  std::size_t live_connections() const;
+
  private:
   struct ClientConn {
     int fd = -1;
     std::mutex write_mu;
     std::atomic<bool> open{true};
+    /// Reader thread has exited and closed fd; the acceptor's sweep may
+    /// join the thread and drop the conn.
+    std::atomic<bool> done{false};
+    std::thread::id tid;  // set under conns_mu_ at accept
   };
   using ClientConnPtr = std::shared_ptr<ClientConn>;
 
@@ -151,14 +159,20 @@ class Server {
     RequestKind kind = RequestKind::kVolume;
     std::string fingerprint;       // cache key ("" = don't cache)
     bool counted = false;          // holds a slot of the shard's capacity
+    std::uint64_t generation = 0;  // worker generation that counted it
   };
 
   /// One shard: a forked worker process plus its supervisor state.
   struct Worker {
-    mutable std::mutex mu;  // guards fd/pid/alive + serializes writes
+    mutable std::mutex mu;  // guards fd/pid/alive/generation + writes
     int fd = -1;
     pid_t pid = -1;
     bool alive = false;
+    /// Bumped by the supervisor's crash sweep when it zeroes in_flight.
+    /// A slow path may only decrement in_flight for a Pending entry it
+    /// erased whose generation still matches, so a racing sweep+respawn
+    /// never has a stale decrement charged to the fresh worker.
+    std::uint64_t generation = 0;
     std::atomic<std::size_t> in_flight{0};
     std::thread supervisor;
   };
@@ -170,6 +184,9 @@ class Server {
   void accept_loop();
   void client_loop(ClientConnPtr conn);
   void supervisor_loop(std::size_t shard);
+  /// Joins finished client threads and drops their closed conns, so a
+  /// long-lived server with short-lived connections stays bounded.
+  void reap_connections();
 
   void handle_request(const ClientConnPtr& conn, const Frame& frame);
   void handle_stats(const ClientConnPtr& conn, const Frame& frame);
@@ -180,6 +197,9 @@ class Server {
   /// Resolves one pending entry with an already-encoded answer.
   void resolve_pending(Pending&& entry, MsgType type,
                        const std::string& payload);
+  /// Returns a counted entry's admission slot, unless a crash sweep
+  /// already reclaimed it wholesale (generation mismatch).
+  static void release_slot(Worker& w, const Pending& entry);
   /// The honest no-engine answer for a request that cannot reach a
   /// worker: volume -> trivial-1/2 (shed or crash flavor), other kinds
   /// -> typed kResourceExhausted.
@@ -196,7 +216,7 @@ class Server {
   std::vector<std::unique_ptr<Worker>> workers_;
 
   std::thread acceptor_;
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<ClientConnPtr> conns_;
   std::vector<std::thread> conn_threads_;
 

@@ -289,6 +289,35 @@ TEST(ServedFleet, DiskCacheSurvivesFullRestart) {
   cleanup(options);
 }
 
+TEST(ServedFleet, ShortLivedConnectionsAreReaped) {
+  served::ServedOptions options = fleet_options("reap.sock", 1);
+  served::Server server(options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Burn through many short-lived connections (each Client destructor
+  // closes its socket). A long-running router must not accumulate one
+  // thread + conn entry per dead connection until stop().
+  for (int i = 0; i < 16; ++i) {
+    served::Client client = must_connect(options.unix_path);
+    EXPECT_TRUE(client.ping().is_ok());
+  }
+
+  // Reaping rides the accept path: fresh probes sweep finished readers.
+  // Bound is 2, not 1: the live probe plus at most the previous probe
+  // whose EOF the server has not processed yet.
+  std::size_t live = server.worker_count() + 16;
+  for (int i = 0; i < 200 && live > 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    served::Client probe = must_connect(options.unix_path);
+    EXPECT_TRUE(probe.ping().is_ok());
+    live = server.live_connections();
+  }
+  EXPECT_LE(live, 2u);
+
+  server.stop();
+  cleanup(options);
+}
+
 TEST(ServedFleet, TcpModeServesAndReportsPort) {
   served::ServedOptions options;
   options.workers = 2;
