@@ -1,0 +1,93 @@
+#include "cqa/arith/arena.h"
+
+#include "cqa/guard/meter.h"
+
+namespace cqa {
+namespace arith {
+
+namespace {
+
+// Freelist ceiling: past this many pooled nodes, release frees outright.
+// 256 nodes comfortably covers the deepest pivot expressions seen in the
+// FM and sweep workloads while bounding idle-thread retention.
+constexpr std::uint64_t kMaxPooled = 256;
+
+// ArenaScope exit keeps at most this many nodes beyond its baseline so
+// back-to-back eliminations still hit the pool warm.
+constexpr std::uint64_t kRetainAcrossScopes = 64;
+
+// Nodes whose vectors grew huge (Karatsuba intermediates, Lagrange
+// coefficient blowups) are shrunk on release so one pathological value
+// does not pin megabytes inside the freelist.
+constexpr std::size_t kMaxPooledLimbCapacity = 4096;
+
+struct Pool {
+  LimbRep* head = nullptr;
+  ArenaStats stats;
+
+  ~Pool() {
+    while (head != nullptr) {
+      LimbRep* next = head->next_free;
+      delete head;
+      head = next;
+    }
+  }
+};
+
+Pool& thread_pool() {
+  static thread_local Pool pool;
+  return pool;
+}
+
+}  // namespace
+
+LimbRep* arena_acquire() {
+  Pool& pool = thread_pool();
+  ++pool.stats.acquires;
+  ++pool.stats.live;
+  guard::note_bigint_heap_node_tl();
+  if (pool.head != nullptr) {
+    LimbRep* rep = pool.head;
+    pool.head = rep->next_free;
+    rep->next_free = nullptr;
+    --pool.stats.pooled;
+    ++pool.stats.pool_hits;
+    return rep;
+  }
+  return new LimbRep();
+}
+
+void arena_release(LimbRep* rep) {
+  Pool& pool = thread_pool();
+  ++pool.stats.releases;
+  --pool.stats.live;
+  if (pool.stats.pooled >= kMaxPooled) {
+    delete rep;
+    return;
+  }
+  if (rep->limbs.capacity() > kMaxPooledLimbCapacity) {
+    rep->limbs = std::vector<std::uint32_t>();
+  }
+  rep->negative = false;
+  rep->next_free = pool.head;
+  pool.head = rep;
+  ++pool.stats.pooled;
+}
+
+ArenaStats arena_stats() { return thread_pool().stats; }
+
+ArenaScope::ArenaScope() : baseline_(thread_pool().stats.pooled) {}
+
+ArenaScope::~ArenaScope() {
+  Pool& pool = thread_pool();
+  const std::uint64_t keep = baseline_ + kRetainAcrossScopes;
+  while (pool.stats.pooled > keep && pool.head != nullptr) {
+    LimbRep* next = pool.head->next_free;
+    delete pool.head;
+    pool.head = next;
+    --pool.stats.pooled;
+  }
+}
+
+}  // namespace arith
+}  // namespace cqa

@@ -1,0 +1,81 @@
+// Thread-local pool of BigInt heap representations.
+//
+// The two-tier BigInt stores anything that fits 64 bits inline and only
+// reaches for a heap node (sign + limb vector) past overflow. Those heap
+// nodes are the allocation hot spot of the exact pipeline: Fourier-Motzkin
+// pivoting and the semilinear sweep churn through short-lived multi-limb
+// intermediates (cross products of near-64-bit rationals) at a rate where
+// malloc/free dominates. The pool recycles nodes -- and, crucially, the
+// limb-vector capacity inside them -- on a per-thread freelist, so steady
+// state heap arithmetic runs with zero allocator traffic.
+//
+// ArenaScope gives the per-elimination lifetime the pivot loops want:
+// constructing one marks the freelist baseline, destroying it bulk-frees
+// whatever surplus the scope churned (beyond a small retained working
+// set), so a pathological elimination cannot pin its peak footprint for
+// the life of the thread.
+//
+// Layering: cqa_arith is the bottom of the library stack, so this header
+// depends on nothing but the standard library. Counters are plain (the
+// pool is thread-local; no cross-thread readers).
+
+#ifndef CQA_ARITH_ARENA_H_
+#define CQA_ARITH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cqa {
+namespace arith {
+
+/// Heap representation of one out-of-line BigInt value: sign-magnitude,
+/// 32-bit little-endian limbs, no trailing zeros. Only BigInt mutates
+/// these; the pool owns recycling.
+struct LimbRep {
+  bool negative = false;
+  std::vector<std::uint32_t> limbs;
+  LimbRep* next_free = nullptr;
+};
+
+/// Per-thread pool counters (monotonic except live/pooled).
+struct ArenaStats {
+  std::uint64_t acquires = 0;    // nodes handed out
+  std::uint64_t pool_hits = 0;   // ... of which came from the freelist
+  std::uint64_t releases = 0;    // nodes returned
+  std::uint64_t live = 0;        // currently handed out
+  std::uint64_t pooled = 0;      // currently on the freelist
+};
+
+/// Hands out a node (freelist first, `new` on miss). The returned node
+/// has unspecified limb contents but retained capacity; callers must
+/// overwrite. Never returns nullptr.
+LimbRep* arena_acquire();
+
+/// Returns a node to the current thread's freelist (or frees it when the
+/// list is at capacity). The node must have come from arena_acquire on
+/// any thread; cross-thread release is allowed and simply pools on the
+/// releasing thread.
+void arena_release(LimbRep* rep);
+
+/// Snapshot of the calling thread's pool counters.
+ArenaStats arena_stats();
+
+/// RAII per-elimination lifetime: remembers the freelist size at entry
+/// and, at exit, bulk-frees pooled surplus beyond max(entry size,
+/// retained working set). Nests.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  std::uint64_t baseline_;
+};
+
+}  // namespace arith
+}  // namespace cqa
+
+#endif  // CQA_ARITH_ARENA_H_

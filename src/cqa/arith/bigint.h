@@ -2,15 +2,31 @@
 //
 // BigInt is the numeric bedrock of the library: Fourier-Motzkin pivoting,
 // exact polytope volumes and Lagrange interpolation all blow past 64 bits
-// quickly. Representation: sign-magnitude with 32-bit little-endian limbs.
+// quickly -- but the values that *dominate* those workloads are small.
+// Representation is therefore two-tier:
+//
+//   * inline: any value fitting a signed 64-bit word lives directly in
+//     the object (no allocation, single-branch overflow-checked add /
+//     sub / mul, hardware division);
+//   * heap: past 64 bits the value spills to a pooled sign-magnitude
+//     limb vector (32-bit little-endian limbs; see cqa/arith/arena.h),
+//     with schoolbook multiplication below kKaratsubaLimbs limbs and
+//     Karatsuba above.
+//
+// The representation is canonical: a value is on the heap if and only if
+// it does not fit int64. Arithmetic that shrinks a heap value back into
+// range (subtraction, division, shifts) re-inlines it, so fits_int64()
+// and to_int64() are O(1) tag checks and equality never compares across
+// representations.
 
 #ifndef CQA_ARITH_BIGINT_H_
 #define CQA_ARITH_BIGINT_H_
 
 #include <cstdint>
 #include <string>
-#include <vector>
+#include <utility>
 
+#include "cqa/arith/arena.h"
 #include "cqa/util/status.h"
 
 namespace cqa {
@@ -22,10 +38,19 @@ namespace cqa {
 class BigInt {
  public:
   /// Zero.
-  BigInt() : negative_(false) {}
-  /// From a machine integer.
+  BigInt() noexcept = default;
+  /// From a machine integer. Never allocates.
   // NOLINTNEXTLINE(google-explicit-constructor): numeric literal ergonomics.
-  BigInt(std::int64_t v);
+  BigInt(std::int64_t v) noexcept : small_(v) {}
+
+  BigInt(const BigInt& o);
+  BigInt(BigInt&& o) noexcept : small_(o.small_), rep_(o.rep_) {
+    o.small_ = 0;
+    o.rep_ = nullptr;
+  }
+  BigInt& operator=(const BigInt& o);
+  BigInt& operator=(BigInt&& o) noexcept;
+  ~BigInt() { release_rep(); }
 
   /// Parses a base-10 integer with optional leading '-'.
   static Result<BigInt> from_string(const std::string& s);
@@ -35,14 +60,19 @@ class BigInt {
   }
 
   /// True iff the value is zero.
-  bool is_zero() const { return limbs_.empty(); }
+  bool is_zero() const noexcept { return rep_ == nullptr && small_ == 0; }
   /// True iff the value is strictly negative.
-  bool is_negative() const { return negative_; }
+  bool is_negative() const noexcept {
+    return rep_ != nullptr ? rep_->negative : small_ < 0;
+  }
   /// -1, 0, or +1.
-  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+  int sign() const noexcept {
+    if (rep_ != nullptr) return rep_->negative ? -1 : 1;
+    return small_ == 0 ? 0 : (small_ < 0 ? -1 : 1);
+  }
 
   /// Number of significant bits of |*this| (0 for zero).
-  std::size_t bit_length() const;
+  std::size_t bit_length() const noexcept;
 
   BigInt operator-() const;
   BigInt abs() const;
@@ -55,14 +85,21 @@ class BigInt {
   /// Remainder with sign of the dividend. Aborts on division by zero.
   BigInt operator%(const BigInt& o) const;
 
-  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
-  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
-  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
-  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  /// Compound operators are genuinely in-place: the inline fast path
+  /// never allocates, and heap operands reuse existing limb capacity
+  /// where the algorithm permits (add/sub) or recycle through the arena
+  /// pool (mul/div).
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o);
+  BigInt& operator*=(const BigInt& o);
+  BigInt& operator/=(const BigInt& o);
 
-  /// Truncated quotient and remainder in one pass.
-  /// Postcondition: *this == q * o + r, |r| < |o|, sign(r) in {0, sign(*this)}.
-  void divmod(const BigInt& o, BigInt* q, BigInt* r) const;
+  /// Truncated quotient and remainder in one pass. Defined just below
+  /// the class (it holds BigInt members, so it needs the complete type).
+  struct DivMod;
+  /// Postcondition: *this == quot * o + rem, |rem| < |o|,
+  /// sign(rem) in {0, sign(*this)}. Aborts on division by zero.
+  DivMod divmod(const BigInt& o) const;
 
   /// Left shift by whole bits.
   BigInt shl(std::size_t bits) const;
@@ -70,17 +107,19 @@ class BigInt {
   /// result is 0 when the magnitude underflows).
   BigInt shr(std::size_t bits) const;
 
-  bool operator==(const BigInt& o) const {
-    return negative_ == o.negative_ && limbs_ == o.limbs_;
+  bool operator==(const BigInt& o) const noexcept {
+    if (rep_ == nullptr && o.rep_ == nullptr) return small_ == o.small_;
+    if (rep_ == nullptr || o.rep_ == nullptr) return false;  // canonical form
+    return rep_->negative == o.rep_->negative && rep_->limbs == o.rep_->limbs;
   }
-  bool operator!=(const BigInt& o) const { return !(*this == o); }
-  bool operator<(const BigInt& o) const { return cmp(o) < 0; }
-  bool operator<=(const BigInt& o) const { return cmp(o) <= 0; }
-  bool operator>(const BigInt& o) const { return cmp(o) > 0; }
-  bool operator>=(const BigInt& o) const { return cmp(o) >= 0; }
+  bool operator!=(const BigInt& o) const noexcept { return !(*this == o); }
+  bool operator<(const BigInt& o) const noexcept { return cmp(o) < 0; }
+  bool operator<=(const BigInt& o) const noexcept { return cmp(o) <= 0; }
+  bool operator>(const BigInt& o) const noexcept { return cmp(o) > 0; }
+  bool operator>=(const BigInt& o) const noexcept { return cmp(o) >= 0; }
 
   /// Three-way comparison: -1, 0, +1.
-  int cmp(const BigInt& o) const;
+  int cmp(const BigInt& o) const noexcept;
 
   /// Greatest common divisor (always >= 0).
   static BigInt gcd(const BigInt& a, const BigInt& b);
@@ -98,38 +137,67 @@ class BigInt {
   /// Exact conversion when the value fits in int64; error otherwise.
   Result<std::int64_t> to_int64() const;
 
-  /// True iff the value fits in int64.
-  bool fits_int64() const { return to_int64().is_ok(); }
+  /// True iff the value fits in int64. O(1): the representation is
+  /// canonical, so this is exactly the inline-tag check.
+  bool fits_int64() const noexcept { return rep_ == nullptr; }
 
-  /// Hash suitable for unordered containers.
-  std::size_t hash() const;
-
- private:
-  static int cmp_mag(const std::vector<std::uint32_t>& a,
-                     const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> add_mag(
-      const std::vector<std::uint32_t>& a,
-      const std::vector<std::uint32_t>& b);
-  // Requires |a| >= |b|.
-  static std::vector<std::uint32_t> sub_mag(
-      const std::vector<std::uint32_t>& a,
-      const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_mag(
-      const std::vector<std::uint32_t>& a,
-      const std::vector<std::uint32_t>& b);
-  // Knuth Algorithm D on magnitudes; q and r may alias nothing.
-  static void divmod_mag(const std::vector<std::uint32_t>& a,
-                         const std::vector<std::uint32_t>& b,
-                         std::vector<std::uint32_t>* q,
-                         std::vector<std::uint32_t>* r);
-  static void trim(std::vector<std::uint32_t>* v);
-  void normalize() {
-    trim(&limbs_);
-    if (limbs_.empty()) negative_ = false;
+  /// The inline value. Requires fits_int64(); the checked form is
+  /// to_int64().
+  std::int64_t int64_unchecked() const noexcept {
+    CQA_DCHECK(rep_ == nullptr);
+    return small_;
   }
 
-  bool negative_;
-  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+  /// Hash suitable for unordered containers. Defined over the canonical
+  /// (sign, limbs) view, so it is representation-independent and stable
+  /// across the inline/heap boundary.
+  std::size_t hash() const noexcept;
+
+  /// Multiplication switches from schoolbook to Karatsuba when both
+  /// operands have at least this many 32-bit limbs.
+  static constexpr std::size_t kKaratsubaLimbs = 32;
+
+  /// Schoolbook multiply regardless of size: the differential oracle for
+  /// Karatsuba in tests and benches. Unmetered.
+  static BigInt mul_schoolbook(const BigInt& a, const BigInt& b);
+
+  /// Exact conversion from a 128-bit intermediate; canonicalizes (stays
+  /// inline when the value fits int64). The escape hatch for callers
+  /// doing their own __int128 fast-path arithmetic (Rational).
+  static BigInt from_i128(__int128 v);
+
+ private:
+  // Number of 32-bit limbs in |value| (what the guard meter charges).
+  std::size_t limb_count() const noexcept;
+
+  // Returns rep_ to the pool (if any) and clears the tag.
+  void release_rep() noexcept {
+    if (rep_ != nullptr) {
+      arith::arena_release(rep_);
+      rep_ = nullptr;
+    }
+  }
+
+  // Takes ownership of `rep` (trimmed limbs, magnitude sign in
+  // `negative`), canonicalizes -- re-inlining values that fit int64 --
+  // and assigns to *this.
+  void adopt_mag(bool negative, arith::LimbRep* rep);
+
+  // adopt_mag as a constructor.
+  static BigInt from_mag(bool negative, arith::LimbRep* rep);
+  // Canonicalizing constructor from a 128-bit magnitude.
+  static BigInt from_u128(bool negative, unsigned __int128 mag);
+
+  // Shared signed-addition core: *this +/- o, in place.
+  void add_assign(const BigInt& o, bool negate_o);
+
+  std::int64_t small_ = 0;        // the value iff rep_ == nullptr
+  arith::LimbRep* rep_ = nullptr; // else sign-magnitude limbs, |v| > int64
+};
+
+struct BigInt::DivMod {
+  BigInt quot;
+  BigInt rem;
 };
 
 inline BigInt operator+(std::int64_t a, const BigInt& b) {

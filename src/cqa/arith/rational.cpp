@@ -1,9 +1,49 @@
 #include "cqa/arith/rational.h"
 
 #include <cmath>
+#include <new>
 #include <utility>
 
+#include "cqa/guard/fault.h"
+#include "cqa/guard/meter.h"
+
 namespace cqa {
+
+namespace {
+
+inline std::uint64_t abs_u64(std::int64_t v) {
+  return v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+               : static_cast<std::uint64_t>(v);
+}
+
+inline std::uint64_t gcd_u64(std::uint64_t x, std::uint64_t y) {
+  while (y != 0) {
+    const std::uint64_t t = x % y;
+    x = y;
+    y = t;
+  }
+  return x;
+}
+
+// 32-bit limbs of |v|, for meter charges equivalent to BigInt's own.
+inline std::size_t small_limbs(std::int64_t v) {
+  const std::uint64_t m = abs_u64(v);
+  if (m == 0) return 0;
+  return (m >> 32) != 0 ? 2 : 1;
+}
+
+// The hooks a BigInt multiply would run, charged once per fast-path
+// Rational op: the bit estimate of the widest product feeds the
+// high-water bigint-bits quota, and chaos runs can inject an allocation
+// failure exactly as they could on the BigInt path.
+inline void small_op_hooks(std::int64_t x, std::int64_t y) {
+  guard::charge_bigint_bits_tl(32 * (small_limbs(x) + small_limbs(y)));
+  if (guard::fault_fires(guard::FaultSite::kBigIntAlloc)) {
+    throw std::bad_alloc();
+  }
+}
+
+}  // namespace
 
 Rational::Rational(BigInt num, BigInt den)
     : num_(std::move(num)), den_(std::move(den)) {
@@ -86,42 +126,202 @@ Rational Rational::operator-() const {
 
 Rational Rational::inverse() const {
   CQA_CHECK(!is_zero());
-  return Rational(den_, num_);
+  // Already in lowest terms; only the sign needs to move to the numerator.
+  Rational out;
+  if (num_.is_negative()) {
+    out.num_ = -den_;
+    out.den_ = -num_;
+  } else {
+    out.num_ = den_;
+    out.den_ = num_;
+  }
+  return out;
+}
+
+// Knuth TAOCP 4.5.1: for a/b +/- c/d in lowest terms, let g = gcd(b, d),
+// t = a*(d/g) +/- c*(b/g), g2 = gcd(t, g); the result is
+// (t/g2) / ((b/g)*(d/g2)). Intermediates stay near the reduced size of
+// the result instead of the b*d cross-multiply, which keeps small-value
+// chains entirely in BigInt's inline representation.
+void Rational::add_assign(const Rational& o, bool negate_o) {
+  if (this == &o) {
+    const Rational copy = o;
+    add_assign(copy, negate_o);
+    return;
+  }
+  if (num_.fits_int64() && den_.fits_int64() && o.num_.fits_int64() &&
+      o.den_.fits_int64()) {
+    // All-inline path in raw machine arithmetic. Cross products of
+    // int64 numerators with int64 cofactors fit __int128 (each factor's
+    // magnitude is <= 2^63, and b/g, d/g <= 2^63 - 1, so |t| < 2^127).
+    const std::int64_t a = num_.int64_unchecked();
+    const std::int64_t b = den_.int64_unchecked();    // >= 1
+    const std::int64_t c0 = o.num_.int64_unchecked();
+    const std::int64_t d = o.den_.int64_unchecked();  // >= 1
+    small_op_hooks(a, d);
+    const std::int64_t g = static_cast<std::int64_t>(
+        gcd_u64(static_cast<std::uint64_t>(b), static_cast<std::uint64_t>(d)));
+    const std::int64_t bg = b / g;
+    const __int128 c = negate_o ? -static_cast<__int128>(c0)
+                                : static_cast<__int128>(c0);
+    const __int128 t = static_cast<__int128>(a) * (d / g) + c * bg;
+    if (t == 0) {
+      num_ = BigInt(0);
+      den_ = BigInt(1);
+      return;
+    }
+    std::int64_t g2 = 1;
+    if (g != 1) {
+      const unsigned __int128 mag = t < 0
+          ? static_cast<unsigned __int128>(0) - static_cast<unsigned __int128>(t)
+          : static_cast<unsigned __int128>(t);
+      g2 = static_cast<std::int64_t>(gcd_u64(
+          static_cast<std::uint64_t>(mag % static_cast<std::uint64_t>(g)),
+          static_cast<std::uint64_t>(g)));
+    }
+    num_ = BigInt::from_i128(t / g2);
+    den_ = BigInt::from_i128(static_cast<__int128>(bg) * (d / g2));
+    return;
+  }
+  const BigInt g = BigInt::gcd(den_, o.den_);
+  const BigInt bg = den_ / g;
+  num_ *= o.den_ / g;
+  {
+    BigInt cross = o.num_ * bg;
+    if (negate_o) {
+      num_ -= cross;
+    } else {
+      num_ += cross;
+    }
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g2 = BigInt::gcd(num_, g);
+  if (g2 != BigInt(1)) num_ /= g2;
+  den_ = bg * (o.den_ / g2);
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  add_assign(o, /*negate_o=*/false);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) {
+  add_assign(o, /*negate_o=*/true);
+  return *this;
+}
+
+// Knuth 4.5.1 again: (a/b)*(c/d) = ((a/g1)*(c/g2)) / ((b/g2)*(d/g1))
+// with g1 = gcd(a, d), g2 = gcd(c, b); the result is already reduced.
+Rational& Rational::operator*=(const Rational& o) {
+  if (this == &o) {
+    // Squaring: gcd(n, d) = 1 implies gcd(n^2, d^2) = 1.
+    num_ *= num_;
+    den_ *= den_;
+    return *this;
+  }
+  if (num_.fits_int64() && den_.fits_int64() && o.num_.fits_int64() &&
+      o.den_.fits_int64()) {
+    const std::int64_t a = num_.int64_unchecked();
+    const std::int64_t b = den_.int64_unchecked();    // >= 1
+    const std::int64_t c = o.num_.int64_unchecked();
+    const std::int64_t d = o.den_.int64_unchecked();  // >= 1
+    small_op_hooks(a, c);
+    // g1, g2 <= the (positive, < 2^63) denominators, so they fit int64.
+    const std::int64_t g1 =
+        static_cast<std::int64_t>(gcd_u64(abs_u64(a), abs_u64(d)));
+    const std::int64_t g2 =
+        static_cast<std::int64_t>(gcd_u64(abs_u64(c), abs_u64(b)));
+    const __int128 n = a == 0 || c == 0
+                           ? __int128{0}
+                           : static_cast<__int128>(a / g1) * (c / g2);
+    if (n == 0) {
+      num_ = BigInt(0);
+      den_ = BigInt(1);
+      return *this;
+    }
+    num_ = BigInt::from_i128(n);
+    den_ = BigInt::from_i128(static_cast<__int128>(b / g2) * (d / g1));
+    return *this;
+  }
+  const BigInt g1 = BigInt::gcd(num_, o.den_);
+  const BigInt g2 = BigInt::gcd(o.num_, den_);
+  BigInt on = o.num_;
+  BigInt od = o.den_;
+  if (g1 != BigInt(1)) {
+    num_ /= g1;
+    od /= g1;
+  }
+  if (g2 != BigInt(1)) {
+    den_ /= g2;
+    on /= g2;
+  }
+  num_ *= on;
+  den_ *= od;
+  if (num_.is_zero()) den_ = BigInt(1);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  CQA_CHECK(!o.is_zero());
+  if (this == &o) {
+    num_ = BigInt(1);
+    den_ = BigInt(1);
+    return *this;
+  }
+  return *this *= o.inverse();
 }
 
 Rational Rational::operator+(const Rational& o) const {
-  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+  Rational out = *this;
+  out.add_assign(o, /*negate_o=*/false);
+  return out;
 }
 
 Rational Rational::operator-(const Rational& o) const {
-  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+  Rational out = *this;
+  out.add_assign(o, /*negate_o=*/true);
+  return out;
 }
 
 Rational Rational::operator*(const Rational& o) const {
-  return Rational(num_ * o.num_, den_ * o.den_);
+  Rational out = *this;
+  out *= o;
+  return out;
 }
 
 Rational Rational::operator/(const Rational& o) const {
-  CQA_CHECK(!o.is_zero());
-  return Rational(num_ * o.den_, den_ * o.num_);
+  Rational out = *this;
+  out /= o;
+  return out;
 }
 
 int Rational::cmp(const Rational& o) const {
+  // All-inline fast path: int64 cross products fit __int128 exactly, so
+  // no BigInt intermediates (which could spill to the heap) are needed.
+  if (num_.fits_int64() && den_.fits_int64() && o.num_.fits_int64() &&
+      o.den_.fits_int64()) {
+    const __int128 l = static_cast<__int128>(num_.int64_unchecked()) *
+                       o.den_.int64_unchecked();
+    const __int128 r = static_cast<__int128>(o.num_.int64_unchecked()) *
+                       den_.int64_unchecked();
+    return l < r ? -1 : (l > r ? 1 : 0);
+  }
   return (num_ * o.den_).cmp(o.num_ * den_);
 }
 
 BigInt Rational::floor() const {
-  BigInt q, r;
-  num_.divmod(den_, &q, &r);
-  if (r.is_negative()) q -= BigInt(1);
-  return q;
+  BigInt::DivMod dm = num_.divmod(den_);
+  if (dm.rem.is_negative()) dm.quot -= BigInt(1);
+  return std::move(dm.quot);
 }
 
 BigInt Rational::ceil() const {
-  BigInt q, r;
-  num_.divmod(den_, &q, &r);
-  if (r.sign() > 0) q += BigInt(1);
-  return q;
+  BigInt::DivMod dm = num_.divmod(den_);
+  if (dm.rem.sign() > 0) dm.quot += BigInt(1);
+  return std::move(dm.quot);
 }
 
 Rational Rational::pow(const Rational& base, std::int64_t e) {

@@ -13,15 +13,20 @@ namespace cqa {
 
 /// Exact rational number, always kept in lowest terms with a positive
 /// denominator. The value type of the whole library.
+///
+/// Construction rules: machine-integer constructors are implicit (numeric
+/// literal ergonomics -- `Rational(1, 2)`, `r + 3`); the BigInt
+/// constructor is explicit because a BigInt may carry heap limbs, so that
+/// conversion can allocate and should be visible at the call site.
 class Rational {
  public:
   /// Zero.
   Rational() : num_(0), den_(1) {}
-  /// Integer value.
+  /// Integer value. Never allocates.
   // NOLINTNEXTLINE(google-explicit-constructor): numeric ergonomics.
   Rational(std::int64_t v) : num_(v), den_(1) {}
-  // NOLINTNEXTLINE(google-explicit-constructor)
-  Rational(BigInt v) : num_(std::move(v)), den_(1) {}
+  /// Integer value; explicit -- copying a heap BigInt allocates.
+  explicit Rational(BigInt v) : num_(std::move(v)), den_(1) {}
   /// num/den, normalized. Aborts if den == 0.
   Rational(BigInt num, BigInt den);
   Rational(std::int64_t num, std::int64_t den)
@@ -38,8 +43,12 @@ class Rational {
     return from_string(s).value_or_die();
   }
 
-  const BigInt& num() const { return num_; }
-  const BigInt& den() const { return den_; }
+  /// Numerator / denominator by value (den() > 0, both in lowest terms).
+  /// Value-returning on purpose: Rational's internals re-normalize in
+  /// place, so handing out references would pin representation details.
+  /// Copies of inline values are free; heap values recycle pool nodes.
+  BigInt num() const { return num_; }
+  BigInt den() const { return den_; }
 
   bool is_zero() const { return num_.is_zero(); }
   bool is_integer() const { return den_ == BigInt(1); }
@@ -56,10 +65,14 @@ class Rational {
   /// Aborts on division by zero.
   Rational operator/(const Rational& o) const;
 
-  Rational& operator+=(const Rational& o) { return *this = *this + o; }
-  Rational& operator-=(const Rational& o) { return *this = *this - o; }
-  Rational& operator*=(const Rational& o) { return *this = *this * o; }
-  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+  /// Compound operators are genuinely in-place: small-value operands run
+  /// entirely in the inline BigInt representation (no allocation), and
+  /// the gcd-splitting identities (Knuth 4.5.1) keep intermediates the
+  /// minimal size instead of cross-multiplying then reducing.
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
 
   bool operator==(const Rational& o) const {
     return num_ == o.num_ && den_ == o.den_;
@@ -105,6 +118,8 @@ class Rational {
 
  private:
   void normalize();
+  // Shared signed-addition core: *this +/- o, in place, gcd identities.
+  void add_assign(const Rational& o, bool negate_o);
 
   BigInt num_;
   BigInt den_;  // > 0

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "cqa/arith/arena.h"
+
 namespace cqa {
 
 namespace {
@@ -34,27 +36,61 @@ std::vector<LinearConstraint> fm_simplify(
     if (n.is_constant() && n.constant_truth()) continue;  // trivially true
     if (seen.insert(n).second) rows.push_back(std::move(n));
   }
-  // Pairwise dominance on equal coefficient vectors:
+  // Dominance on equal coefficient vectors:
   //   a.x <  r1 dominates a.x <  r2 when r1 <= r2;
   //   a.x <= r1 dominates a.x <= r2 when r1 <= r2;
   //   a.x <  r1 dominates a.x <= r2 when r1 <= r2;
   //   a.x <= r1 dominates a.x <  r2 when r1 <  r2.
+  // Dominance is transitive and only relates rows with identical LHS, so
+  // instead of the quadratic pairwise sweep, group rows by coefficient
+  // vector and keep each group's minimal elements: the tightest <= row
+  // survives iff every < row is strictly looser, and the tightest < row
+  // survives iff no <= row is at least as tight. (Exact duplicates were
+  // already removed by the set above.)
   std::vector<bool> dead(rows.size(), false);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (dead[i] || rows[i].cmp == LinCmp::kEq) continue;
-    for (std::size_t j = 0; j < rows.size(); ++j) {
-      if (i == j || dead[j] || rows[j].cmp == LinCmp::kEq) continue;
-      if (rows[i].coeffs != rows[j].coeffs) continue;
-      const bool i_strict = rows[i].cmp == LinCmp::kLt;
-      const bool j_strict = rows[j].cmp == LinCmp::kLt;
-      bool dominates;
-      if (i_strict || !j_strict) {
-        dominates = rows[i].rhs <= rows[j].rhs;
-      } else {
-        dominates = rows[i].rhs < rows[j].rhs;
-      }
-      if (dominates) dead[j] = true;
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) order[i] = i;
+  auto coeffs_less = [&rows](std::size_t a, std::size_t b) {
+    if (rows[a].coeffs.size() != rows[b].coeffs.size()) {
+      return rows[a].coeffs.size() < rows[b].coeffs.size();
     }
+    for (std::size_t i = 0; i < rows[a].coeffs.size(); ++i) {
+      const int c = rows[a].coeffs[i].cmp(rows[b].coeffs[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return coeffs_less(a, b);
+  });
+  std::size_t g0 = 0;
+  while (g0 < order.size()) {
+    std::size_t g1 = g0 + 1;
+    while (g1 < order.size() && !coeffs_less(order[g0], order[g1])) ++g1;
+    // Group [g0, g1): identical coefficient vectors.
+    bool have_le = false, have_lt = false;
+    std::size_t best_le = 0, best_lt = 0;
+    for (std::size_t k = g0; k < g1; ++k) {
+      const std::size_t i = order[k];
+      if (rows[i].cmp == LinCmp::kLe) {
+        if (!have_le || rows[i].rhs < rows[best_le].rhs) best_le = i;
+        have_le = true;
+      } else if (rows[i].cmp == LinCmp::kLt) {
+        if (!have_lt || rows[i].rhs < rows[best_lt].rhs) best_lt = i;
+        have_lt = true;
+      }
+    }
+    for (std::size_t k = g0; k < g1; ++k) {
+      const std::size_t i = order[k];
+      if (rows[i].cmp == LinCmp::kEq) continue;
+      if (rows[i].cmp == LinCmp::kLe) {
+        dead[i] = i != best_le ||
+                  (have_lt && rows[best_lt].rhs <= rows[i].rhs);
+      } else {
+        dead[i] = i != best_lt || (have_le && rows[best_le].rhs < rows[i].rhs);
+      }
+    }
+    g0 = g1;
   }
   std::vector<LinearConstraint> out;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -66,6 +102,10 @@ std::vector<LinearConstraint> fm_simplify(
 std::vector<LinearConstraint> fm_eliminate(
     const std::vector<LinearConstraint>& cs, std::size_t var,
     guard::WorkMeter* meter) {
+  // One elimination = one arena lifetime: the combination loop churns
+  // transient multi-limb rationals; whatever heap nodes it pools beyond
+  // the retained working set are bulk-freed when the scope closes.
+  arith::ArenaScope arena_scope;
   // Pass 1: if an equality pivots on var, substitute it everywhere.
   for (std::size_t k = 0; k < cs.size(); ++k) {
     const LinearConstraint& eq = cs[k];

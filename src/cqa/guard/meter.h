@@ -144,6 +144,17 @@ class WorkMeter {
     return within(QuotaKind::kBigIntBits, bits);
   }
 
+  /// Observability-only counter (no quota): BigInt heap-node acquisitions
+  /// from the limb arena while this meter was bound. Lets tests pin "this
+  /// path runs allocation-free" -- the small-value FM pivot contract.
+  /// Deliberately not part of GuardUsage: GuardUsage is wire-serialized.
+  void note_bigint_heap_node() {
+    bigint_heap_nodes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t bigint_heap_nodes() const {
+    return bigint_heap_nodes_.load(std::memory_order_relaxed);
+  }
+
   bool tripped() const {
     return tripped_.load(std::memory_order_relaxed) >= 0;
   }
@@ -197,6 +208,7 @@ class WorkMeter {
   std::atomic<std::uint64_t> sweep_sections_{0};
   std::atomic<std::uint64_t> bigint_bits_peak_{0};
   std::atomic<std::uint64_t> resident_bytes_{0};
+  std::atomic<std::uint64_t> bigint_heap_nodes_{0};
   std::atomic<int> tripped_{-1};
 };
 
@@ -232,6 +244,13 @@ class MeterScope {
 inline void charge_bigint_bits_tl(std::size_t bits) {
   WorkMeter* m = current_thread_meter();
   if (m != nullptr) m->charge_bigint_bits(bits);
+}
+
+/// Arena hook: count a BigInt heap-node acquisition against the current
+/// thread's meter (if any). Pure observability; never trips a quota.
+inline void note_bigint_heap_node_tl() {
+  WorkMeter* m = current_thread_meter();
+  if (m != nullptr) m->note_bigint_heap_node();
 }
 
 /// "expired()"-style shorthand for the nullptr-means-unmetered calling

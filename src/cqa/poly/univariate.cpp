@@ -55,7 +55,7 @@ UPoly UPoly::operator*(const Rational& c) const {
   return UPoly(std::move(out));
 }
 
-void UPoly::divmod(const UPoly& d, UPoly* q, UPoly* r) const {
+UPoly::DivMod UPoly::divmod(const UPoly& d) const {
   CQA_CHECK(!d.is_zero());
   std::vector<Rational> rem = coeffs_;
   std::vector<Rational> quot;
@@ -74,8 +74,7 @@ void UPoly::divmod(const UPoly& d, UPoly* q, UPoly* r) const {
     }
     --rd;
   }
-  *q = UPoly(std::move(quot));
-  *r = UPoly(std::move(rem));
+  return {UPoly(std::move(quot)), UPoly(std::move(rem))};
 }
 
 Rational UPoly::eval(const Rational& x) const {
@@ -143,10 +142,9 @@ UPoly UPoly::monic() const {
 UPoly UPoly::gcd(const UPoly& a, const UPoly& b) {
   UPoly x = a, y = b;
   while (!y.is_zero()) {
-    UPoly q, r;
-    x.divmod(y, &q, &r);
+    UPoly r = x.divmod(y).rem;
     x = y;
-    y = r;
+    y = std::move(r);
   }
   return x.monic();
 }
@@ -155,10 +153,9 @@ UPoly UPoly::square_free_part() const {
   if (degree() <= 0) return monic();
   UPoly g = gcd(*this, derivative());
   if (g.degree() <= 0) return monic();
-  UPoly q, r;
-  divmod(g, &q, &r);
-  CQA_DCHECK(r.is_zero());
-  return q.monic();
+  DivMod dm = divmod(g);
+  CQA_DCHECK(dm.rem.is_zero());
+  return dm.quot.monic();
 }
 
 UPoly UPoly::compose(const UPoly& g) const {
@@ -217,8 +214,7 @@ SturmSequence::SturmSequence(const UPoly& p) {
   chain_.push_back(sf);
   chain_.push_back(sf.derivative());
   while (chain_.back().degree() > 0) {
-    UPoly q, r;
-    chain_[chain_.size() - 2].divmod(chain_.back(), &q, &r);
+    UPoly r = chain_[chain_.size() - 2].divmod(chain_.back()).rem;
     if (r.is_zero()) break;
     chain_.push_back(-r);
   }

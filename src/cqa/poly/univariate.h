@@ -58,9 +58,12 @@ class UPoly {
   bool operator==(const UPoly& o) const { return coeffs_ == o.coeffs_; }
   bool operator!=(const UPoly& o) const { return !(*this == o); }
 
-  /// Polynomial division: *this = q * d + r with deg r < deg d.
+  /// Quotient and remainder of polynomial division in one pass. Defined
+  /// below the class (it holds UPoly members).
+  struct DivMod;
+  /// Polynomial division: *this = quot * d + rem with deg rem < deg d.
   /// Aborts if d is zero.
-  void divmod(const UPoly& d, UPoly* q, UPoly* r) const;
+  DivMod divmod(const UPoly& d) const;
 
   /// Horner evaluation.
   Rational eval(const Rational& x) const;
@@ -104,6 +107,11 @@ class UPoly {
   }
 
   std::vector<Rational> coeffs_;
+};
+
+struct UPoly::DivMod {
+  UPoly quot;
+  UPoly rem;
 };
 
 /// Sturm sequence of a polynomial: p, p', then negated remainders.

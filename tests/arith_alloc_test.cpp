@@ -1,0 +1,134 @@
+// Allocation accounting for the two-tier BigInt.
+//
+// The refactor's core performance claim is that small-value workloads --
+// in particular the Fourier-Motzkin pivot loop over small rational
+// coefficients -- never touch the heap: every BigInt stays inline and
+// every Rational fast path runs in __int128 registers. This suite pins
+// that claim through the meter's heap-node counter (arena_acquire calls
+// note_bigint_heap_node_tl), so a future edit that silently reintroduces
+// allocation on the hot path fails a test instead of a benchmark.
+//
+// It also pins the arena pool's recycling behavior: steady-state heap
+// arithmetic must hit the freelist rather than malloc, and ArenaScope
+// must trim a scope's pooled surplus back down on exit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cqa/arith/arena.h"
+#include "cqa/arith/bigint.h"
+#include "cqa/arith/rational.h"
+#include "cqa/constraint/fourier_motzkin.h"
+#include "cqa/constraint/linear_atom.h"
+#include "cqa/guard/meter.h"
+
+namespace cqa {
+namespace {
+
+// The bench_a8_arith FM pivot shape: n lower and n upper bounds on x0
+// with small rational coefficients, so fm_eliminate's pair loop churns
+// n^2 combination rows of small-value Rational arithmetic.
+std::vector<LinearConstraint> fm_rows_small(std::size_t n) {
+  std::vector<LinearConstraint> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    LinearConstraint lo;
+    lo.coeffs = {Rational(-1), Rational(static_cast<std::int64_t>(i % 3)),
+                 Rational(1, static_cast<std::int64_t>(i + 1))};
+    lo.rhs = Rational(-static_cast<std::int64_t>(i), 7);
+    lo.cmp = LinCmp::kLe;
+    rows.push_back(std::move(lo));
+    LinearConstraint hi;
+    hi.coeffs = {Rational(1), Rational(1, static_cast<std::int64_t>(i + 2)),
+                 Rational(static_cast<std::int64_t>(i % 5))};
+    hi.rhs = Rational(static_cast<std::int64_t>(100 + i), 3);
+    hi.cmp = LinCmp::kLe;
+    rows.push_back(std::move(hi));
+  }
+  return rows;
+}
+
+TEST(ArithAlloc, SmallFmPivotPathIsAllocationFree) {
+  guard::WorkMeter meter;
+  {
+    guard::MeterScope scope(&meter);
+    auto rows = fm_rows_small(24);
+    auto out = fm_eliminate(rows, 0, nullptr);
+    ASSERT_FALSE(out.empty());
+    auto simplified = fm_simplify(out);
+    ASSERT_FALSE(simplified.empty());
+  }
+  // Not one BigInt heap node for the whole elimination: every value fit
+  // inline and every Rational op took the __int128 fast path.
+  EXPECT_EQ(meter.bigint_heap_nodes(), 0u);
+}
+
+TEST(ArithAlloc, SmallRationalChurnIsAllocationFree) {
+  guard::WorkMeter meter;
+  {
+    guard::MeterScope scope(&meter);
+    Rational acc(0);
+    for (int i = 1; i <= 5000; ++i) {
+      acc += Rational(1, i % 97 + 1);
+      acc *= Rational(i % 13 + 1, i % 11 + 1);
+      if (i % 7 == 0) acc = Rational(i % 1000, 3);  // keep magnitudes small
+    }
+    ASSERT_FALSE(acc.num().is_zero() && acc.den().is_zero());
+  }
+  EXPECT_EQ(meter.bigint_heap_nodes(), 0u);
+}
+
+TEST(ArithAlloc, HeapWorkloadIsCountedByTheMeter) {
+  guard::WorkMeter meter;
+  {
+    guard::MeterScope scope(&meter);
+    const BigInt big = BigInt::pow(BigInt(3), 200);  // ~317 bits
+    const BigInt sq = big * big;
+    ASSERT_GT(sq.bit_length(), 600u);
+  }
+  EXPECT_GT(meter.bigint_heap_nodes(), 0u);
+}
+
+TEST(ArithAlloc, PoolRecyclesNodesInSteadyState) {
+  const BigInt big = BigInt::pow(BigInt(7), 100);
+  // Warm the pool: the first iterations may allocate fresh nodes.
+  for (int i = 0; i < 8; ++i) {
+    BigInt t = big * big;
+    ASSERT_FALSE(t.fits_int64());
+  }
+  const arith::ArenaStats before = arith::arena_stats();
+  for (int i = 0; i < 64; ++i) {
+    BigInt t = big + big;
+    t *= big;
+    ASSERT_FALSE(t.fits_int64());
+  }
+  const arith::ArenaStats after = arith::arena_stats();
+  const std::uint64_t acquires = after.acquires - before.acquires;
+  const std::uint64_t hits = after.pool_hits - before.pool_hits;
+  ASSERT_GT(acquires, 0u);
+  // Steady state: every node came from the freelist, none from malloc.
+  EXPECT_EQ(hits, acquires);
+  // Everything transient was returned.
+  EXPECT_EQ(after.live, before.live);
+}
+
+TEST(ArithAlloc, ArenaScopeTrimsPooledSurplus) {
+  const std::uint64_t pooled_before = arith::arena_stats().pooled;
+  {
+    arith::ArenaScope scope;
+    // Churn many simultaneously-live heap values so the pool grows well
+    // past its retained working set.
+    std::vector<BigInt> v;
+    const BigInt big = BigInt::pow(BigInt(5), 120);
+    for (int i = 0; i < 300; ++i) v.push_back(big + BigInt(i));
+    v.clear();  // releases 300 nodes into the pool
+    EXPECT_GT(arith::arena_stats().pooled, pooled_before);
+  }
+  // Scope exit bulk-frees the surplus beyond baseline + retained set.
+  const std::uint64_t pooled_after = arith::arena_stats().pooled;
+  EXPECT_LE(pooled_after, pooled_before + 64 + 8);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -109,8 +109,7 @@ TEST(BigInt, DivisionIdentityRandomized) {
     BigInt a = rand_big(1 + static_cast<int>(rng() % 6));
     BigInt b = rand_big(1 + static_cast<int>(rng() % 4));
     if (b.is_zero()) continue;
-    BigInt q, r;
-    a.divmod(b, &q, &r);
+    auto [q, r] = a.divmod(b);
     EXPECT_EQ(q * b + r, a);
     EXPECT_LT(r.abs(), b.abs());
     if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
@@ -121,8 +120,7 @@ TEST(BigInt, KnuthD6AddBackCase) {
   // Exercise divisors whose top limb forces the qhat clamp.
   BigInt a = BigInt::parse("340282366920938463463374607431768211455");  // 2^128-1
   BigInt b = BigInt::parse("18446744073709551615");                      // 2^64-1
-  BigInt q, r;
-  a.divmod(b, &q, &r);
+  auto [q, r] = a.divmod(b);
   EXPECT_EQ(q * b + r, a);
   EXPECT_EQ(q.to_string(), "18446744073709551617");
   EXPECT_EQ(r, BigInt(0));

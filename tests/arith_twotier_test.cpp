@@ -1,0 +1,230 @@
+// The two-tier BigInt representation boundary.
+//
+// The canonical invariant -- heap iff the value does not fit int64 --
+// concentrates all the danger at +/- 2^63: INT64_MIN negation must
+// promote, INT64_MAX + 1 must carry into the first heap limb,
+// subtraction and division must re-inline heap values that shrink back
+// into range, and equality/hash must never depend on which side of the
+// boundary an operand was computed on. This suite pins each edge
+// explicitly and then drives a randomized differential check against
+// __int128 arithmetic straddling the boundary, plus
+// Karatsuba-vs-schoolbook around the limb threshold.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "cqa/approx/random.h"
+#include "cqa/arith/bigint.h"
+
+namespace cqa {
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+BigInt from_i128_via_ops(__int128 v) {
+  // Builds the value through public arithmetic only (shifts + adds), so
+  // the result exercises the promote/canonicalize paths under test.
+  const bool neg = v < 0;
+  unsigned __int128 mag =
+      neg ? static_cast<unsigned __int128>(0) - static_cast<unsigned __int128>(v)
+          : static_cast<unsigned __int128>(v);
+  BigInt out;
+  for (int shift = 96; shift >= 0; shift -= 32) {
+    out = out.shl(32) +
+          BigInt(static_cast<std::int64_t>((mag >> shift) & 0xffffffffu));
+  }
+  return neg ? -out : out;
+}
+
+TEST(TwoTier, Int64BoundsStayInline) {
+  EXPECT_TRUE(BigInt(kMax).fits_int64());
+  EXPECT_TRUE(BigInt(kMin).fits_int64());
+  EXPECT_EQ(BigInt(kMin).to_int64().value(), kMin);
+  EXPECT_EQ(BigInt(kMax).to_int64().value(), kMax);
+}
+
+TEST(TwoTier, Int64MinNegationPromotes) {
+  const BigInt m(kMin);
+  const BigInt n = -m;  // 2^63: one past INT64_MAX
+  EXPECT_FALSE(n.fits_int64());
+  EXPECT_EQ(n.to_string(), "9223372036854775808");
+  EXPECT_FALSE(n.to_int64().is_ok());
+  // ... and negating back re-inlines to exactly INT64_MIN.
+  const BigInt back = -n;
+  EXPECT_TRUE(back.fits_int64());
+  EXPECT_EQ(back, m);
+  // abs takes the same edge.
+  EXPECT_EQ(m.abs(), n);
+  EXPECT_FALSE(m.abs().fits_int64());
+}
+
+TEST(TwoTier, CarryIntoFirstHeapLimb) {
+  const BigInt a = BigInt(kMax) + BigInt(1);
+  EXPECT_FALSE(a.fits_int64());
+  EXPECT_EQ(a.to_string(), "9223372036854775808");
+  const BigInt b = BigInt(kMin) - BigInt(1);
+  EXPECT_FALSE(b.fits_int64());
+  EXPECT_EQ(b.to_string(), "-9223372036854775809");
+  // In-place compound ops hit the same promotion.
+  BigInt c(kMax);
+  c += BigInt(1);
+  EXPECT_EQ(c, a);
+  c -= BigInt(1);
+  EXPECT_TRUE(c.fits_int64());
+  EXPECT_EQ(c, BigInt(kMax));
+}
+
+TEST(TwoTier, ShrinkBackToInline) {
+  const BigInt big = BigInt(kMax) + BigInt(5);  // heap
+  EXPECT_FALSE(big.fits_int64());
+  const BigInt small = big - BigInt(5);
+  EXPECT_TRUE(small.fits_int64());
+  EXPECT_EQ(small.int64_unchecked(), kMax);
+  // Division shrink-back.
+  const BigInt q = big / BigInt(1000);
+  EXPECT_TRUE(q.fits_int64());
+  // Shift shrink-back.
+  EXPECT_TRUE(big.shr(1).fits_int64());
+  // The negative boundary: -(2^63) - 1 + 1 == INT64_MIN re-inlines.
+  const BigInt nb = BigInt(kMin) - BigInt(1) + BigInt(1);
+  EXPECT_TRUE(nb.fits_int64());
+  EXPECT_EQ(nb.int64_unchecked(), kMin);
+}
+
+TEST(TwoTier, EqualityAndHashAreRepresentationIndependent) {
+  // The same value reached inline and via heap round-trips must compare
+  // equal and hash identically (Rational::hash feeds cache checksums).
+  const BigInt direct(kMax);
+  const BigInt computed = (BigInt(kMax) + BigInt(7)) - BigInt(7);
+  EXPECT_TRUE(computed.fits_int64());
+  EXPECT_EQ(direct, computed);
+  EXPECT_EQ(direct.hash(), computed.hash());
+
+  const BigInt hmin = -( -BigInt(kMin) );  // through the heap and back
+  EXPECT_EQ(hmin.hash(), BigInt(kMin).hash());
+  EXPECT_EQ(hmin, BigInt(kMin));
+
+  // Inline never equals heap (canonical form guarantees the semantics).
+  EXPECT_NE(BigInt(kMax), BigInt(kMax) + BigInt(1));
+}
+
+TEST(TwoTier, DivmodAtTheOverflowCorner) {
+  // INT64_MIN / -1 is the one hardware-division overflow: the quotient
+  // is 2^63 and must land on the heap.
+  const auto dm = BigInt(kMin).divmod(BigInt(-1));
+  EXPECT_FALSE(dm.quot.fits_int64());
+  EXPECT_EQ(dm.quot.to_string(), "9223372036854775808");
+  EXPECT_TRUE(dm.rem.is_zero());
+  // gcd(INT64_MIN, 0) = 2^63 exceeds INT64_MAX as well.
+  const BigInt g = BigInt::gcd(BigInt(kMin), BigInt(0));
+  EXPECT_FALSE(g.fits_int64());
+  EXPECT_EQ(g.to_string(), "9223372036854775808");
+}
+
+TEST(TwoTier, RandomizedDifferentialAroundTheBoundary) {
+  Xoshiro rng(20260808);
+  auto random_near_boundary = [&]() -> __int128 {
+    // Values within +/- 2^16 of {0, +/-2^31, +/-2^62, +/-2^63, +/-2^64}.
+    static const __int128 centers[] = {
+        0,
+        __int128{1} << 31,
+        __int128{1} << 62,
+        __int128{1} << 63,
+        __int128{1} << 64,
+    };
+    __int128 c = centers[rng.next() % 5];
+    if (rng.next() & 1) c = -c;
+    const std::int64_t jitter =
+        static_cast<std::int64_t>(rng.next() % 131072) - 65536;
+    return c + jitter;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const __int128 x = random_near_boundary();
+    const __int128 y = random_near_boundary();
+    const BigInt bx = from_i128_via_ops(x);
+    const BigInt by = from_i128_via_ops(y);
+    // Construction canonicalizes: inline exactly when the value fits.
+    EXPECT_EQ(bx.fits_int64(), x >= kMin && x <= kMax);
+    ASSERT_EQ(bx, from_i128_via_ops(x));
+    EXPECT_EQ(bx + by, from_i128_via_ops(x + y));
+    EXPECT_EQ(bx - by, from_i128_via_ops(x - y));
+    EXPECT_EQ(bx.cmp(by), x < y ? -1 : (x > y ? 1 : 0));
+    // Products can exceed 128 bits only for the 2^64 centers; keep the
+    // oracle exact by multiplying a boundary value with a small one.
+    const std::int64_t s =
+        static_cast<std::int64_t>(rng.next() % 65536) - 32768;
+    EXPECT_EQ(bx * BigInt(s), from_i128_via_ops(x * s));
+    if (s != 0) {
+      const auto dm = bx.divmod(BigInt(s));
+      EXPECT_EQ(dm.quot, from_i128_via_ops(x / s));
+      EXPECT_EQ(dm.rem, from_i128_via_ops(x % s));
+      EXPECT_EQ(dm.quot * BigInt(s) + dm.rem, bx);
+    }
+    // Compound ops agree with their binary forms.
+    BigInt acc = bx;
+    acc += by;
+    EXPECT_EQ(acc, bx + by);
+    acc -= by;
+    EXPECT_EQ(acc, bx);
+    acc *= BigInt(s);
+    EXPECT_EQ(acc, bx * BigInt(s));
+  }
+}
+
+TEST(TwoTier, KaratsubaMatchesSchoolbookAroundThreshold) {
+  Xoshiro rng(777);
+  auto rand_limbs = [&](std::size_t limbs) {
+    BigInt x;
+    for (std::size_t i = 0; i < limbs; ++i) {
+      x = x.shl(32) +
+          BigInt(static_cast<std::int64_t>(rng.next() & 0xffffffffu));
+    }
+    if (rng.next() & 1) x = -x;
+    return x;
+  };
+  const std::size_t t = BigInt::kKaratsubaLimbs;
+  // Straddle the threshold, including unbalanced splits and the
+  // just-below/just-above pairs where the dispatch flips.
+  const std::size_t sizes[] = {1, 2, t - 1, t, t + 1, 2 * t, 3 * t + 7};
+  for (std::size_t na : sizes) {
+    for (std::size_t nb : sizes) {
+      const BigInt a = rand_limbs(na);
+      const BigInt b = rand_limbs(nb);
+      const BigInt fast = a * b;
+      const BigInt oracle = BigInt::mul_schoolbook(a, b);
+      ASSERT_EQ(fast, oracle)
+          << "limbs " << na << " x " << nb << ": " << a.to_string() << " * "
+          << b.to_string();
+      EXPECT_EQ(fast.hash(), oracle.hash());
+    }
+  }
+  // Squaring (perfectly balanced, maximal carry chains) right at 2*t.
+  const BigInt s = rand_limbs(2 * t);
+  EXPECT_EQ(s * s, BigInt::mul_schoolbook(s, s));
+}
+
+TEST(TwoTier, StringRoundTripAcrossTheBoundary) {
+  const __int128 k2_63 = static_cast<__int128>(1) << 63;
+  const struct {
+    const char* text;
+    __int128 value;
+  } cases[] = {
+      {"9223372036854775807", k2_63 - 1},    // INT64_MAX
+      {"9223372036854775808", k2_63},        // 2^63
+      {"-9223372036854775808", -k2_63},      // INT64_MIN
+      {"-9223372036854775809", -k2_63 - 1},  // first negative heap value
+      {"18446744073709551616", k2_63 * 2},   // 2^64
+  };
+  for (const auto& c : cases) {
+    const BigInt v = BigInt::parse(c.text);
+    EXPECT_EQ(v.to_string(), c.text);
+    EXPECT_EQ(v, from_i128_via_ops(c.value));
+    EXPECT_EQ(v.fits_int64(), c.value >= kMin && c.value <= kMax);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -40,13 +40,12 @@ TEST(UPoly, Arithmetic) {
 TEST(UPoly, DivMod) {
   UPoly p = up({-1, 0, 0, 1});  // x^3 - 1
   UPoly d = up({-1, 1});        // x - 1
-  UPoly q, r;
-  p.divmod(d, &q, &r);
-  EXPECT_EQ(q, up({1, 1, 1}));
-  EXPECT_TRUE(r.is_zero());
+  UPoly::DivMod dm = p.divmod(d);
+  EXPECT_EQ(dm.quot, up({1, 1, 1}));
+  EXPECT_TRUE(dm.rem.is_zero());
 
   UPoly p2 = up({1, 0, 1});  // x^2 + 1
-  p2.divmod(d, &q, &r);
+  auto [q, r] = p2.divmod(d);
   EXPECT_EQ(q * d + r, p2);
   EXPECT_LT(r.degree(), d.degree());
 }

@@ -44,16 +44,14 @@ TEST_P(ArithProperty, DivModInvariant) {
     BigInt a = random_big(&rng, 6);
     BigInt b = random_big(&rng, 3);
     if (b.is_zero()) continue;
-    BigInt q, r;
-    a.divmod(b, &q, &r);
+    auto [q, r] = a.divmod(b);
     EXPECT_EQ(q * b + r, a);
     EXPECT_LT(r.abs(), b.abs());
     // Exactly divisible round-trips.
     BigInt prod = a * b;
-    BigInt q2, r2;
-    prod.divmod(b, &q2, &r2);
-    EXPECT_EQ(q2, a);
-    EXPECT_TRUE(r2.is_zero());
+    BigInt::DivMod dm = prod.divmod(b);
+    EXPECT_EQ(dm.quot, a);
+    EXPECT_TRUE(dm.rem.is_zero());
   }
 }
 
