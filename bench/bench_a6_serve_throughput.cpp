@@ -96,7 +96,8 @@ double time_thread_per_request(const std::vector<Request>& reqs) {
 // Serving side: the same arrivals submitted up front, drained by T
 // executors with duplicate coalescing and MC batch fusion.
 double time_submit(const std::vector<Request>& reqs,
-                   std::uint64_t* coalesced, std::uint64_t* batched) {
+                   std::uint64_t* coalesced, std::uint64_t* batched,
+                   std::uint64_t* points) {
   ConstraintDatabase db;
   Session session(&db, session_opts());
   session.scheduler();  // create executors outside the timed region
@@ -112,6 +113,7 @@ double time_submit(const std::vector<Request>& reqs,
   CQA_CHECK(failures == 0);
   *coalesced = session.metrics().counter_value("serve_coalesced_total");
   *batched = session.metrics().counter_value("serve_mc_batched_total");
+  *points = session.metrics().counter_value("mc_points_evaluated_total");
   return dt;
 }
 
@@ -123,16 +125,22 @@ void print_table() {
 
   const std::vector<Request> reqs = workload();
   double run_sec = 1e100, submit_sec = 1e100;
-  std::uint64_t coalesced = 0, batched = 0;
+  std::uint64_t coalesced = 0, batched = 0, points = 0;
   for (int rep = 0; rep < kReps; ++rep) {
     run_sec = std::min(run_sec, time_thread_per_request(reqs));
-    std::uint64_t c = 0, b = 0;
-    submit_sec = std::min(submit_sec, time_submit(reqs, &c, &b));
+    std::uint64_t c = 0, b = 0, p = 0;
+    const double sec = time_submit(reqs, &c, &b, &p);
+    if (sec < submit_sec) {
+      submit_sec = sec;
+      points = p;
+    }
     coalesced = std::max(coalesced, c);
     batched = std::max(batched, b);
   }
   const double speedup = submit_sec > 0 ? run_sec / submit_sec : 0.0;
   const bool ok = speedup >= kSpeedupFloor;
+  const double samples_per_sec =
+      submit_sec > 0 ? static_cast<double>(points) / submit_sec : 0.0;
 
   std::printf("requests            %zu (%zu distinct x %zu arrivals)\n",
               reqs.size(), kDistinct, kDupes);
@@ -145,6 +153,8 @@ void print_table() {
               static_cast<unsigned long long>(batched));
   std::printf("speedup             %.2fx (floor %.1fx) -> %s\n", speedup,
               kSpeedupFloor, ok ? "ok" : "UNDER FLOOR");
+  std::printf("MC throughput       %.0f samples/sec over submit()\n",
+              samples_per_sec);
 
   std::string json =
       "{\n  \"reps\": " + std::to_string(kReps) +
@@ -154,6 +164,7 @@ void print_table() {
       ",\n  \"run_sec\": " + std::to_string(run_sec) +
       ",\n  \"submit_sec\": " + std::to_string(submit_sec) +
       ",\n  \"speedup\": " + std::to_string(speedup) +
+      ",\n  \"samples_per_sec\": " + std::to_string(samples_per_sec) +
       ",\n  \"coalesced_total\": " + std::to_string(coalesced) +
       ",\n  \"batched_total\": " + std::to_string(batched) +
       ",\n  \"speedup_floor\": " + std::to_string(kSpeedupFloor) +

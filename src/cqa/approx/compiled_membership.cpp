@@ -1,0 +1,373 @@
+#include "cqa/approx/compiled_membership.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "cqa/guard/fault.h"
+
+namespace cqa {
+
+// -------------------------------------------------------------------------
+// Lowering
+
+Result<std::uint32_t> CompiledMembership::lower(
+    const FormulaPtr& f,
+    const std::map<std::size_t, std::uint32_t>& var_col) {
+  using Kind = Formula::Kind;
+  Node n;
+  switch (f->kind()) {
+    case Kind::kTrue:
+      n.op = Node::Op::kTrue;
+      break;
+    case Kind::kFalse:
+      n.op = Node::Op::kFalse;
+      break;
+    case Kind::kAtom: {
+      const Polynomial& p = f->poly();
+      const bool holds[3] = {op_holds(f->op(), -1), op_holds(f->op(), 0),
+                             op_holds(f->op(), 1)};
+      if (p.is_linear()) {
+        LinAtom a;
+        a.term_begin = static_cast<std::uint32_t>(lin_terms_.size());
+        // The map iterates monomials lexicographically, which places the
+        // constant term (empty monomial) first; folding it into c0 and
+        // appending the remaining terms in iteration order reproduces
+        // Polynomial::eval_double's exact summation order.
+        for (const auto& [m, c] : p.terms()) {
+          std::size_t var = 0;
+          bool has_var = false;
+          for (std::size_t i = 0; i < m.size(); ++i) {
+            if (m[i] != 0) {
+              var = i;
+              has_var = true;
+            }
+          }
+          if (!has_var) {
+            a.c0 = c.to_double();
+            continue;
+          }
+          LinTerm t;
+          t.base_coeff = c.to_double();
+          auto it = var_col.find(var);
+          if (it != var_col.end()) {
+            t.col = it->second;
+            t.param_var = -1;
+          } else {
+            t.col = static_cast<std::uint32_t>(element_vars_.size());
+            t.param_var = static_cast<std::int64_t>(var);
+          }
+          lin_terms_.push_back(t);
+        }
+        a.term_end = static_cast<std::uint32_t>(lin_terms_.size());
+        a.holds[0] = holds[0];
+        a.holds[1] = holds[1];
+        a.holds[2] = holds[2];
+        n.op = Node::Op::kLin;
+        n.a = static_cast<std::uint32_t>(lin_atoms_.size());
+        lin_atoms_.push_back(a);
+      } else {
+        PolyAtom a;
+        a.atom = f;
+        a.holds[0] = holds[0];
+        a.holds[1] = holds[1];
+        a.holds[2] = holds[2];
+        n.op = Node::Op::kPoly;
+        n.a = static_cast<std::uint32_t>(poly_atoms_.size());
+        poly_atoms_.push_back(std::move(a));
+      }
+      break;
+    }
+    case Kind::kPredicate:
+      // Same error the interpreter raises per point, surfaced once at
+      // compile time (inlined formulas are predicate-free).
+      return Status::invalid("predicate " + f->pred_name() +
+                             " evaluated without an oracle");
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::uint32_t> kids;
+      kids.reserve(f->children().size());
+      for (const FormulaPtr& c : f->children()) {
+        auto r = lower(c, var_col);
+        if (!r.is_ok()) return r.status();
+        kids.push_back(r.value());
+      }
+      n.op = f->kind() == Kind::kNot
+                 ? Node::Op::kNot
+                 : (f->kind() == Kind::kAnd ? Node::Op::kAnd : Node::Op::kOr);
+      n.a = static_cast<std::uint32_t>(child_ids_.size());
+      child_ids_.insert(child_ids_.end(), kids.begin(), kids.end());
+      n.b = static_cast<std::uint32_t>(child_ids_.size());
+      break;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return Status::unsupported(
+          "Monte-Carlo membership requires a quantifier-free query "
+          "(run linear QE first)");
+  }
+  nodes_.push_back(n);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+Result<CompiledMembership> CompiledMembership::compile(
+    const FormulaPtr& inlined, std::vector<std::size_t> element_vars,
+    guard::WorkMeter* meter) {
+  if (!inlined->is_quantifier_free()) {
+    return Status::unsupported(
+        "Monte-Carlo membership requires a quantifier-free query "
+        "(run linear QE first)");
+  }
+  CompiledMembership cm;
+  cm.element_vars_ = std::move(element_vars);
+  int mv = inlined->max_var();
+  for (std::size_t v : cm.element_vars_) {
+    mv = std::max(mv, static_cast<int>(v));
+  }
+  cm.point_size_ = static_cast<std::size_t>(mv + 1);
+  // Element coordinates own columns 0..dim-1; when element_vars repeats
+  // a variable the later slot wins, matching the interpreter's per-point
+  // rebinding loop (last write wins).
+  std::map<std::size_t, std::uint32_t> var_col;
+  for (std::size_t j = 0; j < cm.element_vars_.size(); ++j) {
+    var_col[cm.element_vars_[j]] = static_cast<std::uint32_t>(j);
+  }
+  auto root = cm.lower(inlined, var_col);
+  if (!root.is_ok()) return root.status();
+  cm.root_ = root.value();
+
+  // Guard hooks: plan compilation is metered work. The chaos fault
+  // models an exhausted compile; both surface as kResourceExhausted so
+  // the session degrades down the ladder instead of erroring out.
+  if (guard::fault_fires(guard::FaultSite::kCompileMembership)) {
+    return Status::resource_exhausted("injected compile-membership fault");
+  }
+  if (meter != nullptr) {
+    const std::size_t bytes =
+        cm.lin_atoms_.size() * sizeof(LinAtom) +
+        cm.lin_terms_.size() * sizeof(LinTerm) +
+        cm.poly_atoms_.size() * sizeof(PolyAtom) +
+        cm.nodes_.size() * sizeof(Node) +
+        cm.child_ids_.size() * sizeof(std::uint32_t) +
+        (cm.element_vars_.size() + 1) * kBlockPoints * sizeof(double);
+    // The MC rung is the ladder's fallback for an already-tripped meter
+    // (sampling is O(1)-memory per point), so a pre-existing trip must
+    // not veto compilation; only a trip *caused by this charge* -- the
+    // plan itself blowing the resident-bytes quota -- fails compile.
+    const bool tripped_before = meter->tripped();
+    meter->charge_resident_bytes(bytes);
+    if (!tripped_before) CQA_RETURN_IF_ERROR(meter->check());
+  }
+  return cm;
+}
+
+// -------------------------------------------------------------------------
+// Binding
+
+Result<CompiledMembership::Binding> CompiledMembership::bind(
+    const std::map<std::size_t, Rational>& params) const {
+  for (const auto& [v, val] : params) {
+    (void)val;
+    if (v >= point_size_) {
+      return Status::invalid("mc membership: parameter index x" +
+                             std::to_string(v) +
+                             " outside the formula's variable range");
+    }
+  }
+  Binding b;
+  b.coeff.resize(lin_terms_.size());
+  for (std::size_t k = 0; k < lin_terms_.size(); ++k) {
+    const LinTerm& t = lin_terms_[k];
+    if (t.param_var < 0) {
+      b.coeff[k] = t.base_coeff;
+      continue;
+    }
+    // Non-element variable: the interpreter sees params[var] in the
+    // point scratch (0.0 when unbound), multiplied as `coeff * x`. The
+    // same product lands here once, and the ones column carries it
+    // through the lane loop (x * 1.0 == x for every double).
+    auto it = params.find(static_cast<std::size_t>(t.param_var));
+    const double x = it == params.end() ? 0.0 : it->second.to_double();
+    double c = t.base_coeff;
+    c *= x;
+    b.coeff[k] = c;
+  }
+  b.point.assign(point_size_, 0.0);
+  for (const auto& [v, val] : params) {
+    b.point[v] = val.to_double();
+  }
+  return b;
+}
+
+// -------------------------------------------------------------------------
+// Evaluation
+
+struct CompiledMembership::Scratch {
+  std::vector<double> cols;   // (dim + 1) columns x kBlockPoints; last = 1.0
+  std::vector<double> acc;    // one linear-atom accumulator per lane
+  std::vector<double> point;  // fallback point, template-initialized
+  std::size_t cols_dim = static_cast<std::size_t>(-1);
+
+  void ensure(std::size_t dim, std::size_t point_size) {
+    if (cols_dim != dim) {
+      cols.assign((dim + 1) * kBlockPoints, 0.0);
+      std::fill(cols.begin() + static_cast<std::ptrdiff_t>(dim * kBlockPoints),
+                cols.end(), 1.0);
+      cols_dim = dim;
+    }
+    if (acc.size() < kBlockPoints) acc.resize(kBlockPoints);
+    if (point.size() != point_size) point.resize(point_size, 0.0);
+  }
+};
+
+namespace {
+inline int double_sign(double v) {
+  // The interpreter's convention: NaN fails both compares -> sign 0.
+  return v < 0 ? -1 : (v > 0 ? 1 : 0);
+}
+}  // namespace
+
+std::uint64_t CompiledMembership::eval_mask(std::uint32_t node,
+                                            std::uint64_t active,
+                                            const Binding& binding,
+                                            Scratch* scratch,
+                                            std::size_t npts) const {
+  if (active == 0) return 0;
+  const Node& n = nodes_[node];
+  switch (n.op) {
+    case Node::Op::kTrue:
+      return active;
+    case Node::Op::kFalse:
+      return 0;
+    case Node::Op::kLin: {
+      const LinAtom& a = lin_atoms_[n.a];
+      double* acc = scratch->acc.data();
+      for (std::size_t i = 0; i < npts; ++i) acc[i] = a.c0;
+      for (std::uint32_t k = a.term_begin; k < a.term_end; ++k) {
+        const double c = binding.coeff[k];
+        const double* col = scratch->cols.data() +
+                            static_cast<std::size_t>(lin_terms_[k].col) *
+                                kBlockPoints;
+        for (std::size_t i = 0; i < npts; ++i) {
+          double t = c;
+          t *= col[i];
+          acc[i] += t;
+        }
+      }
+      std::uint64_t m = 0;
+      for (std::size_t i = 0; i < npts; ++i) {
+        m |= static_cast<std::uint64_t>(a.holds[double_sign(acc[i]) + 1])
+             << i;
+      }
+      return m & active;
+    }
+    case Node::Op::kPoly: {
+      // Interpreter fallback, restricted to the lanes still live: fill
+      // the point scratch (params pre-bound by the template) and walk
+      // the polynomial exactly as eval_qf_double would.
+      const PolyAtom& a = poly_atoms_[n.a];
+      const Polynomial& p = a.atom->poly();
+      double* pt = scratch->point.data();
+      const double* cols = scratch->cols.data();
+      std::uint64_t m = 0;
+      std::uint64_t rest = active;
+      while (rest != 0) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
+        rest &= rest - 1;
+        for (std::size_t j = 0; j < element_vars_.size(); ++j) {
+          pt[element_vars_[j]] = cols[j * kBlockPoints + i];
+        }
+        const double v = p.eval_double(scratch->point);
+        if (a.holds[double_sign(v) + 1]) {
+          m |= std::uint64_t{1} << i;
+        }
+      }
+      return m;
+    }
+    case Node::Op::kNot:
+      return active &
+             ~eval_mask(child_ids_[n.a], active, binding, scratch, npts);
+    case Node::Op::kAnd: {
+      // Lanes falsified by an earlier child are dead for the rest of the
+      // conjunction: block-level short-circuit, pointwise identical to
+      // the interpreter's early return.
+      std::uint64_t m = active;
+      for (std::uint32_t k = n.a; k < n.b && m != 0; ++k) {
+        m = eval_mask(child_ids_[k], m, binding, scratch, npts);
+      }
+      return m;
+    }
+    case Node::Op::kOr: {
+      std::uint64_t acc = 0;
+      std::uint64_t rem = active;
+      for (std::uint32_t k = n.a; k < n.b && rem != 0; ++k) {
+        acc |= eval_mask(child_ids_[k], rem, binding, scratch, npts);
+        rem = active & ~acc;
+      }
+      return acc;
+    }
+  }
+  return 0;
+}
+
+Result<std::size_t> CompiledMembership::count_blocks(
+    const Binding& binding, const std::vector<double>* aos_points,
+    Xoshiro* rng, std::size_t count, const CancelToken* cancel) const {
+  const std::size_t dim = element_vars_.size();
+  // Per-thread reusable buffers: workers touch no shared mutable state
+  // and a chunk allocates nothing once its thread's scratch is warm.
+  static thread_local Scratch s;
+  s.ensure(dim, point_size_);
+  if (!poly_atoms_.empty()) {
+    // The fallback template's non-element slots are never written during
+    // the run, so one assign per call (re)binds the parameters.
+    s.point.assign(binding.point.begin(), binding.point.end());
+  }
+  static_assert(kCancelPollStride % CompiledMembership::kBlockPoints == 0,
+                "poll stride must land on block boundaries");
+  std::size_t hits = 0;
+  for (std::size_t base = 0; base < count; base += kBlockPoints) {
+    // Poll at the exact point indices the interpreter kernel polls.
+    if (cancel != nullptr && base % kCancelPollStride == 0) {
+      CQA_RETURN_IF_ERROR(cancel->check());
+    }
+    const std::size_t npts = std::min(kBlockPoints, count - base);
+    if (aos_points != nullptr) {
+      for (std::size_t i = 0; i < npts; ++i) {
+        const std::vector<double>& y = aos_points[base + i];
+        for (std::size_t j = 0; j < dim; ++j) {
+          s.cols[j * kBlockPoints + i] = y[j];
+        }
+      }
+    } else {
+      // Same draw sequence as Xoshiro::point per point: coordinates in
+      // index order, points consecutively.
+      for (std::size_t i = 0; i < npts; ++i) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          s.cols[j * kBlockPoints + i] = rng->uniform();
+        }
+      }
+    }
+    const std::uint64_t full =
+        npts == kBlockPoints ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << npts) - 1);
+    hits += static_cast<std::size_t>(
+        std::popcount(eval_mask(root_, full, binding, &s, npts)));
+  }
+  return hits;
+}
+
+Result<std::size_t> CompiledMembership::count_hits(
+    const Binding& binding, const std::vector<double>* points,
+    std::size_t count, const CancelToken* cancel) const {
+  return count_blocks(binding, points, nullptr, count, cancel);
+}
+
+Result<std::size_t> CompiledMembership::count_hits_stream(
+    const Binding& binding, Xoshiro* rng, std::size_t count,
+    const CancelToken* cancel) const {
+  return count_blocks(binding, nullptr, rng, count, cancel);
+}
+
+}  // namespace cqa

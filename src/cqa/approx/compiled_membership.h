@@ -1,0 +1,186 @@
+// Compiled batch membership kernel for the Monte-Carlo hit test.
+//
+// The per-sample path used to be a Formula tree walk (eval_qf_double):
+// one virtual-free but pointer-chasing recursion per point, plus a map
+// walk over `params` and a freshly allocated point vector per chunk.
+// CompiledMembership lowers a quantifier-free inlined formula ONCE into
+// a flat plan:
+//
+//  * a structure-of-arrays table of *linear* atoms -- per atom a constant
+//    and an ordered run of (coefficient, column) terms -- evaluated over
+//    SoA point blocks of kBlockPoints with a tight, vectorizable inner
+//    loop (column-major: one coefficient broadcast against a whole
+//    block column per step);
+//  * a short-circuit boolean cell program over 64-bit lane masks: an AND
+//    node stops evaluating children once no lane is still live, an OR
+//    node once every lane is decided -- block-level short-circuiting
+//    with pointwise-identical semantics to the tree walk;
+//  * non-linear (FO+POLY) atoms fall back per-atom to the interpreter
+//    (Polynomial::eval_double) inside the same block loop, evaluated
+//    only on the lanes that are still live.
+//
+// Bitwise-identity contract: for every point, the kernel performs the
+// exact floating-point operations eval_qf_double performs, in the same
+// order (terms in the polynomial's monomial order, `acc += coeff * x`
+// per term), so hit counts are EXACTLY equal to the tree walk -- not
+// just statistically close. The build compiles with -ffp-contract=off
+// so neither path is silently FMA-contracted differently. The
+// differential suite in tests/approx_compiled_kernel_test.cpp gates
+// this contract.
+//
+// Parameter binding is hoisted out of the per-chunk loop: bind() folds
+// `params` into a Binding once (per-term products precomputed, the
+// fallback point template pre-filled), so repeated chunk evaluations
+// with the same parameters never re-walk the map. A parameter index
+// outside the formula's variable range is a kInvalidArgument instead of
+// the silent drop the old kernel performed.
+
+#ifndef CQA_APPROX_COMPILED_MEMBERSHIP_H_
+#define CQA_APPROX_COMPILED_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cqa/approx/random.h"
+#include "cqa/guard/meter.h"
+#include "cqa/logic/formula.h"
+#include "cqa/util/cancellation.h"
+
+namespace cqa {
+
+/// Cancellation poll period of the membership hot loops, in points.
+/// Shared with the reference interpreter kernel (mc_count_hits) so the
+/// compiled and interpreted paths observe expiry at the same stride.
+inline constexpr std::size_t kCancelPollStride = 256;
+
+class CompiledMembership {
+ public:
+  /// Points per SoA block; one bit per point in the lane masks.
+  static constexpr std::size_t kBlockPoints = 64;
+
+  /// Parameters folded into evaluable form: per-term coefficients with
+  /// parameter products precomputed, plus the pre-filled point template
+  /// the non-linear fallback atoms evaluate against. Immutable once
+  /// built; safe to share across worker threads.
+  class Binding {
+   public:
+    Binding() = default;
+
+   private:
+    friend class CompiledMembership;
+    std::vector<double> coeff;  // per LinTerm, params already multiplied
+    std::vector<double> point;  // fallback template: params bound, rest 0
+  };
+
+  CompiledMembership() = default;
+  CompiledMembership(CompiledMembership&&) = default;
+  CompiledMembership& operator=(CompiledMembership&&) = default;
+
+  /// Lowers `inlined` (a predicate-inlined formula) for sampling over
+  /// `element_vars` coordinates. Fails with kUnsupported on quantified
+  /// input and kInvalidArgument on predicates (mirroring the
+  /// interpreter's runtime errors, surfaced early). Charges `meter`
+  /// (nullptr = unmetered) for the plan footprint; a tripped quota or
+  /// the kCompileMembership chaos fault aborts compilation with
+  /// kResourceExhausted, which the session degrades down the guard
+  /// ladder like any other exhaustion.
+  static Result<CompiledMembership> compile(
+      const FormulaPtr& inlined, std::vector<std::size_t> element_vars,
+      guard::WorkMeter* meter = nullptr);
+
+  /// Folds `params` into a reusable Binding. kInvalidArgument when a
+  /// parameter index lies outside the formula's variable range (the old
+  /// kernel silently dropped it). A parameter on an element variable is
+  /// legal and inert: per-point coordinates overwrite it, exactly as
+  /// the interpreter's point-scratch rebinding behaves.
+  Result<Binding> bind(const std::map<std::size_t, Rational>& params) const;
+
+  /// Hit count over `count` array-of-struct points (each a
+  /// |element_vars|-vector), identical semantics to mc_count_hits on
+  /// the same points. Polls `cancel` every kCancelPollStride points.
+  Result<std::size_t> count_hits(const Binding& binding,
+                                 const std::vector<double>* points,
+                                 std::size_t count,
+                                 const CancelToken* cancel = nullptr) const;
+
+  /// Streaming variant: draws `count` points from `rng` (same draw
+  /// order as WitnessOperator/Xoshiro::point, so chunk streams are
+  /// bitwise reproducible) directly into SoA block scratch -- no
+  /// per-point or per-chunk heap allocation.
+  Result<std::size_t> count_hits_stream(
+      const Binding& binding, Xoshiro* rng, std::size_t count,
+      const CancelToken* cancel = nullptr) const;
+
+  std::size_t dimension() const { return element_vars_.size(); }
+  /// Atoms lowered to the SoA linear table / interpreter fallback --
+  /// exposed so tests can pin which path a formula exercises.
+  std::size_t linear_atom_count() const { return lin_atoms_.size(); }
+  std::size_t fallback_atom_count() const { return poly_atoms_.size(); }
+
+ private:
+  // One lowered linear atom: value_i = c0 + sum_k coeff[k] * col_k[i],
+  // terms [term_begin, term_end) in the polynomial's monomial order.
+  // holds[sign + 1] is op_holds(op, sign) precomputed, so the lane loop
+  // is a table lookup with the interpreter's exact sign convention
+  // (NaN compares false both ways -> sign 0).
+  struct LinAtom {
+    double c0 = 0.0;
+    std::uint32_t term_begin = 0;
+    std::uint32_t term_end = 0;
+    bool holds[3] = {false, false, false};
+  };
+  // One linear-atom term. `col` indexes the SoA scratch: columns
+  // 0..dim-1 are element coordinates, column dim is all-ones (parameter
+  // and unbound-variable terms multiply against it so their
+  // bind-time-folded products keep their place in the summation order).
+  struct LinTerm {
+    double base_coeff = 0.0;
+    std::uint32_t col = 0;
+    // >= 0: non-element variable -- bind() folds params[var] (or the
+    // interpreter's implicit 0.0) into the bound coefficient. -1:
+    // element term, bound coefficient == base_coeff.
+    std::int64_t param_var = -1;
+  };
+  // One fallback atom kept on the interpreter: the atom node pins the
+  // Polynomial (and the shared formula tree) alive.
+  struct PolyAtom {
+    FormulaPtr atom;
+    bool holds[3] = {false, false, false};
+  };
+  // Flattened boolean cell program node.
+  struct Node {
+    enum class Op : std::uint8_t {
+      kTrue, kFalse, kLin, kPoly, kNot, kAnd, kOr,
+    };
+    Op op = Op::kTrue;
+    std::uint32_t a = 0;  // kLin/kPoly: atom index; kNot/kAnd/kOr: child lo
+    std::uint32_t b = 0;  // kNot/kAnd/kOr: child hi (range into child_ids_)
+  };
+
+  struct Scratch;  // thread-local SoA buffers, defined in the .cpp
+
+  Result<std::uint32_t> lower(
+      const FormulaPtr& f,
+      const std::map<std::size_t, std::uint32_t>& var_col);
+  std::uint64_t eval_mask(std::uint32_t node, std::uint64_t active,
+                          const Binding& binding, Scratch* scratch,
+                          std::size_t npts) const;
+  Result<std::size_t> count_blocks(const Binding& binding,
+                                   const std::vector<double>* aos_points,
+                                   Xoshiro* rng, std::size_t count,
+                                   const CancelToken* cancel) const;
+
+  std::vector<std::size_t> element_vars_;
+  std::size_t point_size_ = 0;  // max_var + 1 over formula and elements
+  std::vector<LinAtom> lin_atoms_;
+  std::vector<LinTerm> lin_terms_;
+  std::vector<PolyAtom> poly_atoms_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> child_ids_;
+  std::uint32_t root_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_APPROX_COMPILED_MEMBERSHIP_H_

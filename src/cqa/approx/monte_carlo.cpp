@@ -17,6 +17,9 @@ McVolumeEstimator::McVolumeEstimator(const Database* db, FormulaPtr phi,
   inlined_ = inlined.value();
   WitnessOperator w(seed);
   sample_ = w.draw_sample(sample_size, element_vars_.size());
+  auto compiled = CompiledMembership::compile(inlined_, element_vars_);
+  compile_status_ = compiled.status();
+  if (compiled.is_ok()) compiled_ = std::move(compiled).take();
 }
 
 Result<std::size_t> mc_count_hits(
@@ -35,7 +38,12 @@ Result<std::size_t> mc_count_hits(
   }
   std::vector<double> point(static_cast<std::size_t>(mv + 1), 0.0);
   for (const auto& [v, val] : params) {
-    if (v < point.size()) point[v] = val.to_double();
+    if (v >= point.size()) {
+      return Status::invalid("mc membership: parameter index x" +
+                             std::to_string(v) +
+                             " outside the formula's variable range");
+    }
+    point[v] = val.to_double();
   }
   std::size_t hits = 0;
   for (std::size_t p = 0; p < count; ++p) {
@@ -53,6 +61,20 @@ Result<std::size_t> mc_count_hits(
   return hits;
 }
 
+Result<std::shared_ptr<const CompiledMembership::Binding>>
+McVolumeEstimator::binding_for(
+    const std::map<std::size_t, Rational>& params) const {
+  std::lock_guard<std::mutex> lock(bind_mu_);
+  if (bound_ == nullptr || bound_params_ != params) {
+    auto b = compiled_.bind(params);
+    if (!b.is_ok()) return b.status();
+    bound_ = std::make_shared<const CompiledMembership::Binding>(
+        std::move(b).take());
+    bound_params_ = params;
+  }
+  return bound_;
+}
+
 Result<std::size_t> McVolumeEstimator::evaluate_chunk(
     std::size_t begin, std::size_t end,
     const std::map<std::size_t, Rational>& params,
@@ -60,8 +82,11 @@ Result<std::size_t> McVolumeEstimator::evaluate_chunk(
   if (begin > end || end > sample_.size()) {
     return Status::out_of_range("evaluate_chunk: bad sample range");
   }
-  return mc_count_hits(inlined_, element_vars_, params, sample_.data() + begin,
-                       end - begin, cancel);
+  CQA_RETURN_IF_ERROR(compile_status_);
+  auto binding = binding_for(params);
+  if (!binding.is_ok()) return binding.status();
+  return compiled_.count_hits(*binding.value(), sample_.data() + begin,
+                              end - begin, cancel);
 }
 
 Result<double> McVolumeEstimator::estimate(

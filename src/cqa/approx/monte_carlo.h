@@ -10,9 +10,12 @@
 #define CQA_APPROX_MONTE_CARLO_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cqa/aggregate/database.h"
+#include "cqa/approx/compiled_membership.h"
 #include "cqa/approx/random.h"
 #include "cqa/util/cancellation.h"
 #include "cqa/vc/sample_bounds.h"
@@ -20,6 +23,10 @@
 namespace cqa {
 
 /// A reusable Theorem-4 estimator: one sample, many parameter queries.
+/// Membership runs on the CompiledMembership batch kernel, lowered once
+/// in the constructor; repeated estimate()/evaluate_chunk() calls with
+/// identical params reuse one cached parameter Binding instead of
+/// re-walking the params map.
 class McVolumeEstimator {
  public:
   /// Draws the sample. `phi` is the query; `element_vars` are the volume
@@ -54,26 +61,35 @@ class McVolumeEstimator {
   std::size_t sample_size() const { return sample_.size(); }
 
  private:
+  // Cached params -> Binding fold; snapshot under bind_mu_ so concurrent
+  // evaluate_chunk callers share one immutable binding.
+  Result<std::shared_ptr<const CompiledMembership::Binding>> binding_for(
+      const std::map<std::size_t, Rational>& params) const;
+
   const Database* db_;
   FormulaPtr inlined_;  // phi with predicates inlined
   std::vector<std::size_t> element_vars_;
   std::vector<std::vector<double>> sample_;
+  Status compile_status_;  // surfaced from estimate()/evaluate_chunk()
+  CompiledMembership compiled_;
+  mutable std::mutex bind_mu_;
+  mutable std::map<std::size_t, Rational> bound_params_;
+  mutable std::shared_ptr<const CompiledMembership::Binding> bound_;
 };
 
-/// Shared membership-counting kernel: how many of the `count` points at
-/// `points` (each a |element_vars|-vector in [0,1)^m) satisfy the
-/// quantifier-free `inlined` formula with `params` bound. Both the
-/// serial estimator above and the runtime's ParallelSampler delegate
-/// here, so there is exactly one membership semantics. The hot loop
-/// polls `cancel` every kCancelPollStride points.
+/// Reference membership-counting kernel: how many of the `count` points
+/// at `points` (each a |element_vars|-vector in [0,1)^m) satisfy the
+/// quantifier-free `inlined` formula with `params` bound, via the
+/// eval_qf_double tree walk. This is the ground truth the compiled
+/// kernel is differentially tested against (the hot paths themselves run
+/// CompiledMembership). The loop polls `cancel` every kCancelPollStride
+/// points. A params key outside the formula's variable range is a
+/// kInvalidArgument, matching CompiledMembership::bind.
 Result<std::size_t> mc_count_hits(
     const FormulaPtr& inlined, const std::vector<std::size_t>& element_vars,
     const std::map<std::size_t, Rational>& params,
     const std::vector<double>* points, std::size_t count,
     const CancelToken* cancel = nullptr);
-
-/// Cancellation poll period of the membership hot loop, in points.
-inline constexpr std::size_t kCancelPollStride = 256;
 
 /// One-shot helper: estimate VOL_I(phi(params, D)) with the sample size
 /// implied by (epsilon, delta, vc_dim).

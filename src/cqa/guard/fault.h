@@ -13,6 +13,9 @@
 //                    CancelToken fired
 //   kSlowChunk       a sampler chunk sleeps ~1ms (latency, not error)
 //   kWorkerThrow     a ThreadPool worker task throws before running
+//   kCompileMembership  CompiledMembership::compile aborts with
+//                    kResourceExhausted (models quota trips during MC
+//                    plan lowering; sessions must degrade, not error)
 //
 // Hook sites call fault_fires(site), which is a single relaxed atomic
 // load + null check when no injector is installed -- zero-cost-when-off
@@ -37,9 +40,10 @@ enum class FaultSite : int {
   kSpuriousCancel,
   kSlowChunk,
   kWorkerThrow,
+  kCompileMembership,
 };
 
-inline constexpr std::size_t kNumFaultSites = 5;
+inline constexpr std::size_t kNumFaultSites = 6;
 
 inline const char* fault_site_name(FaultSite s) {
   switch (s) {
@@ -48,6 +52,7 @@ inline const char* fault_site_name(FaultSite s) {
     case FaultSite::kSpuriousCancel: return "spurious_cancel";
     case FaultSite::kSlowChunk: return "slow_chunk";
     case FaultSite::kWorkerThrow: return "worker_throw";
+    case FaultSite::kCompileMembership: return "compile_membership";
   }
   return "unknown";
 }
@@ -55,7 +60,7 @@ inline const char* fault_site_name(FaultSite s) {
 /// Seeded per-site firing rates in [0, 1].
 struct FaultPlan {
   std::uint64_t seed = 0;
-  double rate[kNumFaultSites] = {0.0, 0.0, 0.0, 0.0, 0.0};
+  double rate[kNumFaultSites] = {};
 
   bool any() const {
     for (std::size_t i = 0; i < kNumFaultSites; ++i) {

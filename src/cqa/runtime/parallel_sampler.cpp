@@ -13,7 +13,8 @@ ParallelSampler::ParallelSampler(const Database* db, FormulaPtr phi,
                                  std::vector<std::size_t> element_vars,
                                  std::size_t sample_size,
                                  std::uint64_t seed,
-                                 std::size_t chunk_size)
+                                 std::size_t chunk_size,
+                                 guard::WorkMeter* meter)
     : element_vars_(std::move(element_vars)),
       sample_size_(sample_size),
       seed_(seed),
@@ -24,6 +25,12 @@ ParallelSampler::ParallelSampler(const Database* db, FormulaPtr phi,
     return;
   }
   inlined_ = inlined.value();
+  auto compiled = CompiledMembership::compile(inlined_, element_vars_, meter);
+  if (!compiled.is_ok()) {
+    init_ = compiled.status();
+    return;
+  }
+  compiled_ = std::move(compiled).take();
 }
 
 // Chunk-indexed outputs: no shared mutable state between chunks, and
@@ -33,9 +40,8 @@ ParallelSampler::ParallelSampler(const Database* db, FormulaPtr phi,
 // chunks beat the deadline, so a partial estimate carries the mild
 // survivorship caveat documented on McPartial; a complete run is exact.
 void ParallelSampler::eval_chunk_into(
-    std::size_t c, const std::map<std::size_t, Rational>& params,
-    const CancelToken* cancel, std::size_t* hit_out, char* done_out,
-    Status* err_out) const {
+    std::size_t c, const CompiledMembership::Binding& binding,
+    const CancelToken* cancel, ChunkSlot* slot, Status* err_out) const {
   // Chaos hooks: a spuriously-cancelled chunk is dropped whole --
   // exactly the failure mode the drop-whole-chunk partials are built
   // for -- and a slow chunk models a straggler worker.
@@ -46,18 +52,16 @@ void ParallelSampler::eval_chunk_into(
   if (guard::fault_fires(guard::FaultSite::kSlowChunk)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  const std::size_t dim = element_vars_.size();
   const std::size_t lo = c * chunk_size_;
   const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
+  // Same counter-based stream as ever: chunk c's points depend only on
+  // (seed, c). The compiled kernel draws them coordinate-by-coordinate
+  // in Xoshiro::point order, straight into block scratch.
   Xoshiro rng(stream_seed(seed_, c));
-  std::vector<std::vector<double>> points;
-  points.reserve(hi - lo);
-  for (std::size_t i = lo; i < hi; ++i) points.push_back(rng.point(dim));
-  auto r = mc_count_hits(inlined_, element_vars_, params, points.data(),
-                         points.size(), cancel);
+  auto r = compiled_.count_hits_stream(binding, &rng, hi - lo, cancel);
   if (r.is_ok()) {
-    *hit_out = r.value();
-    *done_out = 1;
+    slot->hits = r.value();
+    slot->done = 1;
   } else if (r.status().code() != StatusCode::kCancelled &&
              r.status().code() != StatusCode::kDeadlineExceeded) {
     *err_out = r.status();
@@ -65,7 +69,7 @@ void ParallelSampler::eval_chunk_into(
 }
 
 Result<McPartial> ParallelSampler::reduce_partial(
-    const std::vector<std::size_t>& hits, const std::vector<char>& done,
+    const std::vector<ChunkSlot>& slots,
     const std::vector<Status>& errors) const {
   // First error in chunk order wins (deterministic across schedules).
   for (const Status& s : errors) {
@@ -75,10 +79,10 @@ Result<McPartial> ParallelSampler::reduce_partial(
   out.requested = sample_size_;
   const std::size_t nchunks = num_chunks();
   for (std::size_t c = 0; c < nchunks; ++c) {
-    if (!done[c]) continue;
+    if (!slots[c].done) continue;
     const std::size_t lo = c * chunk_size_;
     const std::size_t hi = std::min(sample_size_, lo + chunk_size_);
-    out.hits += hits[c];
+    out.hits += slots[c].hits;
     out.evaluated += hi - lo;
   }
   out.complete = out.evaluated == sample_size_;
@@ -98,17 +102,21 @@ Result<McPartial> ParallelSampler::estimate_partial(
     out.complete = true;
     return out;
   }
+  // Parameters fold into the plan once per call, not once per chunk.
+  auto binding = compiled_.bind(params);
+  if (!binding.is_ok()) return binding.status();
   const std::size_t nchunks = num_chunks();
-  std::vector<std::size_t> hits(nchunks, 0);
-  std::vector<char> done(nchunks, 0);
+  std::vector<ChunkSlot> slots(nchunks);
   std::vector<Status> errors(nchunks, Status::ok());
 
   auto eval_chunk = [&](std::size_t c) {
-    eval_chunk_into(c, params, cancel, &hits[c], &done[c], &errors[c]);
+    eval_chunk_into(c, binding.value(), cancel, &slots[c], &errors[c]);
   };
 
   if (pool != nullptr) {
-    pool->parallel_for(0, nchunks, 1,
+    const std::size_t grain = ThreadPool::recommend_grain(
+        nchunks, pool->size(), min_chunks_per_task());
+    pool->parallel_for(0, nchunks, grain,
                        [&](std::size_t lo, std::size_t hi) {
                          for (std::size_t c = lo; c < hi; ++c) {
                            eval_chunk(c);
@@ -117,7 +125,7 @@ Result<McPartial> ParallelSampler::estimate_partial(
   } else {
     for (std::size_t c = 0; c < nchunks; ++c) eval_chunk(c);
   }
-  return reduce_partial(hits, done, errors);
+  return reduce_partial(slots, errors);
 }
 
 std::vector<Result<McPartial>> ParallelSampler::estimate_partial_batch(
@@ -129,12 +137,14 @@ std::vector<Result<McPartial>> ParallelSampler::estimate_partial_batch(
 
   // Per-item chunk grids, laid out consecutively in one global index
   // space: global chunk g belongs to the item whose [offset, offset +
-  // num_chunks) range contains it. Items that failed to inline (or are
-  // empty) occupy zero global chunks and resolve immediately.
+  // num_chunks) range contains it. Items that failed to inline/compile
+  // or bind (or are empty) occupy zero global chunks and resolve
+  // immediately.
   std::vector<std::size_t> offsets(n + 1, 0);
-  std::vector<std::vector<std::size_t>> hits(n);
-  std::vector<std::vector<char>> done(n);
+  std::vector<CompiledMembership::Binding> bindings(n);
+  std::vector<std::vector<ChunkSlot>> slots(n);
   std::vector<std::vector<Status>> errors(n);
+  std::size_t min_chunk_points = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const ParallelSampler& s = *items[i].sampler;
     std::size_t chunks = 0;
@@ -145,10 +155,18 @@ std::vector<Result<McPartial>> ParallelSampler::estimate_partial_batch(
       out.complete = true;
       results[i] = out;
     } else {
-      chunks = s.num_chunks();
-      hits[i].assign(chunks, 0);
-      done[i].assign(chunks, 0);
-      errors[i].assign(chunks, Status::ok());
+      auto b = s.compiled_.bind(params);
+      if (!b.is_ok()) {
+        results[i] = b.status();
+      } else {
+        bindings[i] = std::move(b).take();
+        chunks = s.num_chunks();
+        slots[i].assign(chunks, ChunkSlot{});
+        errors[i].assign(chunks, Status::ok());
+        min_chunk_points = min_chunk_points == 0
+                               ? s.chunk_size_
+                               : std::min(min_chunk_points, s.chunk_size_);
+      }
     }
     offsets[i + 1] = offsets[i] + chunks;
   }
@@ -162,13 +180,18 @@ std::vector<Result<McPartial>> ParallelSampler::estimate_partial_batch(
             offsets.begin()) -
         1;
     const std::size_t c = g - offsets[i];
-    items[i].sampler->eval_chunk_into(c, params, items[i].cancel,
-                                      &hits[i][c], &done[i][c],
-                                      &errors[i][c]);
+    items[i].sampler->eval_chunk_into(c, bindings[i], items[i].cancel,
+                                      &slots[i][c], &errors[i][c]);
   };
 
   if (pool != nullptr) {
-    pool->parallel_for(0, total, 1,
+    const std::size_t chunks_per_task =
+        min_chunk_points == 0
+            ? 1
+            : (kMinPointsPerTask + min_chunk_points - 1) / min_chunk_points;
+    const std::size_t grain =
+        ThreadPool::recommend_grain(total, pool->size(), chunks_per_task);
+    pool->parallel_for(0, total, grain,
                        [&](std::size_t lo, std::size_t hi) {
                          for (std::size_t g = lo; g < hi; ++g) {
                            eval_global(g);
@@ -180,8 +203,7 @@ std::vector<Result<McPartial>> ParallelSampler::estimate_partial_batch(
 
   for (std::size_t i = 0; i < n; ++i) {
     if (offsets[i + 1] == offsets[i]) continue;  // resolved up front
-    results[i] =
-        items[i].sampler->reduce_partial(hits[i], done[i], errors[i]);
+    results[i] = items[i].sampler->reduce_partial(slots[i], errors[i]);
   }
   return results;
 }

@@ -2,16 +2,18 @@
 //
 // The M-point sample is partitioned into fixed-size chunks; chunk c
 // draws its points from Xoshiro(stream_seed(seed, c)) -- a counter-based
-// stream -- and counts membership hits with the same mc_count_hits
-// kernel the serial McVolumeEstimator uses. Per-chunk integer hit
-// counts land in a chunk-indexed array and are summed in chunk order,
-// so the estimate is a pure function of (seed, sample_size, chunk_size):
+// stream -- and counts membership hits with the CompiledMembership batch
+// kernel (lowered once in the constructor, parameters bound once per
+// estimate call). Per-chunk integer hit counts land in chunk-indexed,
+// cache-line-padded slots and are summed in chunk order, so the
+// estimate is a pure function of (seed, sample_size, chunk_size):
 // bitwise identical whether chunks run serially or on any number of
 // pool threads, in any interleaving.
 //
 // Unlike McVolumeEstimator, the sample is never materialized whole;
-// each chunk's points exist only while that chunk is being evaluated,
-// so memory stays O(chunk_size * dim) per worker at any M.
+// chunks stream their draws straight into per-thread SoA block scratch,
+// so a chunk is allocation-free and per-worker memory stays
+// O(block * dim) at any M.
 
 #ifndef CQA_RUNTIME_PARALLEL_SAMPLER_H_
 #define CQA_RUNTIME_PARALLEL_SAMPLER_H_
@@ -53,12 +55,17 @@ struct McBatchItem {
 
 class ParallelSampler {
  public:
-  /// `phi` is inlined against `db` once, up front (failure surfaces from
-  /// estimate()). Same argument meanings as McVolumeEstimator.
+  /// `phi` is inlined against `db` and lowered into a CompiledMembership
+  /// plan once, up front (failure surfaces from estimate()). Same
+  /// argument meanings as McVolumeEstimator. Plan compilation charges
+  /// `meter` when given; a quota trip (or the kCompileMembership chaos
+  /// fault) surfaces as kResourceExhausted, which sessions degrade down
+  /// the guard ladder.
   ParallelSampler(const Database* db, FormulaPtr phi,
                   std::vector<std::size_t> element_vars,
                   std::size_t sample_size, std::uint64_t seed,
-                  std::size_t chunk_size = 2048);
+                  std::size_t chunk_size = 2048,
+                  guard::WorkMeter* meter = nullptr);
 
   /// Estimated VOL_I(phi(params, D)). `pool == nullptr` is the serial
   /// reference path; any pool produces bitwise-identical results.
@@ -92,25 +99,43 @@ class ParallelSampler {
                                    chunk_size_;
   }
 
- private:
-  // One chunk of this sampler's grid: draws its points, counts hits,
-  // writes into the chunk-indexed output slots. Shared by the solo and
-  // batch paths so their per-chunk behaviour is the same code.
-  void eval_chunk_into(std::size_t c,
-                       const std::map<std::size_t, Rational>& params,
-                       const CancelToken* cancel, std::size_t* hit_out,
-                       char* done_out, Status* err_out) const;
-  // Chunk-order reduction of one grid's outputs into a McPartial.
-  Result<McPartial> reduce_partial(const std::vector<std::size_t>& hits,
-                                   const std::vector<char>& done,
-                                   const std::vector<Status>& errors) const;
+  /// Minimum points a claimed parallel_for task should cover -- the
+  /// cost floor fed to ThreadPool::recommend_grain (a dispatch costs a
+  /// shared-counter round trip; a compiled-kernel point costs a few ns).
+  static constexpr std::size_t kMinPointsPerTask = 8192;
 
-  Status init_;  // inline_predicates outcome, checked in estimate()
+ private:
+  // Per-chunk result slot. Workers write disjoint slots concurrently;
+  // one slot per cache line so neighbouring chunks on different threads
+  // never ping-pong a line (with plain char flags, 64 chunks share one).
+  struct alignas(64) ChunkSlot {
+    std::size_t hits = 0;
+    char done = 0;
+  };
+
+  // One chunk of this sampler's grid: streams its draws through the
+  // compiled kernel and fills its slot. Shared by the solo and batch
+  // paths so their per-chunk behaviour is the same code.
+  void eval_chunk_into(std::size_t c,
+                       const CompiledMembership::Binding& binding,
+                       const CancelToken* cancel, ChunkSlot* slot,
+                       Status* err_out) const;
+  // Chunk-order reduction of one grid's outputs into a McPartial.
+  Result<McPartial> reduce_partial(const std::vector<ChunkSlot>& slots,
+                                   const std::vector<Status>& errors) const;
+  // Chunks-per-task floor implied by kMinPointsPerTask at this sampler's
+  // chunk size.
+  std::size_t min_chunks_per_task() const {
+    return (kMinPointsPerTask + chunk_size_ - 1) / chunk_size_;
+  }
+
+  Status init_;  // inline_predicates + compile outcome
   FormulaPtr inlined_;
   std::vector<std::size_t> element_vars_;
   std::size_t sample_size_;
   std::uint64_t seed_;
   std::size_t chunk_size_;
+  CompiledMembership compiled_;
 };
 
 }  // namespace cqa

@@ -315,11 +315,18 @@ Result<Answer> Session::run_planned_volume(const Request& request,
   switch (decision.chosen) {
     case VolumeStrategy::kMonteCarlo: {
       // Sample the analysis formula: for quantified FO+LIN it is the QE
-      // rewrite, and mc_count_hits only accepts quantifier-free input.
+      // rewrite, and MC membership only accepts quantifier-free input.
+      // A quota trip here (e.g. during membership plan compilation)
+      // degrades to the last rung like any other exhaustion.
       auto v = pooled_monte_carlo(request, analysis, decision.mc_samples,
-                                  decision.expected_epsilon, token);
-      if (!v.is_ok()) return v.status();
-      answer.volume = v.value();
+                                  decision.expected_epsilon, token, meter);
+      if (v.is_ok()) {
+        answer.volume = v.value();
+      } else if (is_degradable(v.status())) {
+        answer.volume = trivial_half_volume(true);
+      } else {
+        return v.status();
+      }
       break;
     }
     case VolumeStrategy::kTrivialHalf: {
@@ -342,7 +349,7 @@ Result<Answer> Session::run_planned_volume(const Request& request,
         const std::size_t m = blumer_sample_bound(
             request.budget.epsilon, request.budget.delta, stats.vc_dim);
         auto mc = pooled_monte_carlo(request, analysis, m,
-                                     request.budget.epsilon, token);
+                                     request.budget.epsilon, token, meter);
         if (mc.is_ok()) {
           answer.volume = mc.value();
           answer.guard.rung = rung_of(answer.volume);
@@ -393,7 +400,7 @@ Result<VolumeAnswer> Session::forced_volume(const Request& request,
       m = std::min(m, request.max_mc_samples);
     }
     return pooled_monte_carlo(request, membership.value(), m,
-                              request.budget.epsilon, token);
+                              request.budget.epsilon, token, meter);
   }
   VolumeOptions vo;
   vo.strategy = strategy;
@@ -424,7 +431,8 @@ Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
                                                  const FormulaPtr& membership,
                                                  std::size_t sample_size,
                                                  double target_epsilon,
-                                                 CancelToken* token) {
+                                                 CancelToken* token,
+                                                 guard::WorkMeter* meter) {
   // Validate free variables against the query as written, not the
   // rewrite (QE may simplify a stray free variable away).
   auto parsed = const_cast<ConstraintDatabase*>(db_)->parse(request.query);
@@ -445,7 +453,7 @@ Result<VolumeAnswer> Session::pooled_monte_carlo(const Request& request,
   }
   ParallelSampler sampler(&db_->db(), membership, element_vars,
                           sample_size, request.seed,
-                          options_.mc_chunk_size);
+                          options_.mc_chunk_size, meter);
   auto est = sampler.estimate_partial({}, &pool_, token);
   if (!est.is_ok()) return est.status();
   const McPartial& p = est.value();
@@ -638,7 +646,7 @@ std::vector<Result<Answer>> Session::run_mc_batch(
       if (r.max_mc_samples > 0) m = std::min(m, r.max_mc_samples);
       samplers.push_back(std::make_unique<ParallelSampler>(
           &db_->db(), membership.value(), element_vars, m, r.seed,
-          options_.mc_chunk_size));
+          options_.mc_chunk_size, meters[i].get()));
       items.push_back(McBatchItem{samplers.back().get(), tokens[i]});
       live.push_back(i);
     }
@@ -647,8 +655,16 @@ std::vector<Result<Answer>> Session::run_mc_batch(
         ParallelSampler::estimate_partial_batch(items, {}, &pool_);
     for (std::size_t k = 0; k < live.size(); ++k) {
       const std::size_t i = live[k];
-      resolve(i, finish_mc_answer(*requests[i], std::move(parts[k]),
-                                  requests[i]->budget.epsilon));
+      auto fin = finish_mc_answer(*requests[i], std::move(parts[k]),
+                                  requests[i]->budget.epsilon);
+      // A member whose own quota tripped (e.g. during its sampler's
+      // plan compilation) degrades to trivial-1/2 like a solo run;
+      // structural errors still fail that slot.
+      if (!fin.is_ok() && is_degradable(fin.status())) {
+        resolve(i, degraded_half());
+      } else {
+        resolve(i, std::move(fin));
+      }
     }
   } catch (const std::bad_alloc&) {
     for (std::size_t i = 0; i < n; ++i) resolve(i, degraded_half());

@@ -164,7 +164,8 @@ class Session {
                                           const FormulaPtr& membership,
                                           std::size_t sample_size,
                                           double target_epsilon,
-                                          CancelToken* token);
+                                          CancelToken* token,
+                                          guard::WorkMeter* meter);
   /// Serve-layer entry point: executes a batch of compatible
   /// forced-Monte-Carlo volume requests (same query and output_vars,
   /// arbitrary seeds/budgets) through ONE fused pool dispatch. Answer i

@@ -67,6 +67,16 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>&
                         body);
 
+  /// Cost-aware grain for a parallel_for over `items` units of work.
+  /// Grain-1 dispatch puts one shared-counter round trip and one task
+  /// wakeup behind every unit, which swamps cheap bodies; this picks the
+  /// larger of a cost floor (at least `min_items_per_task` units per
+  /// claimed task, the caller's estimate of "enough work to amortize a
+  /// dispatch") and a balance ceiling (enough chunks that `workers`
+  /// stay busy ~8 claims each for work stealing to smooth stragglers).
+  static std::size_t recommend_grain(std::size_t items, std::size_t workers,
+                                     std::size_t min_items_per_task = 1);
+
   /// Raw task exceptions captured by the worker loop (tasks that threw
   /// out of their wrapper instead of through a future / ForState).
   std::size_t task_failures() const {

@@ -157,6 +157,65 @@ TEST(FaultSites, SlowChunkOnlyAddsLatency) {
   EXPECT_GT(injector.fired(guard::FaultSite::kSlowChunk), 0u);
 }
 
+TEST(FaultSites, CompileMembershipFaultSurfacesAsResourceExhausted) {
+  // The membership plan is lowered in the sampler's constructor; an
+  // injected compile failure must surface from estimate() as the typed
+  // exhaustion the guard ladder degrades on -- not a crash, not kOk.
+  ConstraintDatabase db;
+  auto phi = db.parse("x >= 0 & x <= 1/2");
+  ASSERT_TRUE(phi.is_ok());
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kCompileMembership, 1.0));
+  guard::ScopedFaultInjector scope(&injector);
+  ParallelSampler sampler(&db.db(), phi.value(), {0}, 4096, 1, 256);
+  auto est = sampler.estimate({}, nullptr);
+  ASSERT_FALSE(est.is_ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(injector.fired(guard::FaultSite::kCompileMembership), 0u);
+}
+
+TEST(FaultSites, TinyResidentQuotaTripsMembershipCompile) {
+  // Same rung reached without injection: a resident-bytes quota too
+  // small for the plan trips the meter during compilation.
+  ConstraintDatabase db;
+  auto phi = db.parse("x >= 0 & x <= 1/2");
+  ASSERT_TRUE(phi.is_ok());
+  guard::ResourceQuota quota;
+  quota.max_resident_bytes = 1;  // any plan overflows this
+  guard::WorkMeter meter(quota);
+  ParallelSampler sampler(&db.db(), phi.value(), {0}, 4096, 1, 256,
+                          &meter);
+  auto est = sampler.estimate({}, nullptr);
+  ASSERT_FALSE(est.is_ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(meter.tripped());
+}
+
+TEST(GuardSession, CompileMembershipFaultDegradesMonteCarloVolume) {
+  // Exhaustion during membership-plan compilation walks the guard
+  // ladder: the pinned-MC request lands on the trivial-1/2 rung as a
+  // degraded kOk answer instead of erroring out.
+  ConstraintDatabase db;
+  Session session(&db);
+  Request req;
+  req.kind = RequestKind::kVolume;
+  req.query = "x >= 0 & y >= 0 & x + y <= 1";
+  req.output_vars = {"x", "y"};
+  req.strategy = VolumeStrategy::kMonteCarlo;
+  req.max_mc_samples = 4096;
+  guard::FaultInjector injector(
+      single_site_plan(guard::FaultSite::kCompileMembership, 1.0));
+  guard::ScopedFaultInjector scope(&injector);
+  auto a = session.run(req);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  EXPECT_EQ(a.value().status, AnswerStatus::kDegraded);
+  ASSERT_TRUE(a.value().volume.estimate.has_value());
+  EXPECT_EQ(*a.value().volume.estimate, 0.5);
+  EXPECT_EQ(a.value().volume.lower, 0.0);
+  EXPECT_EQ(a.value().volume.upper, 1.0);
+  EXPECT_GT(injector.fired(guard::FaultSite::kCompileMembership), 0u);
+}
+
 TEST(GuardSession, InjectedAllocFailureDegradesVolumeToSoundAnswer) {
   // Every BigInt multiply throws bad_alloc: Session must convert the
   // exact path's collapse into a degraded kOk answer, not crash and not
