@@ -15,6 +15,12 @@
 //            overflow to certified trivial-1/2 (guard.shed = true);
 //            the phase records the shed-rate and checks every shed
 //            answer stayed honest ([0,1] bars, degraded status).
+//   survival -- ~500 exact quarter-volume requests through a seeded
+//            wire-chaos proxy (torn frames, disconnects, bit flips,
+//            stalls, blackholes) against a watchdog-armed fleet, with
+//            one worker SIGSTOPped mid-drill. Records client retry and
+//            reconnect totals, watchdog kills, respawns -- and demands
+//            zero dishonest answers.
 //
 // Writes BENCH_served.json with a throughput_ok verdict.
 
@@ -27,7 +33,10 @@
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+
 #include "bench_util.h"
+#include "cqa/served/chaos.h"
 #include "cqa/served/client.h"
 #include "cqa/served/server.h"
 
@@ -43,6 +52,9 @@ constexpr double kReqPerSecFloor = 10000.0;
 
 constexpr std::size_t kSurgeThreads = 8;
 constexpr std::size_t kSurgePerThread = 40;
+
+constexpr std::size_t kSurvivalThreads = 8;
+constexpr std::size_t kSurvivalPerThread = 64;  // 512 through the gauntlet
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -192,6 +204,139 @@ SurgeResult run_surge_phase() {
   return sr;
 }
 
+struct SurvivalResult {
+  std::uint64_t requests = 0;
+  std::uint64_t ok_exact = 0;
+  std::uint64_t ok_degraded = 0;
+  std::uint64_t typed_errors = 0;
+  std::uint64_t dishonest = 0;
+  std::uint64_t client_retries = 0;
+  std::uint64_t client_reconnects = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t hung_kills = 0;
+  std::uint64_t faults_injected = 0;
+};
+
+SurvivalResult run_survival_phase() {
+  served::ServedOptions options;
+  options.workers = kWorkers;
+  options.unix_path = tmp_name("chaos.sock");
+  options.watchdog_budget_ms = 1500;
+  options.watchdog_interval_ms = 50;
+  options.term_grace_ms = 100;
+  served::Server server(options);
+  CQA_CHECK(server.start().is_ok());
+
+  served::ChaosOptions copt;
+  copt.plan.seed = 7;
+  auto rate = [&](guard::FaultSite s) -> double& {
+    return copt.plan.rate[static_cast<std::size_t>(s)];
+  };
+  // ~20% of forwarded chunks / accepted connections take a fault.
+  rate(guard::FaultSite::kWireTornFrame) = 0.05;
+  rate(guard::FaultSite::kWireDisconnect) = 0.05;
+  rate(guard::FaultSite::kWireBitFlip) = 0.05;
+  rate(guard::FaultSite::kWireStalledWrite) = 0.03;
+  rate(guard::FaultSite::kWireBlackhole) = 0.02;
+  copt.stall_ms = 50;
+  copt.upstream_unix = options.unix_path;
+  served::ChaosProxy proxy(copt);
+  CQA_CHECK(proxy.start().is_ok());
+
+  const double kQuarter = 0.25;
+  std::atomic<std::uint64_t> ok_exact{0};
+  std::atomic<std::uint64_t> ok_degraded{0};
+  std::atomic<std::uint64_t> typed_errors{0};
+  std::atomic<std::uint64_t> dishonest{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kSurvivalThreads; ++t) {
+    threads.emplace_back([&, t] {
+      served::ClientOptions cl;
+      cl.connect_timeout_ms = 1000;
+      cl.backoff_base_ms = 2;
+      cl.backoff_cap_ms = 20;
+      cl.seed = 7000 + t;
+      auto connect = [&]() {
+        return served::Client::connect_tcp("127.0.0.1", proxy.port(), cl);
+      };
+      auto client = connect();
+      for (std::size_t i = 0; i < kSurvivalPerThread; ++i) {
+        if (!client.is_ok()) {
+          client = connect();
+          if (!client.is_ok()) {
+            typed_errors.fetch_add(1);
+            continue;
+          }
+        }
+        Request r =
+            Request::volume("0 <= x & x <= 1/2 & 0 <= y & y <= 1/2")
+                .vars({"x", "y"})
+                .seed(1 + t * kSurvivalPerThread + i)
+                .build();
+        auto a = client.value().call(r, /*timeout_ms=*/2000);
+        if (!a.is_ok()) {
+          typed_errors.fetch_add(1);
+          if (a.status().code() == StatusCode::kDeadlineExceeded) {
+            // Blackholed or stalled past the budget: re-dial rather
+            // than burn every remaining call on a dead pipe.
+            retries.fetch_add(client.value().retry_stats().retries);
+            reconnects.fetch_add(client.value().retry_stats().reconnects);
+            client = connect();
+          }
+          continue;
+        }
+        const Answer& ans = a.value();
+        if (ans.degraded()) {
+          const bool flagged = ans.guard.shed || ans.guard.worker_crashed ||
+                               ans.guard.worker_hung;
+          const bool honest_bars =
+              ans.volume.lower.value_or(1.0) <= 0.0 &&
+              ans.volume.upper.value_or(0.0) >= 1.0;
+          if (flagged && honest_bars) {
+            ok_degraded.fetch_add(1);
+          } else {
+            dishonest.fetch_add(1);
+          }
+        } else if (ans.volume.value() == kQuarter) {
+          ok_exact.fetch_add(1);
+        } else {
+          dishonest.fetch_add(1);  // wire corruption slipped through
+        }
+      }
+      if (client.is_ok()) {
+        retries.fetch_add(client.value().retry_stats().retries);
+        reconnects.fetch_add(client.value().retry_stats().reconnects);
+      }
+    });
+  }
+  // Freeze one shard mid-drill: the watchdog must notice, kill, respawn.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  kill(server.worker_pid(0), SIGSTOP);
+  for (auto& th : threads) th.join();
+
+  const served::ServerStats ss = server.stats();
+  const served::ChaosStats cs = proxy.stats();
+  proxy.stop();
+  server.stop();
+  unlink(options.unix_path.c_str());
+
+  SurvivalResult sv;
+  sv.requests = kSurvivalThreads * kSurvivalPerThread;
+  sv.ok_exact = ok_exact.load();
+  sv.ok_degraded = ok_degraded.load();
+  sv.typed_errors = typed_errors.load();
+  sv.dishonest = dishonest.load();
+  sv.client_retries = retries.load();
+  sv.client_reconnects = reconnects.load();
+  sv.respawns = ss.respawns;
+  sv.hung_kills = ss.hung_kills;
+  sv.faults_injected =
+      cs.torn + cs.stalled + cs.disconnects + cs.bit_flips + cs.blackholes;
+  return sv;
+}
+
 void print_table() {
   cqa_bench::header(
       "A7: sharded serving (4-process fleet, binary wire protocol)",
@@ -218,6 +363,10 @@ void print_table() {
   SurgeResult surge = run_surge_phase();
   CQA_CHECK(surge.dishonest == 0);
 
+  SurvivalResult sv = run_survival_phase();
+  CQA_CHECK(sv.dishonest == 0);
+  CQA_CHECK(sv.ok_exact > 0);
+
   const bool ok = hot.req_per_sec >= kReqPerSecFloor;
   std::printf("workers             %zu processes\n", kWorkers);
   std::printf("clients             %zu threads x %zu requests\n",
@@ -235,6 +384,22 @@ void print_table() {
               static_cast<unsigned long long>(surge.requests),
               surge.shed_rate,
               static_cast<unsigned long long>(surge.dishonest));
+  std::printf(
+      "survival            %llu req: %llu exact, %llu degraded, %llu "
+      "typed errors, %llu dishonest\n",
+      static_cast<unsigned long long>(sv.requests),
+      static_cast<unsigned long long>(sv.ok_exact),
+      static_cast<unsigned long long>(sv.ok_degraded),
+      static_cast<unsigned long long>(sv.typed_errors),
+      static_cast<unsigned long long>(sv.dishonest));
+  std::printf(
+      "survival recovery   %llu faults, %llu retries, %llu reconnects, "
+      "%llu hung kills, %llu respawns\n",
+      static_cast<unsigned long long>(sv.faults_injected),
+      static_cast<unsigned long long>(sv.client_retries),
+      static_cast<unsigned long long>(sv.client_reconnects),
+      static_cast<unsigned long long>(sv.hung_kills),
+      static_cast<unsigned long long>(sv.respawns));
 
   std::string json =
       "{\n  \"workers\": " + std::to_string(kWorkers) +
@@ -248,6 +413,16 @@ void print_table() {
       ",\n  \"surge_requests\": " + std::to_string(surge.requests) +
       ",\n  \"surge_shed\": " + std::to_string(surge.shed) +
       ",\n  \"shed_rate\": " + std::to_string(surge.shed_rate) +
+      ",\n  \"survival_requests\": " + std::to_string(sv.requests) +
+      ",\n  \"survival_ok_exact\": " + std::to_string(sv.ok_exact) +
+      ",\n  \"survival_degraded\": " + std::to_string(sv.ok_degraded) +
+      ",\n  \"survival_typed_errors\": " + std::to_string(sv.typed_errors) +
+      ",\n  \"survival_dishonest\": " + std::to_string(sv.dishonest) +
+      ",\n  \"survival_faults\": " + std::to_string(sv.faults_injected) +
+      ",\n  \"client_retries\": " + std::to_string(sv.client_retries) +
+      ",\n  \"client_reconnects\": " + std::to_string(sv.client_reconnects) +
+      ",\n  \"hung_kills\": " + std::to_string(sv.hung_kills) +
+      ",\n  \"respawns\": " + std::to_string(sv.respawns) +
       ",\n  \"req_per_sec_floor\": " + std::to_string(kReqPerSecFloor) +
       ",\n  \"throughput_ok\": " + (ok ? std::string("true")
                                        : std::string("false")) +

@@ -1,0 +1,75 @@
+// libFuzzer target for the cqa::served wire codecs -- the layer that
+// faces a hostile network. Contract: arbitrary bytes fed to
+// decode_request / decode_answer / read_frame yield a typed Status,
+// never a crash, hang, or runaway allocation. The first input byte
+// selects the surface under attack; the rest is the payload.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cqa/core/constraint_database.h"
+#include "cqa/served/wire.h"
+
+namespace {
+
+// Frame reads happen over a real socketpair so the length-prefix and
+// checksum paths in read_frame (partial reads included) are exercised,
+// not just the body codecs.
+void fuzz_read_frame(const std::string& bytes) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
+  // Write side first, then EOF: a kernel socket buffer comfortably
+  // holds our <=4096-byte inputs, so the blocking write cannot wedge.
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fds[0], bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+  cqa::served::Frame frame;
+  // Bounded read: even a pathological input must resolve in one pass.
+  (void)cqa::served::read_frame(fds[1], &frame, /*timeout_ms=*/1000);
+  close(fds[1]);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0 || size > 4096) return 0;
+  const std::uint8_t mode = data[0] % 4;
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  switch (mode) {
+    case 0: {
+      (void)cqa::served::decode_request(payload);
+      break;
+    }
+    case 1: {
+      // Thin-router path: no database, formula-bearing answers must
+      // still decode (with a null formula) or fail typed.
+      cqa::Result<cqa::Answer> out{cqa::Status::internal("undecoded")};
+      (void)cqa::served::decode_answer(payload, nullptr, &out);
+      break;
+    }
+    case 2: {
+      // Full path: the receiver re-parses any rewrite formula into its
+      // own database; hostile formula text must fail typed too.
+      cqa::ConstraintDatabase db;
+      cqa::Result<cqa::Answer> out{cqa::Status::internal("undecoded")};
+      (void)cqa::served::decode_answer(payload, &db, &out);
+      break;
+    }
+    default: {
+      fuzz_read_frame(payload);
+      break;
+    }
+  }
+  return 0;
+}

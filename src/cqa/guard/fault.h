@@ -17,6 +17,25 @@
 //                    kResourceExhausted (models quota trips during MC
 //                    plan lowering; sessions must degrade, not error)
 //
+// The wire sites extend the same deterministic SplitMix64 discipline to
+// the network boundary. They have no hooks inside the engines; the
+// served::ChaosProxy / ChaosSocket layer owns a private FaultInjector
+// and consults them per forwarded chunk, so a chaos schedule over the
+// wire replays exactly like an in-process FaultPlan:
+//
+//   kWireTornFrame     a frame is truncated mid-body, then the
+//                      connection closes (client must see a typed
+//                      retryable error, never a half answer)
+//   kWireStalledWrite  a forwarded chunk stalls (latency; exercises
+//                      per-attempt deadlines carved from the budget)
+//   kWireDisconnect    the connection drops abruptly on a frame
+//                      boundary (connection-level failure: safe retry)
+//   kWireBitFlip       one bit of a forwarded chunk flips (must be
+//                      caught by the frame checksum, never decoded)
+//   kWireBlackhole     a connection accepts but never forwards a byte
+//                      (models a black-holed host; connect/call
+//                      timeouts must fire)
+//
 // Hook sites call fault_fires(site), which is a single relaxed atomic
 // load + null check when no injector is installed -- zero-cost-when-off
 // in the sense that production binaries pay one predictable branch.
@@ -41,9 +60,19 @@ enum class FaultSite : int {
   kSlowChunk,
   kWorkerThrow,
   kCompileMembership,
+  // Wire sites (served::ChaosProxy / ChaosSocket only; no engine hooks).
+  kWireTornFrame,
+  kWireStalledWrite,
+  kWireDisconnect,
+  kWireBitFlip,
+  kWireBlackhole,
 };
 
-inline constexpr std::size_t kNumFaultSites = 6;
+/// Sites with hooks inside the engines -- the ones FaultPlan::random
+/// draws from for in-process chaos trials. The wire sites past this
+/// index only fire inside the chaos proxy layer.
+inline constexpr std::size_t kNumEngineFaultSites = 6;
+inline constexpr std::size_t kNumFaultSites = 11;
 
 inline const char* fault_site_name(FaultSite s) {
   switch (s) {
@@ -53,6 +82,11 @@ inline const char* fault_site_name(FaultSite s) {
     case FaultSite::kSlowChunk: return "slow_chunk";
     case FaultSite::kWorkerThrow: return "worker_throw";
     case FaultSite::kCompileMembership: return "compile_membership";
+    case FaultSite::kWireTornFrame: return "wire_torn_frame";
+    case FaultSite::kWireStalledWrite: return "wire_stalled_write";
+    case FaultSite::kWireDisconnect: return "wire_disconnect";
+    case FaultSite::kWireBitFlip: return "wire_bit_flip";
+    case FaultSite::kWireBlackhole: return "wire_blackhole";
   }
   return "unknown";
 }
@@ -71,9 +105,10 @@ struct FaultPlan {
 
   static FaultPlan none() { return FaultPlan{}; }
 
-  /// Deterministic random plan for chaos runs: picks 1..3 active sites
-  /// and a rate per site from {0.01, 0.05, 0.2, 1.0}. Defined in
-  /// guard.cpp (not needed by hot-path hook sites).
+  /// Deterministic random plan for chaos runs: picks 1..3 active
+  /// *engine* sites (wire sites have no in-process hooks) and a rate
+  /// per site from {0.01, 0.05, 0.2, 1.0}. Defined in guard.cpp (not
+  /// needed by hot-path hook sites).
   static FaultPlan random(std::uint64_t seed);
 };
 

@@ -16,7 +16,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed) {
   const std::size_t active = 1 + static_cast<std::size_t>(h0 % 3);
   for (std::size_t pick = 0; pick < active; ++pick) {
     const std::uint64_t h = fault_mix(seed ^ (0x9e37u + pick * 0x85ebca6bULL));
-    const std::size_t site = static_cast<std::size_t>(h % kNumFaultSites);
+    const std::size_t site =
+        static_cast<std::size_t>(h % kNumEngineFaultSites);
     plan.rate[site] = kRates[(h >> 8) % (sizeof(kRates) / sizeof(kRates[0]))];
   }
   return plan;
@@ -36,12 +37,13 @@ const char* rung_name(Rung r) {
 std::string GuardReport::to_string() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "rung=%s tripped=%s%s%s qe_atoms=%llu fm_rows_peak=%llu "
+                "rung=%s tripped=%s%s%s%s qe_atoms=%llu fm_rows_peak=%llu "
                 "sweep_sections=%llu bigint_bits_peak=%llu resident_bytes=%llu",
                 rung_name(rung),
                 quota_tripped ? tripped_quota.c_str() : "none",
                 shed ? " shed=1" : "",
                 worker_crashed ? " worker_crashed=1" : "",
+                worker_hung ? " worker_hung=1" : "",
                 static_cast<unsigned long long>(usage.qe_atoms),
                 static_cast<unsigned long long>(usage.fm_rows_peak),
                 static_cast<unsigned long long>(usage.sweep_sections),

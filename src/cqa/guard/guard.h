@@ -42,6 +42,12 @@ struct GuardReport {
   /// request honestly instead of leaving the caller hung. The answer is
   /// the last rung; the crash cost one shard, not the service.
   bool worker_crashed = false;
+  /// True when the watchdog declared the worker wedged (frozen
+  /// heartbeat or stalled in-flight progress past the budget), killed
+  /// it (SIGTERM, timed wait, SIGKILL), and resolved this in-flight
+  /// request honestly before respawning the shard. Same last-rung
+  /// contract as worker_crashed; the flag names the escalation path.
+  bool worker_hung = false;
 
   std::string to_string() const;
 };

@@ -1,0 +1,310 @@
+#include "cqa/served/chaos.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace cqa {
+namespace served {
+
+namespace {
+
+using guard::FaultSite;
+
+int dial(const std::string& unix_path, const std::string& host,
+         std::uint16_t port) {
+  if (!unix_path.empty()) {
+    sockaddr_un addr{};
+    if (unix_path.size() >= sizeof(addr.sun_path)) return -1;
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, unix_path.c_str(), unix_path.size() + 1);
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosOptions options)
+    : options_(std::move(options)), injector_(options_.plan) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+Status ChaosProxy::start() {
+  if (running_.exchange(true)) {
+    return Status::internal("chaos proxy already started");
+  }
+  stopping_.store(false);
+  if (!options_.listen_unix.empty()) {
+    sockaddr_un addr{};
+    if (options_.listen_unix.size() >= sizeof(addr.sun_path)) {
+      running_.store(false);
+      return Status::invalid("unix socket path too long: " +
+                             options_.listen_unix);
+    }
+    unlink(options_.listen_unix.c_str());
+    listener_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener_ < 0) {
+      running_.store(false);
+      return Status::internal("socket(AF_UNIX) failed");
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options_.listen_unix.c_str(),
+                options_.listen_unix.size() + 1);
+    if (bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      close(listener_);
+      listener_ = -1;
+      running_.store(false);
+      return Status::internal("bind failed: " + options_.listen_unix);
+    }
+  } else {
+    listener_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listener_ < 0) {
+      running_.store(false);
+      return Status::internal("socket(AF_INET) failed");
+    }
+    int one = 1;
+    setsockopt(listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.listen_port);
+    if (inet_pton(AF_INET, options_.listen_host.c_str(), &addr.sin_addr) !=
+        1) {
+      close(listener_);
+      listener_ = -1;
+      running_.store(false);
+      return Status::invalid("bad listen_host: " + options_.listen_host);
+    }
+    if (bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      close(listener_);
+      listener_ = -1;
+      running_.store(false);
+      return Status::internal("bind failed: " + options_.listen_host + ":" +
+                              std::to_string(options_.listen_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    getsockname(listener_, reinterpret_cast<sockaddr*>(&bound), &len);
+    resolved_port_ = ntohs(bound.sin_port);
+  }
+  if (listen(listener_, 64) != 0) {
+    close(listener_);
+    listener_ = -1;
+    running_.store(false);
+    return Status::internal("listen failed");
+  }
+  acceptor_ = std::thread(&ChaosProxy::accept_loop, this);
+  return Status::ok();
+}
+
+void ChaosProxy::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (listener_ >= 0) shutdown(listener_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listener_ >= 0) {
+    close(listener_);
+    listener_ = -1;
+  }
+  reap_conns(/*all=*/true);
+  if (!options_.listen_unix.empty()) unlink(options_.listen_unix.c_str());
+  running_.store(false);
+}
+
+void ChaosProxy::accept_loop() {
+  for (;;) {
+    const int fd = accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down by stop()
+    }
+    if (stopping_.load()) {
+      close(fd);
+      continue;
+    }
+    reap_conns(/*all=*/false);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (injector_.should_fire(FaultSite::kWireBlackhole)) {
+      // The host answers the SYN and then swallows everything: keep the
+      // fd open, never dial upstream, never forward a byte. The
+      // client's deadlines are what make this survivable.
+      blackholes_.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Conn>();
+      conn->client_fd = fd;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+      continue;
+    }
+    const int up_fd = dial(options_.upstream_unix, options_.upstream_host,
+                           options_.upstream_port);
+    if (up_fd < 0) {
+      close(fd);
+      continue;  // upstream down: the client sees a clean EOF
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->client_fd = fd;
+    conn->upstream_fd = up_fd;
+    conn->up = std::thread(&ChaosProxy::pump, this, conn, fd, up_fd);
+    conn->down = std::thread(&ChaosProxy::pump, this, conn, up_fd, fd);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void ChaosProxy::sever(Conn& conn) {
+  // Both directions die together: a proxy host crash does not leave one
+  // half-duplex side limping.
+  if (conn.client_fd >= 0) shutdown(conn.client_fd, SHUT_RDWR);
+  if (conn.upstream_fd >= 0) shutdown(conn.upstream_fd, SHUT_RDWR);
+  conn.dead.store(true);
+}
+
+void ChaosProxy::pump(std::shared_ptr<Conn> conn, int src, int dst) {
+  std::string buf(options_.chunk_bytes, '\0');
+  std::uint64_t chunk_counter = 0;
+  for (;;) {
+    const ssize_t n = recv(src, buf.data(), buf.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or error: propagate the close downstream
+    }
+    ++chunk_counter;
+    chunks_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t len = static_cast<std::size_t>(n);
+    if (injector_.should_fire(FaultSite::kWireDisconnect)) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      sever(*conn);
+      break;
+    }
+    if (injector_.should_fire(FaultSite::kWireTornFrame)) {
+      // Forward a prefix so the receiver is left mid-frame, then die.
+      torn_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t cut = len / 2;
+      if (cut > 0) (void)send_all(dst, buf.data(), cut);
+      sever(*conn);
+      break;
+    }
+    if (injector_.should_fire(FaultSite::kWireBitFlip)) {
+      bit_flips_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t h =
+          guard::fault_mix(options_.plan.seed ^ chunk_counter);
+      buf[h % len] ^= static_cast<char>(1u << ((h >> 16) % 8));
+    }
+    if (injector_.should_fire(FaultSite::kWireStalledWrite)) {
+      stalled_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.stall_ms));
+    }
+    if (!send_all(dst, buf.data(), len)) break;
+  }
+  // This direction is done; drag the other one down so no half-open
+  // connection lingers (the peer sees EOF, not a hang).
+  sever(*conn);
+}
+
+void ChaosProxy::reap_conns(bool all) {
+  std::vector<std::shared_ptr<Conn>> victims;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->dead.load()) {
+        victims.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : victims) {
+    sever(*conn);
+    if (conn->up.joinable()) conn->up.join();
+    if (conn->down.joinable()) conn->down.join();
+    if (conn->client_fd >= 0) close(conn->client_fd);
+    if (conn->upstream_fd >= 0) close(conn->upstream_fd);
+  }
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.chunks = chunks_.load(std::memory_order_relaxed);
+  s.torn = torn_.load(std::memory_order_relaxed);
+  s.stalled = stalled_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.bit_flips = bit_flips_.load(std::memory_order_relaxed);
+  s.blackholes = blackholes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status ChaosSocket::send(const std::string& bytes) {
+  ++counter_;
+  if (injector_ != nullptr &&
+      injector_->should_fire(FaultSite::kWireDisconnect)) {
+    shutdown(fd_, SHUT_RDWR);
+    return Status::internal("chaos: disconnected");
+  }
+  std::string out = bytes;
+  if (injector_ != nullptr &&
+      injector_->should_fire(FaultSite::kWireBitFlip) && !out.empty()) {
+    const std::uint64_t h =
+        guard::fault_mix(injector_->plan().seed ^ counter_);
+    out[h % out.size()] ^= static_cast<char>(1u << ((h >> 16) % 8));
+  }
+  if (injector_ != nullptr &&
+      injector_->should_fire(FaultSite::kWireTornFrame)) {
+    const std::size_t cut = out.size() / 2;
+    if (cut > 0 && !send_all(fd_, out.data(), cut)) {
+      return Status::internal("chaos: send failed");
+    }
+    shutdown(fd_, SHUT_RDWR);
+    return Status::internal("chaos: torn frame");
+  }
+  if (!send_all(fd_, out.data(), out.size())) {
+    return Status::internal("chaos: send failed");
+  }
+  return Status::ok();
+}
+
+}  // namespace served
+}  // namespace cqa

@@ -1,0 +1,156 @@
+// Seeded wire chaos for cqa::served: a TCP/unix proxy (and an
+// in-process socket seam) that injects network faults with the same
+// deterministic SplitMix64 discipline guard::FaultInjector gives the
+// engines. A chaos schedule is a (seed, rates) pair; replaying it
+// replays the exact fault sequence, so a drill that survived once keeps
+// surviving -- or fails reproducibly.
+//
+//   guard::FaultPlan plan;
+//   plan.seed = 7;
+//   plan.rate[size_t(guard::FaultSite::kWireTornFrame)] = 0.05;
+//   ChaosOptions opt;
+//   opt.plan = plan;
+//   opt.upstream_unix = "/tmp/cqa.sock";
+//   ChaosProxy proxy(opt);
+//   proxy.start();                 // listen on an ephemeral TCP port
+//   Client::connect_tcp("127.0.0.1", proxy.port());
+//
+// Faults fire per forwarded chunk (or per accepted connection for
+// blackhole), drawn from the wire sites of guard::FaultSite:
+//
+//   kWireTornFrame     forward half the chunk, then sever both sides
+//   kWireStalledWrite  nap stall_ms before forwarding (latency)
+//   kWireDisconnect    sever both sides without forwarding
+//   kWireBitFlip       flip one deterministic bit of the chunk
+//   kWireBlackhole     accept the connection, forward nothing, ever
+//
+// The proxy owns a *private* FaultInjector -- it never touches the
+// process-global injector slot, so wire chaos composes with (or stays
+// isolated from) in-process engine chaos.
+
+#ifndef CQA_SERVED_CHAOS_H_
+#define CQA_SERVED_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cqa/guard/fault.h"
+#include "cqa/util/status.h"
+
+namespace cqa {
+namespace served {
+
+struct ChaosOptions {
+  /// Fault rates; only the kWire* sites are consulted.
+  guard::FaultPlan plan;
+  /// Listen side: non-empty = unix-domain socket path, else TCP.
+  std::string listen_unix;
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  // 0 = ephemeral; see ChaosProxy::port()
+  /// Upstream (the real server): non-empty = unix path, else TCP.
+  std::string upstream_unix;
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  /// Nap applied by kWireStalledWrite.
+  std::int64_t stall_ms = 200;
+  /// Forwarding chunk size; faults fire per chunk.
+  std::size_t chunk_bytes = 4096;
+};
+
+struct ChaosStats {
+  std::uint64_t connections = 0;
+  std::uint64_t chunks = 0;       // chunks forwarded (either direction)
+  std::uint64_t torn = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t blackholes = 0;
+};
+
+/// A man-in-the-middle that forwards bytes between each accepted client
+/// and its own upstream connection, applying the fault plan per chunk.
+/// One acceptor thread plus two pump threads per live connection.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosOptions options);
+  ~ChaosProxy();  // stop()s if still running
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  Status start();
+  void stop();  // idempotent
+
+  /// Resolved listen port (TCP mode, after start()).
+  std::uint16_t port() const { return resolved_port_; }
+
+  ChaosStats stats() const;
+  const guard::FaultInjector& injector() const { return injector_; }
+
+ private:
+  struct Conn {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::thread up;    // client -> upstream
+    std::thread down;  // upstream -> client
+    std::atomic<bool> dead{false};
+  };
+
+  void accept_loop();
+  /// Forwards src -> dst in chunks, consulting the injector per chunk;
+  /// severs the whole connection (both fds) on torn/disconnect faults.
+  void pump(std::shared_ptr<Conn> conn, int src, int dst);
+  void sever(Conn& conn);
+  void reap_conns(bool all);
+
+  ChaosOptions options_;
+  guard::FaultInjector injector_;
+
+  int listener_ = -1;
+  std::uint16_t resolved_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> torn_{0};
+  std::atomic<std::uint64_t> stalled_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> bit_flips_{0};
+  std::atomic<std::uint64_t> blackholes_{0};
+};
+
+/// In-process seam for exact-fault unit tests: wraps one connected fd
+/// and applies the wire sites per send() with a private injector, no
+/// proxy or extra threads involved. Deterministic byte positions: a
+/// torn send cuts at half, a bit flip lands on a SplitMix64-chosen bit.
+class ChaosSocket {
+ public:
+  ChaosSocket(int fd, guard::FaultInjector* injector)
+      : fd_(fd), injector_(injector) {}
+
+  /// Sends `bytes` through the fault gauntlet. Returns ok when all
+  /// bytes (possibly corrupted) were written; kAborted-flavored
+  /// kInternal when a torn/disconnect fault severed the stream (the fd
+  /// is shut down for writing).
+  Status send(const std::string& bytes);
+
+ private:
+  int fd_ = -1;
+  guard::FaultInjector* injector_ = nullptr;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace served
+}  // namespace cqa
+
+#endif  // CQA_SERVED_CHAOS_H_

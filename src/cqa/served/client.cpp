@@ -1,16 +1,20 @@
 #include "cqa/served/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
+
+#include "cqa/guard/fault.h"
 
 namespace cqa {
 namespace served {
@@ -23,32 +27,13 @@ std::int64_t now_ms() {
       .count();
 }
 
-}  // namespace
-
-Client::Client(int fd)
-    : fd_(fd), db_(std::make_unique<ConstraintDatabase>()) {}
-
-Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), next_id_(other.next_id_), db_(std::move(other.db_)) {
-  other.fd_ = -1;
+/// Remaining budget against an absolute deadline (-1 = unbounded).
+std::int64_t remaining_ms(std::int64_t deadline) {
+  if (deadline < 0) return -1;
+  return deadline - now_ms();
 }
 
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) close(fd_);
-    fd_ = other.fd_;
-    next_id_ = other.next_id_;
-    db_ = std::move(other.db_);
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-Client::~Client() {
-  if (fd_ >= 0) close(fd_);
-}
-
-Result<Client> Client::connect_unix(const std::string& path) {
+Result<int> dial_unix(const std::string& path) {
   sockaddr_un addr{};
   if (path.size() >= sizeof(addr.sun_path)) {
     return Status::invalid("unix socket path too long: " + path);
@@ -63,11 +48,14 @@ Result<Client> Client::connect_unix(const std::string& path) {
     return Status::internal("connect failed: " + path + " (" +
                             std::strerror(errno) + ")");
   }
-  return Client(fd);
+  return fd;
 }
 
-Result<Client> Client::connect_tcp(const std::string& host,
-                                   std::uint16_t port) {
+/// Non-blocking connect bounded by timeout_ms (<= 0 blocks): a
+/// black-holed host that swallows SYNs must cost the timeout, not
+/// the kernel's multi-minute default.
+Result<int> dial_tcp(const std::string& host, std::uint16_t port,
+                     std::int64_t timeout_ms) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::internal("socket(AF_INET) failed");
   sockaddr_in addr{};
@@ -77,63 +65,258 @@ Result<Client> Client::connect_tcp(const std::string& host,
     close(fd);
     return Status::invalid("bad host: " + host);
   }
+  const std::string where = host + ":" + std::to_string(port);
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    close(fd);
-    return Status::internal("connect failed: " + host + ":" +
-                            std::to_string(port) + " (" +
-                            std::strerror(errno) + ")");
+    if (timeout_ms <= 0 || errno != EINPROGRESS) {
+      close(fd);
+      return Status::internal("connect failed: " + where + " (" +
+                              std::strerror(errno) + ")");
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const std::int64_t deadline = now_ms() + timeout_ms;
+    for (;;) {
+      const std::int64_t left = deadline - now_ms();
+      if (left <= 0) {
+        close(fd);
+        return Status::deadline_exceeded("connect timed out: " + where);
+      }
+      const int rc = poll(&pfd, 1, static_cast<int>(left));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0) {
+        close(fd);
+        return Status::internal("poll failed during connect");
+      }
+      if (rc > 0) break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      close(fd);
+      return Status::internal("connect failed: " + where + " (" +
+                              std::strerror(err != 0 ? err : errno) + ")");
+    }
   }
-  return Client(fd);
+  if (timeout_ms > 0) fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd),
+      options_(options),
+      jitter_state_(options.seed),
+      db_(std::make_unique<ConstraintDatabase>()) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      poisoned_(other.poisoned_),
+      unix_path_(std::move(other.unix_path_)),
+      tcp_host_(std::move(other.tcp_host_)),
+      tcp_port_(other.tcp_port_),
+      options_(other.options_),
+      retry_stats_(other.retry_stats_),
+      jitter_state_(other.jitter_state_),
+      db_(std::move(other.db_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    poisoned_ = other.poisoned_;
+    unix_path_ = std::move(other.unix_path_);
+    tcp_host_ = std::move(other.tcp_host_);
+    tcp_port_ = other.tcp_port_;
+    options_ = other.options_;
+    retry_stats_ = other.retry_stats_;
+    jitter_state_ = other.jitter_state_;
+    db_ = std::move(other.db_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<Client> Client::connect_unix(const std::string& path,
+                                    ClientOptions options) {
+  auto fd = dial_unix(path);
+  if (!fd.is_ok()) return fd.status();
+  Client client(fd.value(), options);
+  client.unix_path_ = path;
+  return client;
+}
+
+Result<Client> Client::connect_tcp(const std::string& host,
+                                   std::uint16_t port,
+                                   ClientOptions options) {
+  auto fd = dial_tcp(host, port, options.connect_timeout_ms);
+  if (!fd.is_ok()) return fd.status();
+  Client client(fd.value(), options);
+  client.tcp_host_ = host;
+  client.tcp_port_ = port;
+  return client;
+}
+
+Status Client::ensure_connected(std::int64_t timeout_ms) {
+  if (fd_ >= 0 && !poisoned_) return Status::ok();
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  std::int64_t connect_budget = options_.connect_timeout_ms;
+  if (timeout_ms >= 0) {
+    connect_budget = connect_budget <= 0
+                         ? timeout_ms
+                         : std::min(connect_budget, timeout_ms);
+  }
+  auto fd = unix_path_.empty()
+                ? dial_tcp(tcp_host_, tcp_port_, connect_budget)
+                : dial_unix(unix_path_);
+  if (!fd.is_ok()) return fd.status();
+  fd_ = fd.value();
+  poisoned_ = false;
+  ++retry_stats_.reconnects;
+  return Status::ok();
 }
 
 Status Client::roundtrip(MsgType type, const std::string& payload,
-                         std::int64_t timeout_ms, Frame* reply) {
+                         std::int64_t timeout_ms, Frame* reply,
+                         bool* safe_retry) {
+  if (safe_retry != nullptr) *safe_retry = false;
   if (fd_ < 0) return Status::internal("client not connected");
+  if (poisoned_) return Status::internal("client connection poisoned");
   const std::uint64_t id = next_id_++;
-  CQA_RETURN_IF_ERROR(write_frame(fd_, type, id, payload));
+  Status sent = write_frame(fd_, type, id, payload);
+  if (!sent.is_ok()) {
+    // A failed send may be half-written; the stream is unusable, but no
+    // answer byte ever arrived, so an idempotent request may retry.
+    poisoned_ = true;
+    if (safe_retry != nullptr) *safe_retry = true;
+    return sent;
+  }
   const std::int64_t deadline =
       timeout_ms < 0 ? -1 : now_ms() + timeout_ms;
   for (;;) {
+    std::int64_t left = -1;
     if (deadline >= 0) {
-      const std::int64_t remaining = deadline - now_ms();
-      if (remaining <= 0) {
+      left = deadline - now_ms();
+      if (left <= 0) {
+        // Expired while *waiting*, with no frame bytes consumed: the
+        // stream is still synchronized, so keep the connection. The
+        // late answer carries a stale id and is discarded by the next
+        // call's id-matching loop.
         return Status::deadline_exceeded("served call timed out");
       }
-      pollfd pfd{fd_, POLLIN, 0};
-      const int rc =
-          poll(&pfd, 1, static_cast<int>(
-                            remaining > 1000000 ? 1000000 : remaining));
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int rc = poll(
+          &pfd, 1, static_cast<int>(left > 1000000 ? 1000000 : left));
       if (rc < 0 && errno != EINTR) {
+        poisoned_ = true;
         return Status::internal("poll failed");
       }
       if (rc <= 0) continue;
     }
-    CQA_RETURN_IF_ERROR(read_frame(fd_, reply));
+    Status got = read_frame(fd_, reply, left);
+    if (!got.is_ok()) {
+      // Every read failure poisons: clean EOF means the fd is dead;
+      // everything else (torn frame, checksum mismatch, mid-frame
+      // expiry) means unknown bytes were consumed.
+      poisoned_ = true;
+      if (got.code() == StatusCode::kCancelled && safe_retry != nullptr) {
+        // Clean EOF before any byte of *this* frame: connection-level.
+        *safe_retry = true;
+      }
+      return got;
+    }
     // A lone client is strictly request/response, so any mismatched id
     // is a stale answer from an abandoned (timed-out) call; skip it.
     if (reply->id == id) return Status::ok();
   }
 }
 
+std::int64_t Client::next_backoff(std::int64_t prev_ms) {
+  // Decorrelated jitter: uniform in [base, 3 * prev], capped. The
+  // SplitMix64 stream is seeded, so test schedules replay exactly.
+  jitter_state_ = guard::fault_mix(jitter_state_ ^ 0xbac0ffULL);
+  const std::int64_t lo = std::max<std::int64_t>(1, options_.backoff_base_ms);
+  const std::int64_t hi = std::max(lo + 1, prev_ms * 3);
+  const std::int64_t span = hi - lo;
+  const std::int64_t nap =
+      lo + static_cast<std::int64_t>(
+               jitter_state_ % static_cast<std::uint64_t>(span));
+  return std::min(nap, std::max(lo, options_.backoff_cap_ms));
+}
+
 Result<Answer> Client::call(const Request& request, std::int64_t timeout_ms) {
-  Frame reply;
-  Status s =
-      roundtrip(MsgType::kRequest, encode_request(request), timeout_ms,
-                &reply);
-  if (!s.is_ok()) return s;
-  if (reply.type != MsgType::kAnswer) {
-    return Status::internal("served: unexpected reply type");
+  const std::int64_t deadline =
+      timeout_ms < 0 ? -1 : now_ms() + timeout_ms;
+  // Idempotent by fingerprint: the encoded bytes fully name the answer.
+  // A cancel token is process-local, non-reproducible state, so its
+  // presence marks the one request shape we never silently re-issue.
+  const bool idempotent = request.cancel == nullptr;
+  const std::string payload = encode_request(request);
+  const int attempts = std::max(1, options_.max_attempts);
+  std::int64_t nap_ms = options_.backoff_base_ms;
+  Status last = Status::internal("served call never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retry_stats_.retries;
+      nap_ms = next_backoff(nap_ms);
+      std::int64_t nap = nap_ms;
+      const std::int64_t left = remaining_ms(deadline);
+      if (deadline >= 0) {
+        if (left <= 0) return Status::deadline_exceeded("served call timed out");
+        nap = std::min(nap, left / 2);  // leave room to actually try
+      }
+      if (nap > 0) usleep(static_cast<useconds_t>(nap * 1000));
+    }
+    Status conn = ensure_connected(remaining_ms(deadline));
+    if (!conn.is_ok()) {
+      // Nothing was ever sent: always safe to try again (even a
+      // non-idempotent request), budget permitting.
+      last = std::move(conn);
+      if (last.code() == StatusCode::kInvalidArgument) return last;
+      continue;
+    }
+    Frame reply;
+    bool safe_retry = false;
+    Status s = roundtrip(MsgType::kRequest, payload, remaining_ms(deadline),
+                         &reply, &safe_retry);
+    if (s.is_ok()) {
+      if (reply.type != MsgType::kAnswer) {
+        return Status::internal("served: unexpected reply type");
+      }
+      Result<Answer> out{Status::internal("undecoded")};
+      CQA_RETURN_IF_ERROR(decode_answer(reply.payload, db_.get(), &out));
+      return out;
+    }
+    last = std::move(s);
+    if (last.code() == StatusCode::kDeadlineExceeded) return last;
+    if (!safe_retry || !idempotent) return last;
   }
-  Result<Answer> out{Status::internal("undecoded")};
-  CQA_RETURN_IF_ERROR(decode_answer(reply.payload, db_.get(), &out));
-  return out;
+  return last;
 }
 
 Status Client::ping(std::int64_t timeout_ms) {
+  CQA_RETURN_IF_ERROR(ensure_connected(timeout_ms));
   const std::string token = "cqa-ping-" + std::to_string(next_id_);
   Frame reply;
-  CQA_RETURN_IF_ERROR(roundtrip(MsgType::kPing, token, timeout_ms, &reply));
+  CQA_RETURN_IF_ERROR(
+      roundtrip(MsgType::kPing, token, timeout_ms, &reply, nullptr));
   if (reply.type != MsgType::kPong || reply.payload != token) {
     return Status::internal("served: bad pong");
   }
@@ -141,8 +324,9 @@ Status Client::ping(std::int64_t timeout_ms) {
 }
 
 Result<std::string> Client::stats(std::int64_t timeout_ms) {
+  CQA_RETURN_IF_ERROR(ensure_connected(timeout_ms));
   Frame reply;
-  Status s = roundtrip(MsgType::kStats, "", timeout_ms, &reply);
+  Status s = roundtrip(MsgType::kStats, "", timeout_ms, &reply, nullptr);
   if (!s.is_ok()) return s;
   if (reply.type != MsgType::kStatsReply) {
     return Status::internal("served: unexpected reply type");

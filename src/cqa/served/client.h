@@ -1,5 +1,5 @@
-// Client for a cqa::served server: a thin blocking wrapper over the
-// wire protocol.
+// Client for a cqa::served server: a blocking wrapper over the wire
+// protocol that survives a hostile network.
 //
 //   auto client = served::Client::connect_unix("/tmp/cqa.sock");
 //   Result<Answer> a = client.value().call(
@@ -8,8 +8,27 @@
 // call() is synchronous request/response; answers carry the same
 // degradation status and guard report a local Session::run returns
 // (guard.shed when the router shed the request at admission,
-// guard.worker_crashed when its shard died mid-request). Rewrite
-// formulas are re-parsed into the client's own ConstraintDatabase.
+// guard.worker_crashed / guard.worker_hung when its shard died or was
+// watchdog-killed mid-request). Rewrite formulas are re-parsed into the
+// client's own ConstraintDatabase.
+//
+// Failure discipline. The client remembers its endpoint and owns a
+// poisoned flag: any failure that can leave the stream unsynchronized
+// (expiry or EOF mid-frame, a corrupt frame, a failed send) poisons the
+// connection, and the next call re-dials transparently. Within one
+// call(), failed attempts auto-retry under a safe-retry predicate:
+//
+//   - only requests that are idempotent by fingerprint (no CancelToken
+//     attached -- the same bytes name the same answer), and
+//   - only on connection-level failures: a failed (re)connect, a failed
+//     send, or a clean EOF before any answer byte. Once a single answer
+//     byte has arrived -- torn frame, checksum mismatch, mid-frame
+//     expiry -- the call returns the typed error instead; the caller
+//     decides whether to re-issue.
+//
+// Retries back off with capped decorrelated jitter, and every attempt's
+// deadline is carved from the caller's overall timeout_ms budget: a
+// call never outlives its budget just because it retried.
 //
 // A Client owns one connection and is NOT thread-safe; open one per
 // thread (the server multiplexes connections cheaply).
@@ -29,11 +48,35 @@
 namespace cqa {
 namespace served {
 
+struct ClientOptions {
+  /// Attempts per call() (>= 1); attempts past the first fire only when
+  /// the safe-retry predicate holds.
+  int max_attempts = 4;
+  /// Decorrelated-jitter backoff between attempts: each nap is drawn
+  /// from [base, 3 * previous], capped, then clipped to the remaining
+  /// deadline budget.
+  std::int64_t backoff_base_ms = 10;
+  std::int64_t backoff_cap_ms = 500;
+  /// Bound on TCP connect() (black-holed hosts accept SYNs into
+  /// nowhere; an unbounded connect would hang forever). <= 0 blocks.
+  std::int64_t connect_timeout_ms = 2000;
+  /// Seed of the jitter stream -- deterministic backoff for tests.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Resilience counters, cumulative over the client's lifetime.
+struct ClientRetryStats {
+  std::uint64_t retries = 0;     // attempts beyond the first, per call()
+  std::uint64_t reconnects = 0;  // successful re-dials of the endpoint
+};
+
 class Client {
  public:
-  static Result<Client> connect_unix(const std::string& path);
+  static Result<Client> connect_unix(const std::string& path,
+                                     ClientOptions options = {});
   static Result<Client> connect_tcp(const std::string& host,
-                                    std::uint16_t port);
+                                    std::uint16_t port,
+                                    ClientOptions options = {});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -41,10 +84,12 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// One round trip: encode, send, block for the matching answer.
-  /// `timeout_ms` < 0 waits forever; on expiry the connection is left
-  /// in an indeterminate state and the call returns kDeadlineExceeded
-  /// (reconnect to keep going -- frames cannot be un-sent).
+  /// One logical round trip (possibly several attempts under the
+  /// safe-retry predicate). `timeout_ms` < 0 waits forever; on expiry
+  /// the call returns kDeadlineExceeded -- if the expiry hit mid-frame
+  /// the connection is poisoned and the next call reconnects, otherwise
+  /// the connection stays usable and the stale late answer is discarded
+  /// by id when it eventually lands.
   Result<Answer> call(const Request& request, std::int64_t timeout_ms = -1);
 
   /// Health check: round-trips an opaque token. Ok iff the echo matches.
@@ -54,13 +99,33 @@ class Client {
   /// shard's pid, in-flight gauge, and metrics registry).
   Result<std::string> stats(std::int64_t timeout_ms = 5000);
 
+  ClientRetryStats retry_stats() const { return retry_stats_; }
+  /// Test seam: a healthy (un-poisoned) live connection?
+  bool connected() const { return fd_ >= 0 && !poisoned_; }
+
  private:
-  explicit Client(int fd);
+  Client(int fd, ClientOptions options);
+  /// Single-attempt round trip. Any failure that may have consumed
+  /// answer bytes (or left a send half-written) poisons the connection;
+  /// `*safe_retry` (may be null) is set true only for failures before
+  /// any answer byte arrived (send failure, clean EOF).
   Status roundtrip(MsgType type, const std::string& payload,
-                   std::int64_t timeout_ms, Frame* reply);
+                   std::int64_t timeout_ms, Frame* reply, bool* safe_retry);
+  /// Re-dials the remembered endpoint when fd_ is gone or poisoned.
+  Status ensure_connected(std::int64_t timeout_ms);
+  /// Next decorrelated-jitter nap, advancing the seeded stream.
+  std::int64_t next_backoff(std::int64_t prev_ms);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  bool poisoned_ = false;
+  /// Endpoint memory for reconnects: unix when unix_path_ is non-empty.
+  std::string unix_path_;
+  std::string tcp_host_;
+  std::uint16_t tcp_port_ = 0;
+  ClientOptions options_;
+  ClientRetryStats retry_stats_;
+  std::uint64_t jitter_state_ = 0;
   /// Variable space for re-parsing formula-bearing answers.
   std::unique_ptr<ConstraintDatabase> db_;
 };

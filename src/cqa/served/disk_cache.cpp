@@ -12,7 +12,9 @@ namespace served {
 namespace {
 
 constexpr char kMagic[] = "CQADC";      // 5 bytes, then format version
-constexpr std::uint8_t kFormatVersion = 1;
+// v2: answer payloads grew the guard worker_hung byte; v1 records would
+// fail decode_answer, so a version bump drops them wholesale at open().
+constexpr std::uint8_t kFormatVersion = 2;
 constexpr std::uint64_t kChecksumSalt = 0xd15cc4c4e5a17ULL;
 
 std::uint64_t record_checksum(const std::string& key,

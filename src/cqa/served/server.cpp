@@ -3,6 +3,9 @@
 #include <arpa/inet.h>
 #include <dirent.h>
 #include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -15,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <utility>
 
 #include "cqa/core/constraint_database.h"
@@ -53,6 +57,10 @@ constexpr int kClientSendTimeoutSec = 5;
 constexpr std::uint64_t kVolumeSnapSalt = 0x70a57ed5a17ULL;
 constexpr char kVolumeMagic[] = "CQAVS";  // 5 bytes, then format version
 constexpr std::uint8_t kVolumeFormatVersion = 1;
+/// Clean-stop reap budget: workers get EOF, snapshot their volume cache,
+/// and exit; a worker that cannot manage that in this window is SIGKILLed
+/// so stop() never hangs the caller.
+constexpr std::int64_t kStopReapGraceMs = 5000;
 
 /// Closes every inherited descriptor except stdio and `keep`. Run in a
 /// freshly forked worker so it cannot pin client connections, the
@@ -159,6 +167,24 @@ Status Server::start() {
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
+  if (options_.watchdog_budget_ms > 0) {
+    // Shared liveness page, mapped before the first fork so the
+    // workers' heartbeat stores land in the supervisor's view.
+    watch_bytes_ = sizeof(WatchSlot) * options_.workers;
+    void* mem = mmap(nullptr, watch_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      watch_ = nullptr;
+      watch_bytes_ = 0;
+      stop();
+      return Status::internal("mmap for watchdog slots failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    watch_ = static_cast<WatchSlot*>(mem);
+    for (std::size_t i = 0; i < options_.workers; ++i) {
+      new (&watch_[i]) WatchSlot();
+    }
+  }
   // The initial fleet forks before any router thread exists, so even
   // sanitized builds fork from a single-threaded process here; only
   // respawns fork from a multithreaded one.
@@ -228,7 +254,7 @@ void Server::stop() {
       wp->fd = -1;
     }
     if (wp->pid > 0) {
-      waitpid(wp->pid, nullptr, 0);
+      reap_worker(wp->pid, kStopReapGraceMs);
       wp->pid = -1;
     }
     wp->alive = false;
@@ -238,8 +264,31 @@ void Server::stop() {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.clear();
   }
+  if (watch_ != nullptr) {
+    munmap(watch_, watch_bytes_);
+    watch_ = nullptr;
+    watch_bytes_ = 0;
+  }
   if (!options_.unix_path.empty()) unlink(options_.unix_path.c_str());
   running_.store(false);
+}
+
+void Server::reap_worker(pid_t pid, std::int64_t grace_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  for (;;) {
+    const pid_t r = waitpid(pid, nullptr, WNOHANG);
+    if (r == pid || (r < 0 && errno != EINTR)) return;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    usleep(2000);
+  }
+  // Out of patience. SIGKILL works on stopped and wedged processes
+  // alike, so the blocking reap below is bounded in practice.
+  kill(pid, SIGKILL);
+  for (;;) {
+    const pid_t r = waitpid(pid, nullptr, 0);
+    if (r == pid || (r < 0 && errno != EINTR)) return;
+  }
 }
 
 Status Server::bind_listener() {
@@ -343,9 +392,28 @@ void Server::worker_main(int fd, std::size_t shard) {
     if (!snapshot_path.empty()) {
       load_volume_snapshot(session.cache(), snapshot_path);
     }
+    // Armed watchdog: publish liveness into this shard's shared slot. A
+    // dedicated thread keeps the heartbeat honest even while the main
+    // thread blocks in read_frame; progress bumps ride the work itself.
+    WatchSlot* slot = watch_ != nullptr ? &watch_[shard] : nullptr;
+    std::atomic<bool> hb_stop{false};
+    std::thread heartbeat;
+    if (slot != nullptr) {
+      heartbeat = std::thread(
+          [slot, &hb_stop, interval = options_.watchdog_interval_ms] {
+            while (!hb_stop.load(std::memory_order_relaxed)) {
+              slot->beat.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(interval));
+            }
+          });
+    }
     for (;;) {
       Frame frame;
       if (!read_frame(fd, &frame).is_ok()) break;
+      if (slot != nullptr) {
+        slot->progress.fetch_add(1, std::memory_order_relaxed);
+      }
       switch (frame.type) {
         case MsgType::kPing: {
           std::lock_guard<std::mutex> lock(write_mu);
@@ -385,8 +453,11 @@ void Server::worker_main(int fd, std::size_t shard) {
             break;
           }
           serve::Ticket ticket = session.submit(std::move(request));
-          ticket.then([fd, id = frame.id, &write_mu,
-                       &db](const Result<Answer>& result) {
+          ticket.then([fd, id = frame.id, &write_mu, &db,
+                       slot](const Result<Answer>& result) {
+            if (slot != nullptr) {
+              slot->progress.fetch_add(1, std::memory_order_relaxed);
+            }
             const std::string payload = encode_answer(result, &db.vars());
             std::lock_guard<std::mutex> lock(write_mu);
             if (!write_frame(fd, MsgType::kAnswer, id, payload).is_ok()) {
@@ -407,6 +478,8 @@ void Server::worker_main(int fd, std::size_t shard) {
           break;
       }
     }
+    hb_stop.store(true, std::memory_order_relaxed);
+    if (heartbeat.joinable()) heartbeat.join();
     if (!snapshot_path.empty()) {
       save_volume_snapshot(session.cache(), snapshot_path);
     }
@@ -544,7 +617,7 @@ void Server::handle_request(const ClientConnPtr& conn, const Frame& frame) {
     lock.unlock();
     shed_total_.fetch_add(1, std::memory_order_relaxed);
     send_to_client(conn, MsgType::kAnswer, frame.id,
-                   degraded_payload(request.kind, /*crashed=*/false));
+                   degraded_payload(request.kind, DegradeReason::kShed));
     return;
   }
   const std::uint64_t gid = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -581,7 +654,7 @@ void Server::handle_request(const ClientConnPtr& conn, const Frame& frame) {
       release_slot(w, entry);
       crash_degraded_total_.fetch_add(1, std::memory_order_relaxed);
       const std::string payload =
-          degraded_payload(entry.kind, /*crashed=*/true);
+          degraded_payload(entry.kind, DegradeReason::kCrashed);
       resolve_pending(std::move(entry), MsgType::kAnswer, payload);
     }
   }
@@ -606,6 +679,9 @@ void Server::handle_stats(const ClientConnPtr& conn, const Frame& frame) {
           "\n";
   text += "served_respawn_total " + std::to_string(s.respawns) + "\n";
   text += "served_cache_hit_total " + std::to_string(s.cache_hits) + "\n";
+  text += "served_hung_kill_total " + std::to_string(s.hung_kills) + "\n";
+  text += "served_hung_degraded_total " + std::to_string(s.hung_degraded) +
+          "\n";
   if (cache_) {
     const DiskCacheStats cs = cache_->stats();
     text += "disk_cache_entries " + std::to_string(cs.entries) + "\n";
@@ -659,6 +735,8 @@ void Server::handle_stats(const ClientConnPtr& conn, const Frame& frame) {
 
 void Server::supervisor_loop(std::size_t shard) {
   Worker& w = *workers_[shard];
+  const bool armed = watch_ != nullptr && options_.watchdog_budget_ms > 0;
+  const auto budget = std::chrono::milliseconds(options_.watchdog_budget_ms);
   for (;;) {
     int fd = -1;
     pid_t pid = -1;
@@ -667,9 +745,63 @@ void Server::supervisor_loop(std::size_t shard) {
       fd = w.fd;
       pid = w.pid;
     }
+    // Wedge detection baselines, reset per worker incarnation. The
+    // heartbeat and progress counters are monotonic across respawns, so
+    // only deltas matter.
+    std::uint64_t last_beat = 0, last_progress = 0;
+    auto beat_at = std::chrono::steady_clock::now();
+    auto progress_at = beat_at;
+    if (armed) {
+      last_beat = watch_[shard].beat.load(std::memory_order_relaxed);
+      last_progress = watch_[shard].progress.load(std::memory_order_relaxed);
+    }
+    bool hung = false;
     for (;;) {
+      if (armed) {
+        // Poll instead of blocking in read_frame: the supervisor must
+        // keep observing the liveness slot while the pipe is silent.
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int r =
+            poll(&pfd, 1, static_cast<int>(options_.watchdog_interval_ms));
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        const std::uint64_t beat =
+            watch_[shard].beat.load(std::memory_order_relaxed);
+        const std::uint64_t progress =
+            watch_[shard].progress.load(std::memory_order_relaxed);
+        if (beat != last_beat) {
+          last_beat = beat;
+          beat_at = now;
+        }
+        if (progress != last_progress ||
+            w.in_flight.load(std::memory_order_relaxed) == 0) {
+          // Idle shards are never wedged: progress freshness is
+          // measured from the moment the shard became busy.
+          last_progress = progress;
+          progress_at = now;
+        }
+        if (now - beat_at >= budget || now - progress_at >= budget) {
+          hung = true;
+          break;
+        }
+        if (r == 0) continue;  // silence, but alive: keep watching
+      }
       Frame frame;
-      if (!read_frame(fd, &frame).is_ok()) break;
+      // Armed: poll said readable, so bound the read by the watchdog
+      // budget -- a worker stopped mid-frame must wedge the supervisor
+      // no longer than any other hang.
+      Status got = read_frame(fd, &frame,
+                              armed ? options_.watchdog_budget_ms
+                                    : std::int64_t{-1});
+      if (!got.is_ok()) {
+        hung = got.code() == StatusCode::kDeadlineExceeded;
+        break;
+      }
       Pending entry;
       {
         std::lock_guard<std::mutex> plock(pending_mu_);
@@ -690,9 +822,10 @@ void Server::supervisor_loop(std::size_t shard) {
     }
     if (stopping_.load()) return;
 
-    // The worker died mid-stream (kill -9, OOM, engine abort). The
-    // blast radius is this shard and nothing else: reap the corpse,
-    // resolve its in-flight honestly, refleet.
+    // The worker died mid-stream (kill -9, OOM, engine abort) or the
+    // watchdog declared it wedged. The blast radius is this shard and
+    // nothing else: kill if needed, reap the corpse, resolve its
+    // in-flight honestly, refleet.
     {
       std::lock_guard<std::mutex> lock(w.mu);
       w.alive = false;
@@ -707,7 +840,16 @@ void Server::supervisor_loop(std::size_t shard) {
       ++w.generation;
       w.in_flight.store(0);
     }
-    if (pid > 0) waitpid(pid, nullptr, 0);
+    if (pid > 0) {
+      if (hung) {
+        // Escalate: SIGTERM first so a merely-slow worker can exit
+        // cleanly; reap_worker SIGKILLs after the grace (the only rung
+        // that works on a SIGSTOPped process).
+        hung_kill_total_.fetch_add(1, std::memory_order_relaxed);
+        kill(pid, SIGTERM);
+      }
+      reap_worker(pid, options_.term_grace_ms);
+    }
     std::vector<Pending> orphans;
     {
       std::lock_guard<std::mutex> plock(pending_mu_);
@@ -726,9 +868,13 @@ void Server::supervisor_loop(std::size_t shard) {
                         "worker down\n");
         continue;
       }
-      crash_degraded_total_.fetch_add(1, std::memory_order_relaxed);
-      const std::string payload =
-          degraded_payload(entry.kind, /*crashed=*/true);
+      if (hung) {
+        hung_degraded_total_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        crash_degraded_total_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::string payload = degraded_payload(
+          entry.kind, hung ? DegradeReason::kHung : DegradeReason::kCrashed);
       resolve_pending(std::move(entry), MsgType::kAnswer, payload);
     }
     if (stopping_.load()) return;
@@ -770,22 +916,26 @@ void Server::resolve_pending(Pending&& entry, MsgType type,
   send_to_client(entry.conn, type, entry.client_id, payload);
 }
 
-std::string Server::degraded_payload(RequestKind kind, bool crashed) {
+std::string Server::degraded_payload(RequestKind kind, DegradeReason why) {
   if (kind == RequestKind::kVolume) {
     Answer a;
     a.kind = RequestKind::kVolume;
     a.status = AnswerStatus::kDegraded;
     a.volume = trivial_half_volume(true);
     a.guard.rung = guard::Rung::kTrivialHalf;
-    a.guard.shed = !crashed;
-    a.guard.worker_crashed = crashed;
+    a.guard.shed = why == DegradeReason::kShed;
+    a.guard.worker_crashed = why == DegradeReason::kCrashed;
+    a.guard.worker_hung = why == DegradeReason::kHung;
     return encode_answer(Result<Answer>(std::move(a)), nullptr);
   }
+  const char* message = "shard at capacity; request shed at admission";
+  if (why == DegradeReason::kCrashed) {
+    message = "shard worker died mid-request; safe to retry";
+  } else if (why == DegradeReason::kHung) {
+    message = "shard worker hung mid-request and was killed; safe to retry";
+  }
   return encode_answer(
-      Result<Answer>(Status::resource_exhausted(
-          crashed ? "shard worker died mid-request; safe to retry"
-                  : "shard at capacity; request shed at admission")),
-      nullptr);
+      Result<Answer>(Status::resource_exhausted(message)), nullptr);
 }
 
 pid_t Server::worker_pid(std::size_t shard) const {
@@ -807,6 +957,8 @@ ServerStats Server::stats() const {
   s.crash_degraded = crash_degraded_total_.load(std::memory_order_relaxed);
   s.respawns = respawn_total_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hit_total_.load(std::memory_order_relaxed);
+  s.hung_kills = hung_kill_total_.load(std::memory_order_relaxed);
+  s.hung_degraded = hung_degraded_total_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -29,6 +29,15 @@
 //     request on that shard honestly (volume -> trivial-1/2 with
 //     guard.worker_crashed = true, others -> typed error; nothing ever
 //     hangs), forks a replacement, and the shard is back.
+//   - Hang containment: a worker that stops making progress without
+//     dying (SIGSTOP, scheduler livelock, a wedged syscall) is caught
+//     by the watchdog. Workers publish a monotonic heartbeat and an
+//     in-flight progress counter into a per-shard slot of a MAP_SHARED
+//     page mapped before the forks; the supervisor polls it, and a
+//     shard frozen past watchdog_budget_ms is escalated -- SIGTERM,
+//     a timed wait, then SIGKILL -- its in-flight degraded honestly
+//     (guard.worker_hung = true), and respawned. Same one-shard blast
+//     radius as a crash; the flag names the escalation path.
 //   - Persistence: full-fidelity answers land in a disk-backed result
 //     cache keyed by the fingerprint (checksummed records, versioned
 //     header, corrupt-tail tolerance), so a restarted server serves its
@@ -76,6 +85,22 @@ struct ServedOptions {
   /// exact-volume cache entries to "<cache_path>.volumes.shard<i>".
   std::string cache_path;
   std::size_t cache_capacity = 4096;
+  /// > 0 arms the hung-worker watchdog: a shard whose heartbeat
+  /// freezes, or that holds in-flight requests without completing any,
+  /// past this budget is killed (SIGTERM -> term_grace_ms -> SIGKILL),
+  /// its in-flight resolved honestly with guard.worker_hung, and
+  /// respawned. Must exceed the worst-case latency of a single request
+  /// -- the watchdog cannot tell a wedged worker from a slow one. 0
+  /// (default) disarms it, so long exact sweeps are never killed by a
+  /// server that did not opt in.
+  std::int64_t watchdog_budget_ms = 0;
+  /// Supervisor poll / worker heartbeat cadence while the watchdog is
+  /// armed.
+  std::int64_t watchdog_interval_ms = 100;
+  /// Escalation grace between SIGTERM and SIGKILL. SIGTERM cannot wake
+  /// a SIGSTOPped worker (it stays pending), so SIGKILL is always the
+  /// last rung.
+  std::int64_t term_grace_ms = 500;
   /// Per-worker Session/Scheduler knobs. Defaults are sized for a
   /// fleet: small pools beat one oversubscribed process.
   SessionOptions session;
@@ -94,6 +119,8 @@ struct ServerStats {
   std::uint64_t crash_degraded = 0;  // in-flight degraded by a crash
   std::uint64_t respawns = 0;        // workers refleeted after death
   std::uint64_t cache_hits = 0;      // served straight from DiskCache
+  std::uint64_t hung_kills = 0;      // workers escalated by the watchdog
+  std::uint64_t hung_degraded = 0;   // in-flight degraded by a hang
 };
 
 class Server {
@@ -162,6 +189,25 @@ class Server {
     std::uint64_t generation = 0;  // worker generation that counted it
   };
 
+  /// One shard's liveness signals, a slot of a MAP_SHARED|MAP_ANONYMOUS
+  /// page mapped before the forks (armed watchdog only). The worker
+  /// publishes, the supervisor reads; both sides use relaxed atomics --
+  /// the watchdog needs freshness on a human timescale, not ordering.
+  struct WatchSlot {
+    /// Bumped by the worker's heartbeat thread every
+    /// watchdog_interval_ms. Frozen = the whole process is stopped or
+    /// starved (SIGSTOP, swap death).
+    alignas(64) std::atomic<std::uint64_t> beat{0};
+    /// Bumped per frame handled and per answer completed. Frozen while
+    /// in_flight > 0 = the engines are wedged even though the heartbeat
+    /// thread still runs (livelock, stuck syscall).
+    std::atomic<std::uint64_t> progress{0};
+  };
+
+  /// Why a request degraded without reaching (or surviving) a worker;
+  /// picks the guard flag on the honest trivial-1/2 answer.
+  enum class DegradeReason { kShed, kCrashed, kHung };
+
   /// One shard: a forked worker process plus its supervisor state.
   struct Worker {
     mutable std::mutex mu;  // guards fd/pid/alive/generation + writes
@@ -200,10 +246,15 @@ class Server {
   /// Returns a counted entry's admission slot, unless a crash sweep
   /// already reclaimed it wholesale (generation mismatch).
   static void release_slot(Worker& w, const Pending& entry);
-  /// The honest no-engine answer for a request that cannot reach a
-  /// worker: volume -> trivial-1/2 (shed or crash flavor), other kinds
-  /// -> typed kResourceExhausted.
-  static std::string degraded_payload(RequestKind kind, bool crashed);
+  /// The honest no-engine answer for a request that cannot reach (or
+  /// did not survive) a worker: volume -> trivial-1/2 with the guard
+  /// flag `why` names, other kinds -> typed kResourceExhausted.
+  static std::string degraded_payload(RequestKind kind, DegradeReason why);
+  /// Timed reap: polls waitpid(WNOHANG) for up to grace_ms, then
+  /// SIGKILLs and reaps the guaranteed corpse. Never blocks unboundedly
+  /// on a child that is still alive (a hung worker would wedge the
+  /// supervisor -- the exact disease the watchdog exists to cure).
+  static void reap_worker(pid_t pid, std::int64_t grace_ms);
 
   ServedOptions options_;
   std::unique_ptr<DiskCache> cache_;
@@ -214,6 +265,12 @@ class Server {
   std::atomic<bool> stopping_{false};
 
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Per-shard liveness slots (armed watchdog only; else null). Mapped
+  /// MAP_SHARED before the first fork so every worker and the router
+  /// see the same page; unmapped in stop().
+  WatchSlot* watch_ = nullptr;
+  std::size_t watch_bytes_ = 0;
 
   std::thread acceptor_;
   mutable std::mutex conns_mu_;
@@ -230,6 +287,8 @@ class Server {
   std::atomic<std::uint64_t> crash_degraded_total_{0};
   std::atomic<std::uint64_t> respawn_total_{0};
   std::atomic<std::uint64_t> cache_hit_total_{0};
+  std::atomic<std::uint64_t> hung_kill_total_{0};
+  std::atomic<std::uint64_t> hung_degraded_total_{0};
 };
 
 }  // namespace served

@@ -1,8 +1,10 @@
 #include "cqa/served/wire.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "cqa/logic/printer.h"
@@ -14,6 +16,14 @@ namespace served {
 namespace {
 
 using namespace bincode;
+
+constexpr std::uint64_t kFrameChecksumSalt = 0xf4a3ec5c0dedULL;
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // send/recv with EINTR retry. MSG_NOSIGNAL: a peer that died mid-write
 // must surface as EPIPE, not kill the process with SIGPIPE.
@@ -32,10 +42,27 @@ Status write_all(int fd, const char* data, std::size_t len) {
 
 // Reads exactly len bytes. `any_read` reports whether a partial frame
 // was consumed before EOF (a truncated frame is corruption; EOF on a
-// frame boundary is a clean close).
-Status read_all(int fd, char* data, std::size_t len, bool* any_read) {
+// frame boundary is a clean close). `deadline` < 0 blocks forever;
+// otherwise each recv waits (via poll) only for the remaining budget
+// and expiry returns kDeadlineExceeded -- possibly mid-read.
+Status read_all(int fd, char* data, std::size_t len, bool* any_read,
+                std::int64_t deadline) {
   std::size_t off = 0;
   while (off < len) {
+    if (deadline >= 0) {
+      const std::int64_t remaining = deadline - steady_now_ms();
+      if (remaining <= 0) {
+        return Status::deadline_exceeded("wire read timed out");
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = poll(&pfd, 1,
+                          static_cast<int>(remaining > 1000000 ? 1000000
+                                                               : remaining));
+      if (rc < 0 && errno != EINTR) {
+        return Status::internal(std::string("poll: ") + std::strerror(errno));
+      }
+      if (rc <= 0) continue;  // timeout slice or EINTR: re-check budget
+    }
     const ssize_t n = ::recv(fd, data + off, len - off, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -90,33 +117,49 @@ bool get_opt_rational(Reader* r, std::optional<Rational>* v) {
 
 }  // namespace
 
+std::uint64_t frame_checksum(const std::string& body) {
+  return bincode::fnv1a(body, kFrameChecksumSalt);
+}
+
 Status write_frame(int fd, MsgType type, std::uint64_t id,
                    const std::string& payload) {
   if (payload.size() + 10 > kMaxFrameBody) {
     return Status::invalid("frame payload over size bound");
   }
+  std::string body;
+  body.reserve(10 + payload.size());
+  put_u8(&body, kWireVersion);
+  put_u8(&body, static_cast<std::uint8_t>(type));
+  put_u64(&body, id);
+  body.append(payload);
   std::string buf;
-  buf.reserve(4 + 10 + payload.size());
-  put_u32(&buf, static_cast<std::uint32_t>(10 + payload.size()));
-  put_u8(&buf, kWireVersion);
-  put_u8(&buf, static_cast<std::uint8_t>(type));
-  put_u64(&buf, id);
-  buf.append(payload);
+  buf.reserve(12 + body.size());
+  put_u32(&buf, static_cast<std::uint32_t>(body.size()));
+  put_u64(&buf, frame_checksum(body));
+  buf.append(body);
   return write_all(fd, buf.data(), buf.size());
 }
 
-Status read_frame(int fd, Frame* out) {
+Status read_frame(int fd, Frame* out, std::int64_t timeout_ms) {
+  const std::int64_t deadline =
+      timeout_ms < 0 ? -1 : steady_now_ms() + timeout_ms;
   bool any_read = false;
-  char head[4];
-  CQA_RETURN_IF_ERROR(read_all(fd, head, sizeof(head), &any_read));
+  char head[12];
+  CQA_RETURN_IF_ERROR(read_all(fd, head, sizeof(head), &any_read, deadline));
   std::uint32_t body_len = 0;
+  std::uint64_t checksum = 0;
   Reader hr(head, sizeof(head));
   hr.get_u32(&body_len);
+  hr.get_u64(&checksum);
   if (body_len < 10 || body_len > kMaxFrameBody) {
     return Status::invalid("frame length out of bounds");
   }
   std::string body(body_len, '\0');
-  CQA_RETURN_IF_ERROR(read_all(fd, body.data(), body.size(), &any_read));
+  CQA_RETURN_IF_ERROR(
+      read_all(fd, body.data(), body.size(), &any_read, deadline));
+  if (frame_checksum(body) != checksum) {
+    return Status::invalid("frame checksum mismatch (corrupt wire)");
+  }
   Reader r(body);
   std::uint8_t version = 0, type = 0;
   r.get_u8(&version);
@@ -241,7 +284,7 @@ Result<Request> decode_request(const std::string& payload) {
 //        opt mu, u8 has_growth + u64 ncoeffs + coeff strs,
 //        opt aggregate,
 //        guard: 5x u64 usage, u8 quota_tripped, str tripped_quota,
-//               u8 rung, u8 shed, u8 worker_crashed,
+//               u8 rung, u8 shed, u8 worker_crashed, u8 worker_hung,
 //        f64 elapsed_ms
 std::string encode_answer(const Result<Answer>& result,
                           const VarTable* vars) {
@@ -286,6 +329,7 @@ std::string encode_answer(const Result<Answer>& result,
   put_u8(&out, static_cast<std::uint8_t>(a.guard.rung));
   put_u8(&out, a.guard.shed ? 1 : 0);
   put_u8(&out, a.guard.worker_crashed ? 1 : 0);
+  put_u8(&out, a.guard.worker_hung ? 1 : 0);
   put_f64(&out, a.elapsed_ms);
   return out;
 }
@@ -308,7 +352,7 @@ Status decode_answer(const std::string& payload, ConstraintDatabase* db,
   }
   Answer a;
   std::uint8_t kind, status, truth, has_formula, degraded, has_growth;
-  std::uint8_t quota_tripped, rung, shed, crashed;
+  std::uint8_t quota_tripped, rung, shed, crashed, hung;
   std::string formula_text;
   std::uint64_t pe, pr, ncoeffs;
   if (!r.get_u8(&kind) || !r.get_u8(&status) || !r.get_u8(&truth) ||
@@ -364,7 +408,7 @@ Status decode_answer(const std::string& payload, ConstraintDatabase* db,
       !r.get_u64(&a.guard.usage.resident_bytes) ||
       !r.get_u8(&quota_tripped) || !r.get_str(&a.guard.tripped_quota) ||
       !r.get_u8(&rung) || !r.get_u8(&shed) || !r.get_u8(&crashed) ||
-      !r.get_f64(&a.elapsed_ms)) {
+      !r.get_u8(&hung) || !r.get_f64(&a.elapsed_ms)) {
     return decode_error();
   }
   if (rung > static_cast<std::uint8_t>(guard::Rung::kTrivialHalf)) {
@@ -374,6 +418,7 @@ Status decode_answer(const std::string& payload, ConstraintDatabase* db,
   a.guard.rung = static_cast<guard::Rung>(rung);
   a.guard.shed = shed != 0;
   a.guard.worker_crashed = crashed != 0;
+  a.guard.worker_hung = hung != 0;
   if (!r.exhausted()) return decode_error();
   *out = std::move(a);
   return Status::ok();

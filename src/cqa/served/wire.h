@@ -5,14 +5,18 @@
 // discipline (fixed-width little-endian integers, u64 length prefixes
 // on every string) to request/answer transport:
 //
-//   frame := u32 LE body_len | body
+//   frame := u32 LE body_len | u64 LE checksum | body
 //   body  := u8 version | u8 type | u64 LE id | payload
 //
-// `id` is a caller-chosen correlation id: clients may pipeline many
-// frames on one connection and match answers out of order; the shard
-// router rewrites ids when forwarding to workers and restores them on
-// the way back. A version byte other than kWireVersion rejects the
-// frame before any payload decoding.
+// `checksum` is salted FNV-1a over the body: a bit flipped anywhere in
+// transit (hostile proxy, failing NIC) fails the frame as
+// kInvalidArgument before any payload decoding, so corruption is a
+// typed connection-level error, never a silently wrong answer. `id` is
+// a caller-chosen correlation id: clients may pipeline many frames on
+// one connection and match answers out of order; the shard router
+// rewrites ids when forwarding to workers and restores them on the way
+// back. A version byte other than kWireVersion rejects the frame before
+// any payload decoding.
 //
 // Payload encodings cover every answer-affecting Request field and the
 // full Answer -- including the volume bars, degradation status, and the
@@ -36,7 +40,7 @@
 namespace cqa {
 namespace served {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;  // v2: frame checksum
 /// Upper bound on one frame body; larger length prefixes are treated as
 /// corruption and fail the connection instead of allocating blindly.
 inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;
@@ -59,11 +63,22 @@ struct Frame {
 /// Blocking full-frame write/read on a stream socket. write_frame is
 /// atomic per call (callers serialize per-fd); read_frame returns
 /// kUnavailable-style Status::cancelled("connection closed") on clean
-/// EOF before any byte, kInternal on I/O errors, kInvalidArgument on a
-/// malformed or version-mismatched frame.
+/// EOF before any byte, kInternal on I/O errors and mid-frame EOF
+/// (torn frame), kInvalidArgument on a malformed, corrupt (checksum
+/// mismatch), or version-mismatched frame.
+///
+/// `timeout_ms` >= 0 bounds the whole read: each recv is preceded by a
+/// poll against the remaining budget and expiry returns
+/// kDeadlineExceeded -- possibly mid-frame, leaving the stream
+/// unsynchronized (callers must treat the connection as poisoned).
+/// The default -1 blocks forever, the server/worker discipline.
 Status write_frame(int fd, MsgType type, std::uint64_t id,
                    const std::string& payload);
-Status read_frame(int fd, Frame* out);
+Status read_frame(int fd, Frame* out, std::int64_t timeout_ms = -1);
+
+/// Salted FNV-1a over a frame body -- exposed so tests and the chaos
+/// layer can craft valid (and deliberately invalid) frames.
+std::uint64_t frame_checksum(const std::string& body);
 
 /// Request payload codec. Every answer-affecting field round-trips;
 /// the process-local bits (cancel token pointer, priority lane) travel

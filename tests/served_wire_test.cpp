@@ -70,13 +70,15 @@ TEST_F(FramePair, RoundTripsEveryMessageType) {
 }
 
 TEST_F(FramePair, RejectsVersionMismatchBeforePayload) {
-  // Hand-craft a frame claiming wire version 99.
+  // Hand-craft a frame claiming wire version 99; the checksum is valid,
+  // so the version check (not the corruption check) must reject it.
   std::string body;
   bincode::put_u8(&body, 99);
   bincode::put_u8(&body, 1);
   bincode::put_u64(&body, 7);
   std::string buf;
   bincode::put_u32(&buf, static_cast<std::uint32_t>(body.size()));
+  bincode::put_u64(&buf, served::frame_checksum(body));
   buf += body;
   ASSERT_EQ(write(fds_[0], buf.data(), buf.size()),
             static_cast<ssize_t>(buf.size()));
@@ -89,11 +91,60 @@ TEST_F(FramePair, RejectsVersionMismatchBeforePayload) {
 TEST_F(FramePair, RejectsOversizedLengthPrefixWithoutAllocating) {
   std::string buf;
   bincode::put_u32(&buf, served::kMaxFrameBody + 1);
+  bincode::put_u64(&buf, 0);  // checksum slot; length is checked first
   ASSERT_EQ(write(fds_[0], buf.data(), buf.size()),
             static_cast<ssize_t>(buf.size()));
   served::Frame frame;
   EXPECT_EQ(served::read_frame(fds_[1], &frame).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(FramePair, FlippedBitFailsChecksumBeforeDecoding) {
+  // A valid frame with one payload bit flipped in transit must surface
+  // as corruption (kInvalidArgument), never as a decodable frame.
+  std::string body;
+  bincode::put_u8(&body, served::kWireVersion);
+  bincode::put_u8(&body, static_cast<std::uint8_t>(served::MsgType::kPing));
+  bincode::put_u64(&body, 7);
+  body += "payload";
+  std::string buf;
+  bincode::put_u32(&buf, static_cast<std::uint32_t>(body.size()));
+  bincode::put_u64(&buf, served::frame_checksum(body));
+  buf += body;
+  buf[buf.size() - 3] ^= 0x40;  // flip one bit inside "payload"
+  ASSERT_EQ(write(fds_[0], buf.data(), buf.size()),
+            static_cast<ssize_t>(buf.size()));
+  served::Frame frame;
+  Status s = served::read_frame(fds_[1], &frame);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos);
+}
+
+TEST_F(FramePair, ReadDeadlineExpiresAsDeadlineExceeded) {
+  // Nothing ever arrives: a bounded read must give up with
+  // kDeadlineExceeded instead of blocking forever.
+  served::Frame frame;
+  Status s = served::read_frame(fds_[1], &frame, /*timeout_ms=*/50);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FramePair, ReadDeadlineExpiresMidFrameToo) {
+  // Header arrives, body never does -- the stalled-write shape. The
+  // bounded read must expire mid-frame rather than hang.
+  std::string body;
+  bincode::put_u8(&body, served::kWireVersion);
+  bincode::put_u8(&body, static_cast<std::uint8_t>(served::MsgType::kPing));
+  bincode::put_u64(&body, 7);
+  body += "never fully sent";
+  std::string buf;
+  bincode::put_u32(&buf, static_cast<std::uint32_t>(body.size()));
+  bincode::put_u64(&buf, served::frame_checksum(body));
+  buf += body.substr(0, 4);  // stall mid-body
+  ASSERT_EQ(write(fds_[0], buf.data(), buf.size()),
+            static_cast<ssize_t>(buf.size()));
+  served::Frame frame;
+  Status s = served::read_frame(fds_[1], &frame, /*timeout_ms=*/50);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(FramePair, CleanEofIsCancelledMidFrameIsInternal) {
@@ -192,6 +243,7 @@ TEST(AnswerCodec, RoundTripsExactVolumeWithGuardReport) {
   a.guard.rung = guard::Rung::kMcPartial;
   a.guard.shed = true;
   a.guard.worker_crashed = true;
+  a.guard.worker_hung = true;
   a.elapsed_ms = 1.5;
   const std::string payload =
       served::encode_answer(Result<Answer>(std::move(a)), nullptr);
@@ -211,6 +263,7 @@ TEST(AnswerCodec, RoundTripsExactVolumeWithGuardReport) {
   EXPECT_EQ(b.guard.rung, guard::Rung::kMcPartial);
   EXPECT_TRUE(b.guard.shed);
   EXPECT_TRUE(b.guard.worker_crashed);
+  EXPECT_TRUE(b.guard.worker_hung);
   EXPECT_DOUBLE_EQ(b.elapsed_ms, 1.5);
 }
 

@@ -30,7 +30,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--workers N] [--unix PATH | --tcp PORT] [--host ADDR]\n"
       "          [--cache FILE] [--cache-capacity N] [--shard-capacity N]\n"
-      "          [--threads N] [--executors N]\n"
+      "          [--threads N] [--executors N] [--watchdog-ms MS]\n"
+      "          [--watchdog-interval-ms MS] [--term-grace-ms MS]\n"
       "\n"
       "  --workers N         worker processes / shards (default 4)\n"
       "  --unix PATH         listen on a unix-domain socket\n"
@@ -40,7 +41,12 @@ void usage(const char* argv0) {
       "  --cache-capacity N  max cached answers (default 4096)\n"
       "  --shard-capacity N  per-shard in-flight cap (default 256)\n"
       "  --threads N         pool threads per worker (default 2)\n"
-      "  --executors N       serve executors per worker (default 2)\n",
+      "  --executors N       serve executors per worker (default 2)\n"
+      "  --watchdog-ms MS    hung-worker kill budget (default 10000;\n"
+      "                      0 disarms -- must exceed the slowest\n"
+      "                      single request you expect to serve)\n"
+      "  --watchdog-interval-ms MS  heartbeat/poll cadence (default 100)\n"
+      "  --term-grace-ms MS  SIGTERM->SIGKILL escalation grace (default 500)\n",
       argv0);
 }
 
@@ -48,6 +54,10 @@ void usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   cqa::served::ServedOptions options;
+  // The daemon arms the watchdog by default: an operator running a
+  // fleet wants wedged shards respawned. (The library default stays 0
+  // so embedded servers never kill a deliberately slow worker.)
+  options.watchdog_budget_ms = 10000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -76,6 +86,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--executors") {
       options.session.serve_executors =
           static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--watchdog-ms") {
+      options.watchdog_budget_ms = std::atoll(next());
+    } else if (arg == "--watchdog-interval-ms") {
+      options.watchdog_interval_ms = std::atoll(next());
+    } else if (arg == "--term-grace-ms") {
+      options.term_grace_ms = std::atoll(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -119,12 +135,15 @@ int main(int argc, char** argv) {
   const cqa::served::ServerStats s = server.stats();
   std::printf(
       "cqa_served: served %llu answers (%llu requests, %llu shed, "
-      "%llu crash-degraded, %llu respawns, %llu cache hits)\n",
+      "%llu crash-degraded, %llu respawns, %llu cache hits, "
+      "%llu hung kills, %llu hung-degraded)\n",
       static_cast<unsigned long long>(s.answers),
       static_cast<unsigned long long>(s.requests),
       static_cast<unsigned long long>(s.shed),
       static_cast<unsigned long long>(s.crash_degraded),
       static_cast<unsigned long long>(s.respawns),
-      static_cast<unsigned long long>(s.cache_hits));
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.hung_kills),
+      static_cast<unsigned long long>(s.hung_degraded));
   return 0;
 }

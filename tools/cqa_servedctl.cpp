@@ -8,6 +8,9 @@
 // gauge, per-scrape-window queue-depth peak, and metrics registry. CI
 // and humans share this one health-check path: the served-smoke job
 // parses `shard N pid P` lines out of `stats` to aim its kill -9.
+// `soak` drains N known-answer volume requests through the retrying
+// client (exit 0 only if every reply was honest and the fleet actually
+// answered): point it through cqa_chaosproxy for a survival drill.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,8 +24,33 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--unix PATH | --tcp PORT] [--host ADDR] "
-               "ping|stats\n",
+               "ping|stats|soak\n"
+               "  soak options: [--n N] [--seed N] [--timeout-ms MS]\n",
                argv0);
+}
+
+// One honest-or-bust request: the quarter box has exact volume 1/4, so
+// every full-fidelity answer is checkable bit-for-bit. Returns 0 for
+// honest success, 1 for honest degraded, 2 for typed error, 3 for a
+// DISHONEST answer.
+int soak_one(cqa::served::Client& client, std::uint64_t seed,
+             std::int64_t timeout_ms) {
+  cqa::Request r =
+      cqa::Request::volume("0 <= x & x <= 1/2 & 0 <= y & y <= 1/2")
+          .vars({"x", "y"})
+          .seed(seed)
+          .build();
+  auto a = client.call(r, timeout_ms);
+  if (!a.is_ok()) return 2;
+  const cqa::Answer& ans = a.value();
+  if (ans.degraded()) {
+    const bool flagged = ans.guard.shed || ans.guard.worker_crashed ||
+                         ans.guard.worker_hung;
+    const bool honest_bars = ans.volume.lower.value_or(1.0) <= 0.0 &&
+                             ans.volume.upper.value_or(0.0) >= 1.0;
+    return (flagged && honest_bars) ? 1 : 3;
+  }
+  return ans.volume.value() == 0.25 ? 0 : 3;
 }
 
 }  // namespace
@@ -32,6 +60,9 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = -1;
   std::string command;
+  std::uint64_t soak_n = 100;
+  std::uint64_t soak_seed = 1;
+  std::int64_t soak_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -47,6 +78,12 @@ int main(int argc, char** argv) {
       port = std::atoi(next());
     } else if (arg == "--host") {
       host = next();
+    } else if (arg == "--n") {
+      soak_n = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      soak_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--timeout-ms") {
+      soak_timeout_ms = std::atoll(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -93,6 +130,52 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fputs(stats.value().c_str(), stdout);
+    return 0;
+  }
+  if (command == "soak") {
+    std::uint64_t exact = 0, degraded = 0, errors = 0, dishonest = 0;
+    std::uint64_t retries = 0, reconnects = 0;
+    for (std::uint64_t i = 0; i < soak_n; ++i) {
+      switch (soak_one(client, soak_seed + i, soak_timeout_ms)) {
+        case 0: ++exact; break;
+        case 1: ++degraded; break;
+        case 3: ++dishonest; break;
+        default: {
+          ++errors;
+          // A dead pipe (blackholed proxy leg, poisoned stream the
+          // retry budget could not heal) fails every later call too:
+          // re-dial once per failure and keep draining.
+          retries += client.retry_stats().retries;
+          reconnects += client.retry_stats().reconnects;
+          auto again = unix_path.empty()
+                           ? cqa::served::Client::connect_tcp(
+                                 host, static_cast<std::uint16_t>(port))
+                           : cqa::served::Client::connect_unix(unix_path);
+          if (again.is_ok()) client = std::move(again).take();
+          break;
+        }
+      }
+    }
+    retries += client.retry_stats().retries;
+    reconnects += client.retry_stats().reconnects;
+    std::printf(
+        "soak: %llu requests: %llu exact, %llu degraded, %llu errors, "
+        "%llu dishonest (%llu retries, %llu reconnects)\n",
+        static_cast<unsigned long long>(soak_n),
+        static_cast<unsigned long long>(exact),
+        static_cast<unsigned long long>(degraded),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(dishonest),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(reconnects));
+    if (dishonest > 0) {
+      std::fprintf(stderr, "cqa_servedctl: DISHONEST answers under soak\n");
+      return 1;
+    }
+    if (exact + degraded == 0) {
+      std::fprintf(stderr, "cqa_servedctl: soak never drained an answer\n");
+      return 1;
+    }
     return 0;
   }
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
